@@ -1,0 +1,83 @@
+//! Regenerates **Table I**: size reduction of the translated trace sets.
+//!
+//! Paper: CBP5-Training 5.4 GB → 760 MB (7.3×), CBP5-Evaluation 4.0 GB →
+//! 727 MB (5.0×), DPC3 30 GB → 727 MB (42×). "Original" means the format
+//! the set was distributed in — gzip-compressed BT9 text for CBP5,
+//! gzip-compressed per-instruction traces for DPC3 — and "translated"
+//! means SBBT compressed with the zstd-like codec at its top level.
+//!
+//! Run: `cargo run --release -p mbp-bench --bin table1_trace_sizes [--scale N]`
+
+use mbp_bench::{fmt_bytes, scale_from_args, TraceBundle};
+use mbp_workloads::Suite;
+
+struct Row {
+    set: &'static str,
+    traces: usize,
+    original: u64,
+    translated: u64,
+}
+
+fn measure(
+    suite: &Suite,
+    full: bool,
+    original_of: impl Fn(&TraceBundle) -> u64,
+) -> (usize, u64, u64) {
+    let bundles = if full {
+        TraceBundle::build_suite_full(suite)
+    } else {
+        TraceBundle::build_suite(suite)
+    };
+    let original = bundles.iter().map(&original_of).sum();
+    let translated = bundles.iter().map(|b| b.sbbt_mzst.len() as u64).sum();
+    (bundles.len(), original, translated)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table I — size reduction of the translated trace sets (scale {scale})\n");
+
+    let mut rows = Vec::new();
+
+    let (n, orig, trans) = measure(&Suite::cbp5_training(scale), false, |b| b.bt9_mgz.len() as u64);
+    rows.push(Row { set: "CBP5 - Training", traces: n, original: orig, translated: trans });
+
+    let (n, orig, trans) = measure(&Suite::cbp5_evaluation(scale), false, |b| b.bt9_mgz.len() as u64);
+    rows.push(Row { set: "CBP5 - Evaluation", traces: n, original: orig, translated: trans });
+
+    let (n, orig, trans) = measure(&Suite::dpc3(scale), true, |b| {
+        b.champsim_mgz.as_ref().expect("built full").len() as u64
+    });
+    rows.push(Row { set: "DPC3", traces: n, original: orig, translated: trans });
+
+    println!(
+        "{:<20} {:>7} {:>14} {:>16} {:>10}",
+        "Trace Set", "Traces", "Original", "Translated", "Ratio"
+    );
+    let (mut tot_orig, mut tot_trans) = (0u64, 0u64);
+    for r in &rows {
+        tot_orig += r.original;
+        tot_trans += r.translated;
+        println!(
+            "{:<20} {:>7} {:>14} {:>16} {:>9.1}x",
+            r.set,
+            r.traces,
+            fmt_bytes(r.original),
+            fmt_bytes(r.translated),
+            r.original as f64 / r.translated as f64
+        );
+    }
+    println!(
+        "{:<20} {:>7} {:>14} {:>16} {:>9.1}x",
+        "(total)",
+        "",
+        fmt_bytes(tot_orig),
+        fmt_bytes(tot_trans),
+        tot_orig as f64 / tot_trans as f64
+    );
+    println!(
+        "\npaper reference: 7.3x / 5.0x / 42.0x (absolute sizes differ — the\n\
+         synthetic sets are laptop-scaled; the DPC3 ratio is driven by the\n\
+         64 B-per-instruction format, as in the paper)"
+    );
+}

@@ -1,0 +1,160 @@
+//! Regenerates **Table III**: simulation time of MBPlib versus the CBP5
+//! framework (top half) and versus ChampSim (bottom half).
+//!
+//! For every predictor and every trace of the CBP5-like suite, both
+//! simulators run the same work: open the compressed trace in its native
+//! format (SBBT+MZST for MBPlib, BT9+MGZ for the framework), decode it and
+//! simulate. Predictors are compiled statically into both hot loops, as
+//! both tools do in the paper (§VI-A's per-configuration executables). The
+//! summary rows are Slowest / Average / Fastest over the traces, as in the
+//! paper. The ChampSim half runs the per-instruction cycle model over the
+//! DPC3-like suite with an instruction cap.
+//!
+//! Run: `cargo run --release -p mbp-bench --bin table3_speed [--scale N]`
+
+use cbp5_sim::{run_framework, McbpAdapter};
+use champsim_lite::{ChampsimConfig, Cpu, TargetPredictorChoice};
+use mbp_bench::{fmt_time, scale_from_args, timed, Summary, TraceBundle};
+use mbp_compress::decompress;
+use mbp_core::{simulate, Predictor, SimConfig};
+use mbp_predictors::{
+    Batage, BatageConfig, Bimodal, Gshare, HashedPerceptron, Tage, TageConfig, Tournament,
+    TwoBcGskew, TwoLevel,
+};
+use mbp_trace::champsim::ChampsimReader;
+use mbp_trace::sbbt::SbbtReader;
+use mbp_workloads::Suite;
+
+/// Runs one predictor configuration through both simulators over the whole
+/// suite, monomorphized so the predictor inlines into the hot loops.
+fn compare<P: Predictor>(
+    name: &str,
+    bundles: &[TraceBundle],
+    make: impl Fn() -> P,
+) {
+    let mut cbp5_times = Vec::new();
+    let mut mbp_times = Vec::new();
+    let mut cbp5_mis = 0u64;
+    let mut mbp_mis = 0u64;
+    for bundle in bundles {
+        // CBP5 framework: decompress + parse text + graph walk + simulate.
+        let mut fw_pred = McbpAdapter::new(make());
+        let (t, result) =
+            timed(|| run_framework(&bundle.bt9_mgz[..], &mut fw_pred).expect("framework run"));
+        cbp5_times.push(t);
+        cbp5_mis += result.mispredictions;
+
+        // MBPlib: decompress + packet walk + simulate.
+        let mut lib_pred = make();
+        let (t, result) = timed(|| {
+            let mut reader = SbbtReader::from_bytes(bundle.sbbt_mzst.clone()).expect("sbbt open");
+            simulate(&mut reader, &mut lib_pred, &SimConfig::default()).expect("sim run")
+        });
+        mbp_times.push(t);
+        mbp_mis += result.metrics.mispredictions;
+    }
+    assert_eq!(
+        cbp5_mis, mbp_mis,
+        "§VII-C violated: results must be identical across simulators"
+    );
+    let cbp5 = Summary::of(&cbp5_times);
+    let mbp = Summary::of(&mbp_times);
+    println!("{name:<13}");
+    for (label, c, m) in [
+        ("Slowest", cbp5.slowest, mbp.slowest),
+        ("Average", cbp5.average, mbp.average),
+        ("Fastest", cbp5.fastest, mbp.fastest),
+    ] {
+        println!(
+            "  {label:<11} {:>12} {:>12} {:>8.2}x",
+            fmt_time(c),
+            fmt_time(m),
+            c / m
+        );
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let champsim_cap: u64 = 1_000_000 * scale;
+
+    println!("Table III — simulation time, MBPlib vs CBP5 framework (scale {scale})\n");
+    let bundles = TraceBundle::build_suite(&Suite::cbp5_training(scale));
+    let total_instr: u64 = bundles.iter().map(|b| b.instructions).sum();
+    println!("{} traces, {} total instructions\n", bundles.len(), total_instr);
+    println!(
+        "{:<13} {:>9} {:>12} {:>12} {:>9}",
+        "Predictor", "", "CBP5", "MBPlib", "Speedup"
+    );
+
+    compare("Bimodal", &bundles, || Bimodal::new(18));
+    compare("Two-Level", &bundles, || TwoLevel::gas(12, 6, 0));
+    compare("GShare", &bundles, || Gshare::new(25, 18));
+    compare("Tournament", &bundles, || Tournament::classic(16));
+    compare("2bc-gskew", &bundles, || TwoBcGskew::new(16, 16));
+    compare("Hashed Perc", &bundles, HashedPerceptron::default_config);
+    compare("TAGE", &bundles, || Tage::new(TageConfig::default_64kb()));
+    compare("BATAGE", &bundles, || Batage::new(BatageConfig::default_64kb()));
+
+    println!("\nTable III (bottom) — ChampSim-like cycle simulation, {champsim_cap} instructions\n");
+    let dpc3 = TraceBundle::build_suite_full(&Suite::dpc3(scale));
+    for (name, direction, targets) in [
+        (
+            "GShare",
+            Box::new(|| Box::new(Gshare::new(25, 18)) as Box<dyn Predictor>)
+                as Box<dyn Fn() -> Box<dyn Predictor>>,
+            TargetPredictorChoice::btb_with_gshare_indirect as fn() -> TargetPredictorChoice,
+        ),
+        (
+            "BATAGE",
+            Box::new(|| Box::new(Batage::new(BatageConfig::default_64kb())) as Box<dyn Predictor>),
+            TargetPredictorChoice::btb_with_ittage,
+        ),
+    ] {
+        let mut champ_times = Vec::new();
+        let mut mbp_times = Vec::new();
+        for bundle in &dpc3 {
+            let (t, _) = timed(|| {
+                let champ = bundle.champsim_mgz.as_ref().expect("built full");
+                let bytes = decompress(champ).expect("decompress");
+                let reader = ChampsimReader::from_reader(&bytes[..]).expect("open");
+                let mut cpu = Cpu::new(ChampsimConfig::ice_lake_like(), direction(), targets());
+                cpu.run(reader, Some(champsim_cap))
+            });
+            champ_times.push(t);
+
+            let mut predictor = direction();
+            let (t, _) = timed(|| {
+                let mut reader =
+                    SbbtReader::from_bytes(bundle.sbbt_mzst.clone()).expect("sbbt open");
+                let cfg = SimConfig {
+                    max_instructions: Some(champsim_cap),
+                    ..SimConfig::default()
+                };
+                simulate(&mut reader, &mut *predictor, &cfg).expect("sim run")
+            });
+            mbp_times.push(t);
+        }
+        let champ = Summary::of(&champ_times);
+        let mbp = Summary::of(&mbp_times);
+        println!("{name:<13} {:>10} {:>12} {:>12} {:>9}", "", "ChampSim", "MBPlib", "Speedup");
+        for (label, c, m) in [
+            ("Slowest", champ.slowest, mbp.slowest),
+            ("Average", champ.average, mbp.average),
+            ("Fastest", champ.fastest, mbp.fastest),
+        ] {
+            println!(
+                "  {label:<11} {:>10} {:>12} {:>12} {:>8.0}x",
+                "",
+                fmt_time(c),
+                fmt_time(m),
+                c / m
+            );
+        }
+    }
+    println!(
+        "\npaper reference: 18.4x (bimodal) declining to 3.25x (BATAGE) against\n\
+         the CBP5 framework; ~923x (GShare) and ~134x (BATAGE) against ChampSim.\n\
+         Simple predictors gain most — the simulator overhead dominates them."
+    );
+}

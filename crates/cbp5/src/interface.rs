@@ -1,0 +1,181 @@
+//! The championship predictor interface and the adapter from MBPlib
+//! predictors.
+
+use mbp_core::Predictor;
+use mbp_trace::{Branch, BranchKind, Opcode};
+
+/// The CBP5 operation type passed to the update functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpType {
+    /// Conditional direct branch.
+    CondDirect,
+    /// Conditional indirect branch.
+    CondIndirect,
+    /// Unconditional direct jump.
+    UncondDirect,
+    /// Unconditional indirect jump.
+    UncondIndirect,
+    /// Call (direct or indirect).
+    Call,
+    /// Return.
+    Ret,
+}
+
+impl OpType {
+    /// Maps an SBBT/BT9 opcode onto the championship operation type.
+    pub fn from_opcode(op: Opcode) -> Self {
+        match (op.kind(), op.is_conditional(), op.is_indirect()) {
+            (BranchKind::Call, _, _) => OpType::Call,
+            (BranchKind::Ret, _, _) => OpType::Ret,
+            (BranchKind::Jump, true, false) => OpType::CondDirect,
+            (BranchKind::Jump, true, true) => OpType::CondIndirect,
+            (BranchKind::Jump, false, false) => OpType::UncondDirect,
+            (BranchKind::Jump, false, true) => OpType::UncondIndirect,
+        }
+    }
+
+    /// Whether the operation is a conditional branch (goes through
+    /// `GetPrediction`/`UpdatePredictor`).
+    pub fn is_conditional(self) -> bool {
+        matches!(self, OpType::CondDirect | OpType::CondIndirect)
+    }
+}
+
+/// The CBP5 framework's predictor contract.
+///
+/// The framework calls [`get_prediction`](CbpPredictor::get_prediction) and
+/// [`update_predictor`](CbpPredictor::update_predictor) for conditional
+/// branches and [`track_other_inst`](CbpPredictor::track_other_inst) for
+/// everything else. Note there is no train/track split: the paper's §VI-D
+/// argues this is exactly what makes some meta-predictors impossible to
+/// write against this interface without reimplementing components.
+pub trait CbpPredictor {
+    /// Predicts the direction of the conditional branch at `pc`.
+    fn get_prediction(&mut self, pc: u64) -> bool;
+
+    /// Updates the predictor after a conditional branch resolves.
+    fn update_predictor(
+        &mut self,
+        pc: u64,
+        op: OpType,
+        resolve_dir: bool,
+        pred_dir: bool,
+        branch_target: u64,
+    );
+
+    /// Informs the predictor of a non-conditional branch.
+    fn track_other_inst(&mut self, pc: u64, op: OpType, taken: bool, branch_target: u64);
+}
+
+/// Adapts any MBPlib [`Predictor`] to the championship interface, the same
+/// way the paper ports its example implementations to the CBP5 framework
+/// "with only small changes needed to comply with the different interfaces"
+/// (§VII-A).
+#[derive(Debug)]
+pub struct McbpAdapter<P> {
+    inner: P,
+}
+
+impl<P: Predictor> McbpAdapter<P> {
+    /// Wraps an MBPlib predictor.
+    pub fn new(inner: P) -> Self {
+        Self { inner }
+    }
+
+    /// Unwraps the predictor.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Borrows the wrapped predictor.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn branch_of(pc: u64, op: OpType, taken: bool, target: u64) -> Branch {
+        let opcode = match op {
+            OpType::CondDirect => Opcode::new(true, false, BranchKind::Jump),
+            OpType::CondIndirect => Opcode::new(true, true, BranchKind::Jump),
+            OpType::UncondDirect => Opcode::new(false, false, BranchKind::Jump),
+            OpType::UncondIndirect => Opcode::new(false, true, BranchKind::Jump),
+            OpType::Call => Opcode::new(false, false, BranchKind::Call),
+            OpType::Ret => Opcode::new(false, true, BranchKind::Ret),
+        };
+        Branch::new(pc, target, opcode, taken)
+    }
+}
+
+impl<P: Predictor> CbpPredictor for McbpAdapter<P> {
+    fn get_prediction(&mut self, pc: u64) -> bool {
+        self.inner.predict(pc)
+    }
+
+    fn update_predictor(
+        &mut self,
+        pc: u64,
+        op: OpType,
+        resolve_dir: bool,
+        _pred_dir: bool,
+        branch_target: u64,
+    ) {
+        // The CBP5 interface folds train and track into one call; MBPlib's
+        // simulator calls train before track (§IV-B), so the adapter does
+        // the same to guarantee identical results (§VII-C).
+        let b = Self::branch_of(pc, op, resolve_dir, branch_target);
+        self.inner.train(&b);
+        self.inner.track(&b);
+    }
+
+    fn track_other_inst(&mut self, pc: u64, op: OpType, taken: bool, branch_target: u64) {
+        let b = Self::branch_of(pc, op, taken, branch_target);
+        self.inner.track(&b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optype_mapping() {
+        assert_eq!(
+            OpType::from_opcode(Opcode::conditional_direct()),
+            OpType::CondDirect
+        );
+        assert_eq!(OpType::from_opcode(Opcode::call()), OpType::Call);
+        assert_eq!(OpType::from_opcode(Opcode::ret()), OpType::Ret);
+        assert_eq!(
+            OpType::from_opcode(Opcode::indirect_jump()),
+            OpType::UncondIndirect
+        );
+        assert!(OpType::CondIndirect.is_conditional());
+        assert!(!OpType::Call.is_conditional());
+    }
+
+    #[test]
+    fn adapter_trains_before_tracking() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Order(Rc<RefCell<Vec<&'static str>>>);
+
+        impl Predictor for Order {
+            fn predict(&mut self, _ip: u64) -> bool {
+                true
+            }
+            fn train(&mut self, _b: &Branch) {
+                self.0.borrow_mut().push("train");
+            }
+            fn track(&mut self, _b: &Branch) {
+                self.0.borrow_mut().push("track");
+            }
+        }
+
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut a = McbpAdapter::new(Order(log.clone()));
+        a.update_predictor(0x10, OpType::CondDirect, true, true, 0x20);
+        a.track_other_inst(0x30, OpType::Call, true, 0x40);
+        assert_eq!(*log.borrow(), ["train", "track", "track"]);
+    }
+}

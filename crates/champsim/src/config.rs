@@ -1,0 +1,83 @@
+//! Core configuration.
+
+use crate::cache::CacheConfig;
+
+/// Parameters of the cycle model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChampsimConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions retired per cycle.
+    pub retire_width: u32,
+    /// Reorder buffer capacity.
+    pub rob_size: usize,
+    /// Front-end depth: cycles from fetch to execute for a
+    /// dependence-free instruction.
+    pub pipeline_depth: u64,
+    /// Extra cycles to refill the frontend after a branch misprediction
+    /// (added on top of waiting for the branch to resolve).
+    pub mispredict_flush_penalty: u64,
+    /// Frontend bubble when a taken branch misses in the BTB.
+    pub btb_miss_penalty: u64,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub llc: CacheConfig,
+    /// Memory latency on an LLC miss.
+    pub dram_latency: u64,
+}
+
+impl ChampsimConfig {
+    /// ChampSim's default, "similar to Intel's Ice Lake architecture"
+    /// (§VII-A): a 6-wide core with a 352-entry ROB and a 48 kB L1D.
+    pub fn ice_lake_like() -> Self {
+        Self {
+            fetch_width: 6,
+            retire_width: 6,
+            rob_size: 352,
+            pipeline_depth: 10,
+            mispredict_flush_penalty: 6,
+            btb_miss_penalty: 2,
+            l1i: CacheConfig::new("L1I", 64, 8, 4),
+            l1d: CacheConfig::new("L1D", 64, 12, 5),
+            l2: CacheConfig::new("L2", 1024, 8, 10),
+            llc: CacheConfig::new("LLC", 2048, 16, 30),
+            dram_latency: 160,
+        }
+    }
+
+    /// A small, fast configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            fetch_width: 2,
+            retire_width: 2,
+            rob_size: 32,
+            pipeline_depth: 5,
+            mispredict_flush_penalty: 4,
+            btb_miss_penalty: 2,
+            l1i: CacheConfig::new("L1I", 8, 2, 2),
+            l1d: CacheConfig::new("L1D", 8, 2, 3),
+            l2: CacheConfig::new("L2", 32, 4, 8),
+            llc: CacheConfig::new("LLC", 64, 8, 20),
+            dram_latency: 100,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ice_lake_capacities() {
+        let c = ChampsimConfig::ice_lake_like();
+        // 64 sets × 12 ways × 64 B = 48 kB L1D, 2 MB LLC.
+        assert_eq!(c.l1d.capacity_bytes(), 48 * 1024);
+        assert_eq!(c.llc.capacity_bytes(), 2 * 1024 * 1024);
+        assert_eq!(c.rob_size, 352);
+    }
+}

@@ -1,0 +1,245 @@
+//! Shared block container: both codecs store a magic, the uncompressed
+//! size, and a sequence of raw or entropy-coded blocks; they differ in
+//! window size, match-search effort and decoder implementation.
+
+use crate::entropy::{
+    canonical_codes, dist_code, huffman_lengths, len_code, BitReader, BitWriter, SymbolDecoder,
+    DIST_TABLE, EOB, LEN_TABLE, NUM_DIST, NUM_LEN_CODES, NUM_LITLEN,
+};
+use crate::error::CompressError;
+use crate::lzss::{self, MatchParams, Sequence};
+
+/// Sequences per entropy-coded block.
+const BLOCK_SEQS: usize = 1 << 16;
+
+/// Match-finder chunk size: inputs are parsed in independent chunks so the
+/// `prev` chain array stays bounded on multi-hundred-megabyte traces.
+/// Matches never cross a chunk boundary (the window restarts), but decoded
+/// distances remain valid globally because the decoder appends chunks to
+/// one output buffer.
+const PARSE_CHUNK: usize = 4 << 20;
+
+/// Content checksum over the uncompressed bytes (8-byte chunks through the
+/// splitmix finalizer) — the analogue of gzip's CRC32 / zstd's XXH64
+/// trailer, so silent corruption cannot masquerade as valid trace data.
+pub(crate) fn checksum64(data: &[u8]) -> u64 {
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+    // Four independent lanes keep the multiply chains out of each other's
+    // way (the same trick XXH64 uses); the lanes fold together at the end.
+    let mut lanes = [
+        0x5ee5_c0de_u64 ^ data.len() as u64,
+        0x9e37_79b9_7f4a_7c15,
+        0xbf58_476d_1ce4_e5b9,
+        0x94d0_49bb_1331_11eb,
+    ];
+    let mut blocks = data.chunks_exact(32);
+    for b in &mut blocks {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let v = u64::from_le_bytes(b[8 * i..8 * i + 8].try_into().expect("exact block"));
+            *lane = mix(*lane ^ v);
+        }
+    }
+    let mut h = mix(lanes[0] ^ lanes[1].rotate_left(17) ^ lanes[2].rotate_left(31)
+        ^ lanes[3].rotate_left(47));
+    let mut chunks = blocks.remainder().chunks_exact(8);
+    for c in &mut chunks {
+        h = mix(h ^ u64::from_le_bytes(c.try_into().expect("exact chunk")));
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rest.len()].copy_from_slice(rest);
+        h = mix(h ^ u64::from_le_bytes(tail));
+    }
+    h
+}
+
+pub(crate) fn compress(
+    data: &[u8],
+    magic: [u8; 4],
+    params: &MatchParams,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 3 + 64);
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    // Empty input needs no blocks: the decoder stops at size 0 and goes
+    // straight to the checksum trailer.
+    for chunk in data.chunks(PARSE_CHUNK) {
+        let seqs = lzss::parse(chunk, params);
+        for block in seqs.chunks(BLOCK_SEQS) {
+            encode_block(chunk, block, &mut out);
+        }
+    }
+    out.extend_from_slice(&checksum64(data).to_le_bytes());
+    out
+}
+
+fn encode_block(data: &[u8], seqs: &[Sequence], out: &mut Vec<u8>) {
+    let mut lit_freq = vec![0u64; NUM_LITLEN];
+    let mut dist_freq = vec![0u64; NUM_DIST];
+    let mut raw_bytes = 0usize;
+    for s in seqs {
+        for &b in &data[s.lit_start..s.lit_start + s.lit_len] {
+            lit_freq[b as usize] += 1;
+        }
+        raw_bytes += s.lit_len + s.match_len;
+        if s.match_len > 0 {
+            lit_freq[257 + len_code(s.match_len)] += 1;
+            dist_freq[dist_code(s.match_dist)] += 1;
+        }
+    }
+    lit_freq[EOB] += 1;
+
+    let lit_lens = huffman_lengths(&lit_freq);
+    let dist_lens = huffman_lengths(&dist_freq);
+    let lit_codes = canonical_codes(&lit_lens);
+    let dist_codes = canonical_codes(&dist_lens);
+
+    // Encode into a scratch buffer so we can fall back to a raw block.
+    let mut w = BitWriter::new(Vec::new());
+    for lens in [&lit_lens, &dist_lens] {
+        for &l in lens.iter() {
+            w.put(l as u64, 4);
+        }
+    }
+    for s in seqs {
+        for &b in &data[s.lit_start..s.lit_start + s.lit_len] {
+            w.put_code(lit_codes[b as usize], lit_lens[b as usize]);
+        }
+        if s.match_len > 0 {
+            let lc = len_code(s.match_len);
+            let sym = 257 + lc;
+            w.put_code(lit_codes[sym], lit_lens[sym]);
+            let (base, extra) = LEN_TABLE[lc];
+            if extra > 0 {
+                w.put((s.match_len as u32 - base) as u64, extra);
+            }
+            let dc = dist_code(s.match_dist);
+            w.put_code(dist_codes[dc], dist_lens[dc]);
+            let (dbase, dextra) = DIST_TABLE[dc];
+            if dextra > 0 {
+                w.put((s.match_dist as u32 - dbase) as u64, dextra);
+            }
+        }
+    }
+    w.put_code(lit_codes[EOB], lit_lens[EOB]);
+    let encoded = w.finish();
+
+    if encoded.len() >= raw_bytes + 4 {
+        out.push(0);
+        out.extend_from_slice(&(raw_bytes as u32).to_le_bytes());
+        let start = seqs.first().map_or(0, |s| s.lit_start);
+        out.extend_from_slice(&data[start..start + raw_bytes]);
+    } else {
+        out.push(1);
+        out.extend_from_slice(&encoded);
+    }
+}
+
+pub(crate) fn decompress<D: SymbolDecoder>(
+    data: &[u8],
+    magic: [u8; 4],
+) -> Result<Vec<u8>, CompressError> {
+    let body = data
+        .get(4..)
+        .filter(|_| data[..4] == magic)
+        .ok_or(CompressError::BadMagic)?;
+    if body.len() < 8 {
+        return Err(CompressError::Truncated);
+    }
+    let size = u64::from_le_bytes(body[..8].try_into().expect("checked")) as usize;
+    let mut out = Vec::with_capacity(size);
+    let mut rest = &body[8..];
+    while out.len() < size {
+        let (&kind, tail) = rest.split_first().ok_or(CompressError::Truncated)?;
+        rest = tail;
+        match kind {
+            0 => {
+                if rest.len() < 4 {
+                    return Err(CompressError::Truncated);
+                }
+                let len = u32::from_le_bytes(rest[..4].try_into().expect("checked")) as usize;
+                if rest.len() < 4 + len {
+                    return Err(CompressError::Truncated);
+                }
+                out.extend_from_slice(&rest[4..4 + len]);
+                rest = &rest[4 + len..];
+            }
+            1 => {
+                let consumed = decode_block::<D>(rest, size, &mut out)?;
+                rest = &rest[consumed..];
+            }
+            _ => return Err(CompressError::Corrupt("unknown block kind")),
+        }
+        if out.len() > size {
+            return Err(CompressError::Corrupt("output exceeds declared size"));
+        }
+    }
+    let trailer = rest.get(..8).ok_or(CompressError::Truncated)?;
+    if u64::from_le_bytes(trailer.try_into().expect("checked")) != checksum64(&out) {
+        return Err(CompressError::Corrupt("content checksum mismatch"));
+    }
+    Ok(out)
+}
+
+fn decode_block<D: SymbolDecoder>(
+    data: &[u8],
+    size: usize,
+    out: &mut Vec<u8>,
+) -> Result<usize, CompressError> {
+    let mut r = BitReader::new(data);
+    let mut lit_lens = vec![0u32; NUM_LITLEN];
+    let mut dist_lens = vec![0u32; NUM_DIST];
+    for lens in [&mut lit_lens, &mut dist_lens] {
+        for l in lens.iter_mut() {
+            *l = r.get(4)? as u32;
+        }
+    }
+    let lit_dec = D::build(&lit_lens)?;
+    let dist_dec = D::build(&dist_lens)?;
+    loop {
+        let sym = lit_dec.decode(&mut r)? as usize;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            EOB => break,
+            _ => {
+                let lc = sym - 257;
+                if lc >= NUM_LEN_CODES {
+                    return Err(CompressError::Corrupt("invalid length code"));
+                }
+                let (base, extra) = LEN_TABLE[lc];
+                let len = base as usize + r.get(extra)? as usize;
+                let dc = dist_dec.decode(&mut r)? as usize;
+                if dc >= NUM_DIST {
+                    return Err(CompressError::Corrupt("invalid distance code"));
+                }
+                let (dbase, dextra) = DIST_TABLE[dc];
+                let dist = dbase as usize + r.get(dextra)? as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(CompressError::Corrupt("match distance out of range"));
+                }
+                if dist >= len {
+                    // Non-overlapping: one bulk copy.
+                    let start = out.len() - dist;
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping (RLE-style): byte-by-byte semantics.
+                    for _ in 0..len {
+                        let b = out[out.len() - dist];
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        if out.len() > size {
+            return Err(CompressError::Corrupt("output exceeds declared size"));
+        }
+    }
+    r.align();
+    Ok(r.byte_pos())
+}

@@ -1,0 +1,241 @@
+//! Hash-chain LZSS match finder shared by both codecs.
+
+/// One parsed LZ step: a run of literals followed by an optional match.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Sequence {
+    /// Start offset of the literal run in the input.
+    pub lit_start: usize,
+    /// Length of the literal run.
+    pub lit_len: usize,
+    /// Match length; 0 only for the terminal sequence.
+    pub match_len: usize,
+    /// Match distance (1 = previous byte). Unused when `match_len == 0`.
+    pub match_dist: usize,
+}
+
+/// Search effort and format limits for the match finder.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MatchParams {
+    /// Matches may reach at most this far back.
+    pub window: usize,
+    /// Minimum useful match length.
+    pub min_match: usize,
+    /// Maximum encodable match length.
+    pub max_match: usize,
+    /// Hash-chain candidates examined per position.
+    pub max_chain: usize,
+    /// Whether to try one-position-lazy matching.
+    pub lazy: bool,
+    /// Stop searching once a match at least this long is found (zlib's
+    /// `nice_match` heuristic; keeps high levels tractable).
+    pub nice_match: usize,
+}
+
+const HASH_BITS: u32 = 16;
+const NO_POS: u32 = u32::MAX;
+
+#[inline]
+fn hash4(data: &[u8], pos: usize) -> usize {
+    let v = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy/lazy LZ parse of `data` into sequences.
+///
+/// The returned sequences tile the input exactly: concatenating each literal
+/// run and match expansion reproduces `data`. The final sequence always has
+/// `match_len == 0` and carries any trailing literals.
+pub(crate) fn parse(data: &[u8], params: &MatchParams) -> Vec<Sequence> {
+    let mut seqs = Vec::new();
+    let n = data.len();
+    if n == 0 {
+        seqs.push(Sequence { lit_start: 0, lit_len: 0, match_len: 0, match_dist: 0 });
+        return seqs;
+    }
+
+    let mut head = vec![NO_POS; 1 << HASH_BITS];
+    let mut prev = vec![NO_POS; n];
+    let mut lit_start = 0usize;
+    let mut pos = 0usize;
+    // Next position to be indexed in the hash chains. Every position below
+    // `ins_pos` is indexed; `find_best(p)` therefore only sees candidates
+    // strictly before `p`, so distances are always >= 1.
+    let mut ins_pos = 0usize;
+
+    macro_rules! insert_upto {
+        ($target:expr) => {
+            while ins_pos < $target {
+                if ins_pos + 4 <= n {
+                    let h = hash4(data, ins_pos);
+                    prev[ins_pos] = head[h];
+                    head[h] = ins_pos as u32;
+                }
+                ins_pos += 1;
+            }
+        };
+    }
+
+    let find_best = |head: &[u32], prev: &[u32], p: usize| -> (usize, usize) {
+        if p + params.min_match > n || p + 4 > n {
+            return (0, 0);
+        }
+        let h = hash4(data, p);
+        let mut cand = head[h];
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let max_len = params.max_match.min(n - p);
+        let mut chain = params.max_chain;
+        while cand != NO_POS && chain > 0 {
+            let c = cand as usize;
+            if p - c > params.window {
+                break;
+            }
+            // Quick reject: compare the byte just past the current best.
+            if best_len == 0 || data[c + best_len] == data[p + best_len] {
+                let mut len = 0usize;
+                while len < max_len && data[c + len] == data[p + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = p - c;
+                    if len == max_len || len >= params.nice_match {
+                        break;
+                    }
+                }
+            }
+            cand = prev[c];
+            chain -= 1;
+        }
+        if best_len >= params.min_match {
+            (best_len, best_dist)
+        } else {
+            (0, 0)
+        }
+    };
+
+    while pos < n {
+        insert_upto!(pos);
+        let (mut len, mut dist) = find_best(&head, &prev, pos);
+        if len == 0 {
+            pos += 1;
+            continue;
+        }
+        if params.lazy && pos + 1 < n {
+            // Peek one position ahead; if it yields a strictly longer match,
+            // emit the current byte as a literal instead.
+            insert_upto!(pos + 1);
+            let (len2, dist2) = find_best(&head, &prev, pos + 1);
+            if len2 > len {
+                pos += 1;
+                len = len2;
+                dist = dist2;
+            }
+        }
+        seqs.push(Sequence {
+            lit_start,
+            lit_len: pos - lit_start,
+            match_len: len,
+            match_dist: dist,
+        });
+        insert_upto!((pos + len).min(n));
+        pos += len;
+        lit_start = pos;
+    }
+
+    // Terminal literals.
+    seqs.push(Sequence {
+        lit_start,
+        lit_len: n - lit_start,
+        match_len: 0,
+        match_dist: 0,
+    });
+    seqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params(max_chain: usize, lazy: bool) -> MatchParams {
+        MatchParams {
+            window: 1 << 15,
+            min_match: 4,
+            max_match: 1024,
+            max_chain,
+            lazy,
+            nice_match: 258,
+        }
+    }
+
+    /// Reconstructs the input from a parse; the fundamental invariant.
+    fn reconstruct(data: &[u8], seqs: &[Sequence]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        for s in seqs {
+            out.extend_from_slice(&data[s.lit_start..s.lit_start + s.lit_len]);
+            for _ in 0..s.match_len {
+                let b = out[out.len() - s.match_dist];
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parses_empty() {
+        let seqs = parse(&[], &params(16, false));
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].match_len, 0);
+    }
+
+    #[test]
+    fn finds_simple_repeat() {
+        let data = b"abcdabcdabcdabcd";
+        let seqs = parse(data, &params(16, false));
+        assert_eq!(reconstruct(data, &seqs), data);
+        // Should find at least one real match.
+        assert!(seqs.iter().any(|s| s.match_len >= 4), "{seqs:?}");
+    }
+
+    #[test]
+    fn handles_overlapping_match() {
+        // "aaaaaaaa": match with dist 1, the classic RLE-via-LZ case.
+        let data = vec![b'a'; 100];
+        let seqs = parse(&data, &params(16, true));
+        assert_eq!(reconstruct(&data, &seqs), data);
+        assert!(seqs.iter().any(|s| s.match_len > 0 && s.match_dist == 1));
+    }
+
+    #[test]
+    fn respects_window() {
+        let mut p = params(64, false);
+        p.window = 8;
+        let mut data = b"ABCDEFGH".to_vec();
+        data.extend(std::iter::repeat(b'x').take(32));
+        data.extend_from_slice(b"ABCDEFGH");
+        let seqs = parse(&data, &p);
+        assert_eq!(reconstruct(&data, &seqs), data);
+        for s in &seqs {
+            assert!(s.match_dist <= 8 || s.match_len == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn parse_reconstructs_input(
+            data in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', 0u8, 255u8]), 0..2000),
+            chain in 1usize..64,
+            lazy in any::<bool>(),
+        ) {
+            let seqs = parse(&data, &params(chain, lazy));
+            prop_assert_eq!(reconstruct(&data, &seqs), data);
+        }
+
+        #[test]
+        fn parse_reconstructs_random(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+            let seqs = parse(&data, &params(32, true));
+            prop_assert_eq!(reconstruct(&data, &seqs), data);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The comparison simulator (§VI-C): two predictors over one trace.
+
+use std::collections::HashMap;
+
+use mbp_utils::FastHashBuilder;
+use std::time::Instant;
+
+use mbp_json::{json, Value};
+use mbp_trace::TraceError;
+
+use crate::metrics::{accuracy, mpki};
+use crate::{Predictor, SimConfig, TraceSource};
+
+/// A branch that one predictor handles better than the other.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DivergingBranch {
+    /// Branch instruction address.
+    pub ip: u64,
+    /// Measured dynamic occurrences.
+    pub occurrences: u64,
+    /// Mispredictions of the first predictor on this branch.
+    pub mispredictions_a: u64,
+    /// Mispredictions of the second predictor on this branch.
+    pub mispredictions_b: u64,
+    /// Contribution of this branch to the MPKI difference (positive when
+    /// the second predictor is better here).
+    pub mpki_difference: f64,
+}
+
+/// The outcome of a comparison run.
+#[derive(Clone, Debug)]
+pub struct ComparisonResult {
+    /// Trace description.
+    pub trace: Value,
+    /// Instructions measured.
+    pub simulation_instr: u64,
+    /// Measured conditional branches.
+    pub num_conditional_branches: u64,
+    /// Both predictors' self-descriptions.
+    pub predictors: [Value; 2],
+    /// Both predictors' total mispredictions.
+    pub mispredictions: [u64; 2],
+    /// Both predictors' MPKI.
+    pub mpki: [f64; 2],
+    /// Both predictors' accuracy.
+    pub accuracy: [f64; 2],
+    /// Occurrences mispredicted by exactly one of the two.
+    pub only_a_wrong: u64,
+    /// Occurrences mispredicted by exactly one of the two.
+    pub only_b_wrong: u64,
+    /// Branches sorted by absolute MPKI difference — "the branches which
+    /// accounted for the biggest difference in MPKI".
+    pub most_diverging: Vec<DivergingBranch>,
+    /// Wall-clock time in seconds.
+    pub simulation_time: f64,
+}
+
+impl ComparisonResult {
+    /// Renders the result as a JSON document analogous to Listing 1, with
+    /// `most_failed` replaced by the diverging-branches report.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "metadata": {
+                "simulator": "MBPlib comparison simulator",
+                "version": crate::SIMULATOR_VERSION,
+                "trace": self.trace.clone(),
+                "simulation_instr": self.simulation_instr,
+                "num_conditional_branches": self.num_conditional_branches,
+                "predictor_0": self.predictors[0].clone(),
+                "predictor_1": self.predictors[1].clone(),
+            },
+            "metrics": {
+                "mpki_0": self.mpki[0],
+                "mpki_1": self.mpki[1],
+                "mispredictions_0": self.mispredictions[0],
+                "mispredictions_1": self.mispredictions[1],
+                "accuracy_0": self.accuracy[0],
+                "accuracy_1": self.accuracy[1],
+                "only_first_wrong": self.only_a_wrong,
+                "only_second_wrong": self.only_b_wrong,
+                "simulation_time": self.simulation_time,
+            },
+            "most_failed": self.most_diverging.iter().map(|d| json!({
+                "ip": d.ip,
+                "occurrences": d.occurrences,
+                "mispredictions_0": d.mispredictions_a,
+                "mispredictions_1": d.mispredictions_b,
+                "mpki_difference": d.mpki_difference,
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// Simulates two predictors "in parallel" over one trace and reports which
+/// occurrences are mispredicted by only one of them (§VI-C).
+///
+/// # Errors
+///
+/// Propagates trace decoding errors.
+pub fn simulate_comparison<S, A, B>(
+    trace: &mut S,
+    a: &mut A,
+    b: &mut B,
+    config: &SimConfig,
+) -> Result<ComparisonResult, TraceError>
+where
+    S: TraceSource + ?Sized,
+    A: Predictor + ?Sized,
+    B: Predictor + ?Sized,
+{
+    let start = Instant::now();
+    let mut instructions = 0u64;
+    let mut measured_instructions = 0u64;
+    let mut conditional = 0u64;
+    let mut mis = [0u64; 2];
+    let mut only = [0u64; 2];
+    let mut per_branch: HashMap<u64, (u64, u64, u64), FastHashBuilder> =
+        HashMap::default();
+
+    while let Some(rec) = trace.next_record()? {
+        if let Some(max) = config.max_instructions {
+            if instructions >= max {
+                break;
+            }
+        }
+        instructions += rec.instructions();
+        let in_measurement = instructions > config.warmup_instructions;
+        if in_measurement {
+            measured_instructions += rec.instructions();
+        }
+        let br = rec.branch;
+        if br.is_conditional() {
+            let pa = a.predict(br.ip());
+            let pb = b.predict(br.ip());
+            let wrong_a = pa != br.is_taken();
+            let wrong_b = pb != br.is_taken();
+            if in_measurement {
+                conditional += 1;
+                mis[0] += wrong_a as u64;
+                mis[1] += wrong_b as u64;
+                only[0] += (wrong_a && !wrong_b) as u64;
+                only[1] += (wrong_b && !wrong_a) as u64;
+                let e = per_branch.entry(br.ip()).or_insert((0, 0, 0));
+                e.0 += 1;
+                e.1 += wrong_a as u64;
+                e.2 += wrong_b as u64;
+            }
+            a.train(&br);
+            b.train(&br);
+        }
+        if !config.track_only_conditional || br.is_conditional() {
+            a.track(&br);
+            b.track(&br);
+        }
+    }
+
+    let mut most_diverging: Vec<DivergingBranch> = per_branch
+        .into_iter()
+        .filter(|&(_, (_, ma, mb))| ma != mb)
+        .map(|(ip, (occ, ma, mb))| DivergingBranch {
+            ip,
+            occurrences: occ,
+            mispredictions_a: ma,
+            mispredictions_b: mb,
+            mpki_difference: if measured_instructions == 0 {
+                0.0
+            } else {
+                (ma as f64 - mb as f64) * 1000.0 / measured_instructions as f64
+            },
+        })
+        .collect();
+    most_diverging.sort_unstable_by(|x, y| {
+        y.mpki_difference
+            .abs()
+            .partial_cmp(&x.mpki_difference.abs())
+            .expect("finite mpki differences")
+            .then(x.ip.cmp(&y.ip))
+    });
+    most_diverging.truncate(config.most_failed_limit);
+
+    Ok(ComparisonResult {
+        trace: trace.description(),
+        simulation_instr: measured_instructions,
+        num_conditional_branches: conditional,
+        predictors: [a.metadata(), b.metadata()],
+        mispredictions: mis,
+        mpki: [
+            mpki(mis[0], measured_instructions),
+            mpki(mis[1], measured_instructions),
+        ],
+        accuracy: [accuracy(mis[0], conditional), accuracy(mis[1], conditional)],
+        only_a_wrong: only[0],
+        only_b_wrong: only[1],
+        most_diverging,
+        simulation_time: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SliceSource;
+    use mbp_trace::{Branch, BranchRecord, Opcode};
+
+    struct Fixed(bool);
+
+    impl Predictor for Fixed {
+        fn predict(&mut self, _ip: u64) -> bool {
+            self.0
+        }
+        fn train(&mut self, _b: &Branch) {}
+        fn track(&mut self, _b: &Branch) {}
+        fn metadata(&self) -> Value {
+            json!({"name": "fixed", "dir": self.0})
+        }
+    }
+
+    fn cond(ip: u64, taken: bool) -> BranchRecord {
+        BranchRecord::new(Branch::new(ip, 0, Opcode::conditional_direct(), taken), 9)
+    }
+
+    #[test]
+    fn disagreements_attributed_to_each_side() {
+        // Branch 0x10 is always taken (B wrong), 0x20 never (A wrong).
+        let recs = vec![
+            cond(0x10, true),
+            cond(0x20, false),
+            cond(0x10, true),
+            cond(0x20, false),
+        ];
+        let mut a = Fixed(true);
+        let mut b = Fixed(false);
+        let r = simulate_comparison(
+            &mut SliceSource::new(&recs),
+            &mut a,
+            &mut b,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.mispredictions, [2, 2]);
+        assert_eq!(r.only_a_wrong, 2);
+        assert_eq!(r.only_b_wrong, 2);
+        assert_eq!(r.simulation_instr, 40);
+        assert_eq!(r.mpki, [50.0, 50.0]);
+        assert_eq!(r.most_diverging.len(), 2);
+        let d0 = r.most_diverging.iter().find(|d| d.ip == 0x10).unwrap();
+        assert_eq!(d0.mispredictions_a, 0);
+        assert_eq!(d0.mispredictions_b, 2);
+        assert!(d0.mpki_difference < 0.0, "negative: B loses here");
+    }
+
+    #[test]
+    fn identical_predictors_have_no_divergence() {
+        let recs = vec![cond(0x10, true), cond(0x10, false)];
+        let mut a = Fixed(true);
+        let mut b = Fixed(true);
+        let r = simulate_comparison(
+            &mut SliceSource::new(&recs),
+            &mut a,
+            &mut b,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(r.most_diverging.is_empty());
+        assert_eq!(r.only_a_wrong, 0);
+        assert_eq!(r.only_b_wrong, 0);
+    }
+
+    #[test]
+    fn json_has_both_predictor_sections() {
+        let recs = vec![cond(0x10, true)];
+        let mut a = Fixed(true);
+        let mut b = Fixed(false);
+        let r = simulate_comparison(
+            &mut SliceSource::new(&recs),
+            &mut a,
+            &mut b,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let v = r.to_json();
+        assert_eq!(v["metadata"]["predictor_0"]["dir"], Value::Bool(true));
+        assert_eq!(v["metadata"]["predictor_1"]["dir"], Value::Bool(false));
+        assert_eq!(v["metrics"]["mispredictions_1"], Value::from(1));
+    }
+}

@@ -1,0 +1,210 @@
+//! Metric accumulation: MPKI, accuracy and the most-failed-branches report.
+
+use std::collections::HashMap;
+
+use mbp_utils::FastHashBuilder;
+
+/// Aggregate metrics of a simulation (the `metrics` section of Listing 1).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Mispredictions per kilo-instruction over the measured window.
+    pub mpki: f64,
+    /// Mispredicted conditional branches (post-warmup).
+    pub mispredictions: u64,
+    /// Correct predictions / measured conditional branches.
+    pub accuracy: f64,
+    /// Minimum number of static branches that account, on their own, for
+    /// half of all mispredictions.
+    pub num_most_failed_branches: u64,
+    /// Wall-clock simulation time in seconds.
+    pub simulation_time: f64,
+}
+
+/// Per-static-branch statistics (an entry of the `most_failed` list).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BranchStat {
+    /// Address of the branch instruction.
+    pub ip: u64,
+    /// Measured dynamic occurrences.
+    pub occurrences: u64,
+    /// Mispredictions attributed to this branch.
+    pub mispredictions: u64,
+    /// This branch's contribution to MPKI.
+    pub mpki: f64,
+    /// Prediction accuracy on this branch alone.
+    pub accuracy: f64,
+}
+
+/// Accumulates per-branch outcomes and derives the most-failed report.
+#[derive(Clone, Debug, Default)]
+pub struct MostFailed {
+    per_branch: HashMap<u64, (u64, u64), FastHashBuilder>,
+}
+
+impl MostFailed {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one measured conditional branch.
+    pub fn record(&mut self, ip: u64, mispredicted: bool) {
+        let e = self.per_branch.entry(ip).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += mispredicted as u64;
+    }
+
+    /// Notes a static branch address without attributing an outcome
+    /// (unconditional branches, or warm-up occurrences).
+    pub fn note_static(&mut self, ip: u64) {
+        self.per_branch.entry(ip).or_insert((0, 0));
+    }
+
+    /// Number of distinct measured branch addresses.
+    pub fn distinct_branches(&self) -> u64 {
+        self.per_branch.len() as u64
+    }
+
+    /// The minimum number of branches whose mispredictions sum to at least
+    /// half of `total_mispredictions` (the paper's
+    /// `num_most_failed_branches`).
+    pub fn half_coverage_count(&self, total_mispredictions: u64) -> u64 {
+        if total_mispredictions == 0 {
+            return 0;
+        }
+        let mut counts: Vec<u64> = self.per_branch.values().map(|&(_, m)| m).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let mut acc = 0u64;
+        for (i, m) in counts.iter().enumerate() {
+            acc += m;
+            if 2 * acc >= total_mispredictions {
+                return i as u64 + 1;
+            }
+        }
+        counts.len() as u64
+    }
+
+    /// The top-`limit` branches by misprediction count, with their stats.
+    /// `instructions` is the measured instruction count used for per-branch
+    /// MPKI. Ties break toward lower addresses so output is deterministic.
+    pub fn top(&self, limit: usize, instructions: u64) -> Vec<BranchStat> {
+        let mut entries: Vec<(&u64, &(u64, u64))> = self.per_branch.iter().collect();
+        entries.sort_unstable_by(|(ip_a, (_, ma)), (ip_b, (_, mb))| {
+            mb.cmp(ma).then(ip_a.cmp(ip_b))
+        });
+        entries
+            .into_iter()
+            .filter(|(_, (occ, _))| *occ > 0)
+            .take(limit)
+            .map(|(&ip, &(occ, mis))| BranchStat {
+                ip,
+                occurrences: occ,
+                mispredictions: mis,
+                mpki: if instructions == 0 {
+                    0.0
+                } else {
+                    mis as f64 * 1000.0 / instructions as f64
+                },
+                accuracy: if occ == 0 {
+                    1.0
+                } else {
+                    (occ - mis) as f64 / occ as f64
+                },
+            })
+            .collect()
+    }
+}
+
+/// Computes MPKI from raw counts.
+pub fn mpki(mispredictions: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        mispredictions as f64 * 1000.0 / instructions as f64
+    }
+}
+
+/// Computes accuracy from raw counts.
+pub fn accuracy(mispredictions: u64, conditional_branches: u64) -> f64 {
+    if conditional_branches == 0 {
+        1.0
+    } else {
+        (conditional_branches - mispredictions) as f64 / conditional_branches as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_and_accuracy_formulas() {
+        assert_eq!(mpki(5, 1000), 5.0);
+        assert_eq!(mpki(0, 0), 0.0);
+        assert_eq!(accuracy(25, 100), 0.75);
+        assert_eq!(accuracy(0, 0), 1.0);
+    }
+
+    #[test]
+    fn half_coverage_single_dominant_branch() {
+        let mut mf = MostFailed::new();
+        for _ in 0..60 {
+            mf.record(0xA, true);
+        }
+        for i in 0..40 {
+            mf.record(0xB + i % 4, true);
+        }
+        // 0xA holds 60 of 100 mispredictions: one branch suffices.
+        assert_eq!(mf.half_coverage_count(100), 1);
+    }
+
+    #[test]
+    fn half_coverage_uniform_spread() {
+        let mut mf = MostFailed::new();
+        for ip in 0..10u64 {
+            for _ in 0..10 {
+                mf.record(ip, true);
+            }
+        }
+        assert_eq!(mf.half_coverage_count(100), 5);
+    }
+
+    #[test]
+    fn half_coverage_zero_mispredictions() {
+        let mut mf = MostFailed::new();
+        mf.record(1, false);
+        assert_eq!(mf.half_coverage_count(0), 0);
+    }
+
+    #[test]
+    fn top_sorts_by_mispredictions_then_ip() {
+        let mut mf = MostFailed::new();
+        for _ in 0..3 {
+            mf.record(0x30, true);
+        }
+        for _ in 0..3 {
+            mf.record(0x10, true);
+        }
+        for _ in 0..5 {
+            mf.record(0x20, true);
+        }
+        mf.record(0x40, false);
+        let top = mf.top(10, 1000);
+        assert_eq!(top[0].ip, 0x20);
+        assert_eq!(top[1].ip, 0x10, "tie broken toward lower ip");
+        assert_eq!(top[2].ip, 0x30);
+        assert_eq!(top[3].ip, 0x40);
+        assert_eq!(top[0].mpki, 5.0);
+        assert_eq!(top[3].accuracy, 1.0);
+    }
+
+    #[test]
+    fn top_respects_limit() {
+        let mut mf = MostFailed::new();
+        for ip in 0..20u64 {
+            mf.record(ip, true);
+        }
+        assert_eq!(mf.top(5, 100).len(), 5);
+        assert_eq!(mf.distinct_branches(), 20);
+    }
+}

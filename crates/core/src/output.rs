@@ -1,0 +1,130 @@
+//! JSON rendering of simulation results (Listing 1 of the paper).
+
+use mbp_json::{json, Value};
+
+use crate::SimResult;
+
+impl SimResult {
+    /// Renders the result as the JSON document of Listing 1: `metadata`,
+    /// `metrics`, `predictor_statistics` and `most_failed` sections, with
+    /// the predictor's own metadata embedded under `metadata.predictor`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use mbp_core::{simulate, Predictor, SimConfig, SliceSource};
+    /// # use mbp_trace::{Branch, BranchRecord, Opcode};
+    /// # struct P;
+    /// # impl Predictor for P {
+    /// #     fn predict(&mut self, _: u64) -> bool { true }
+    /// #     fn train(&mut self, _: &Branch) {}
+    /// #     fn track(&mut self, _: &Branch) {}
+    /// # }
+    /// # let recs = vec![BranchRecord::new(
+    /// #     Branch::new(0x10, 0, Opcode::conditional_direct(), true), 0)];
+    /// # let r = simulate(&mut SliceSource::new(&recs), &mut P, &SimConfig::default())?;
+    /// let doc = r.to_json();
+    /// assert!(doc["metrics"]["mpki"].as_f64().is_some());
+    /// assert_eq!(doc["metadata"]["simulator"].as_str(), Some("MBPlib std simulator"));
+    /// # Ok::<(), mbp_trace::TraceError>(())
+    /// ```
+    pub fn to_json(&self) -> Value {
+        let m = &self.metadata;
+        json!({
+            "metadata": {
+                "simulator": m.simulator,
+                "version": m.version,
+                "trace": m.trace.clone(),
+                "warmup_instr": m.warmup_instr,
+                "simulation_instr": m.simulation_instr,
+                "exhausted_trace": m.exhausted_trace,
+                "num_conditional_branches": m.num_conditional_branches,
+                "num_branch_instructions": m.num_branch_instructions,
+                "track_only_conditional": m.track_only_conditional,
+                "predictor": m.predictor.clone(),
+            },
+            "metrics": {
+                "mpki": self.metrics.mpki,
+                "mispredictions": self.metrics.mispredictions,
+                "accuracy": self.metrics.accuracy,
+                "num_most_failed_branches": self.metrics.num_most_failed_branches,
+                "simulation_time": self.metrics.simulation_time,
+            },
+            "predictor_statistics": self.predictor_statistics.clone(),
+            "most_failed": self.most_failed.iter().map(|s| json!({
+                "ip": s.ip,
+                "occurrences": s.occurrences,
+                "mispredictions": s.mispredictions,
+                "mpki": s.mpki,
+                "accuracy": s.accuracy,
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{simulate, Predictor, SimConfig, SliceSource};
+    use mbp_json::{json, Value};
+    use mbp_trace::{Branch, BranchRecord, Opcode};
+
+    struct Always(bool);
+
+    impl Predictor for Always {
+        fn predict(&mut self, _ip: u64) -> bool {
+            self.0
+        }
+        fn train(&mut self, _b: &Branch) {}
+        fn track(&mut self, _b: &Branch) {}
+        fn metadata(&self) -> Value {
+            json!({"name": "MBPlib GShare", "history_length": 25, "log_table_size": 18})
+        }
+    }
+
+    #[test]
+    fn output_has_all_listing1_sections() {
+        let recs = vec![
+            BranchRecord::new(Branch::new(0x10, 0, Opcode::conditional_direct(), true), 3),
+            BranchRecord::new(Branch::new(0x10, 0, Opcode::conditional_direct(), false), 3),
+        ];
+        let r = simulate(
+            &mut SliceSource::named(&recs, "traces/SHORT_SERVER-1.sbbt.mzst"),
+            &mut Always(true),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let doc = r.to_json();
+
+        // Section presence and ordering per Listing 1.
+        let keys: Vec<_> = doc.as_object().unwrap().keys().collect();
+        assert_eq!(keys, ["metadata", "metrics", "predictor_statistics", "most_failed"]);
+
+        let meta = doc["metadata"].as_object().unwrap();
+        for key in [
+            "simulator", "version", "trace", "warmup_instr", "simulation_instr",
+            "exhausted_trace",
+        ] {
+            assert!(meta.contains_key(key), "missing metadata.{key}");
+        }
+        // Listing 1 contains a typo ("num_conditonal_branches"); we use the
+        // corrected spelling.
+        assert!(meta.contains_key("num_conditional_branches"));
+        assert!(meta.contains_key("num_branch_instructions"));
+        assert_eq!(doc["metadata"]["predictor"]["history_length"], Value::from(25));
+        assert_eq!(
+            doc["metadata"]["trace"].as_str(),
+            Some("traces/SHORT_SERVER-1.sbbt.mzst")
+        );
+
+        let metrics = doc["metrics"].as_object().unwrap();
+        for key in ["mpki", "mispredictions", "accuracy", "num_most_failed_branches", "simulation_time"] {
+            assert!(metrics.contains_key(key), "missing metrics.{key}");
+        }
+
+        assert_eq!(doc["most_failed"][0]["ip"], Value::from(0x10));
+        // The document parses back (machine-friendly requirement).
+        let text = doc.to_pretty_string();
+        let reparsed: Value = text.parse().unwrap();
+        assert_eq!(reparsed, doc);
+    }
+}

@@ -1,0 +1,114 @@
+//! The branch predictor interface (§IV-A of the paper).
+
+use mbp_json::Value;
+use mbp_trace::Branch;
+
+/// A branch direction predictor.
+///
+/// The contract follows MBPlib's `mbp::Predictor` exactly:
+///
+/// * [`predict`](Predictor::predict) — "obtains the outcome prediction for a
+///   given instruction address. This function shall not modify the state of
+///   the predictor in any way that would affect future predictions." It
+///   takes `&mut self` only so implementations may cache lookups for the
+///   matching `train` call (the paper's tournament predictor does exactly
+///   this); semantically it must be idempotent.
+/// * [`train`](Predictor::train) — updates the structures that decide
+///   predictions, given the resolved branch.
+/// * [`track`](Predictor::track) — updates the *scenario*: "the information
+///   stored about the recent program behavior, such as the outcome of
+///   recent branches".
+///
+/// When driven by the simulator, `predict` and `train` are invoked for
+/// conditional branches and `track` for **all** branches. When a predictor
+/// is a subcomponent of a meta-predictor or sits behind a filter, the owning
+/// component decides which functions to call and with which
+/// [`Branch`] values — that freedom is the point of the split (§IV-B).
+///
+/// # Examples
+///
+/// See the crate-level example, or `mbp-predictors` for the full collection.
+pub trait Predictor {
+    /// Predicts the outcome of the branch at `ip`.
+    ///
+    /// Must not change any state that affects future predictions; caching
+    /// for a same-`ip` `train` call is allowed.
+    fn predict(&mut self, ip: u64) -> bool;
+
+    /// Updates the prediction structures with the resolved branch.
+    fn train(&mut self, branch: &Branch);
+
+    /// Updates the scenario (history registers, path registers, …) with the
+    /// resolved branch.
+    fn track(&mut self, branch: &Branch);
+
+    /// Static description of the predictor (name and parameters), embedded
+    /// under `metadata.predictor` in the simulator output (Listing 1).
+    fn metadata(&self) -> Value {
+        Value::from("unnamed predictor")
+    }
+
+    /// Dynamic execution statistics, embedded under `predictor_statistics`
+    /// in the simulator output. Empty by default.
+    fn execution_statistics(&self) -> Value {
+        Value::object()
+    }
+}
+
+/// Boxed predictors forward the interface, so `Box<dyn Predictor>` members
+/// compose (the generalized tournament of §VI-D holds its components this
+/// way).
+impl<P: Predictor + ?Sized> Predictor for Box<P> {
+    fn predict(&mut self, ip: u64) -> bool {
+        (**self).predict(ip)
+    }
+
+    fn train(&mut self, branch: &Branch) {
+        (**self).train(branch)
+    }
+
+    fn track(&mut self, branch: &Branch) {
+        (**self).track(branch)
+    }
+
+    fn metadata(&self) -> Value {
+        (**self).metadata()
+    }
+
+    fn execution_statistics(&self) -> Value {
+        (**self).execution_statistics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbp_json::json;
+    use mbp_trace::Opcode;
+
+    struct Fixed(bool, u32);
+
+    impl Predictor for Fixed {
+        fn predict(&mut self, _ip: u64) -> bool {
+            self.0
+        }
+        fn train(&mut self, _b: &Branch) {
+            self.1 += 1;
+        }
+        fn track(&mut self, _b: &Branch) {}
+        fn metadata(&self) -> Value {
+            json!({"name": "fixed", "direction": self.0})
+        }
+    }
+
+    #[test]
+    fn boxed_predictor_forwards() {
+        let mut p: Box<dyn Predictor> = Box::new(Fixed(true, 0));
+        assert!(p.predict(0));
+        let b = Branch::new(0, 0, Opcode::conditional_direct(), true);
+        p.train(&b);
+        p.track(&b);
+        assert_eq!(p.metadata()["name"], Value::from("fixed"));
+        assert_eq!(p.execution_statistics(), Value::object());
+    }
+}

@@ -1,0 +1,300 @@
+//! The standard simulator: replay a trace through one predictor.
+
+use std::time::Instant;
+
+use mbp_json::Value;
+use mbp_trace::TraceError;
+
+use crate::metrics::{accuracy, mpki, BranchStat, Metrics, MostFailed};
+use crate::{Predictor, TraceSource};
+
+/// Configuration of a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_core::SimConfig;
+///
+/// let cfg = SimConfig {
+///     warmup_instructions: 10_000_000,
+///     max_instructions: Some(100_000_000),
+///     ..SimConfig::default()
+/// };
+/// assert!(cfg.max_instructions.is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Instructions whose mispredictions are not counted (§IV-C: "run only
+    /// the first n instructions as warm-up").
+    pub warmup_instructions: u64,
+    /// Stop after this many instructions (`None` = exhaust the trace); the
+    /// "first 100 million instructions" methodology of §VII-A.
+    pub max_instructions: Option<u64>,
+    /// Call `track` only for conditional branches (some predictors ignore
+    /// unconditional flow; recorded in the output metadata as in Listing 1).
+    pub track_only_conditional: bool,
+    /// Maximum entries in the `most_failed` report.
+    pub most_failed_limit: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            warmup_instructions: 0,
+            max_instructions: None,
+            track_only_conditional: false,
+            most_failed_limit: 20,
+        }
+    }
+}
+
+/// The `metadata` section of a result (Listing 1).
+#[derive(Clone, Debug)]
+pub struct SimMetadata {
+    /// Simulator identification.
+    pub simulator: &'static str,
+    /// Simulator version.
+    pub version: &'static str,
+    /// Trace description from the source.
+    pub trace: Value,
+    /// Warm-up instructions configured.
+    pub warmup_instr: u64,
+    /// Instructions actually simulated (measured window, after warm-up).
+    pub simulation_instr: u64,
+    /// Whether the trace ended before `max_instructions` was reached.
+    pub exhausted_trace: bool,
+    /// Dynamic conditional branches measured.
+    pub num_conditional_branches: u64,
+    /// Distinct static branch instructions observed.
+    pub num_branch_instructions: u64,
+    /// Whether `track` was limited to conditional branches.
+    pub track_only_conditional: bool,
+    /// The predictor's self-description.
+    pub predictor: Value,
+}
+
+/// The complete outcome of a simulation.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The `metadata` section.
+    pub metadata: SimMetadata,
+    /// The `metrics` section.
+    pub metrics: Metrics,
+    /// The predictor's `predictor_statistics` section.
+    pub predictor_statistics: Value,
+    /// The `most_failed` section.
+    pub most_failed: Vec<BranchStat>,
+}
+
+/// Runs `predictor` over `trace`.
+///
+/// For every record: the instruction counter advances by the record's gap
+/// plus one; conditional branches are predicted and trained; all branches
+/// are tracked (unless [`SimConfig::track_only_conditional`]). Mispredictions
+/// are only counted once the warm-up window has elapsed.
+///
+/// # Errors
+///
+/// Propagates trace decoding errors; the predictor cannot fail.
+pub fn simulate<S, P>(
+    trace: &mut S,
+    predictor: &mut P,
+    config: &SimConfig,
+) -> Result<SimResult, TraceError>
+where
+    S: TraceSource + ?Sized,
+    P: Predictor + ?Sized,
+{
+    let start = Instant::now();
+    let mut instructions = 0u64;
+    let mut measured_instructions = 0u64;
+    let mut conditional = 0u64;
+    let mut mispredictions = 0u64;
+    let mut most_failed = MostFailed::new();
+    let mut exhausted = true;
+
+    while let Some(rec) = trace.next_record()? {
+        if let Some(max) = config.max_instructions {
+            if instructions >= max {
+                exhausted = false;
+                break;
+            }
+        }
+        instructions += rec.instructions();
+        let in_measurement = instructions > config.warmup_instructions;
+        if in_measurement {
+            measured_instructions += rec.instructions();
+        }
+        let b = rec.branch;
+        if b.is_conditional() {
+            let prediction = predictor.predict(b.ip());
+            let mispredicted = prediction != b.is_taken();
+            if in_measurement {
+                conditional += 1;
+                mispredictions += mispredicted as u64;
+                most_failed.record(b.ip(), mispredicted);
+            } else {
+                most_failed.note_static(b.ip());
+            }
+            predictor.train(&b);
+        } else {
+            most_failed.note_static(b.ip());
+        }
+        if !config.track_only_conditional || b.is_conditional() {
+            predictor.track(&b);
+        }
+    }
+
+    let simulation_time = start.elapsed().as_secs_f64();
+    Ok(SimResult {
+        metadata: SimMetadata {
+            simulator: crate::SIMULATOR_NAME,
+            version: crate::SIMULATOR_VERSION,
+            trace: trace.description(),
+            warmup_instr: config.warmup_instructions,
+            simulation_instr: measured_instructions,
+            exhausted_trace: exhausted,
+            num_conditional_branches: conditional,
+            num_branch_instructions: most_failed.distinct_branches(),
+            track_only_conditional: config.track_only_conditional,
+            predictor: predictor.metadata(),
+        },
+        metrics: Metrics {
+            mpki: mpki(mispredictions, measured_instructions),
+            mispredictions,
+            accuracy: accuracy(mispredictions, conditional),
+            num_most_failed_branches: most_failed.half_coverage_count(mispredictions),
+            simulation_time,
+        },
+        predictor_statistics: predictor.execution_statistics(),
+        most_failed: most_failed.top(config.most_failed_limit, measured_instructions),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SliceSource;
+    use mbp_json::json;
+    use mbp_trace::{Branch, BranchRecord, Opcode};
+
+    /// Predicts taken; counts interface calls.
+    #[derive(Default)]
+    struct Spy {
+        predicts: u64,
+        trains: u64,
+        tracks: u64,
+    }
+
+    impl Predictor for Spy {
+        fn predict(&mut self, _ip: u64) -> bool {
+            self.predicts += 1;
+            true
+        }
+        fn train(&mut self, _b: &Branch) {
+            self.trains += 1;
+        }
+        fn track(&mut self, _b: &Branch) {
+            self.tracks += 1;
+        }
+        fn metadata(&self) -> Value {
+            json!({"name": "spy"})
+        }
+        fn execution_statistics(&self) -> Value {
+            json!({"tracks": self.tracks})
+        }
+    }
+
+    fn cond(ip: u64, taken: bool, gap: u32) -> BranchRecord {
+        BranchRecord::new(Branch::new(ip, 0x9000, Opcode::conditional_direct(), taken), gap)
+    }
+
+    fn uncond(ip: u64, gap: u32) -> BranchRecord {
+        BranchRecord::new(Branch::new(ip, 0x9000, Opcode::unconditional_direct(), true), gap)
+    }
+
+    #[test]
+    fn call_discipline_matches_paper() {
+        // train before track, train only for conditional, track for all.
+        let recs = vec![cond(0x10, true, 0), uncond(0x20, 0), cond(0x10, false, 0)];
+        let mut spy = Spy::default();
+        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &SimConfig::default()).unwrap();
+        assert_eq!(spy.predicts, 2);
+        assert_eq!(spy.trains, 2);
+        assert_eq!(spy.tracks, 3);
+        assert_eq!(r.metadata.num_conditional_branches, 2);
+        assert_eq!(r.metadata.num_branch_instructions, 2, "distinct static ips");
+        assert_eq!(r.metrics.mispredictions, 1);
+        assert_eq!(r.metrics.accuracy, 0.5);
+    }
+
+    #[test]
+    fn track_only_conditional_skips_unconditional() {
+        let recs = vec![cond(0x10, true, 0), uncond(0x20, 0)];
+        let mut spy = Spy::default();
+        let cfg = SimConfig { track_only_conditional: true, ..SimConfig::default() };
+        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &cfg).unwrap();
+        assert_eq!(spy.tracks, 1);
+        assert!(r.metadata.track_only_conditional);
+    }
+
+    #[test]
+    fn warmup_excludes_early_mispredictions() {
+        // Each record advances 10 instructions; warm up past the first two.
+        let recs = vec![
+            cond(0x10, false, 9), // would mispredict, but in warm-up
+            cond(0x10, false, 9),
+            cond(0x10, false, 9), // measured
+        ];
+        let cfg = SimConfig { warmup_instructions: 20, ..SimConfig::default() };
+        let mut spy = Spy::default();
+        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &cfg).unwrap();
+        assert_eq!(spy.trains, 3, "training happens during warm-up too");
+        assert_eq!(r.metrics.mispredictions, 1);
+        assert_eq!(r.metadata.simulation_instr, 10);
+        assert_eq!(r.metrics.mpki, 100.0);
+    }
+
+    #[test]
+    fn max_instructions_stops_early() {
+        let recs: Vec<_> = (0..100).map(|i| cond(0x10 + i, true, 9)).collect();
+        let cfg = SimConfig { max_instructions: Some(50), ..SimConfig::default() };
+        let mut spy = Spy::default();
+        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &cfg).unwrap();
+        assert!(!r.metadata.exhausted_trace);
+        assert_eq!(r.metadata.simulation_instr, 50);
+        assert_eq!(spy.predicts, 5);
+    }
+
+    #[test]
+    fn exhausted_flag_set_when_trace_ends() {
+        let recs = vec![cond(0x10, true, 0)];
+        let mut spy = Spy::default();
+        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &SimConfig::default()).unwrap();
+        assert!(r.metadata.exhausted_trace);
+    }
+
+    #[test]
+    fn predictor_sections_embedded() {
+        let recs = vec![cond(0x10, true, 0)];
+        let mut spy = Spy::default();
+        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &SimConfig::default()).unwrap();
+        assert_eq!(r.metadata.predictor["name"], Value::from("spy"));
+        assert_eq!(r.predictor_statistics["tracks"], Value::from(1));
+    }
+
+    #[test]
+    fn most_failed_populated() {
+        let recs = vec![
+            cond(0x10, false, 0),
+            cond(0x10, false, 0),
+            cond(0x20, true, 0),
+        ];
+        let mut spy = Spy::default();
+        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &SimConfig::default()).unwrap();
+        assert_eq!(r.metrics.num_most_failed_branches, 1);
+        assert_eq!(r.most_failed[0].ip, 0x10);
+        assert_eq!(r.most_failed[0].mispredictions, 2);
+        assert_eq!(r.most_failed[0].occurrences, 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Trace sources: anything the simulator can pull branch records from.
+
+use mbp_json::Value;
+use mbp_trace::sbbt::SbbtReader;
+use mbp_trace::{BranchRecord, TraceError};
+
+/// A stream of branch records consumable by the simulators.
+///
+/// Implemented for [`SbbtReader`] (the normal case), and for in-memory
+/// slices and vectors so tests, workload generators and optimization loops
+/// (§VI-B) can feed the simulator without touching the filesystem.
+pub trait TraceSource {
+    /// The next record, or `None` at the end of the trace.
+    ///
+    /// # Errors
+    ///
+    /// Malformed trace content.
+    fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceError>;
+
+    /// A JSON description of the source (e.g. the trace path), embedded in
+    /// the result metadata.
+    fn description(&self) -> Value {
+        Value::Null
+    }
+
+    /// Total instructions the source spans, if known ahead of time.
+    fn instruction_count_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl TraceSource for SbbtReader {
+    fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
+        SbbtReader::next_record(self)
+    }
+
+    fn description(&self) -> Value {
+        Value::from("sbbt trace")
+    }
+
+    fn instruction_count_hint(&self) -> Option<u64> {
+        Some(self.header().instruction_count)
+    }
+}
+
+/// A trace source over a borrowed slice of records.
+#[derive(Clone, Debug)]
+pub struct SliceSource<'a> {
+    records: &'a [BranchRecord],
+    pos: usize,
+    name: Option<String>,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a slice of records.
+    pub fn new(records: &'a [BranchRecord]) -> Self {
+        Self { records, pos: 0, name: None }
+    }
+
+    /// Wraps a slice with a human-readable trace name for the metadata.
+    pub fn named(records: &'a [BranchRecord], name: impl Into<String>) -> Self {
+        Self {
+            records,
+            pos: 0,
+            name: Some(name.into()),
+        }
+    }
+
+    /// Rewinds to the beginning (e.g. between sweep iterations).
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+impl TraceSource for SliceSource<'_> {
+    fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
+        let rec = self.records.get(self.pos).copied();
+        self.pos += rec.is_some() as usize;
+        Ok(rec)
+    }
+
+    fn description(&self) -> Value {
+        match &self.name {
+            Some(n) => Value::from(n.as_str()),
+            None => Value::from("in-memory trace"),
+        }
+    }
+
+    fn instruction_count_hint(&self) -> Option<u64> {
+        Some(self.records.iter().map(|r| r.instructions()).sum())
+    }
+}
+
+/// An owning in-memory trace source.
+#[derive(Clone, Debug)]
+pub struct VecSource {
+    records: Vec<BranchRecord>,
+    pos: usize,
+    name: Option<String>,
+}
+
+impl VecSource {
+    /// Wraps a vector of records.
+    pub fn new(records: Vec<BranchRecord>) -> Self {
+        Self { records, pos: 0, name: None }
+    }
+
+    /// Wraps a vector with a trace name for the metadata.
+    pub fn named(records: Vec<BranchRecord>, name: impl Into<String>) -> Self {
+        Self {
+            records,
+            pos: 0,
+            name: Some(name.into()),
+        }
+    }
+
+    /// Rewinds to the beginning.
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    /// Borrows the underlying records.
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+}
+
+impl TraceSource for VecSource {
+    fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
+        let rec = self.records.get(self.pos).copied();
+        self.pos += rec.is_some() as usize;
+        Ok(rec)
+    }
+
+    fn description(&self) -> Value {
+        match &self.name {
+            Some(n) => Value::from(n.as_str()),
+            None => Value::from("in-memory trace"),
+        }
+    }
+
+    fn instruction_count_hint(&self) -> Option<u64> {
+        Some(self.records.iter().map(|r| r.instructions()).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbp_trace::{Branch, Opcode};
+
+    fn recs(n: usize) -> Vec<BranchRecord> {
+        (0..n)
+            .map(|i| {
+                BranchRecord::new(
+                    Branch::new(i as u64, 0, Opcode::conditional_direct(), true),
+                    2,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slice_source_drains_and_resets() {
+        let records = recs(3);
+        let mut s = SliceSource::new(&records);
+        let mut seen = 0;
+        while s.next_record().unwrap().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 3);
+        assert!(s.next_record().unwrap().is_none());
+        s.reset();
+        assert!(s.next_record().unwrap().is_some());
+    }
+
+    #[test]
+    fn sources_report_instruction_hint() {
+        let records = recs(4);
+        assert_eq!(SliceSource::new(&records).instruction_count_hint(), Some(12));
+        assert_eq!(VecSource::new(records).instruction_count_hint(), Some(12));
+    }
+
+    #[test]
+    fn named_sources_describe_themselves() {
+        let records = recs(1);
+        let s = SliceSource::named(&records, "SHORT_SERVER-1");
+        assert_eq!(s.description(), Value::from("SHORT_SERVER-1"));
+    }
+}

@@ -1,0 +1,361 @@
+//! A strict, recursive-descent JSON parser.
+
+use crate::error::ParseJsonError;
+use crate::value::{Map, Number, Value};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub(crate) fn parse(input: &str) -> Result<Value, ParseJsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> ParseJsonError {
+        ParseJsonError::new(msg, self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), ParseJsonError> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(msg))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseJsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("maximum nesting depth exceeded"));
+        }
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &'static str, v: Value) -> Result<Value, ParseJsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseJsonError> {
+        self.expect(b'{', "expected '{'")?;
+        self.depth += 1;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Object(map))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseJsonError> {
+        self.expect(b'[', "expected '['")?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Array(items))
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseJsonError> {
+        self.expect(b'"', "expected string")?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'b') => s.push('\u{08}'),
+                    Some(b'f') => s.push('\u{0c}'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.parse_hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired surrogate"));
+                            }
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                        } else {
+                            char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))?
+                        };
+                        s.push(c);
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(b) if b < 0x80 => s.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: copy the sequence verbatim. The input
+                    // was a &str, so it is guaranteed valid.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    s.push_str(std::str::from_utf8(&self.bytes[start..end]).map_err(|_| {
+                        self.err("invalid UTF-8 sequence")
+                    })?);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseJsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseJsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit expected after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit expected in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::Float(f)))
+            .map_err(|_| ParseJsonError::new("number out of range", start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!("null".parse::<Value>().unwrap(), Value::Null);
+        assert_eq!("true".parse::<Value>().unwrap(), Value::Bool(true));
+        assert_eq!("-42".parse::<Value>().unwrap(), Value::from(-42));
+        assert_eq!(
+            "18446744073709551615".parse::<Value>().unwrap(),
+            Value::from(u64::MAX)
+        );
+        assert_eq!("1.5e3".parse::<Value>().unwrap(), Value::from(1500.0));
+        assert_eq!("\"hi\"".parse::<Value>().unwrap(), Value::from("hi"));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v: Value = r#""a\n\té😀""#.parse().unwrap();
+        assert_eq!(v.as_str(), Some("a\n\té😀"));
+        let v: Value = "\"caña\"".parse().unwrap();
+        assert_eq!(v.as_str(), Some("caña"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "tru", "01", "1.", "1e", "\"\\x\"", "\"", "[1]x",
+            "{\"a\" 1}", "nan",
+        ] {
+            assert!(bad.parse::<Value>().is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_unpaired_surrogates() {
+        assert!(r#""\ud800""#.parse::<Value>().is_err());
+        assert!(r#""\ud800A""#.parse::<Value>().is_err());
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(deep.parse::<Value>().is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v: Value = r#"{"a":1,"a":2}"#.parse().unwrap();
+        assert_eq!(v["a"], Value::from(2));
+        assert_eq!(v.as_object().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn whitespace_everywhere() {
+        let v: Value = " { \"a\" : [ 1 , 2 ] } ".parse().unwrap();
+        assert_eq!(v, json!({"a": [1, 2]}));
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::from),
+            any::<i64>().prop_map(Value::from),
+            any::<u64>().prop_map(Value::from),
+            (-1e12f64..1e12f64).prop_map(Value::from),
+            "[ -~]{0,12}".prop_map(Value::from),
+            "\\PC{0,8}".prop_map(Value::from),
+        ];
+        leaf.prop_recursive(4, 32, 6, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..6).prop_map(Value::from),
+                prop::collection::vec(("[a-z]{1,6}", inner), 0..6)
+                    .prop_map(|kv| Value::Object(kv.into_iter().collect())),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn compact_roundtrip(v in arb_value()) {
+            let text = v.to_compact_string();
+            let back: Value = text.parse().unwrap();
+            prop_assert_eq!(back, v);
+        }
+
+        #[test]
+        fn pretty_roundtrip(v in arb_value()) {
+            let text = v.to_pretty_string();
+            let back: Value = text.parse().unwrap();
+            prop_assert_eq!(back, v);
+        }
+    }
+}

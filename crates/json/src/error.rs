@@ -1,0 +1,45 @@
+//! Error type for JSON parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a JSON document fails.
+///
+/// Carries a static description and the byte offset at which the parser gave
+/// up, to make malformed simulator output easy to locate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseJsonError {
+    msg: &'static str,
+    offset: usize,
+}
+
+impl ParseJsonError {
+    pub(crate) fn new(msg: &'static str, offset: usize) -> Self {
+        Self { msg, offset }
+    }
+
+    /// Byte offset in the input where the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl Error for ParseJsonError {}
+
+#[cfg(test)]
+mod tests {
+    use crate::Value;
+
+    #[test]
+    fn error_reports_offset() {
+        let err = "[1, ?]".parse::<Value>().unwrap_err();
+        assert_eq!(err.offset(), 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Minimal JSON support for MBPlib simulator output.
+//!
+//! The MBPlib paper (§IV-E) specifies that simulators return a JSON object so
+//! that user data — both static configuration recorded in `metadata` and
+//! dynamic statistics recorded in `predictor_statistics` — can be embedded in
+//! the output and parsed by downstream tooling. This crate provides the small
+//! JSON kernel the rest of the workspace builds on: a [`Value`] type, a
+//! compact and a pretty serializer, and a strict parser.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbp_json::{json, Value};
+//!
+//! let v = json!({
+//!     "name": "MBPlib GShare",
+//!     "history_length": 25,
+//!     "tables": [1, 2, 3],
+//! });
+//! assert_eq!(v["history_length"], Value::from(25));
+//! let text = v.to_string();
+//! let back: Value = text.parse()?;
+//! assert_eq!(back, v);
+//! # Ok::<(), mbp_json::ParseJsonError>(())
+//! ```
+
+mod de;
+mod error;
+mod macros;
+mod ser;
+mod value;
+
+pub use error::ParseJsonError;
+pub use value::{Map, Number, Value};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = json!({
+            "metadata": {
+                "simulator": "MBPlib std simulator",
+                "warmup_instr": 0,
+                "exhausted_trace": true,
+            },
+            "metrics": { "mpki": 3.312043080187229, "mispredictions": 4252480 },
+            "most_failed": [ { "ip": 1995000000, "accuracy": 0.91 } ],
+        });
+        let text = v.to_pretty_string();
+        let back: Value = text.parse().unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,447 @@
+//! The [`Value`] type: a parsed or constructed JSON document.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseJsonError;
+
+/// An ordered JSON object.
+///
+/// Keys are kept in insertion order so that the simulator output sections
+/// appear in the same order as in the paper's Listing 1.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    keys: Vec<String>,
+    entries: BTreeMap<String, Value>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of key/value pairs.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Inserts a key/value pair, returning the previous value for `key` if
+    /// one existed. Insertion order is preserved; re-inserting an existing
+    /// key keeps its original position.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        let key = key.into();
+        let old = self.entries.insert(key.clone(), value.into());
+        if old.is_none() {
+            self.keys.push(key);
+        }
+        old
+    }
+
+    /// Looks up a value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Looks up a value by key, mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries.get_mut(key)
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let v = self.entries.remove(key);
+        if v.is_some() {
+            self.keys.retain(|k| k != key);
+        }
+        v
+    }
+
+    /// Whether the object contains `key`.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.keys
+            .iter()
+            .map(move |k| (k.as_str(), &self.entries[k]))
+    }
+
+    /// Iterates over keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.keys.iter().map(String::as_str)
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> FromIterator<(K, V)> for Map {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> Extend<(K, V)> for Map {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+/// A JSON number: either an integer (preserved exactly up to 64 bits) or a
+/// binary64 float.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer that does not fit in `i64`.
+    UInt(u64),
+    /// A floating-point number. NaN and infinities are not representable in
+    /// JSON and are serialized as `null` by the writer.
+    Float(f64),
+}
+
+impl Number {
+    /// Returns the value as `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(v) => v as f64,
+            Number::UInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(v) => Some(v),
+            Number::UInt(v) => i64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::Int(v) => u64::try_from(v).ok(),
+            Number::UInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// A JSON document node.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object (insertion-ordered).
+    Object(Map),
+}
+
+impl Value {
+    /// Creates an empty object value.
+    pub fn object() -> Value {
+        Value::Object(Map::new())
+    }
+
+    /// Creates an empty array value.
+    pub fn array() -> Value {
+        Value::Array(Vec::new())
+    }
+
+    /// Returns `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if this is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the array slice if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the object if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the object mutably if this is an `Object`.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` if this is an object; returns `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Serializes to a compact, single-line JSON string.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        crate::ser::write_compact(self, &mut out);
+        out
+    }
+
+    /// Serializes to an indented, human-friendly JSON string.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        crate::ser::write_pretty(self, 0, &mut out);
+        out
+    }
+}
+
+/// Indexing an object by key. Panics if the key is missing or the value is
+/// not an object (mirrors `serde_json`'s ergonomics for tests and examples).
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+            .unwrap_or_else(|| panic!("no key {key:?} in JSON value"))
+    }
+}
+
+/// Indexing an array by position. Panics when out of bounds or not an array.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => &a[idx],
+            other => panic!("cannot index {other:?} with {idx}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            f.write_str(&self.to_pretty_string())
+        } else {
+            f.write_str(&self.to_compact_string())
+        }
+    }
+}
+
+impl FromStr for Value {
+    type Err = ParseJsonError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        crate::de::parse(s)
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::Int(v as i64))
+            }
+        }
+    )*};
+}
+
+from_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        match i64::try_from(v) {
+            Ok(i) => Value::Number(Number::Int(i)),
+            Err(_) => Value::Number(Number::UInt(v)),
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::from(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Into<Value>> FromIterator<T> for Value {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("zebra", 1);
+        m.insert("alpha", 2);
+        m.insert("middle", 3);
+        let keys: Vec<_> = m.keys().collect();
+        assert_eq!(keys, ["zebra", "alpha", "middle"]);
+    }
+
+    #[test]
+    fn map_reinsert_keeps_position() {
+        let mut m = Map::new();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.insert("a", 10), Some(Value::from(1)));
+        let keys: Vec<_> = m.keys().collect();
+        assert_eq!(keys, ["a", "b"]);
+        assert_eq!(m.get("a"), Some(&Value::from(10)));
+    }
+
+    #[test]
+    fn map_remove() {
+        let mut m = Map::new();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.remove("a"), Some(Value::from(1)));
+        assert_eq!(m.remove("a"), None);
+        assert_eq!(m.len(), 1);
+        assert!(!m.contains_key("a"));
+    }
+
+    #[test]
+    fn number_conversions() {
+        assert_eq!(Value::from(u64::MAX).as_u64(), Some(u64::MAX));
+        assert_eq!(Value::from(u64::MAX).as_i64(), None);
+        assert_eq!(Value::from(-3).as_i64(), Some(-3));
+        assert_eq!(Value::from(-3).as_u64(), None);
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from(7u32).as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn from_option_and_vec() {
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(4)), Value::from(4));
+        let arr = Value::from(vec![1, 2, 3]);
+        assert_eq!(arr[2], Value::from(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no key")]
+    fn index_missing_key_panics() {
+        let v = Value::object();
+        let _ = &v["missing"];
+    }
+}

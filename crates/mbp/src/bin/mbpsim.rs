@@ -1,0 +1,272 @@
+//! `mbpsim` — command-line front end to the MBPlib suite.
+//!
+//! Because MBPlib is a library, this binary is just one *user* of it — but
+//! it packages the common workflows:
+//!
+//! ```text
+//! mbpsim run --predictor tage --trace t.sbbt.mzst [--warmup N] [--max N]
+//! mbpsim compare --predictors gshare,tage --trace t.sbbt.mzst
+//! mbpsim gen --suite cbp5-training [--scale N] --out traces/
+//! mbpsim translate --from t.bt9 --to t.sbbt.mzst
+//! mbpsim info --trace t.sbbt.mzst
+//! mbpsim list
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mbp::compress::Codec;
+use mbp::examples::{by_name, PREDICTOR_NAMES};
+use mbp::sim::{simulate, simulate_comparison, SimConfig};
+use mbp::trace::sbbt::{SbbtReader, SbbtWriter};
+use mbp::trace::{bt9, translate};
+use mbp::workloads::Suite;
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     mbpsim run --predictor <name> --trace <file> [--warmup N] [--max N] [--track-only-conditional]\n  \
+     mbpsim compare --predictors <a>,<b> --trace <file> [--warmup N] [--max N]\n  \
+     mbpsim gen --suite <cbp5-training|cbp5-evaluation|dpc3|smoke> [--scale N] --out <dir>\n  \
+     mbpsim translate --from <file.bt9[.mgz]> --to <file.sbbt[.mzst|.mgz]>\n  \
+     mbpsim info --trace <file>\n  \
+     mbpsim list"
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+struct Args {
+    items: Vec<String>,
+}
+
+impl Args {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.items.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.items.iter().any(|a| a == key)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing {key}\n{}", usage()))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for {key}: {v}")),
+        }
+    }
+}
+
+fn sim_config(args: &Args) -> Result<SimConfig, String> {
+    Ok(SimConfig {
+        warmup_instructions: args.parsed("--warmup", 0)?,
+        max_instructions: args.get("--max").map(|v| v.parse()).transpose()
+            .map_err(|_| "invalid value for --max".to_string())?,
+        track_only_conditional: args.flag("--track-only-conditional"),
+        ..SimConfig::default()
+    })
+}
+
+fn codec_for(path: &Path) -> Option<(Codec, u32)> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("mzst") => Some((Codec::Mzst, 22)),
+        Some("mgz") => Some((Codec::Mgz, 6)),
+        _ => None,
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let name = args.required("--predictor")?;
+    let mut predictor =
+        by_name(name).ok_or_else(|| format!("unknown predictor {name:?}; try `mbpsim list`"))?;
+    let trace_path = args.required("--trace")?;
+    let mut trace =
+        SbbtReader::open(trace_path).map_err(|e| format!("cannot open {trace_path}: {e}"))?;
+    let result = simulate(&mut trace, &mut predictor, &sim_config(args)?)
+        .map_err(|e| format!("simulation failed: {e}"))?;
+    let mut doc = result.to_json();
+    if let Some(meta) = doc
+        .as_object_mut()
+        .and_then(|o| o.get_mut("metadata"))
+        .and_then(|m| m.as_object_mut())
+    {
+        meta.insert("trace", trace_path);
+    }
+    println!("{doc:#}");
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let names = args.required("--predictors")?;
+    let (a, b) = names
+        .split_once(',')
+        .ok_or_else(|| "expected --predictors <a>,<b>".to_string())?;
+    let mut pa = by_name(a.trim()).ok_or_else(|| format!("unknown predictor {a:?}"))?;
+    let mut pb = by_name(b.trim()).ok_or_else(|| format!("unknown predictor {b:?}"))?;
+    let trace_path = args.required("--trace")?;
+    let mut trace =
+        SbbtReader::open(trace_path).map_err(|e| format!("cannot open {trace_path}: {e}"))?;
+    let result = simulate_comparison(&mut trace, &mut pa, &mut pb, &sim_config(args)?)
+        .map_err(|e| format!("simulation failed: {e}"))?;
+    println!("{:#}", result.to_json());
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let scale = args.parsed("--scale", 1u64)?;
+    let suite = match args.required("--suite")? {
+        "cbp5-training" => Suite::cbp5_training(scale),
+        "cbp5-evaluation" => Suite::cbp5_evaluation(scale),
+        "dpc3" => Suite::dpc3(scale),
+        "smoke" => Suite::smoke(),
+        other => return Err(format!("unknown suite {other:?}")),
+    };
+    let out = PathBuf::from(args.required("--out")?);
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    for spec in &suite.traces {
+        let path = out.join(format!("{}.sbbt.mzst", spec.name));
+        let mut writer = SbbtWriter::create_compressed(&path, Codec::Mzst, 22)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        for record in spec.records() {
+            writer
+                .write_record(&record)
+                .map_err(|e| format!("write failed: {e}"))?;
+        }
+        let branches = writer.branch_count();
+        let instructions = writer.instruction_count();
+        writer
+            .finish_compressed()
+            .map_err(|e| format!("finish failed: {e}"))?;
+        let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "{}: {} branches, {} instructions, {} bytes",
+            path.display(),
+            branches,
+            instructions,
+            size
+        );
+    }
+    println!("wrote {} traces from suite {}", suite.traces.len(), suite.name);
+    Ok(())
+}
+
+fn cmd_translate(args: &Args) -> Result<(), String> {
+    let from = PathBuf::from(args.required("--from")?);
+    let to = PathBuf::from(args.required("--to")?);
+    let from_name = from.to_string_lossy();
+    let records = if from_name.contains(".bt9") {
+        let trace = bt9::open(&from).map_err(|e| format!("cannot parse {from_name}: {e}"))?;
+        trace.records().collect::<Vec<_>>()
+    } else {
+        let mut reader =
+            SbbtReader::open(&from).map_err(|e| format!("cannot open {from_name}: {e}"))?;
+        reader.read_all().map_err(|e| format!("cannot read {from_name}: {e}"))?
+    };
+
+    let to_name = to.to_string_lossy().to_string();
+    if to_name.contains(".bt9") {
+        let text = translate::records_to_bt9(&records);
+        let bytes = match codec_for(&to) {
+            Some((codec, level)) => mbp::compress::compress(text.as_bytes(), codec, level)
+                .map_err(|e| format!("compress failed: {e}"))?,
+            None => text.into_bytes(),
+        };
+        std::fs::write(&to, bytes).map_err(|e| format!("cannot write {to_name}: {e}"))?;
+    } else {
+        match codec_for(&to) {
+            Some((codec, level)) => {
+                let mut w = SbbtWriter::create_compressed(&to, codec, level)
+                    .map_err(|e| format!("cannot create {to_name}: {e}"))?;
+                for r in &records {
+                    w.write_record(r).map_err(|e| format!("write failed: {e}"))?;
+                }
+                w.finish_compressed().map_err(|e| format!("finish failed: {e}"))?;
+            }
+            None => {
+                let mut w = SbbtWriter::create(&to)
+                    .map_err(|e| format!("cannot create {to_name}: {e}"))?;
+                for r in &records {
+                    w.write_record(r).map_err(|e| format!("write failed: {e}"))?;
+                }
+                w.finish().map_err(|e| format!("finish failed: {e}"))?;
+            }
+        }
+    }
+    println!("translated {} records: {} -> {}", records.len(), from_name, to_name);
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let trace_path = args.required("--trace")?;
+    let mut reader =
+        SbbtReader::open(trace_path).map_err(|e| format!("cannot open {trace_path}: {e}"))?;
+    let header = *reader.header();
+    let mut conditional = 0u64;
+    let mut taken = 0u64;
+    let mut calls = 0u64;
+    let mut rets = 0u64;
+    let mut indirect = 0u64;
+    while let Some(rec) = reader.next_record().map_err(|e| format!("bad packet: {e}"))? {
+        let b = rec.branch;
+        conditional += b.is_conditional() as u64;
+        taken += b.is_taken() as u64;
+        indirect += b.opcode().is_indirect() as u64;
+        match b.opcode().kind() {
+            mbp::trace::BranchKind::Call => calls += 1,
+            mbp::trace::BranchKind::Ret => rets += 1,
+            mbp::trace::BranchKind::Jump => {}
+        }
+    }
+    println!("trace:            {trace_path}");
+    println!("instructions:     {}", header.instruction_count);
+    println!("branches:         {}", header.branch_count);
+    println!(
+        "branch density:   {:.1}%",
+        100.0 * header.branch_count as f64 / header.instruction_count.max(1) as f64
+    );
+    println!("conditional:      {conditional}");
+    println!("taken:            {taken}");
+    println!("indirect:         {indirect}");
+    println!("calls / returns:  {calls} / {rets}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let command = argv.remove(0);
+    let args = Args { items: argv };
+    let result = match command.as_str() {
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "gen" => cmd_gen(&args),
+        "translate" => cmd_translate(&args),
+        "info" => cmd_info(&args),
+        "list" => {
+            for name in PREDICTOR_NAMES {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mbpsim: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

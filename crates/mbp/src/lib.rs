@@ -1,0 +1,80 @@
+//! MBPlib: Modular Branch Prediction Library — Rust reproduction.
+//!
+//! This umbrella crate re-exports the whole suite under the module layout
+//! described in §III of the paper:
+//!
+//! * [`sim`] — the *simulation library*: the [`Predictor`](sim::Predictor)
+//!   interface, the standard and comparison simulators, and JSON results.
+//! * [`utils`] — the *utilities library*: saturating counters, history
+//!   registers, folded histories, hashes.
+//! * [`examples`] — the *examples library*: the predictor collection of
+//!   Table II plus target predictors.
+//! * [`trace`] — the SBBT/BT9/ChampSim trace formats and translators.
+//! * [`compress`] — the MGZ/MZST codecs used to store traces.
+//! * [`workloads`] — synthetic trace suites standing in for CBP5/DPC3.
+//! * [`baselines`] — the two simulators MBPlib is evaluated against.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mbp::examples::Gshare;
+//! use mbp::sim::{simulate, SimConfig};
+//! use mbp::workloads::{ProgramParams, TraceGenerator};
+//!
+//! let mut trace = TraceGenerator::from_params(&ProgramParams::mobile(), 1)
+//!     .with_name("MOBILE-demo");
+//! let mut gshare = Gshare::new(25, 18);
+//! let mut cfg = SimConfig::default();
+//! cfg.max_instructions = Some(200_000);
+//! let result = simulate(&mut trace, &mut gshare, &cfg)?;
+//! println!("{:#}", result.to_json());
+//! assert!(result.metrics.mpki < 60.0);
+//! # Ok::<(), mbp::trace::TraceError>(())
+//! ```
+
+/// The simulation library (re-export of `mbp-core`).
+pub mod sim {
+    pub use mbp_core::*;
+}
+
+/// The utilities library (re-export of `mbp-utils`).
+pub mod utils {
+    pub use mbp_utils::*;
+}
+
+/// The examples library (re-export of `mbp-predictors`).
+pub mod examples {
+    pub use mbp_predictors::*;
+}
+
+/// Trace formats and translators (re-export of `mbp-trace`).
+pub mod trace {
+    pub use mbp_trace::*;
+}
+
+/// Compression codecs (re-export of `mbp-compress`).
+pub mod compress {
+    pub use mbp_compress::*;
+}
+
+/// JSON values (re-export of `mbp-json`).
+pub mod json {
+    pub use mbp_json::*;
+}
+
+/// Synthetic workload suites (re-export of `mbp-workloads`).
+pub mod workloads {
+    pub use mbp_workloads::*;
+}
+
+/// The baseline simulators used in the paper's evaluation.
+pub mod baselines {
+    /// The CBP5-framework-style baseline.
+    pub mod cbp5 {
+        pub use cbp5_sim::*;
+    }
+    /// The ChampSim-like cycle-level baseline.
+    pub mod champsim {
+        pub use champsim_lite::*;
+    }
+}

@@ -1,0 +1,233 @@
+//! A bias filter in front of a predictor.
+//!
+//! §IV-B: "a filter may decide that it is not necessary to track some
+//! branches." Most programs execute many branches that have gone the same
+//! way every single time; feeding them to an expensive predictor wastes its
+//! capacity and its history. The filter answers those branches itself and
+//! only forwards branches that have shown both outcomes.
+
+use std::collections::HashMap;
+
+use mbp_core::{json, Branch, Predictor, Value};
+
+/// Per-branch filter state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BiasState {
+    /// Seen only taken outcomes (count stored).
+    OnlyTaken(u32),
+    /// Seen only not-taken outcomes.
+    OnlyNotTaken(u32),
+    /// Has gone both ways: owned by the inner predictor now.
+    Mixed,
+}
+
+/// Filters strongly biased branches away from an inner predictor.
+///
+/// While a branch has only ever produced one outcome, the filter predicts
+/// that outcome and does **not** train or track the inner predictor with
+/// it. The first divergence hands the branch over to the inner predictor
+/// permanently.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_core::Predictor;
+/// use mbp_predictors::{BiasFilter, Gshare};
+///
+/// let p = BiasFilter::new(Box::new(Gshare::new(15, 14)));
+/// assert_eq!(p.metadata()["name"].as_str(), Some("MBPlib Bias Filter"));
+/// ```
+pub struct BiasFilter {
+    inner: Box<dyn Predictor>,
+    states: HashMap<u64, BiasState>,
+    filtered: u64,
+}
+
+impl BiasFilter {
+    /// Wraps `inner` with the filter.
+    pub fn new(inner: Box<dyn Predictor>) -> Self {
+        Self {
+            inner,
+            states: HashMap::new(),
+            filtered: 0,
+        }
+    }
+
+    fn is_filtered(&self, ip: u64) -> bool {
+        !matches!(self.states.get(&ip), Some(BiasState::Mixed))
+    }
+}
+
+impl Predictor for BiasFilter {
+    fn predict(&mut self, ip: u64) -> bool {
+        match self.states.get(&ip) {
+            Some(BiasState::OnlyTaken(_)) => true,
+            Some(BiasState::OnlyNotTaken(_)) => false,
+            Some(BiasState::Mixed) => self.inner.predict(ip),
+            // Unseen branches: most branches are taken (loop back-edges).
+            None => true,
+        }
+    }
+
+    fn train(&mut self, branch: &Branch) {
+        let ip = branch.ip();
+        let taken = branch.is_taken();
+        let state = self
+            .states
+            .entry(ip)
+            .or_insert(if taken {
+                BiasState::OnlyTaken(0)
+            } else {
+                BiasState::OnlyNotTaken(0)
+            });
+        match state {
+            BiasState::OnlyTaken(n) if taken => {
+                *n += 1;
+                self.filtered += 1;
+            }
+            BiasState::OnlyNotTaken(n) if !taken => {
+                *n += 1;
+                self.filtered += 1;
+            }
+            BiasState::Mixed => self.inner.train(branch),
+            state => {
+                // First divergence: hand over to the inner predictor.
+                *state = BiasState::Mixed;
+                self.inner.train(branch);
+            }
+        }
+    }
+
+    fn track(&mut self, branch: &Branch) {
+        // Unconditional branches always reach the inner scenario; filtered
+        // conditional branches are withheld (they carry no information — the
+        // filter knows their outcome).
+        if !branch.is_conditional() || !self.is_filtered(branch.ip()) {
+            self.inner.track(branch);
+        }
+    }
+
+    fn metadata(&self) -> Value {
+        json!({
+            "name": "MBPlib Bias Filter",
+            "inner": self.inner.metadata(),
+        })
+    }
+
+    fn execution_statistics(&self) -> Value {
+        json!({
+            "filtered_updates": self.filtered,
+            "tracked_branches": self.states.len(),
+            "inner": self.inner.execution_statistics(),
+        })
+    }
+}
+
+impl std::fmt::Debug for BiasFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BiasFilter")
+            .field("tracked", &self.states.len())
+            .field("filtered", &self.filtered)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{correlated_pair, run};
+    use mbp_core::Opcode;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    struct Spy {
+        trains: Rc<Cell<u64>>,
+        tracks: Rc<Cell<u64>>,
+    }
+
+    impl Predictor for Spy {
+        fn predict(&mut self, _ip: u64) -> bool {
+            true
+        }
+        fn train(&mut self, _b: &Branch) {
+            self.trains.set(self.trains.get() + 1);
+        }
+        fn track(&mut self, _b: &Branch) {
+            self.tracks.set(self.tracks.get() + 1);
+        }
+    }
+
+    fn cond(ip: u64, taken: bool) -> Branch {
+        Branch::new(ip, 0, Opcode::conditional_direct(), taken)
+    }
+
+    #[test]
+    fn biased_branches_never_reach_inner() {
+        let trains = Rc::new(Cell::new(0));
+        let tracks = Rc::new(Cell::new(0));
+        let mut f = BiasFilter::new(Box::new(Spy {
+            trains: trains.clone(),
+            tracks: tracks.clone(),
+        }));
+        for _ in 0..50 {
+            let b = cond(0x100, true);
+            f.predict(b.ip());
+            f.train(&b);
+            f.track(&b);
+        }
+        assert_eq!(trains.get(), 0);
+        assert_eq!(tracks.get(), 0);
+        assert_eq!(f.filtered, 50);
+    }
+
+    #[test]
+    fn divergence_hands_branch_to_inner() {
+        let trains = Rc::new(Cell::new(0));
+        let tracks = Rc::new(Cell::new(0));
+        let mut f = BiasFilter::new(Box::new(Spy {
+            trains: trains.clone(),
+            tracks: tracks.clone(),
+        }));
+        for _ in 0..10 {
+            let b = cond(0x100, true);
+            f.train(&b);
+            f.track(&b);
+        }
+        let div = cond(0x100, false);
+        f.train(&div);
+        f.track(&div);
+        assert_eq!(trains.get(), 1, "divergence trains the inner");
+        assert_eq!(tracks.get(), 1);
+        // From now on the inner owns this branch.
+        let b = cond(0x100, true);
+        f.train(&b);
+        assert_eq!(trains.get(), 2);
+    }
+
+    #[test]
+    fn unconditional_branches_always_tracked() {
+        let trains = Rc::new(Cell::new(0));
+        let tracks = Rc::new(Cell::new(0));
+        let mut f = BiasFilter::new(Box::new(Spy {
+            trains: trains.clone(),
+            tracks: tracks.clone(),
+        }));
+        let b = Branch::new(0x200, 0x300, Opcode::unconditional_direct(), true);
+        f.track(&b);
+        assert_eq!(tracks.get(), 1);
+    }
+
+    #[test]
+    fn filter_does_not_hurt_accuracy_much() {
+        use crate::Gshare;
+        let recs = correlated_pair(3000, 41);
+        let (mis_plain, _) = run(&mut Gshare::new(10, 12), &recs);
+        let (mis_filtered, total) =
+            run(&mut BiasFilter::new(Box::new(Gshare::new(10, 12))), &recs);
+        // Both branches here are mixed, so the filter defers quickly.
+        assert!(
+            (mis_filtered as i64 - mis_plain as i64).abs() < total as i64 / 10,
+            "filtered {mis_filtered} vs plain {mis_plain}"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! 2bc-gskew (Seznec & Michaud, 1999): a de-aliased hybrid of a bimodal
+//! bank and two skewed global-history banks, with a meta chooser and a
+//! partial update policy.
+
+use mbp_core::{json, Branch, Predictor, Value};
+use mbp_utils::{mix64, xor_fold, HistoryRegister, I2};
+
+/// The 2bc-gskew predictor.
+///
+/// Four banks of two-bit counters: `BIM` (address-indexed), `G0` and `G1`
+/// (address ⊕ history with *skewed* hash functions and different history
+/// lengths) and `META`. The e-gskew prediction is the majority of
+/// `BIM`/`G0`/`G1`; `META` arbitrates between `BIM` alone and the majority.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_core::Predictor;
+/// use mbp_predictors::TwoBcGskew;
+///
+/// let p = TwoBcGskew::new(16, 21);
+/// assert_eq!(p.metadata()["history_length"].as_u64(), Some(16));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwoBcGskew {
+    bim: Vec<I2>,
+    g0: Vec<I2>,
+    g1: Vec<I2>,
+    meta: Vec<I2>,
+    ghist: HistoryRegister,
+    hist_len: u32,
+    log_size: u32,
+}
+
+impl TwoBcGskew {
+    /// Creates a 2bc-gskew with `hist_len` bits of global history and four
+    /// banks of `2^log_size` counters. `G0` uses half the history length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hist_len` is not in `2..=64` or `log_size` not in `1..=30`.
+    pub fn new(hist_len: u32, log_size: u32) -> Self {
+        assert!((2..=64).contains(&hist_len), "hist_len must be in 2..=64");
+        assert!((1..=30).contains(&log_size), "log_size must be in 1..=30");
+        Self {
+            bim: vec![I2::default(); 1 << log_size],
+            g0: vec![I2::default(); 1 << log_size],
+            g1: vec![I2::default(); 1 << log_size],
+            meta: vec![I2::default(); 1 << log_size],
+            ghist: HistoryRegister::new(hist_len as usize),
+            hist_len,
+            log_size,
+        }
+    }
+
+    fn bim_index(&self, ip: u64) -> usize {
+        xor_fold(ip, self.log_size) as usize
+    }
+
+    /// Skewed bank hash: a distinct strong mix per bank de-aliases the
+    /// banks, the defining property of the gskew family.
+    fn skew_index(&self, ip: u64, bank: u64, hist_bits: u32) -> usize {
+        let h = self.ghist.low_n(hist_bits as usize);
+        xor_fold(mix64(ip ^ h.rotate_left(bank as u32 * 7) ^ (bank << 61)), self.log_size)
+            as usize
+    }
+
+    fn indices(&self, ip: u64) -> [usize; 4] {
+        [
+            self.bim_index(ip),
+            self.skew_index(ip, 1, self.hist_len / 2),
+            self.skew_index(ip, 2, self.hist_len),
+            // META mixes the address with a short history slice.
+            xor_fold(ip ^ (self.ghist.low_n((self.hist_len / 4).max(1) as usize) << 1), self.log_size)
+                as usize,
+        ]
+    }
+
+    /// `(bim, g0, g1, meta_uses_egskew, final)` predictions at `ip`.
+    fn components(&self, ip: u64) -> (bool, bool, bool, bool, bool) {
+        let [bi, g0i, g1i, mi] = self.indices(ip);
+        let bim = self.bim[bi].is_taken();
+        let g0 = self.g0[g0i].is_taken();
+        let g1 = self.g1[g1i].is_taken();
+        let egskew = (bim as u8 + g0 as u8 + g1 as u8) >= 2;
+        let use_egskew = self.meta[mi].is_taken();
+        let final_pred = if use_egskew { egskew } else { bim };
+        (bim, g0, g1, use_egskew, final_pred)
+    }
+
+    /// Storage budget in bits.
+    pub fn storage_bits(&self) -> u64 {
+        4 * 2 * (1u64 << self.log_size) + self.hist_len as u64
+    }
+}
+
+impl Predictor for TwoBcGskew {
+    fn predict(&mut self, ip: u64) -> bool {
+        self.components(ip).4
+    }
+
+    fn train(&mut self, branch: &Branch) {
+        let ip = branch.ip();
+        let taken = branch.is_taken();
+        let (bim, g0, g1, use_egskew, final_pred) = self.components(ip);
+        let egskew = (bim as u8 + g0 as u8 + g1 as u8) >= 2;
+        let [bi, g0i, g1i, mi] = self.indices(ip);
+
+        // META: trained only when the two strategies disagree (partial
+        // update), toward whichever was right.
+        if bim != egskew {
+            self.meta[mi].sum_or_sub(egskew == taken);
+        }
+
+        if final_pred == taken {
+            // Correct: strengthen only the banks that participated in the
+            // correct prediction, leaving disagreeing banks untouched so
+            // they keep their information about other branches.
+            if use_egskew {
+                if bim == taken {
+                    self.bim[bi].sum_or_sub(taken);
+                }
+                if g0 == taken {
+                    self.g0[g0i].sum_or_sub(taken);
+                }
+                if g1 == taken {
+                    self.g1[g1i].sum_or_sub(taken);
+                }
+            } else {
+                self.bim[bi].sum_or_sub(taken);
+            }
+        } else {
+            // Mispredicted: retrain all banks.
+            self.bim[bi].sum_or_sub(taken);
+            self.g0[g0i].sum_or_sub(taken);
+            self.g1[g1i].sum_or_sub(taken);
+        }
+    }
+
+    fn track(&mut self, branch: &Branch) {
+        self.ghist.push(branch.is_taken());
+    }
+
+    fn metadata(&self) -> Value {
+        json!({
+            "name": "MBPlib 2bc-gskew",
+            "history_length": self.hist_len,
+            "log_bank_size": self.log_size,
+            "banks": 4,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{biased, correlated_pair, loop_pattern, run};
+    use crate::Bimodal;
+
+    #[test]
+    fn beats_bimodal_on_correlation() {
+        let recs = correlated_pair(4000, 5);
+        let (mis_gskew, _) = run(&mut TwoBcGskew::new(12, 12), &recs);
+        let (mis_bim, total) = run(&mut Bimodal::new(12), &recs);
+        assert!(
+            mis_gskew < mis_bim,
+            "gskew {mis_gskew} !< bimodal {mis_bim} of {total}"
+        );
+    }
+
+    #[test]
+    fn handles_bias_like_bimodal() {
+        let recs = biased(3000, 17);
+        let (mis, total) = run(&mut TwoBcGskew::new(12, 12), &recs);
+        assert!((mis as f64) < 0.20 * total as f64, "mis = {mis}");
+    }
+
+    #[test]
+    fn learns_loops() {
+        let recs = loop_pattern(0x2000, 6, 300);
+        let (mis, total) = run(&mut TwoBcGskew::new(14, 12), &recs);
+        assert!((mis as f64) < 0.08 * total as f64, "mis = {mis} of {total}");
+    }
+
+    #[test]
+    fn skewed_indices_differ() {
+        let p = TwoBcGskew::new(16, 12);
+        // With high probability the three banks map an address differently.
+        let [_, a, b, _] = p.indices(0x1234_5678);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = TwoBcGskew::new(16, 10);
+        assert_eq!(p.storage_bits(), 4 * 2 * 1024 + 16);
+    }
+}

@@ -1,0 +1,195 @@
+//! The MBPlib *examples library* (§V, Table II of the paper): a uniform
+//! collection of branch predictor implementations, from the pedagogical
+//! (bimodal, GShare) through the historical (two-level, tournament,
+//! 2bc-gskew) to the state of the art (hashed perceptron, TAGE, BATAGE).
+//!
+//! All predictors implement [`mbp_core::Predictor`] and are built from the
+//! components of `mbp-utils`, so each implementation stays close to its
+//! published description. Every predictor reports its configuration through
+//! `metadata()`, which the simulator embeds in its JSON output — the paper's
+//! workflow for keeping experiments self-describing.
+//!
+//! Beyond the conditional-direction predictors of Table II, the [`target`]
+//! module provides the branch *target* predictors the paper pairs with them
+//! in the ChampSim evaluation (§VII-A): a BTB, a GShare-like indirect target
+//! predictor and ITTAGE.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbp_core::{simulate, SimConfig, SliceSource};
+//! use mbp_predictors::Gshare;
+//! use mbp_core::{Branch, BranchRecord, Opcode};
+//!
+//! // A loop branch: taken three times, then exits — GShare learns it.
+//! let mut recs = Vec::new();
+//! for _ in 0..500 {
+//!     for i in 0..4 {
+//!         recs.push(BranchRecord::new(
+//!             Branch::new(0x40_1000, 0x40_0ff0, Opcode::conditional_direct(), i != 3),
+//!             4,
+//!         ));
+//!     }
+//! }
+//! let mut gshare = Gshare::new(15, 17);
+//! let r = simulate(&mut SliceSource::new(&recs), &mut gshare, &SimConfig::default())?;
+//! assert!(r.metrics.accuracy > 0.95);
+//! # Ok::<(), mbp_core::TraceError>(())
+//! ```
+
+mod batage;
+mod bimodal;
+mod filter;
+mod gselect;
+mod gshare;
+mod gskew;
+mod loopp;
+mod perceptron;
+mod statics;
+mod tage;
+pub mod target;
+mod tournament;
+mod twolevel;
+
+pub use batage::{Batage, BatageConfig};
+pub use bimodal::Bimodal;
+pub use filter::BiasFilter;
+pub use gselect::GSelect;
+pub use gshare::Gshare;
+pub use gskew::TwoBcGskew;
+pub use loopp::LoopPredictor;
+pub use perceptron::HashedPerceptron;
+pub use statics::{AlwaysTaken, Btfn, NeverTaken};
+pub use tage::{Tage, TageConfig, TageTableSpec};
+pub use tournament::Tournament;
+pub use twolevel::{HistoryScope, PatternScope, TwoLevel};
+
+use mbp_core::Predictor;
+
+/// Builds one of the stock predictors by name, at a roughly 64 kB storage
+/// budget — handy for CLI harnesses and benchmarks.
+///
+/// Recognized names: `always-taken`, `never-taken`, `btfn`, `bimodal`,
+/// `two-level`, `gshare`, `gselect`, `tournament`, `2bc-gskew`,
+/// `hashed-perceptron`, `tage`, `batage`.
+pub fn by_name(name: &str) -> Option<Box<dyn Predictor>> {
+    Some(match name {
+        "always-taken" => Box::new(AlwaysTaken),
+        "never-taken" => Box::new(NeverTaken),
+        "btfn" => Box::new(Btfn::default()),
+        "bimodal" => Box::new(Bimodal::new(18)),
+        "two-level" => Box::new(TwoLevel::gas(12, 10, 14)),
+        "gshare" => Box::new(Gshare::new(25, 18)),
+        "gselect" => Box::new(GSelect::new(8, 10)),
+        "tournament" => Box::new(Tournament::classic(16)),
+        "2bc-gskew" => Box::new(TwoBcGskew::new(16, 21)),
+        "hashed-perceptron" => Box::new(HashedPerceptron::default_config()),
+        "tage" => Box::new(Tage::new(TageConfig::default_64kb())),
+        "batage" => Box::new(Batage::new(BatageConfig::default_64kb())),
+        _ => return None,
+    })
+}
+
+/// Names accepted by [`by_name`], in Table II order.
+pub const PREDICTOR_NAMES: [&str; 12] = [
+    "always-taken",
+    "never-taken",
+    "btfn",
+    "bimodal",
+    "two-level",
+    "gshare",
+    "gselect",
+    "tournament",
+    "2bc-gskew",
+    "hashed-perceptron",
+    "tage",
+    "batage",
+];
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use mbp_core::{Branch, BranchRecord, Opcode};
+    use mbp_utils::Xorshift64;
+
+    /// A loop of `period` iterations repeated `reps` times at `ip`.
+    pub fn loop_pattern(ip: u64, period: u32, reps: u32) -> Vec<BranchRecord> {
+        let mut out = Vec::new();
+        for _ in 0..reps {
+            for i in 0..period {
+                out.push(BranchRecord::new(
+                    Branch::new(ip, ip - 64, Opcode::conditional_direct(), i + 1 != period),
+                    3,
+                ));
+            }
+        }
+        out
+    }
+
+    /// A branch whose outcome equals the outcome of the previous branch
+    /// (perfectly history-correlated, hopeless for bimodal).
+    pub fn correlated_pair(n: u32, seed: u64) -> Vec<BranchRecord> {
+        let mut rng = Xorshift64::new(seed);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let first = rng.below(2) == 1;
+            out.push(BranchRecord::new(
+                Branch::new(0x100, 0x50, Opcode::conditional_direct(), first),
+                2,
+            ));
+            out.push(BranchRecord::new(
+                Branch::new(0x200, 0x80, Opcode::conditional_direct(), first),
+                2,
+            ));
+        }
+        out
+    }
+
+    /// A heavily biased branch (taken with probability ~7/8).
+    pub fn biased(n: u32, seed: u64) -> Vec<BranchRecord> {
+        let mut rng = Xorshift64::new(seed);
+        (0..n)
+            .map(|_| {
+                BranchRecord::new(
+                    Branch::new(0x300, 0x10, Opcode::conditional_direct(), rng.below(8) != 0),
+                    4,
+                )
+            })
+            .collect()
+    }
+
+    /// Runs a predictor over records and returns (mispredictions, total).
+    pub fn run(
+        predictor: &mut dyn mbp_core::Predictor,
+        recs: &[BranchRecord],
+    ) -> (u64, u64) {
+        let mut mis = 0;
+        let mut total = 0;
+        for r in recs {
+            let b = r.branch;
+            if b.is_conditional() {
+                total += 1;
+                if predictor.predict(b.ip()) != b.is_taken() {
+                    mis += 1;
+                }
+                predictor.train(&b);
+            }
+            predictor.track(&b);
+        }
+        (mis, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_builds_every_listed_predictor() {
+        for name in PREDICTOR_NAMES {
+            let p = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            // Every stock predictor must describe itself.
+            assert!(!p.metadata().is_null(), "{name} has no metadata");
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,216 @@
+//! A loop predictor: learns exact trip counts of regular loops.
+//!
+//! §VI-C motivates the comparison simulator with "compar[ing] the
+//! effectiveness of adding a new component, like a loop predictor, to our
+//! design" — this is that component. It wraps any inner predictor and
+//! overrides it for branches identified as fixed-trip-count loops.
+
+use mbp_core::{json, Branch, Predictor, Value};
+use mbp_utils::{xor_fold, USatCounter};
+
+const CONF_SATURATED: u8 = USatCounter::<2>::MAX;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct LoopEntry {
+    tag: u16,
+    /// Learned iterations per execution (taken count before the exit).
+    trip_count: u16,
+    /// Taken streak currently in flight.
+    current_iter: u16,
+    /// Confidence that `trip_count` is stable.
+    confidence: USatCounter<2>,
+    /// Entry age for replacement.
+    age: USatCounter<4>,
+}
+
+/// A loop predictor wrapped around an inner predictor.
+///
+/// When the table holds a confident trip count for a branch, the loop
+/// predictor answers (taken until the final iteration, then not-taken) and
+/// the inner predictor's answer is ignored; otherwise the inner predictor
+/// decides. The inner component is always trained and tracked, so it stays
+/// warm for the branches the loop table cannot capture — an instance of the
+/// paper's owning-component-decides composition rule (§IV-B).
+///
+/// # Examples
+///
+/// ```
+/// use mbp_core::Predictor;
+/// use mbp_predictors::{Gshare, LoopPredictor};
+///
+/// let p = LoopPredictor::new(Box::new(Gshare::new(15, 14)), 7);
+/// assert_eq!(p.metadata()["name"].as_str(), Some("MBPlib Loop Predictor"));
+/// ```
+pub struct LoopPredictor {
+    inner: Box<dyn Predictor>,
+    table: Vec<LoopEntry>,
+    log_size: u32,
+    overrides: u64,
+}
+
+impl LoopPredictor {
+    /// Wraps `inner` with a loop table of `2^log_size` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_size` is not in `1..=20`.
+    pub fn new(inner: Box<dyn Predictor>, log_size: u32) -> Self {
+        assert!((1..=20).contains(&log_size), "log_size must be in 1..=20");
+        Self {
+            inner,
+            table: vec![LoopEntry::default(); 1 << log_size],
+            log_size,
+            overrides: 0,
+        }
+    }
+
+    fn slot(&self, ip: u64) -> (usize, u16) {
+        let idx = xor_fold(ip, self.log_size) as usize;
+        let tag = (xor_fold(ip, 14) as u16) | 1; // non-zero tag
+        (idx, tag)
+    }
+
+    /// The loop table's own opinion, if it is confident about this branch.
+    fn loop_prediction(&self, ip: u64) -> Option<bool> {
+        let (idx, tag) = self.slot(ip);
+        let e = &self.table[idx];
+        if e.tag == tag && e.confidence.value() == CONF_SATURATED && e.trip_count > 0 {
+            Some(e.current_iter + 1 < e.trip_count)
+        } else {
+            None
+        }
+    }
+}
+
+impl Predictor for LoopPredictor {
+    fn predict(&mut self, ip: u64) -> bool {
+        match self.loop_prediction(ip) {
+            Some(p) => {
+                self.overrides += 1;
+                p
+            }
+            None => self.inner.predict(ip),
+        }
+    }
+
+    fn train(&mut self, branch: &Branch) {
+        let ip = branch.ip();
+        let taken = branch.is_taken();
+        let (idx, tag) = self.slot(ip);
+        let e = &mut self.table[idx];
+        if e.tag == tag {
+            if taken {
+                e.current_iter = e.current_iter.saturating_add(1);
+                // A streak beyond the learned trip count refutes it.
+                if e.confidence.value() == CONF_SATURATED && e.current_iter >= e.trip_count {
+                    e.confidence.reset();
+                }
+            } else {
+                let observed = e.current_iter + 1; // iterations incl. exit
+                if observed == e.trip_count {
+                    e.confidence += 1;
+                } else {
+                    e.trip_count = observed;
+                    e.confidence.reset();
+                }
+                e.current_iter = 0;
+            }
+            e.age += 1;
+        } else if !taken || e.age.is_zero() {
+            // Allocate on a loop exit (the informative event) or over a
+            // stale entry.
+            *e = LoopEntry {
+                tag,
+                trip_count: 0,
+                current_iter: if taken { 1 } else { 0 },
+                confidence: USatCounter::new(0),
+                age: USatCounter::new(1),
+            };
+        } else {
+            e.age -= 1;
+        }
+        self.inner.train(branch);
+    }
+
+    fn track(&mut self, branch: &Branch) {
+        self.inner.track(branch);
+    }
+
+    fn metadata(&self) -> Value {
+        json!({
+            "name": "MBPlib Loop Predictor",
+            "log_table_size": self.log_size,
+            "inner": self.inner.metadata(),
+        })
+    }
+
+    fn execution_statistics(&self) -> Value {
+        json!({
+            "loop_overrides": self.overrides,
+            "inner": self.inner.execution_statistics(),
+        })
+    }
+}
+
+impl std::fmt::Debug for LoopPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopPredictor")
+            .field("log_size", &self.log_size)
+            .field("overrides", &self.overrides)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{loop_pattern, run};
+    use crate::{Bimodal, NeverTaken};
+
+    #[test]
+    fn perfect_on_fixed_trip_loop_after_warmup() {
+        // Period 9, repeated: after a few sightings the exit is predicted.
+        let recs = loop_pattern(0x1000, 9, 300);
+        let mut p = LoopPredictor::new(Box::new(Bimodal::new(12)), 8);
+        let (mis, total) = run(&mut p, &recs);
+        assert!(
+            (mis as f64) < 0.02 * total as f64,
+            "mis = {mis} of {total}"
+        );
+        assert!(p.overrides > 0, "loop table never engaged");
+    }
+
+    #[test]
+    fn beats_bare_bimodal_on_loops() {
+        let recs = loop_pattern(0x1000, 9, 300);
+        let (mis_loop, _) = run(&mut LoopPredictor::new(Box::new(Bimodal::new(12)), 8), &recs);
+        let (mis_bim, _) = run(&mut Bimodal::new(12), &recs);
+        assert!(mis_loop < mis_bim, "{mis_loop} !< {mis_bim}");
+    }
+
+    #[test]
+    fn falls_back_to_inner_for_irregular_branches() {
+        // An always-taken branch never exits: the loop table never gains
+        // confidence, so the inner predictor must answer.
+        use mbp_core::Opcode;
+        let mut p = LoopPredictor::new(Box::new(NeverTaken), 8);
+        let b = Branch::new(0x500, 0x100, Opcode::conditional_direct(), true);
+        for _ in 0..100 {
+            p.predict(b.ip());
+            p.train(&b);
+            p.track(&b);
+        }
+        assert_eq!(p.overrides, 0);
+        assert!(!p.predict(0x500), "inner (never-taken) decides");
+    }
+
+    #[test]
+    fn adapts_when_trip_count_changes() {
+        let mut recs = loop_pattern(0x1000, 6, 100);
+        recs.extend(loop_pattern(0x1000, 11, 100));
+        let mut p = LoopPredictor::new(Box::new(Bimodal::new(12)), 8);
+        let (mis, total) = run(&mut p, &recs);
+        // Mispredictions cluster around the regime change only.
+        assert!((mis as f64) < 0.10 * total as f64, "mis = {mis} of {total}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Static (stateless) predictors — the pedagogical baselines.
+
+use mbp_core::{json, Branch, Predictor, Value};
+
+/// Predicts every branch taken.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_core::Predictor;
+/// use mbp_predictors::AlwaysTaken;
+///
+/// assert!(AlwaysTaken.predict(0x1234));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AlwaysTaken;
+
+impl Predictor for AlwaysTaken {
+    fn predict(&mut self, _ip: u64) -> bool {
+        true
+    }
+
+    fn train(&mut self, _branch: &Branch) {}
+
+    fn track(&mut self, _branch: &Branch) {}
+
+    fn metadata(&self) -> Value {
+        json!({"name": "MBPlib Always Taken"})
+    }
+}
+
+/// Predicts every branch not taken.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NeverTaken;
+
+impl Predictor for NeverTaken {
+    fn predict(&mut self, _ip: u64) -> bool {
+        false
+    }
+
+    fn train(&mut self, _branch: &Branch) {}
+
+    fn track(&mut self, _branch: &Branch) {}
+
+    fn metadata(&self) -> Value {
+        json!({"name": "MBPlib Never Taken"})
+    }
+}
+
+/// Backward-taken / forward-not-taken: predicts taken for branches whose
+/// target lies below the branch (loop back-edges).
+///
+/// Needs the target, which `predict(ip)` does not receive, so it learns the
+/// target direction of each static branch on `train` — the classic BTFN
+/// approximation for trace-driven evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct Btfn {
+    backward: std::collections::HashMap<u64, bool>,
+}
+
+impl Predictor for Btfn {
+    fn predict(&mut self, ip: u64) -> bool {
+        // Unknown branches default to not-taken (forward assumption).
+        *self.backward.get(&ip).unwrap_or(&false)
+    }
+
+    fn train(&mut self, branch: &Branch) {
+        if branch.is_taken() && branch.target() != 0 {
+            self.backward.insert(branch.ip(), branch.target() < branch.ip());
+        }
+    }
+
+    fn track(&mut self, _branch: &Branch) {}
+
+    fn metadata(&self) -> Value {
+        json!({"name": "MBPlib BTFN"})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{loop_pattern, run};
+    use mbp_core::Opcode;
+
+    #[test]
+    fn always_taken_on_loop() {
+        // A loop of period 8: 7 taken + 1 exit per iteration.
+        let recs = loop_pattern(0x1000, 8, 100);
+        let (mis, total) = run(&mut AlwaysTaken, &recs);
+        assert_eq!(total, 800);
+        assert_eq!(mis, 100, "one misprediction per loop exit");
+    }
+
+    #[test]
+    fn never_taken_is_complement() {
+        let recs = loop_pattern(0x1000, 8, 100);
+        let (mis, _) = run(&mut NeverTaken, &recs);
+        assert_eq!(mis, 700);
+    }
+
+    #[test]
+    fn btfn_learns_backward_loops() {
+        // Loop back-edge: target below ip → predicted taken after first sight.
+        let recs = loop_pattern(0x1000, 8, 100);
+        let (mis, _) = run(&mut Btfn::default(), &recs);
+        // First iteration mispredicts the unknown branch once, then behaves
+        // like always-taken.
+        assert!(mis <= 101, "mis = {mis}");
+    }
+
+    #[test]
+    fn btfn_predicts_forward_not_taken() {
+        let mut p = Btfn::default();
+        let fwd = Branch::new(0x100, 0x200, Opcode::conditional_direct(), true);
+        p.train(&fwd);
+        assert!(!p.predict(0x100), "forward branch → not taken");
+    }
+}

@@ -1,0 +1,263 @@
+//! The generalized tournament predictor (Evers/Yeh/Patt hybrid, §VI-D).
+//!
+//! A meta-predictor chooses between two arbitrary component predictors. The
+//! implementation mirrors the paper's Listing 4, including the cached
+//! prediction (so `train` can reuse the `predict` lookups of the same
+//! branch) and the *partial update* policy: the chooser is only trained when
+//! the components disagree, but is always tracked with the program branch.
+
+use mbp_core::{json, Branch, Predictor, Value};
+
+use crate::{Bimodal, Gshare};
+
+/// A tournament of two predictors arbitrated by a third.
+///
+/// The meta-predictor's "outcome" is *which component to believe*: `false`
+/// selects component 0, `true` selects component 1.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_core::Predictor;
+/// use mbp_predictors::{Bimodal, Gshare, Tournament};
+///
+/// // The original tournament: bimodal vs GShare with a bimodal chooser.
+/// let p = Tournament::new(
+///     Box::new(Bimodal::new(12)),
+///     Box::new(Bimodal::new(14)),
+///     Box::new(Gshare::new(15, 14)),
+/// );
+/// assert_eq!(p.metadata()["name"].as_str(), Some("MBPlib Tournament"));
+/// ```
+pub struct Tournament {
+    meta: Box<dyn Predictor>,
+    bp0: Box<dyn Predictor>,
+    bp1: Box<dyn Predictor>,
+    // Cached data (Listing 4): predict() fills these; train() reuses them.
+    predicted_ip: u64,
+    tracked: bool,
+    provider: bool,
+    prediction: [bool; 2],
+}
+
+impl Tournament {
+    /// Builds a tournament from any three predictors.
+    pub fn new(
+        meta: Box<dyn Predictor>,
+        bp0: Box<dyn Predictor>,
+        bp1: Box<dyn Predictor>,
+    ) -> Self {
+        Self {
+            meta,
+            bp0,
+            bp1,
+            predicted_ip: u64::MAX,
+            tracked: true,
+            provider: false,
+            prediction: [false; 2],
+        }
+    }
+
+    /// The classic configuration: bimodal + GShare with a bimodal chooser,
+    /// all tables of `2^log_size` entries.
+    pub fn classic(log_size: u32) -> Self {
+        Self::new(
+            Box::new(Bimodal::new(log_size)),
+            Box::new(Bimodal::new(log_size)),
+            Box::new(Gshare::new(log_size.min(32), log_size)),
+        )
+    }
+
+    fn refresh(&mut self, ip: u64) {
+        // Listing 4 line 18: reuse the cached lookups when predicting the
+        // same ip again before the next track().
+        if self.predicted_ip == ip && !self.tracked {
+            return;
+        }
+        self.predicted_ip = ip;
+        self.tracked = false;
+        self.provider = self.meta.predict(ip);
+        self.prediction = [self.bp0.predict(ip), self.bp1.predict(ip)];
+    }
+}
+
+impl Predictor for Tournament {
+    fn predict(&mut self, ip: u64) -> bool {
+        self.refresh(ip);
+        self.prediction[self.provider as usize]
+    }
+
+    fn train(&mut self, branch: &Branch) {
+        self.refresh(branch.ip());
+        self.bp0.train(branch);
+        self.bp1.train(branch);
+        if self.prediction[0] != self.prediction[1] {
+            // Partial update: train the chooser toward whichever component
+            // was right, using a synthetic branch whose outcome is "component
+            // 1 was correct" (Listing 4 lines 33–38).
+            let meta_branch = branch.with_outcome(self.prediction[1] == branch.is_taken());
+            self.meta.train(&meta_branch);
+        }
+    }
+
+    fn track(&mut self, branch: &Branch) {
+        self.meta.track(branch);
+        self.bp0.track(branch);
+        self.bp1.track(branch);
+        self.tracked = true;
+    }
+
+    fn metadata(&self) -> Value {
+        json!({
+            "name": "MBPlib Tournament",
+            "metapredictor": self.meta.metadata(),
+            "predictor_0": self.bp0.metadata(),
+            "predictor_1": self.bp1.metadata(),
+        })
+    }
+
+    fn execution_statistics(&self) -> Value {
+        json!({
+            "metapredictor": self.meta.execution_statistics(),
+            "predictor_0": self.bp0.execution_statistics(),
+            "predictor_1": self.bp1.execution_statistics(),
+        })
+    }
+}
+
+impl std::fmt::Debug for Tournament {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tournament")
+            .field("predicted_ip", &self.predicted_ip)
+            .field("tracked", &self.tracked)
+            .field("provider", &self.provider)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{correlated_pair, run};
+    use crate::{AlwaysTaken, NeverTaken};
+    use mbp_core::Opcode;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// A component that counts train calls, to observe the partial-update
+    /// policy from outside.
+    struct Counting {
+        direction: bool,
+        trains: Rc<Cell<u64>>,
+        tracks: Rc<Cell<u64>>,
+    }
+
+    impl Predictor for Counting {
+        fn predict(&mut self, _ip: u64) -> bool {
+            self.direction
+        }
+        fn train(&mut self, _b: &Branch) {
+            self.trains.set(self.trains.get() + 1);
+        }
+        fn track(&mut self, _b: &Branch) {
+            self.tracks.set(self.tracks.get() + 1);
+        }
+    }
+
+    fn cond(ip: u64, taken: bool) -> Branch {
+        Branch::new(ip, 0, Opcode::conditional_direct(), taken)
+    }
+
+    #[test]
+    fn meta_trained_only_on_disagreement() {
+        let trains = Rc::new(Cell::new(0));
+        let tracks = Rc::new(Cell::new(0));
+        let meta = Counting {
+            direction: false,
+            trains: trains.clone(),
+            tracks: tracks.clone(),
+        };
+        // Components always agree (both taken) → meta never trained.
+        let mut t = Tournament::new(
+            Box::new(meta),
+            Box::new(AlwaysTaken),
+            Box::new(AlwaysTaken),
+        );
+        for i in 0..10 {
+            let b = cond(0x100 + i, true);
+            t.predict(b.ip());
+            t.train(&b);
+            t.track(&b);
+        }
+        assert_eq!(trains.get(), 0, "agreeing components never train the meta");
+        assert_eq!(tracks.get(), 10, "meta is tracked for every branch");
+    }
+
+    #[test]
+    fn meta_branch_encodes_which_component_was_right() {
+        let trains = Rc::new(Cell::new(0));
+        let tracks = Rc::new(Cell::new(0));
+        let meta = Counting {
+            direction: true, // always choose component 1
+            trains: trains.clone(),
+            tracks: tracks.clone(),
+        };
+        // bp0 = never taken, bp1 = always taken: they always disagree.
+        let mut t = Tournament::new(
+            Box::new(meta),
+            Box::new(NeverTaken),
+            Box::new(AlwaysTaken),
+        );
+        let b = cond(0x100, true);
+        assert!(t.predict(b.ip()), "chooser selects bp1 (taken)");
+        t.train(&b);
+        assert_eq!(trains.get(), 1, "disagreement trains the meta");
+    }
+
+    #[test]
+    fn learns_to_pick_the_better_component() {
+        // On history-correlated data GShare wins; the tournament should
+        // migrate to it and beat its bimodal component.
+        let recs = correlated_pair(4000, 21);
+        let (mis_tour, total) = run(&mut Tournament::classic(12), &recs);
+        let (mis_bim, _) = run(&mut Bimodal::new(12), &recs);
+        assert!(
+            mis_tour < mis_bim,
+            "tournament {mis_tour} !< bimodal {mis_bim} (of {total})"
+        );
+    }
+
+    #[test]
+    fn cached_prediction_reused_within_one_branch() {
+        // Calling predict twice then train must behave identically to once.
+        let recs = correlated_pair(500, 4);
+        let mut a = Tournament::classic(10);
+        let mut b = Tournament::classic(10);
+        let mut mis_a = 0;
+        let mut mis_b = 0;
+        for r in &recs {
+            let br = r.branch;
+            if a.predict(br.ip()) != br.is_taken() {
+                mis_a += 1;
+            }
+            a.train(&br);
+            a.track(&br);
+            b.predict(br.ip());
+            if b.predict(br.ip()) != br.is_taken() {
+                mis_b += 1;
+            }
+            b.train(&br);
+            b.track(&br);
+        }
+        assert_eq!(mis_a, mis_b);
+    }
+
+    #[test]
+    fn metadata_nests_components() {
+        let t = Tournament::classic(10);
+        let m = t.metadata();
+        assert_eq!(m["predictor_0"]["name"].as_str(), Some("MBPlib Bimodal"));
+        assert_eq!(m["predictor_1"]["name"].as_str(), Some("MBPlib GShare"));
+        assert_eq!(m["metapredictor"]["name"].as_str(), Some("MBPlib Bimodal"));
+    }
+}

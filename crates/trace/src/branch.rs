@@ -1,0 +1,275 @@
+//! The [`Branch`] model shared by every simulator in the workspace.
+
+use std::fmt;
+
+/// The base control-flow type of a branch.
+///
+/// Per §IV-C: branches that push to or pop from the return address stack are
+/// labelled `Call` and `Ret` respectively; everything else is `Jump`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// An ordinary jump (encoded `00`).
+    #[default]
+    Jump,
+    /// A call, pushing a return address (encoded `10`).
+    Call,
+    /// A return, popping a return address (encoded `01`).
+    Ret,
+}
+
+/// The 4-bit SBBT branch opcode: conditional flag, indirect flag and
+/// [`BranchKind`].
+///
+/// # Examples
+///
+/// ```
+/// use mbp_trace::{BranchKind, Opcode};
+///
+/// let op = Opcode::new(true, false, BranchKind::Jump);
+/// assert!(op.is_conditional());
+/// assert!(!op.is_indirect());
+/// assert_eq!(Opcode::from_bits(op.bits()), Some(op));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Opcode {
+    conditional: bool,
+    indirect: bool,
+    kind: BranchKind,
+}
+
+impl Opcode {
+    /// Creates an opcode from its three components.
+    pub fn new(conditional: bool, indirect: bool, kind: BranchKind) -> Self {
+        Self { conditional, indirect, kind }
+    }
+
+    /// The common conditional direct jump (what `bcc` instructions are).
+    pub fn conditional_direct() -> Self {
+        Self::new(true, false, BranchKind::Jump)
+    }
+
+    /// An unconditional direct jump.
+    pub fn unconditional_direct() -> Self {
+        Self::new(false, false, BranchKind::Jump)
+    }
+
+    /// A direct call.
+    pub fn call() -> Self {
+        Self::new(false, false, BranchKind::Call)
+    }
+
+    /// A return (indirect by nature).
+    pub fn ret() -> Self {
+        Self::new(false, true, BranchKind::Ret)
+    }
+
+    /// An indirect unconditional jump (e.g. a jump table).
+    pub fn indirect_jump() -> Self {
+        Self::new(false, true, BranchKind::Jump)
+    }
+
+    /// Whether the branch is conditional.
+    pub fn is_conditional(self) -> bool {
+        self.conditional
+    }
+
+    /// Whether the target comes from a register/memory rather than the
+    /// instruction encoding.
+    pub fn is_indirect(self) -> bool {
+        self.indirect
+    }
+
+    /// The base control-flow type.
+    pub fn kind(self) -> BranchKind {
+        self.kind
+    }
+
+    /// Packs into the 4-bit SBBT encoding: bit 0 conditional, bit 1
+    /// indirect, bits 2–3 the kind (`00` jump, `10` call, `01` ret).
+    pub fn bits(self) -> u8 {
+        let kind_bits = match self.kind {
+            BranchKind::Jump => 0b00,
+            BranchKind::Ret => 0b01,
+            BranchKind::Call => 0b10,
+        };
+        (self.conditional as u8) | ((self.indirect as u8) << 1) | (kind_bits << 2)
+    }
+
+    /// Decodes the 4-bit SBBT encoding; `None` if the kind bits are the
+    /// reserved `11` pattern or `bits >= 16`.
+    pub fn from_bits(bits: u8) -> Option<Self> {
+        if bits >= 16 {
+            return None;
+        }
+        let kind = match (bits >> 2) & 0b11 {
+            0b00 => BranchKind::Jump,
+            0b01 => BranchKind::Ret,
+            0b10 => BranchKind::Call,
+            _ => return None,
+        };
+        Some(Self {
+            conditional: bits & 1 != 0,
+            indirect: bits & 2 != 0,
+            kind,
+        })
+    }
+}
+
+impl Default for Opcode {
+    fn default() -> Self {
+        Self::conditional_direct()
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{:?}",
+            if self.conditional { "COND." } else { "UNCOND." },
+            if self.indirect { "IND." } else { "DIR." },
+            self.kind
+        )
+    }
+}
+
+/// One dynamic branch: where it is, where it goes, what it is, and what it
+/// did — the argument to `Predictor::train`/`track` in the paper's API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Branch {
+    ip: u64,
+    target: u64,
+    opcode: Opcode,
+    taken: bool,
+}
+
+impl Branch {
+    /// Creates a branch occurrence.
+    pub fn new(ip: u64, target: u64, opcode: Opcode, taken: bool) -> Self {
+        Self { ip, target, opcode, taken }
+    }
+
+    /// Virtual address of the branch instruction.
+    pub fn ip(self) -> u64 {
+        self.ip
+    }
+
+    /// Virtual address of the branch target.
+    pub fn target(self) -> u64 {
+        self.target
+    }
+
+    /// The branch opcode.
+    pub fn opcode(self) -> Opcode {
+        self.opcode
+    }
+
+    /// Whether the branch was taken.
+    pub fn is_taken(self) -> bool {
+        self.taken
+    }
+
+    /// Whether this branch is conditional (shorthand).
+    pub fn is_conditional(self) -> bool {
+        self.opcode.is_conditional()
+    }
+
+    /// Returns a copy with a different outcome — used by meta-predictors
+    /// that train a chooser with "which component was right" instead of the
+    /// program outcome (§VI-D).
+    pub fn with_outcome(self, taken: bool) -> Self {
+        Self { taken, ..self }
+    }
+
+    /// Checks the SBBT validity rules (§IV-C): non-conditional branches are
+    /// always taken, and a not-taken conditional indirect branch must have a
+    /// null target.
+    pub fn is_valid(self) -> bool {
+        if !self.opcode.is_conditional() && !self.taken {
+            return false;
+        }
+        if self.opcode.is_conditional() && self.opcode.is_indirect() && !self.taken {
+            return self.target == 0;
+        }
+        true
+    }
+}
+
+/// A [`Branch`] plus its position in the instruction stream: the number of
+/// non-branch instructions executed since the previous branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BranchRecord {
+    /// The branch occurrence.
+    pub branch: Branch,
+    /// Non-branch instructions since the previous branch (neither counted).
+    pub gap: u32,
+}
+
+impl BranchRecord {
+    /// Creates a record.
+    pub fn new(branch: Branch, gap: u32) -> Self {
+        Self { branch, gap }
+    }
+
+    /// Instructions this record advances the instruction counter by
+    /// (its gap plus the branch itself).
+    pub fn instructions(self) -> u64 {
+        self.gap as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_bits_roundtrip_all_valid() {
+        for bits in 0u8..16 {
+            if let Some(op) = Opcode::from_bits(bits) {
+                assert_eq!(op.bits(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn opcode_rejects_reserved_kind() {
+        assert_eq!(Opcode::from_bits(0b1100), None);
+        assert_eq!(Opcode::from_bits(0b1111), None);
+        assert_eq!(Opcode::from_bits(16), None);
+    }
+
+    #[test]
+    fn opcode_kind_encoding_matches_paper() {
+        // JUMP (00), CALL (10), RET (01) in bits 2–3.
+        assert_eq!(Opcode::new(false, false, BranchKind::Jump).bits() >> 2, 0b00);
+        assert_eq!(Opcode::new(false, false, BranchKind::Call).bits() >> 2, 0b10);
+        assert_eq!(Opcode::new(false, false, BranchKind::Ret).bits() >> 2, 0b01);
+    }
+
+    #[test]
+    fn validity_rules() {
+        // Rule 1: non-conditional must be taken.
+        let b = Branch::new(0x1000, 0x2000, Opcode::unconditional_direct(), false);
+        assert!(!b.is_valid());
+        assert!(b.with_outcome(true).is_valid());
+
+        // Rule 2: conditional indirect not-taken must have null target.
+        let op = Opcode::new(true, true, BranchKind::Jump);
+        assert!(!Branch::new(0x1000, 0x2000, op, false).is_valid());
+        assert!(Branch::new(0x1000, 0, op, false).is_valid());
+        assert!(Branch::new(0x1000, 0x2000, op, true).is_valid());
+
+        // Ordinary conditional branches may be either outcome.
+        let b = Branch::new(0x1000, 0x2000, Opcode::conditional_direct(), false);
+        assert!(b.is_valid());
+    }
+
+    #[test]
+    fn record_instruction_accounting() {
+        let rec = BranchRecord::new(
+            Branch::new(0, 0, Opcode::conditional_direct(), true),
+            9,
+        );
+        assert_eq!(rec.instructions(), 10);
+    }
+}

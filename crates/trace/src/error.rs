@@ -1,0 +1,74 @@
+//! Error type for trace reading and writing.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced while reading, writing or translating traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the expected signature.
+    BadSignature {
+        /// Format name (e.g. `"SBBT"`).
+        format: &'static str,
+    },
+    /// The trace declares a major version this reader cannot parse.
+    UnsupportedVersion {
+        /// Major, minor, patch from the header.
+        version: (u8, u8, u8),
+    },
+    /// A packet or line violates the format's validity rules.
+    Invalid {
+        /// What rule was violated.
+        what: &'static str,
+        /// Byte (binary formats) or line (text formats) position.
+        position: u64,
+    },
+    /// The stream ended in the middle of a packet or section.
+    Truncated,
+    /// A record cannot be encoded (e.g. gap > 4095 or address out of the
+    /// 52-bit range).
+    Unencodable(String),
+}
+
+impl TraceError {
+    pub(crate) fn invalid(what: &'static str, position: u64) -> Self {
+        TraceError::Invalid { what, position }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadSignature { format } => {
+                write!(f, "missing {format} signature")
+            }
+            TraceError::UnsupportedVersion { version: (a, b, c) } => {
+                write!(f, "unsupported trace version {a}.{b}.{c}")
+            }
+            TraceError::Invalid { what, position } => {
+                write!(f, "invalid trace content at {position}: {what}")
+            }
+            TraceError::Truncated => write!(f, "trace ends mid-record"),
+            TraceError::Unencodable(msg) => write!(f, "record cannot be encoded: {msg}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}

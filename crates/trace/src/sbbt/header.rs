@@ -1,0 +1,130 @@
+//! The 192-bit SBBT header (Fig. 1).
+
+use crate::TraceError;
+
+/// The 5-byte signature opening every SBBT file: `"SBBT\n"`.
+pub const SBBT_SIGNATURE: [u8; 5] = *b"SBBT\n";
+
+/// Format version implemented by this crate: 1.0.0.
+pub const SBBT_VERSION: (u8, u8, u8) = (1, 0, 0);
+
+/// Size of the encoded header in bytes (192 bits).
+pub(crate) const HEADER_BYTES: usize = 24;
+
+/// The SBBT file header: signature, semantic version, and the two trace
+/// totals.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_trace::sbbt::SbbtHeader;
+///
+/// let h = SbbtHeader::new(1_000_000, 180_000);
+/// let bytes = h.encode();
+/// assert_eq!(&bytes[..5], b"SBBT\n");
+/// assert_eq!(SbbtHeader::decode(&bytes)?, h);
+/// # Ok::<(), mbp_trace::TraceError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SbbtHeader {
+    /// Instructions (branch and non-branch) executed while tracing.
+    pub instruction_count: u64,
+    /// Number of branch packets in the trace.
+    pub branch_count: u64,
+}
+
+impl SbbtHeader {
+    /// Creates a header with the given totals.
+    pub fn new(instruction_count: u64, branch_count: u64) -> Self {
+        Self { instruction_count, branch_count }
+    }
+
+    /// Encodes to the 24-byte on-disk layout: signature, (major, minor,
+    /// patch) as three `u8`, then both counts as little-endian `u64`.
+    pub fn encode(&self) -> [u8; HEADER_BYTES] {
+        let mut out = [0u8; HEADER_BYTES];
+        out[..5].copy_from_slice(&SBBT_SIGNATURE);
+        out[5] = SBBT_VERSION.0;
+        out[6] = SBBT_VERSION.1;
+        out[7] = SBBT_VERSION.2;
+        out[8..16].copy_from_slice(&self.instruction_count.to_le_bytes());
+        out[16..24].copy_from_slice(&self.branch_count.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Truncated`] if fewer than 24 bytes are available,
+    /// [`TraceError::BadSignature`] on a wrong magic, and
+    /// [`TraceError::UnsupportedVersion`] if the major version is not 1.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(TraceError::Truncated);
+        }
+        if bytes[..5] != SBBT_SIGNATURE {
+            return Err(TraceError::BadSignature { format: "SBBT" });
+        }
+        let version = (bytes[5], bytes[6], bytes[7]);
+        if version.0 != SBBT_VERSION.0 {
+            return Err(TraceError::UnsupportedVersion { version });
+        }
+        Ok(Self {
+            instruction_count: u64::from_le_bytes(bytes[8..16].try_into().expect("checked")),
+            branch_count: u64::from_le_bytes(bytes[16..24].try_into().expect("checked")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_layout() {
+        let h = SbbtHeader::new(0x0102_0304_0506_0708, 0x1122_3344);
+        let b = h.encode();
+        assert_eq!(&b[..5], b"SBBT\n");
+        assert_eq!(&b[5..8], &[1, 0, 0]);
+        assert_eq!(b[8], 0x08, "little endian");
+        assert_eq!(b[15], 0x01);
+        assert_eq!(b[16], 0x44);
+    }
+
+    #[test]
+    fn decode_rejects_bad_signature() {
+        let mut b = SbbtHeader::new(1, 1).encode();
+        b[0] = b'X';
+        assert!(matches!(
+            SbbtHeader::decode(&b),
+            Err(TraceError::BadSignature { format: "SBBT" })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_future_major_version() {
+        let mut b = SbbtHeader::new(1, 1).encode();
+        b[5] = 2;
+        assert!(matches!(
+            SbbtHeader::decode(&b),
+            Err(TraceError::UnsupportedVersion { version: (2, 0, 0) })
+        ));
+    }
+
+    #[test]
+    fn decode_accepts_newer_minor_version() {
+        let mut b = SbbtHeader::new(1, 1).encode();
+        b[6] = 9;
+        assert!(SbbtHeader::decode(&b).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let b = SbbtHeader::new(1, 1).encode();
+        assert!(matches!(
+            SbbtHeader::decode(&b[..23]),
+            Err(TraceError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,235 @@
+//! Streaming SBBT reader.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use mbp_compress::DecompressReader;
+
+use crate::sbbt::header::{SbbtHeader, HEADER_BYTES};
+use crate::sbbt::packet::{decode_packet, PACKET_BYTES};
+use crate::{BranchRecord, TraceError};
+
+/// Reads SBBT traces, raw or MGZ/MZST-compressed.
+///
+/// The reader validates the header eagerly and then serves packets from a
+/// flat in-memory buffer — the "stream-like format" walk that §VII-D credits
+/// for most of MBPlib's speedup.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mbp_trace::sbbt::SbbtReader;
+///
+/// let mut r = SbbtReader::open("traces/SHORT_SERVER-1.sbbt.mzst")?;
+/// while let Some(rec) = r.next_record()? {
+///     println!("{:#x} taken={}", rec.branch.ip(), rec.branch.is_taken());
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SbbtReader {
+    header: SbbtHeader,
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl SbbtReader {
+    /// Opens a trace file, transparently decompressing it.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, decompression errors, and header validation errors.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, TraceError> {
+        let file = File::open(path)?;
+        Self::from_reader(file)
+    }
+
+    /// Reads a trace from any reader (decompressing if needed).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SbbtReader::open`].
+    pub fn from_reader<R: Read>(source: R) -> Result<Self, TraceError> {
+        let data = DecompressReader::new(source)?.into_bytes();
+        Self::from_bytes(data)
+    }
+
+    /// Parses an in-memory trace (decompressing if needed).
+    ///
+    /// # Errors
+    ///
+    /// Header validation errors; also rejects a body whose length is not a
+    /// whole number of packets or does not match the declared branch count.
+    pub fn from_bytes(data: Vec<u8>) -> Result<Self, TraceError> {
+        let data = if mbp_compress::detect(&data).is_some() {
+            mbp_compress::decompress(&data).map_err(std::io::Error::from)?
+        } else {
+            data
+        };
+        let header = SbbtHeader::decode(&data)?;
+        let body_len = data.len() - HEADER_BYTES;
+        if body_len % PACKET_BYTES != 0 {
+            return Err(TraceError::Truncated);
+        }
+        if (body_len / PACKET_BYTES) as u64 != header.branch_count {
+            return Err(TraceError::invalid(
+                "branch count disagrees with file length",
+                8,
+            ));
+        }
+        Ok(Self {
+            header,
+            data,
+            pos: HEADER_BYTES,
+        })
+    }
+
+    /// The validated file header.
+    pub fn header(&self) -> &SbbtHeader {
+        &self.header
+    }
+
+    /// Branches remaining to be read.
+    pub fn remaining(&self) -> u64 {
+        ((self.data.len() - self.pos) / PACKET_BYTES) as u64
+    }
+
+    /// Decodes the next packet, or `None` at end of trace.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Invalid`] if the packet violates format rules.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
+        if self.pos >= self.data.len() {
+            return Ok(None);
+        }
+        let bytes: &[u8; PACKET_BYTES] = self.data[self.pos..self.pos + PACKET_BYTES]
+            .try_into()
+            .expect("length validated in constructor");
+        let rec = decode_packet(bytes, self.pos as u64)?;
+        self.pos += PACKET_BYTES;
+        Ok(Some(rec))
+    }
+
+    /// Reads every remaining record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first packet error encountered.
+    pub fn read_all(&mut self) -> Result<Vec<BranchRecord>, TraceError> {
+        let mut out = Vec::with_capacity(self.remaining() as usize);
+        while let Some(rec) = self.next_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+/// Iterates records, yielding `Err` once and then stopping on malformed
+/// input.
+impl Iterator for SbbtReader {
+    type Item = Result<BranchRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => None,
+            Err(e) => {
+                self.pos = self.data.len(); // stop iteration after an error
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbbt::SbbtWriter;
+    use crate::{Branch, Opcode};
+
+    fn sample_trace(n: usize) -> Vec<u8> {
+        let mut w = SbbtWriter::new(Vec::new());
+        for i in 0..n {
+            let rec = BranchRecord::new(
+                Branch::new(
+                    0x1000 + 16 * i as u64,
+                    0x9000,
+                    Opcode::conditional_direct(),
+                    i % 3 == 0,
+                ),
+                i as u32 % 7,
+            );
+            w.write_record(&rec).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn reads_back_header_and_records() {
+        let bytes = sample_trace(10);
+        let mut r = SbbtReader::from_bytes(bytes).unwrap();
+        assert_eq!(r.header().branch_count, 10);
+        assert_eq!(r.remaining(), 10);
+        let all = r.read_all().unwrap();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[3].branch.ip(), 0x1000 + 48);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn compressed_roundtrip() {
+        use mbp_compress::{compress, Codec};
+        let bytes = sample_trace(50);
+        for codec in [Codec::Mgz, Codec::Mzst] {
+            let packed = compress(&bytes, codec, 9).unwrap();
+            let mut r = SbbtReader::from_bytes(packed).unwrap();
+            assert_eq!(r.read_all().unwrap().len(), 50);
+        }
+    }
+
+    #[test]
+    fn rejects_partial_packet() {
+        let mut bytes = sample_trace(3);
+        bytes.truncate(bytes.len() - 5);
+        assert!(matches!(
+            SbbtReader::from_bytes(bytes),
+            Err(TraceError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let mut bytes = sample_trace(3);
+        // Tamper with the branch count.
+        bytes[16] = 99;
+        assert!(matches!(
+            SbbtReader::from_bytes(bytes),
+            Err(TraceError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn iterator_stops_after_error() {
+        let mut bytes = sample_trace(3);
+        // Corrupt the second packet's reserved bits.
+        let off = 24 + 16;
+        bytes[off] |= 0b0111_0000;
+        let r = SbbtReader::from_bytes(bytes).unwrap();
+        let items: Vec<_> = r.collect();
+        assert_eq!(items.len(), 2, "one good record, one error, then stop");
+        assert!(items[0].is_ok());
+        assert!(items[1].is_err());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let w = SbbtWriter::new(Vec::new());
+        let bytes = w.finish().unwrap();
+        let mut r = SbbtReader::from_bytes(bytes).unwrap();
+        assert_eq!(r.header().branch_count, 0);
+        assert!(r.next_record().unwrap().is_none());
+    }
+}

@@ -1,0 +1,272 @@
+//! SBBT writer.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use mbp_compress::{Codec, CompressWriter};
+
+use crate::sbbt::header::SbbtHeader;
+use crate::sbbt::packet::encode_packet;
+use crate::{BranchRecord, TraceError};
+
+/// Writes SBBT traces.
+///
+/// Packets are buffered in memory because the header (written first on
+/// disk) carries the final instruction and branch totals, which are only
+/// known once the stream ends.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_trace::sbbt::SbbtWriter;
+/// use mbp_trace::{Branch, BranchRecord, Opcode};
+///
+/// let mut w = SbbtWriter::new(Vec::new());
+/// let rec = BranchRecord::new(
+///     Branch::new(0x1000, 0x2000, Opcode::conditional_direct(), true),
+///     4,
+/// );
+/// w.write_record(&rec)?;
+/// let bytes = w.finish()?;
+/// assert_eq!(bytes.len(), 24 + 16);
+/// # Ok::<(), mbp_trace::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct SbbtWriter<W: Write> {
+    sink: W,
+    body: Vec<u8>,
+    branch_count: u64,
+    instruction_count: u64,
+}
+
+impl SbbtWriter<BufWriter<File>> {
+    /// Creates a writer for an uncompressed trace file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the file.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self, TraceError> {
+        Ok(SbbtWriter::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> SbbtWriter<W> {
+    /// Creates a writer over any sink.
+    pub fn new(sink: W) -> Self {
+        Self {
+            sink,
+            body: Vec::new(),
+            branch_count: 0,
+            instruction_count: 0,
+        }
+    }
+
+    /// Creates a *streaming* writer for a trace whose totals are known up
+    /// front (e.g. a translation of an existing trace): the header is
+    /// written immediately and packets go straight to the sink, so
+    /// arbitrarily long traces need no buffering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors. [`finish`](SbbtWriter::finish) will
+    /// return [`TraceError::Unencodable`] if the written records do not
+    /// match the promised `branch_count`.
+    pub fn with_known_counts(
+        mut sink: W,
+        instruction_count: u64,
+        branch_count: u64,
+    ) -> Result<StreamingSbbtWriter<W>, TraceError> {
+        let header = SbbtHeader::new(instruction_count, branch_count);
+        sink.write_all(&header.encode())?;
+        Ok(StreamingSbbtWriter {
+            sink,
+            promised_branches: branch_count,
+            written: 0,
+        })
+    }
+
+    /// Appends one branch record.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Unencodable`] for records that do not fit the format.
+    pub fn write_record(&mut self, rec: &BranchRecord) -> Result<(), TraceError> {
+        let packet = encode_packet(rec)?;
+        self.body.extend_from_slice(&packet);
+        self.branch_count += 1;
+        self.instruction_count += rec.instructions();
+        Ok(())
+    }
+
+    /// Branches written so far.
+    pub fn branch_count(&self) -> u64 {
+        self.branch_count
+    }
+
+    /// Instructions accounted for so far (gaps plus branches).
+    pub fn instruction_count(&self) -> u64 {
+        self.instruction_count
+    }
+
+    /// Adds trailing instructions executed after the last branch to the
+    /// header's instruction total.
+    pub fn add_trailing_instructions(&mut self, count: u64) {
+        self.instruction_count += count;
+    }
+
+    /// Writes header and body to the sink and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        let header = SbbtHeader::new(self.instruction_count, self.branch_count);
+        self.sink.write_all(&header.encode())?;
+        self.sink.write_all(&self.body)?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+impl SbbtWriter<CompressWriter<BufWriter<File>>> {
+    /// Creates a writer that compresses the finished trace with `codec` at
+    /// `level` and writes it to `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the file; level validation errors.
+    pub fn create_compressed<P: AsRef<Path>>(
+        path: P,
+        codec: Codec,
+        level: u32,
+    ) -> Result<Self, TraceError> {
+        let file = BufWriter::new(File::create(path)?);
+        let sink = CompressWriter::new(file, codec, level)?;
+        Ok(SbbtWriter::new(sink))
+    }
+
+    /// Finishes the trace and completes the compression stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn finish_compressed(self) -> Result<(), TraceError> {
+        let compressor = self.finish()?;
+        compressor.finish()?;
+        Ok(())
+    }
+}
+
+/// The unbuffered writer created by [`SbbtWriter::with_known_counts`].
+#[derive(Debug)]
+pub struct StreamingSbbtWriter<W: Write> {
+    sink: W,
+    promised_branches: u64,
+    written: u64,
+}
+
+impl<W: Write> StreamingSbbtWriter<W> {
+    /// Writes one record straight to the sink.
+    ///
+    /// # Errors
+    ///
+    /// Encoding errors, sink I/O errors, or exceeding the promised count.
+    pub fn write_record(&mut self, rec: &BranchRecord) -> Result<(), TraceError> {
+        if self.written == self.promised_branches {
+            return Err(TraceError::Unencodable(format!(
+                "trace promised {} branches in its header",
+                self.promised_branches
+            )));
+        }
+        let packet = encode_packet(rec)?;
+        self.sink.write_all(&packet)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the sink, verifying the promised branch count.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Unencodable`] on a count mismatch; sink I/O errors.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        if self.written != self.promised_branches {
+            return Err(TraceError::Unencodable(format!(
+                "header promised {} branches but {} were written",
+                self.promised_branches, self.written
+            )));
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Branch, Opcode};
+
+    #[test]
+    fn counts_instructions() {
+        let mut w = SbbtWriter::new(Vec::new());
+        for gap in [3u32, 0, 10] {
+            w.write_record(&BranchRecord::new(
+                Branch::new(0x1000, 0x2000, Opcode::conditional_direct(), true),
+                gap,
+            ))
+            .unwrap();
+        }
+        w.add_trailing_instructions(5);
+        assert_eq!(w.branch_count(), 3);
+        // 3 + 0 + 10 gaps + 3 branches + 5 trailing.
+        assert_eq!(w.instruction_count(), 21);
+        let bytes = w.finish().unwrap();
+        let header = SbbtHeader::decode(&bytes).unwrap();
+        assert_eq!(header.instruction_count, 21);
+        assert_eq!(header.branch_count, 3);
+    }
+
+    #[test]
+    fn streaming_writer_roundtrips() {
+        let rec = BranchRecord::new(
+            Branch::new(0x1000, 0x2000, Opcode::conditional_direct(), true),
+            3,
+        );
+        let mut w = SbbtWriter::with_known_counts(Vec::new(), 8, 2).unwrap();
+        w.write_record(&rec).unwrap();
+        w.write_record(&rec).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = crate::sbbt::SbbtReader::from_bytes(bytes).unwrap();
+        assert_eq!(r.header().instruction_count, 8);
+        assert_eq!(r.read_all().unwrap(), vec![rec, rec]);
+    }
+
+    #[test]
+    fn streaming_writer_enforces_promised_count() {
+        let rec = BranchRecord::new(
+            Branch::new(0x1000, 0x2000, Opcode::conditional_direct(), true),
+            3,
+        );
+        // Too many.
+        let mut w = SbbtWriter::with_known_counts(Vec::new(), 8, 1).unwrap();
+        w.write_record(&rec).unwrap();
+        assert!(w.write_record(&rec).is_err());
+        // Too few.
+        let w = SbbtWriter::with_known_counts(Vec::new(), 8, 2).unwrap();
+        assert!(matches!(w.finish(), Err(TraceError::Unencodable(_))));
+    }
+
+    #[test]
+    fn unencodable_record_does_not_corrupt_stream() {
+        let mut w = SbbtWriter::new(Vec::new());
+        let bad = BranchRecord::new(
+            Branch::new(0x1000, 0x2000, Opcode::conditional_direct(), true),
+            9999,
+        );
+        assert!(w.write_record(&bad).is_err());
+        assert_eq!(w.branch_count(), 0);
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes.len(), 24, "header only");
+    }
+}

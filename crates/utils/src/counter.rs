@@ -1,0 +1,351 @@
+//! Fixed-width saturating counters.
+//!
+//! The paper's motivating example for the utilities library is modeling
+//! "fixed-width saturated counters ... as a class [so] we can create custom
+//! arithmetical operators for it, providing a simple and modern interface."
+//! [`SatCounter`] is the signed counter (MBPlib's `mbp::i2` is
+//! [`SatCounter<2>`], aliased [`I2`]); [`USatCounter`] is the unsigned
+//! variant used for utility/confidence counters.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A signed saturating counter of `BITS` bits, ranging over
+/// `[-2^(BITS-1), 2^(BITS-1) - 1]`.
+///
+/// The canonical direction predictor state: non-negative means
+/// *predict taken*. Arithmetic saturates instead of wrapping, exactly like
+/// the hardware counters it models.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_utils::I2; // SatCounter<2>, range [-2, 1]
+///
+/// let mut ctr = I2::new(0);
+/// ctr.sum_or_sub(true);
+/// assert_eq!(ctr.value(), 1);
+/// ctr.sum_or_sub(true); // saturates at the top
+/// assert_eq!(ctr.value(), 1);
+/// assert!(ctr.is_taken());
+/// ctr -= 4; // saturates at the bottom
+/// assert_eq!(ctr.value(), -2);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SatCounter<const BITS: u32> {
+    value: i8,
+}
+
+/// MBPlib's `mbp::i2`: the classic two-bit direction counter.
+pub type I2 = SatCounter<2>;
+/// A three-bit signed counter, common in meta-predictors.
+pub type I3 = SatCounter<3>;
+/// A two-bit unsigned counter, common for utility bits (e.g. TAGE `u`).
+pub type U2 = USatCounter<2>;
+
+impl<const BITS: u32> SatCounter<BITS> {
+    /// Smallest representable value, `-2^(BITS-1)`.
+    pub const MIN: i8 = -(1 << (BITS - 1));
+    /// Largest representable value, `2^(BITS-1) - 1`.
+    pub const MAX: i8 = (1 << (BITS - 1)) - 1;
+
+    /// Creates a counter clamped to the representable range.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `BITS` is between 1 and 7 (an `i8` payload).
+    pub fn new(value: i8) -> Self {
+        debug_assert!((1..=7).contains(&BITS), "SatCounter supports 1..=7 bits");
+        Self {
+            value: value.clamp(Self::MIN, Self::MAX),
+        }
+    }
+
+    /// Current value.
+    pub fn value(self) -> i8 {
+        self.value
+    }
+
+    /// Whether the counter predicts taken (non-negative).
+    pub fn is_taken(self) -> bool {
+        self.value >= 0
+    }
+
+    /// Increments if `taken`, decrements otherwise — the paper's `sumOrSub`.
+    pub fn sum_or_sub(&mut self, taken: bool) {
+        if taken {
+            *self += 1;
+        } else {
+            *self -= 1;
+        }
+    }
+
+    /// Whether the counter holds a weak state (`-1` or `0`), i.e. the next
+    /// update in the losing direction flips the prediction.
+    pub fn is_weak(self) -> bool {
+        self.value == 0 || self.value == -1
+    }
+
+    /// Whether the counter is saturated in either direction.
+    pub fn is_saturated(self) -> bool {
+        self.value == Self::MIN || self.value == Self::MAX
+    }
+
+    /// Moves the value one step toward zero (used by decay policies).
+    pub fn decay(&mut self) {
+        match self.value.cmp(&0) {
+            Ordering::Greater => self.value -= 1,
+            Ordering::Less => self.value += 1,
+            Ordering::Equal => {}
+        }
+    }
+}
+
+impl<const BITS: u32> std::ops::AddAssign<i8> for SatCounter<BITS> {
+    fn add_assign(&mut self, rhs: i8) {
+        self.value = self.value.saturating_add(rhs).clamp(Self::MIN, Self::MAX);
+    }
+}
+
+impl<const BITS: u32> std::ops::SubAssign<i8> for SatCounter<BITS> {
+    fn sub_assign(&mut self, rhs: i8) {
+        self.value = self.value.saturating_sub(rhs).clamp(Self::MIN, Self::MAX);
+    }
+}
+
+impl<const BITS: u32> PartialEq<i8> for SatCounter<BITS> {
+    fn eq(&self, other: &i8) -> bool {
+        self.value == *other
+    }
+}
+
+impl<const BITS: u32> PartialOrd<i8> for SatCounter<BITS> {
+    fn partial_cmp(&self, other: &i8) -> Option<Ordering> {
+        self.value.partial_cmp(other)
+    }
+}
+
+impl<const BITS: u32> From<SatCounter<BITS>> for i8 {
+    fn from(c: SatCounter<BITS>) -> i8 {
+        c.value
+    }
+}
+
+impl<const BITS: u32> fmt::Display for SatCounter<BITS> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+/// An unsigned saturating counter of `BITS` bits, ranging over
+/// `[0, 2^BITS - 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_utils::U2;
+///
+/// let mut u = U2::default();
+/// u += 1;
+/// u += 10; // saturates at 3
+/// assert_eq!(u.value(), 3);
+/// u.reset();
+/// assert_eq!(u.value(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct USatCounter<const BITS: u32> {
+    value: u8,
+}
+
+impl<const BITS: u32> USatCounter<BITS> {
+    /// Largest representable value, `2^BITS - 1`.
+    pub const MAX: u8 = ((1u16 << BITS) - 1) as u8;
+
+    /// Creates a counter clamped to the representable range.
+    pub fn new(value: u8) -> Self {
+        debug_assert!((1..=8).contains(&BITS), "USatCounter supports 1..=8 bits");
+        Self {
+            value: value.min(Self::MAX),
+        }
+    }
+
+    /// Current value.
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// Whether the counter is zero.
+    pub fn is_zero(self) -> bool {
+        self.value == 0
+    }
+
+    /// Whether the counter is saturated at its maximum.
+    pub fn is_saturated(self) -> bool {
+        self.value == Self::MAX
+    }
+
+    /// Sets the counter back to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Halves the counter (TAGE-style graceful aging of `u` bits).
+    pub fn halve(&mut self) {
+        self.value >>= 1;
+    }
+}
+
+impl<const BITS: u32> std::ops::AddAssign<u8> for USatCounter<BITS> {
+    fn add_assign(&mut self, rhs: u8) {
+        self.value = self.value.saturating_add(rhs).min(Self::MAX);
+    }
+}
+
+impl<const BITS: u32> std::ops::SubAssign<u8> for USatCounter<BITS> {
+    fn sub_assign(&mut self, rhs: u8) {
+        self.value = self.value.saturating_sub(rhs);
+    }
+}
+
+impl<const BITS: u32> PartialEq<u8> for USatCounter<BITS> {
+    fn eq(&self, other: &u8) -> bool {
+        self.value == *other
+    }
+}
+
+impl<const BITS: u32> PartialOrd<u8> for USatCounter<BITS> {
+    fn partial_cmp(&self, other: &u8) -> Option<Ordering> {
+        self.value.partial_cmp(other)
+    }
+}
+
+impl<const BITS: u32> fmt::Display for USatCounter<BITS> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn signed_range_bounds() {
+        assert_eq!(I2::MIN, -2);
+        assert_eq!(I2::MAX, 1);
+        assert_eq!(SatCounter::<5>::MIN, -16);
+        assert_eq!(SatCounter::<5>::MAX, 15);
+    }
+
+    #[test]
+    fn signed_new_clamps() {
+        assert_eq!(I2::new(100).value(), 1);
+        assert_eq!(I2::new(-100).value(), -2);
+    }
+
+    #[test]
+    fn signed_saturates_both_directions() {
+        let mut c = SatCounter::<3>::new(3);
+        c += 1;
+        assert_eq!(c.value(), 3);
+        for _ in 0..20 {
+            c -= 1;
+        }
+        assert_eq!(c.value(), -4);
+    }
+
+    #[test]
+    fn default_predicts_taken() {
+        // Value 0 means weakly taken, matching `table[hash] >= 0` in the
+        // paper's GShare listing.
+        assert!(I2::default().is_taken());
+        assert!(I2::default().is_weak());
+    }
+
+    #[test]
+    fn sum_or_sub_moves_toward_outcome() {
+        let mut c = I2::new(0);
+        c.sum_or_sub(false);
+        assert_eq!(c.value(), -1);
+        assert!(!c.is_taken());
+        c.sum_or_sub(true);
+        c.sum_or_sub(true);
+        assert_eq!(c.value(), 1);
+    }
+
+    #[test]
+    fn decay_moves_toward_zero() {
+        let mut c = SatCounter::<4>::new(5);
+        c.decay();
+        assert_eq!(c.value(), 4);
+        let mut c = SatCounter::<4>::new(-3);
+        c.decay();
+        assert_eq!(c.value(), -2);
+        let mut c = SatCounter::<4>::new(0);
+        c.decay();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn unsigned_saturates() {
+        let mut u = USatCounter::<3>::new(0);
+        u -= 1;
+        assert_eq!(u.value(), 0);
+        u += 200;
+        assert_eq!(u.value(), 7);
+        u.halve();
+        assert_eq!(u.value(), 3);
+    }
+
+    #[test]
+    fn unsigned_full_width() {
+        let u = USatCounter::<8>::new(255);
+        assert_eq!(u.value(), 255);
+        assert!(u.is_saturated());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let c = I2::new(1);
+        assert!(c >= 0);
+        assert!(c > -1);
+        assert!(c == 1i8);
+        let u = U2::new(2);
+        assert!(u > 1);
+        assert!(u < 3);
+    }
+
+    proptest! {
+        #[test]
+        fn signed_always_in_range(start in -10i8..10, deltas in prop::collection::vec(-3i8..=3, 0..64)) {
+            let mut c = SatCounter::<3>::new(start);
+            for d in deltas {
+                c += d;
+                prop_assert!(c.value() >= SatCounter::<3>::MIN);
+                prop_assert!(c.value() <= SatCounter::<3>::MAX);
+            }
+        }
+
+        #[test]
+        fn unsigned_always_in_range(ops in prop::collection::vec(any::<bool>(), 0..64)) {
+            let mut u = USatCounter::<4>::new(7);
+            for up in ops {
+                if up { u += 1 } else { u -= 1 }
+                prop_assert!(u.value() <= USatCounter::<4>::MAX);
+            }
+        }
+
+        #[test]
+        fn sum_or_sub_matches_reference(outcomes in prop::collection::vec(any::<bool>(), 0..128)) {
+            // Reference model: plain integer clamped after every step.
+            let mut c = I2::default();
+            let mut reference: i32 = 0;
+            for t in outcomes {
+                c.sum_or_sub(t);
+                reference = (reference + if t { 1 } else { -1 }).clamp(-2, 1);
+                prop_assert_eq!(c.value() as i32, reference);
+            }
+        }
+    }
+}

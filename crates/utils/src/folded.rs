@@ -1,0 +1,163 @@
+//! Incrementally folded branch history, as used by geometric-history
+//! predictors (TAGE, BATAGE, ITTAGE).
+
+/// Maintains `fold(width)` of the most recent `hist_len` outcome bits in
+/// O(1) per branch.
+///
+/// A TAGE table indexed with, say, 130 bits of history cannot afford to
+/// recompute a 13-bit fold of 130 bits on every branch; hardware keeps a
+/// circular folded register updated with only the incoming bit and the bit
+/// falling out of the history window. This type reproduces that structure
+/// and is checked against the naive
+/// [`HistoryRegister::fold`](crate::HistoryRegister::fold) in tests.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_utils::{FoldedHistory, HistoryRegister};
+///
+/// let mut hist = HistoryRegister::new(50);
+/// let mut folded = FoldedHistory::new(50, 11);
+/// for taken in [true, true, false, true] {
+///     // Update the fold *before* pushing: it needs the bit about to fall
+///     // out of the 50-bit window, which is `hist.bit(49)`.
+///     folded.update(taken, hist.bit(49));
+///     hist.push(taken);
+/// }
+/// assert_eq!(folded.value(), hist.fold(11));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FoldedHistory {
+    value: u64,
+    hist_len: usize,
+    width: u32,
+    /// Bit position (within the folded register) where the bit leaving the
+    /// history window lands: `hist_len % width`.
+    out_pos: u32,
+}
+
+impl FoldedHistory {
+    /// Creates a folded image of a `hist_len`-bit history compressed to
+    /// `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `1..=63` or `hist_len` is zero.
+    pub fn new(hist_len: usize, width: u32) -> Self {
+        assert!((1..=63).contains(&width), "fold width must be in 1..=63");
+        assert!(hist_len > 0, "history length must be positive");
+        Self {
+            value: 0,
+            hist_len,
+            width,
+            out_pos: (hist_len % width as usize) as u32,
+        }
+    }
+
+    /// The current folded value (always `< 2^width`).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The compressed width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The length of the history window being folded.
+    pub fn hist_len(&self) -> usize {
+        self.hist_len
+    }
+
+    /// Advances the fold by one branch: `new_bit` enters the history,
+    /// `evicted_bit` is the outcome leaving the `hist_len`-bit window (i.e.
+    /// `history.bit(hist_len - 1)` *before* the push).
+    pub fn update(&mut self, new_bit: bool, evicted_bit: bool) {
+        // Rotate left by one within `width` bits, then inject the incoming
+        // bit at position 0 and cancel the outgoing bit at `out_pos`.
+        let mask = (1u64 << self.width) - 1;
+        self.value = ((self.value << 1) | (self.value >> (self.width - 1))) & mask;
+        self.value ^= new_bit as u64;
+        self.value ^= (evicted_bit as u64) << self.out_pos;
+        self.value &= mask;
+    }
+
+    /// Resets the fold to the all-zero history.
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryRegister;
+    use proptest::prelude::*;
+
+    /// Drives a `HistoryRegister` and a `FoldedHistory` in lockstep and
+    /// checks the incremental fold equals the naive recomputation.
+    fn check_equivalence(hist_len: usize, width: u32, outcomes: &[bool]) {
+        let mut hist = HistoryRegister::new(hist_len);
+        let mut folded = FoldedHistory::new(hist_len, width);
+        for &t in outcomes {
+            folded.update(t, hist.bit(hist_len - 1));
+            hist.push(t);
+            assert_eq!(
+                folded.value(),
+                hist.fold(width),
+                "divergence at hist_len={hist_len} width={width}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_fold_simple() {
+        check_equivalence(8, 3, &[true, false, true, true, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn matches_naive_fold_width_divides_len() {
+        check_equivalence(12, 4, &[true; 30]);
+    }
+
+    #[test]
+    fn matches_naive_fold_width_larger_than_len() {
+        // width > hist_len: the fold is the history itself.
+        let mut hist = HistoryRegister::new(5);
+        let mut folded = FoldedHistory::new(5, 9);
+        for t in [true, true, false, true, false, false, true] {
+            folded.update(t, hist.bit(4));
+            hist.push(t);
+        }
+        assert_eq!(folded.value(), hist.low_bits());
+    }
+
+    #[test]
+    fn clear_matches_fresh() {
+        let mut folded = FoldedHistory::new(20, 7);
+        let mut hist = HistoryRegister::new(20);
+        for t in [true, false, true] {
+            folded.update(t, hist.bit(19));
+            hist.push(t);
+        }
+        folded.clear();
+        assert_eq!(folded.value(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn equivalent_to_naive(
+            hist_len in 1usize..300,
+            width in 1u32..=20,
+            outcomes in prop::collection::vec(any::<bool>(), 1..500),
+        ) {
+            let mut hist = HistoryRegister::new(hist_len);
+            let mut folded = FoldedHistory::new(hist_len, width);
+            for &t in &outcomes {
+                folded.update(t, hist.bit(hist_len - 1));
+                hist.push(t);
+                prop_assert_eq!(folded.value(), hist.fold(width));
+            }
+        }
+    }
+}

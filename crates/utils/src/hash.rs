@@ -1,0 +1,167 @@
+//! Cheap hash functions for table indexing.
+
+/// Folds a 64-bit value into `width` bits by XOR-ing consecutive
+/// `width`-bit chunks — MBPlib's `mbp::XorFold`.
+///
+/// This is the canonical way to compress `ip ^ history` into a table index:
+/// every input bit influences exactly one output bit, so nearby addresses
+/// stay de-aliased.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or greater than 64.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_utils::xor_fold;
+///
+/// assert_eq!(xor_fold(0b1011_0110, 4), 0b1011 ^ 0b0110);
+/// assert_eq!(xor_fold(u64::MAX, 64), u64::MAX);
+/// assert!(xor_fold(0xdead_beef_cafe_f00d, 13) < (1 << 13));
+/// ```
+pub fn xor_fold(mut value: u64, width: u32) -> u64 {
+    assert!((1..=64).contains(&width), "fold width must be in 1..=64");
+    if width == 64 {
+        return value;
+    }
+    let mask = (1u64 << width) - 1;
+    let mut acc = 0u64;
+    while value != 0 {
+        acc ^= value & mask;
+        value >>= width;
+    }
+    acc
+}
+
+/// A strong 64-bit mixer (the splitmix64 finalizer).
+///
+/// Useful when a predictor needs statistically independent hashes of the
+/// same address, e.g. the skewed bank functions of 2bc-gskew or tag hashes
+/// in TAGE.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_utils::mix64;
+///
+/// assert_ne!(mix64(1), mix64(2));
+/// assert_eq!(mix64(42), mix64(42));
+/// ```
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A fast, non-cryptographic hasher for simulator-internal maps keyed by
+/// branch addresses.
+///
+/// `std`'s default SipHash is robust against adversarial keys but costs
+/// real time in per-branch bookkeeping; branch addresses are not
+/// adversarial, so the simulators use this multiply-xor hasher instead
+/// (same idea as the `fxhash`/`ahash` crates, in-tree).
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use mbp_utils::FastHashBuilder;
+///
+/// let mut stats: HashMap<u64, u64, FastHashBuilder> = HashMap::default();
+/// stats.insert(0x40_1000, 3);
+/// assert_eq!(stats[&0x40_1000], 3);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastHashBuilder;
+
+impl std::hash::BuildHasher for FastHashBuilder {
+    type Hasher = FastHasher;
+
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher(0)
+    }
+}
+
+/// The hasher produced by [`FastHashBuilder`].
+#[derive(Clone, Debug, Default)]
+pub struct FastHasher(u64);
+
+impl std::hash::Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(29);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn xor_fold_identity_for_small_values() {
+        assert_eq!(xor_fold(0b101, 8), 0b101);
+        assert_eq!(xor_fold(0, 13), 0);
+    }
+
+    #[test]
+    fn xor_fold_known_values() {
+        assert_eq!(xor_fold(0xFF, 4), 0xF ^ 0xF);
+        assert_eq!(xor_fold(0x1234_5678, 16), 0x1234 ^ 0x5678);
+        assert_eq!(xor_fold(0xABCD_EF01_2345_6789, 32), 0xABCD_EF01 ^ 0x2345_6789);
+    }
+
+    #[test]
+    #[should_panic(expected = "fold width")]
+    fn xor_fold_zero_width_panics() {
+        xor_fold(1, 0);
+    }
+
+    #[test]
+    fn mix64_spreads_low_bits() {
+        // Consecutive inputs should produce wildly different low bits; a
+        // weak mixer here would alias predictor banks.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1024u64 {
+            seen.insert(mix64(i) & 0x3FF);
+        }
+        assert!(seen.len() > 600, "only {} distinct low-10-bit values", seen.len());
+    }
+
+    proptest! {
+        #[test]
+        fn xor_fold_in_range(v in any::<u64>(), width in 1u32..=63) {
+            prop_assert!(xor_fold(v, width) < (1u64 << width));
+        }
+
+        #[test]
+        fn xor_fold_is_linear(a in any::<u64>(), b in any::<u64>(), width in 1u32..=63) {
+            // Fold is XOR-linear: fold(a ^ b) == fold(a) ^ fold(b).
+            prop_assert_eq!(
+                xor_fold(a ^ b, width),
+                xor_fold(a, width) ^ xor_fold(b, width)
+            );
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Arbitrary-length global branch history register.
+
+use std::fmt;
+
+/// A shift register recording the outcomes of the most recent branches.
+///
+/// Bit 0 is the most recent outcome, like `std::bitset` in the paper's
+/// GShare listing (`ghist <<= 1; ghist[0] = taken`). Lengths beyond 64 bits
+/// are supported because state-of-the-art predictors (TAGE, BATAGE) use
+/// histories of several hundred bits.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_utils::HistoryRegister;
+///
+/// let mut h = HistoryRegister::new(100);
+/// h.push(true);
+/// h.push(false);
+/// assert!(!h.bit(0)); // most recent
+/// assert!(h.bit(1));
+/// assert_eq!(h.low_bits() & 0b11, 0b10);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct HistoryRegister {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl HistoryRegister {
+    /// Creates an all-zero history of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "history length must be positive");
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of outcome bits tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false: the constructor rejects zero-length histories.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shifts in a new outcome as bit 0; the oldest bit falls off.
+    pub fn push(&mut self, taken: bool) {
+        let mut carry = taken as u64;
+        for w in &mut self.words {
+            let next_carry = *w >> 63;
+            *w = (*w << 1) | carry;
+            carry = next_carry;
+        }
+        self.mask_top();
+    }
+
+    /// Outcome of the `i`-th most recent branch (0 = latest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len, "history index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// The lowest (most recent) up-to-64 bits as an integer, like
+    /// `bitset::to_ullong` in the paper's listing.
+    pub fn low_bits(&self) -> u64 {
+        self.words[0]
+    }
+
+    /// The `n` most recent bits as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` or `n > len()`.
+    pub fn low_n(&self, n: usize) -> u64 {
+        assert!(n <= 64 && n <= self.len, "cannot extract {n} bits");
+        if n == 64 {
+            self.words[0]
+        } else {
+            self.words[0] & ((1u64 << n) - 1)
+        }
+    }
+
+    /// Folds the entire history into `width` bits by XOR-ing consecutive
+    /// `width`-bit chunks. A naive (recomputing) fold; hot paths should use
+    /// [`FoldedHistory`](crate::FoldedHistory) instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64.
+    pub fn fold(&self, width: u32) -> u64 {
+        assert!((1..=64).contains(&width), "fold width must be in 1..=64");
+        let mut acc = 0u64;
+        let mut i = 0;
+        while i < self.len {
+            let take = width.min((self.len - i) as u32) as usize;
+            let mut chunk = 0u64;
+            for j in 0..take {
+                chunk |= (self.bit(i + j) as u64) << j;
+            }
+            acc ^= chunk;
+            i += take;
+        }
+        acc
+    }
+
+    /// Clears all history bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of taken outcomes currently recorded.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn mask_top(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+}
+
+impl fmt::Debug for HistoryRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HistoryRegister(len={}, newest→oldest ", self.len)?;
+        let shown = self.len.min(16);
+        for i in 0..shown {
+            write!(f, "{}", self.bit(i) as u8)?;
+        }
+        if self.len > shown {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_and_read_small() {
+        let mut h = HistoryRegister::new(4);
+        for taken in [true, false, true, true] {
+            h.push(taken);
+        }
+        // Newest first: T T F T
+        assert!(h.bit(0));
+        assert!(h.bit(1));
+        assert!(!h.bit(2));
+        assert!(h.bit(3));
+        assert_eq!(h.low_bits(), 0b1011);
+    }
+
+    #[test]
+    fn oldest_bit_falls_off() {
+        let mut h = HistoryRegister::new(2);
+        h.push(true);
+        h.push(false);
+        h.push(false);
+        assert_eq!(h.low_bits(), 0b00);
+        assert_eq!(h.count_ones(), 0);
+    }
+
+    #[test]
+    fn crosses_word_boundary() {
+        let mut h = HistoryRegister::new(70);
+        h.push(true);
+        for _ in 0..69 {
+            h.push(false);
+        }
+        assert!(h.bit(69));
+        assert_eq!(h.count_ones(), 1);
+        h.push(false); // the lone taken bit is now evicted
+        assert_eq!(h.count_ones(), 0);
+    }
+
+    #[test]
+    fn low_n_masks() {
+        let mut h = HistoryRegister::new(64);
+        for _ in 0..10 {
+            h.push(true);
+        }
+        assert_eq!(h.low_n(4), 0b1111);
+        assert_eq!(h.low_n(10), 0x3FF);
+        assert_eq!(h.low_n(12), 0x3FF);
+    }
+
+    #[test]
+    fn exact_64_bit_history() {
+        let mut h = HistoryRegister::new(64);
+        h.push(true);
+        for _ in 0..63 {
+            h.push(false);
+        }
+        assert!(h.bit(63));
+        h.push(false);
+        assert_eq!(h.count_ones(), 0);
+    }
+
+    #[test]
+    fn fold_matches_hand_computation() {
+        let mut h = HistoryRegister::new(6);
+        // Push so that history (newest first) = 1 0 1 1 0 1.
+        for taken in [true, false, true, true, false, true] {
+            h.push(taken);
+        }
+        // low bits = 0b101101; folding to width 3: 0b101 ^ 0b101 = 0.
+        assert_eq!(h.fold(3), 0);
+        // Width 4: chunk0 = 0b1101, chunk1 (bits 4..6) = 0b10 → 0b1101^0b10.
+        assert_eq!(h.fold(4), 0b1101 ^ 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        let h = HistoryRegister::new(8);
+        h.bit(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        HistoryRegister::new(0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = HistoryRegister::new(32);
+        for _ in 0..32 {
+            h.push(true);
+        }
+        h.clear();
+        assert_eq!(h.count_ones(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_vecdeque_model(len in 1usize..200, outcomes in prop::collection::vec(any::<bool>(), 0..400)) {
+            let mut h = HistoryRegister::new(len);
+            let mut model = std::collections::VecDeque::new();
+            for t in outcomes {
+                h.push(t);
+                model.push_front(t);
+                model.truncate(len);
+                for (i, &m) in model.iter().enumerate() {
+                    prop_assert_eq!(h.bit(i), m);
+                }
+            }
+        }
+
+        #[test]
+        fn fold_stays_in_width(len in 1usize..128, width in 1u32..=16, outcomes in prop::collection::vec(any::<bool>(), 0..200)) {
+            let mut h = HistoryRegister::new(len);
+            for t in outcomes {
+                h.push(t);
+            }
+            let folded = h.fold(width);
+            prop_assert!(width == 64 || folded < (1u64 << width));
+        }
+    }
+}

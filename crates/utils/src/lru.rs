@@ -1,0 +1,198 @@
+//! A small fixed-associativity LRU set.
+
+/// An LRU-managed set of up to `ways` tagged entries.
+///
+/// The building block for associative hardware structures: branch target
+/// buffers, indirect-target tables, and the cache models in
+/// `champsim-lite`. Entries are keyed by an opaque `u64` tag and carry a
+/// payload `T`.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_utils::LruSet;
+///
+/// let mut set: LruSet<&str> = LruSet::new(2);
+/// set.insert(1, "one");
+/// set.insert(2, "two");
+/// set.get(1); // touch: 1 becomes most recent
+/// set.insert(3, "three"); // evicts tag 2 (the LRU entry)
+/// assert!(set.get(2).is_none());
+/// assert_eq!(set.get(1), Some(&"one"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruSet<T> {
+    /// Most-recently-used entry first.
+    entries: Vec<(u64, T)>,
+    ways: usize,
+}
+
+impl<T> LruSet<T> {
+    /// Creates an empty set with the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        Self {
+            entries: Vec::with_capacity(ways),
+            ways,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Associativity of the set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Looks up `tag`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, tag: u64) -> Option<&T> {
+        let pos = self.entries.iter().position(|(t, _)| *t == tag)?;
+        let entry = self.entries.remove(pos);
+        self.entries.insert(0, entry);
+        Some(&self.entries[0].1)
+    }
+
+    /// Looks up `tag` mutably, promoting it on a hit.
+    pub fn get_mut(&mut self, tag: u64) -> Option<&mut T> {
+        let pos = self.entries.iter().position(|(t, _)| *t == tag)?;
+        let entry = self.entries.remove(pos);
+        self.entries.insert(0, entry);
+        Some(&mut self.entries[0].1)
+    }
+
+    /// Looks up `tag` *without* updating recency (a probe, not an access).
+    pub fn peek(&self, tag: u64) -> Option<&T> {
+        self.entries.iter().find(|(t, _)| *t == tag).map(|(_, v)| v)
+    }
+
+    /// Inserts or replaces `tag`, making it most-recently-used. Returns the
+    /// evicted `(tag, value)` pair if the set overflowed.
+    pub fn insert(&mut self, tag: u64, value: T) -> Option<(u64, T)> {
+        if let Some(pos) = self.entries.iter().position(|(t, _)| *t == tag) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, (tag, value));
+        if self.entries.len() > self.ways {
+            self.entries.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Removes `tag`, returning its value if present.
+    pub fn remove(&mut self, tag: u64) -> Option<T> {
+        let pos = self.entries.iter().position(|(t, _)| *t == tag)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// The tag that would be evicted by the next insertion of a new tag.
+    pub fn victim(&self) -> Option<u64> {
+        if self.entries.len() == self.ways {
+            self.entries.last().map(|(t, _)| *t)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over `(tag, value)` pairs, most-recently-used first.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.entries.iter().map(|(t, v)| (*t, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut s = LruSet::new(3);
+        s.insert(1, 10);
+        s.insert(2, 20);
+        s.insert(3, 30);
+        s.get(1);
+        let evicted = s.insert(4, 40);
+        assert_eq!(evicted, Some((2, 20)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut s = LruSet::new(2);
+        s.insert(1, 10);
+        s.insert(2, 20);
+        assert_eq!(s.insert(1, 11), None);
+        assert_eq!(s.get(1), Some(&11));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut s = LruSet::new(2);
+        s.insert(1, 10);
+        s.insert(2, 20);
+        s.peek(1);
+        let evicted = s.insert(3, 30);
+        assert_eq!(evicted, Some((1, 10)));
+    }
+
+    #[test]
+    fn get_mut_promotes_and_mutates() {
+        let mut s = LruSet::new(2);
+        s.insert(1, 10);
+        s.insert(2, 20);
+        *s.get_mut(1).unwrap() = 99;
+        let evicted = s.insert(3, 30);
+        assert_eq!(evicted, Some((2, 20)));
+        assert_eq!(s.peek(1), Some(&99));
+    }
+
+    #[test]
+    fn victim_reports_lru_when_full() {
+        let mut s = LruSet::new(2);
+        assert_eq!(s.victim(), None);
+        s.insert(1, 0);
+        assert_eq!(s.victim(), None);
+        s.insert(2, 0);
+        assert_eq!(s.victim(), Some(1));
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut s = LruSet::new(2);
+        s.insert(1, 10);
+        assert_eq!(s.remove(1), Some(10));
+        assert_eq!(s.remove(1), None);
+        assert!(s.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn never_exceeds_ways(ways in 1usize..8, ops in prop::collection::vec((0u64..16, any::<bool>()), 0..200)) {
+            let mut s = LruSet::new(ways);
+            for (tag, is_insert) in ops {
+                if is_insert {
+                    s.insert(tag, tag);
+                } else {
+                    if let Some(v) = s.get(tag) {
+                        prop_assert_eq!(*v, tag);
+                    }
+                }
+                prop_assert!(s.len() <= ways);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Path history: a register of recent branch-address bits.
+
+/// Records the low bits of the addresses of the last `depth` branches.
+///
+/// Perceptron- and TAGE-family predictors mix *where* recent branches were
+/// (the path) with *what they did* (the outcome history) to disambiguate
+/// different program paths that produce the same outcome pattern.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_utils::PathHistory;
+///
+/// let mut p = PathHistory::new(8, 2); // 8 branches deep, 2 bits each
+/// p.push(0x40_1001);
+/// p.push(0x40_1007);
+/// assert_eq!(p.value() & 0b11, 0b11); // low 2 bits of the latest address
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathHistory {
+    value: u64,
+    depth: usize,
+    bits_per_branch: u32,
+}
+
+impl PathHistory {
+    /// Creates an empty path history of `depth` branches, keeping
+    /// `bits_per_branch` low address bits per branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth * bits_per_branch` is zero or exceeds 64.
+    pub fn new(depth: usize, bits_per_branch: u32) -> Self {
+        let total = depth as u64 * bits_per_branch as u64;
+        assert!(
+            (1..=64).contains(&total),
+            "path history must span 1..=64 bits, got {total}"
+        );
+        Self {
+            value: 0,
+            depth,
+            bits_per_branch,
+        }
+    }
+
+    /// Shifts in the low bits of a new branch address.
+    pub fn push(&mut self, ip: u64) {
+        let total = self.depth as u32 * self.bits_per_branch;
+        let mask = if total == 64 { u64::MAX } else { (1u64 << total) - 1 };
+        let branch_mask = (1u64 << self.bits_per_branch) - 1;
+        self.value = ((self.value << self.bits_per_branch) | (ip & branch_mask)) & mask;
+    }
+
+    /// The packed path register (newest branch in the low bits).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Number of branches tracked.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Clears the register.
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_newest_low() {
+        let mut p = PathHistory::new(4, 4);
+        p.push(0xA);
+        p.push(0xB);
+        assert_eq!(p.value(), 0xAB);
+    }
+
+    #[test]
+    fn old_entries_fall_off() {
+        let mut p = PathHistory::new(2, 4);
+        p.push(0x1);
+        p.push(0x2);
+        p.push(0x3);
+        assert_eq!(p.value(), 0x23);
+    }
+
+    #[test]
+    fn masks_address_bits() {
+        let mut p = PathHistory::new(2, 2);
+        p.push(0xFF);
+        assert_eq!(p.value(), 0b11);
+    }
+
+    #[test]
+    fn full_64_bit_register() {
+        let mut p = PathHistory::new(16, 4);
+        for i in 0..20u64 {
+            p.push(i);
+        }
+        // Last 16 pushes were 4..=19; the newest (19 = 0x3) sits in low bits.
+        assert_eq!(p.value() & 0xF, 19 % 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn oversized_register_rejected() {
+        PathHistory::new(33, 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut p = PathHistory::new(4, 4);
+        p.push(0xF);
+        p.clear();
+        assert_eq!(p.value(), 0);
+    }
+}

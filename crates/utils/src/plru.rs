@@ -1,0 +1,153 @@
+//! Tree pseudo-LRU replacement state.
+
+/// A binary-tree pseudo-LRU tracker for a power-of-two-way set.
+///
+/// Real caches rarely implement true LRU beyond a few ways: a `W`-way set
+/// keeps `W - 1` direction bits arranged as a binary tree. On an access,
+/// the bits on the path to the touched way are pointed *away* from it; the
+/// victim is found by following the bits. One bit per node instead of
+/// `log2(W!)` bits of full LRU state.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_utils::TreePlru;
+///
+/// let mut plru = TreePlru::new(4);
+/// plru.touch(0);
+/// plru.touch(1);
+/// // All recent traffic hit ways 0–1, so the victim is in the other half.
+/// assert!(plru.victim() >= 2);
+/// plru.touch(3);
+/// assert_ne!(plru.victim(), 3, "never the most recently used way");
+/// ```
+#[derive(Clone, Debug)]
+pub struct TreePlru {
+    /// Tree bits, root at index 1 (index 0 unused); `false` points left.
+    bits: Vec<bool>,
+    ways: usize,
+}
+
+impl TreePlru {
+    /// Creates tracking state for a set of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` is a power of two and at least 2.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways.is_power_of_two() && ways >= 2, "ways must be a power of two >= 2");
+        Self {
+            bits: vec![false; ways],
+            ways,
+        }
+    }
+
+    /// Number of ways tracked.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Marks `way` as just-used: every tree node on its path points away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way >= ways`.
+    pub fn touch(&mut self, way: usize) {
+        assert!(way < self.ways, "way {way} out of range");
+        let mut node = 1;
+        let mut lo = 0;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let goes_right = way >= mid;
+            // Point away from the touched half.
+            self.bits[node] = !goes_right;
+            if goes_right {
+                node = 2 * node + 1;
+                lo = mid;
+            } else {
+                node = 2 * node;
+                hi = mid;
+            }
+        }
+    }
+
+    /// The way the tree currently points at (the pseudo-LRU victim).
+    pub fn victim(&self) -> usize {
+        let mut node = 1;
+        let mut lo = 0;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.bits[node] {
+                node = 2 * node + 1;
+                lo = mid;
+            } else {
+                node = 2 * node;
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_way_plru_is_true_lru() {
+        let mut p = TreePlru::new(2);
+        p.touch(0);
+        assert_eq!(p.victim(), 1);
+        p.touch(1);
+        assert_eq!(p.victim(), 0);
+    }
+
+    #[test]
+    fn victim_lands_in_the_cold_subtree() {
+        // PLRU's guaranteed property: if all recent touches hit one half of
+        // the set, the root points at the other half.
+        for ways in [4usize, 8, 16] {
+            let mut p = TreePlru::new(ways);
+            for i in 0..3 * ways {
+                p.touch(i % (ways / 2)); // only the left half
+            }
+            assert!(p.victim() >= ways / 2, "{ways}-way victim {}", p.victim());
+        }
+    }
+
+    #[test]
+    fn victim_is_never_the_most_recent() {
+        let mut p = TreePlru::new(8);
+        for i in [3usize, 7, 1, 0, 5, 2, 6, 4, 3, 3, 0] {
+            p.touch(i);
+            assert_ne!(p.victim(), i, "victim may not be the just-touched way");
+        }
+    }
+
+    #[test]
+    fn round_robin_touching_cycles_victims() {
+        let mut p = TreePlru::new(4);
+        let mut victims = std::collections::HashSet::new();
+        for i in 0..16 {
+            let v = p.victim();
+            victims.insert(v);
+            p.touch(v);
+            let _ = i;
+        }
+        assert_eq!(victims.len(), 4, "all ways eventually become victims");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        TreePlru::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn touch_out_of_range_panics() {
+        TreePlru::new(4).touch(4);
+    }
+}

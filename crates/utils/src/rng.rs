@@ -1,0 +1,118 @@
+//! A tiny deterministic PRNG for predictors that need randomness.
+
+/// A xorshift64* pseudo-random generator.
+///
+/// BATAGE (and TAGE's allocation policy) "needs to generate random numbers"
+/// (§VII-A), but a simulator must stay *deterministic* so runs are exactly
+/// reproducible (§VII-C). Hardware would use an LFSR; we provide an
+/// equivalent deterministic generator with a fixed seed per predictor
+/// instance instead of pulling entropy from the OS.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_utils::Xorshift64;
+///
+/// let mut a = Xorshift64::new(7);
+/// let mut b = Xorshift64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// assert!(a.below(10) < 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xorshift64 {
+    state: u64,
+}
+
+impl Xorshift64 {
+    /// Creates a generator from a seed (a zero seed is remapped to a fixed
+    /// non-zero constant, since xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+        }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniformly distributed value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded generation (Lemire); bias is negligible for
+        // the tiny bounds predictors use.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A pseudo-random bool that is `true` with probability `1/n`.
+    ///
+    /// TAGE-style allocation throttling ("allocate with probability 1/2").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn one_in(&mut self, n: u64) -> bool {
+        self.below(n) == 0
+    }
+}
+
+impl Default for Xorshift64 {
+    fn default() -> Self {
+        Self::new(0x5eed_5eed_5eed_5eed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Xorshift64::new(123);
+        let mut b = Xorshift64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Xorshift64::new(0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Xorshift64::new(9);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut r = Xorshift64::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    fn one_in_roughly_uniform() {
+        let mut r = Xorshift64::new(77);
+        let hits = (0..10_000).filter(|_| r.one_in(4)).count();
+        assert!((2000..3000).contains(&hits), "1/4 hits out of range: {hits}");
+    }
+}

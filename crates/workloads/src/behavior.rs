@@ -1,0 +1,207 @@
+//! Outcome models for conditional branches.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The stateless description of how a branch decides its outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BehaviorKind {
+    /// Taken with a fixed probability.
+    Biased {
+        /// Probability of the taken outcome.
+        taken_probability: f64,
+    },
+    /// A repeating outcome pattern (e.g. `TTNT`).
+    Pattern {
+        /// The repeated outcomes.
+        pattern: Vec<bool>,
+    },
+    /// The outcome copies (or inverts) the outcome of the `lag`-th most
+    /// recent conditional branch — predictable only with history.
+    Correlated {
+        /// How far back in the global outcome history to look.
+        lag: usize,
+        /// Whether to invert the referenced outcome.
+        invert: bool,
+    },
+    /// Purely random (hard ceiling on any predictor).
+    Random,
+    /// Alternates between two sub-behaviours every `phase_len` executions —
+    /// models programs whose behaviour drifts over time (the paper's long
+    /// traces "measure how the predictor adapts to changes", §II).
+    Phased {
+        /// First phase.
+        a: Box<BehaviorKind>,
+        /// Second phase.
+        b: Box<BehaviorKind>,
+        /// Executions per phase.
+        phase_len: u32,
+    },
+}
+
+/// A [`BehaviorKind`] plus its mutable execution state.
+#[derive(Clone, Debug)]
+pub struct Behavior {
+    kind: BehaviorKind,
+    rng: SmallRng,
+    position: u64,
+}
+
+impl Behavior {
+    /// Instantiates a behaviour with its own deterministic RNG stream.
+    pub fn new(kind: BehaviorKind, seed: u64) -> Self {
+        Self {
+            kind,
+            rng: SmallRng::seed_from_u64(seed ^ 0x00b1_7ab1e5),
+            position: 0,
+        }
+    }
+
+    /// The stateless description.
+    pub fn kind(&self) -> &BehaviorKind {
+        &self.kind
+    }
+
+    /// Produces the next outcome. `recent` is the global outcome history of
+    /// conditional branches, most recent first (used by `Correlated`).
+    pub fn next_outcome(&mut self, recent: &RecentOutcomes) -> bool {
+        let pos = self.position;
+        self.position += 1;
+        Self::eval(&self.kind, pos, &mut self.rng, recent)
+    }
+
+    fn eval(kind: &BehaviorKind, pos: u64, rng: &mut SmallRng, recent: &RecentOutcomes) -> bool {
+        match kind {
+            BehaviorKind::Biased { taken_probability } => rng.gen_bool(*taken_probability),
+            BehaviorKind::Pattern { pattern } => {
+                if pattern.is_empty() {
+                    true
+                } else {
+                    pattern[(pos % pattern.len() as u64) as usize]
+                }
+            }
+            BehaviorKind::Correlated { lag, invert } => {
+                let referenced = recent.get(*lag).unwrap_or(true);
+                referenced ^ invert
+            }
+            BehaviorKind::Random => rng.gen(),
+            BehaviorKind::Phased { a, b, phase_len } => {
+                let phase = (pos / *phase_len as u64) % 2;
+                let inner = if phase == 0 { a } else { b };
+                Self::eval(inner, pos, rng, recent)
+            }
+        }
+    }
+}
+
+/// A bounded record of recent conditional-branch outcomes, newest first.
+#[derive(Clone, Debug, Default)]
+pub struct RecentOutcomes {
+    bits: u128,
+    len: usize,
+}
+
+impl RecentOutcomes {
+    /// Maximum lag that can be referenced.
+    pub const CAPACITY: usize = 128;
+
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a new outcome as the most recent.
+    pub fn push(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | taken as u128;
+        self.len = (self.len + 1).min(Self::CAPACITY);
+    }
+
+    /// The `lag`-th most recent outcome (0 = latest), if recorded.
+    pub fn get(&self, lag: usize) -> Option<bool> {
+        if lag < self.len {
+            Some((self.bits >> lag) & 1 == 1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_respects_probability() {
+        let mut b = Behavior::new(BehaviorKind::Biased { taken_probability: 0.9 }, 1);
+        let recent = RecentOutcomes::new();
+        let taken = (0..10_000).filter(|_| b.next_outcome(&recent)).count();
+        assert!((8700..9300).contains(&taken), "taken = {taken}");
+    }
+
+    #[test]
+    fn pattern_repeats() {
+        let mut b = Behavior::new(
+            BehaviorKind::Pattern { pattern: vec![true, true, false] },
+            2,
+        );
+        let recent = RecentOutcomes::new();
+        let out: Vec<bool> = (0..6).map(|_| b.next_outcome(&recent)).collect();
+        assert_eq!(out, [true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn correlated_follows_history() {
+        let mut b = Behavior::new(BehaviorKind::Correlated { lag: 1, invert: false }, 3);
+        let mut recent = RecentOutcomes::new();
+        recent.push(true); // lag 1 after the next push
+        recent.push(false); // lag 0
+        assert!(b.next_outcome(&recent), "copies lag-1 outcome");
+        let mut b = Behavior::new(BehaviorKind::Correlated { lag: 0, invert: true }, 3);
+        assert!(b.next_outcome(&recent), "inverts lag-0 outcome (false)");
+    }
+
+    #[test]
+    fn correlated_with_empty_history_defaults_taken() {
+        let mut b = Behavior::new(BehaviorKind::Correlated { lag: 5, invert: false }, 4);
+        assert!(b.next_outcome(&RecentOutcomes::new()));
+    }
+
+    #[test]
+    fn phased_switches_behavior() {
+        let mut b = Behavior::new(
+            BehaviorKind::Phased {
+                a: Box::new(BehaviorKind::Pattern { pattern: vec![true] }),
+                b: Box::new(BehaviorKind::Pattern { pattern: vec![false] }),
+                phase_len: 3,
+            },
+            5,
+        );
+        let recent = RecentOutcomes::new();
+        let out: Vec<bool> = (0..9).map(|_| b.next_outcome(&recent)).collect();
+        assert_eq!(out, [true, true, true, false, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let recent = RecentOutcomes::new();
+        let mut a = Behavior::new(BehaviorKind::Random, 7);
+        let mut b = Behavior::new(BehaviorKind::Random, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_outcome(&recent), b.next_outcome(&recent));
+        }
+    }
+
+    #[test]
+    fn recent_outcomes_window() {
+        let mut r = RecentOutcomes::new();
+        assert_eq!(r.get(0), None);
+        for i in 0..130 {
+            r.push(i % 2 == 0);
+        }
+        // Push #i recorded (i % 2 == 0); the last push was i = 129 (odd).
+        assert_eq!(r.get(0), Some(false));
+        assert_eq!(r.get(1), Some(true));
+        assert_eq!(r.get(127), Some(true), "i = 2 was even");
+        assert_eq!(r.get(128), None, "beyond capacity");
+    }
+}

@@ -1,0 +1,551 @@
+//! Synthetic program models: control-flow structure with parameterized
+//! branch behaviours.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::behavior::{Behavior, BehaviorKind};
+
+/// How many times a loop runs per entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TripModel {
+    /// Always the same trip count (perfectly predictable by a loop
+    /// predictor, predictable by history predictors if short).
+    Fixed(u32),
+    /// Uniformly random trips in `lo..=hi`.
+    Uniform {
+        /// Minimum trips.
+        lo: u32,
+        /// Maximum trips.
+        hi: u32,
+    },
+}
+
+/// One statement of a synthetic function body.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `instructions` non-branch instructions.
+    Straight(u32),
+    /// A conditional: `site` decides; taken executes `then_arm`, not taken
+    /// executes `else_arm`.
+    If {
+        /// Index into [`Program::cond_sites`].
+        site: usize,
+        /// Taken arm.
+        then_arm: Vec<Stmt>,
+        /// Not-taken arm.
+        else_arm: Vec<Stmt>,
+    },
+    /// A loop: `body` runs `trips` times; the back-edge conditional at
+    /// `site` is taken while iterating and falls through on exit.
+    Loop {
+        /// Index into [`Program::loop_sites`].
+        site: usize,
+        /// Trip model.
+        trips: TripModel,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A direct call to `callee` (always a higher-numbered function, so the
+    /// static call graph is acyclic) and the matching return.
+    Call {
+        /// Callee function index.
+        callee: usize,
+        /// Index into [`Program::call_sites`].
+        site: usize,
+    },
+    /// An indirect jump selecting one of `arms` (a switch/virtual call).
+    Switch {
+        /// Index into [`Program::switch_sites`].
+        site: usize,
+        /// The possible continuations.
+        arms: Vec<Vec<Stmt>>,
+    },
+}
+
+/// A conditional branch site: address, taken target, and behaviour.
+#[derive(Clone, Debug)]
+pub struct CondSite {
+    /// Branch instruction address.
+    pub ip: u64,
+    /// Target when taken.
+    pub target: u64,
+    /// Outcome model.
+    pub behavior: Behavior,
+}
+
+/// A loop back-edge site (outcome is structural, driven by the trip model).
+#[derive(Clone, Debug)]
+pub struct LoopSite {
+    /// Back-edge branch address.
+    pub ip: u64,
+    /// Loop head (taken target).
+    pub target: u64,
+    /// Per-site RNG for `TripModel::Uniform`.
+    pub rng: SmallRng,
+}
+
+/// A call site (and the callee's return site).
+#[derive(Clone, Copy, Debug)]
+pub struct CallSite {
+    /// Call instruction address.
+    pub ip: u64,
+    /// Callee entry (taken target).
+    pub target: u64,
+    /// Return instruction address inside the callee.
+    pub ret_ip: u64,
+}
+
+/// An indirect switch site.
+#[derive(Clone, Debug)]
+pub struct SwitchSite {
+    /// Indirect jump address.
+    pub ip: u64,
+    /// Arm entry addresses.
+    pub targets: Vec<u64>,
+    /// Arm selection model: round-robin period or random.
+    pub selector: Behavior,
+}
+
+/// A complete synthetic program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Function bodies; index 0 is `main`.
+    pub functions: Vec<Vec<Stmt>>,
+    /// Conditional branch sites.
+    pub cond_sites: Vec<CondSite>,
+    /// Loop back-edge sites.
+    pub loop_sites: Vec<LoopSite>,
+    /// Call sites.
+    pub call_sites: Vec<CallSite>,
+    /// Switch sites.
+    pub switch_sites: Vec<SwitchSite>,
+}
+
+/// Knobs controlling random program construction.
+///
+/// The presets model the CBP5 workload categories: mobile codes are small
+/// and loopy, server codes have huge branch footprints with correlated
+/// behaviour, media codes are dominated by patterned kernels.
+#[derive(Clone, Debug)]
+pub struct ProgramParams {
+    /// Number of functions (including `main`).
+    pub functions: usize,
+    /// Statements per function body.
+    pub stmts_per_function: (usize, usize),
+    /// Maximum nesting depth of loops/ifs.
+    pub max_depth: usize,
+    /// Weights for generating Loop / If / Call / Switch / Straight.
+    pub stmt_weights: [u32; 5],
+    /// Range of straight-line instruction runs.
+    pub straight_run: (u32, u32),
+    /// Loop trip counts.
+    pub trip_range: (u32, u32),
+    /// Fraction of fixed-trip (vs uniform-trip) loops, in percent.
+    pub fixed_trip_pct: u32,
+    /// Weights for Biased / Pattern / Correlated / Random / Phased
+    /// conditional behaviours.
+    pub behavior_weights: [u32; 5],
+    /// Bias strength for `Biased` branches (probability of the majority
+    /// outcome).
+    pub bias: f64,
+    /// Maximum correlation lag.
+    pub max_lag: usize,
+    /// Switch fan-out.
+    pub switch_arms: (usize, usize),
+}
+
+impl ProgramParams {
+    /// Small, loopy, highly biased code (SHORT_MOBILE-like; low MPKI).
+    pub fn mobile() -> Self {
+        Self {
+            functions: 6,
+            stmts_per_function: (3, 6),
+            max_depth: 3,
+            stmt_weights: [4, 3, 1, 0, 4],
+            straight_run: (1, 8),
+            trip_range: (3, 40),
+            fixed_trip_pct: 80,
+            behavior_weights: [6, 2, 1, 0, 1],
+            bias: 0.95,
+            max_lag: 8,
+            switch_arms: (2, 4),
+        }
+    }
+
+    /// Large branch footprint, correlated and phased behaviour
+    /// (SHORT_SERVER-like; high MPKI, stresses table capacity).
+    pub fn server() -> Self {
+        Self {
+            functions: 160,
+            stmts_per_function: (4, 10),
+            max_depth: 3,
+            stmt_weights: [2, 5, 3, 1, 3],
+            straight_run: (1, 5),
+            trip_range: (2, 12),
+            fixed_trip_pct: 40,
+            behavior_weights: [3, 2, 4, 1, 2],
+            bias: 0.8,
+            max_lag: 24,
+            switch_arms: (3, 8),
+        }
+    }
+
+    /// Kernel-dominated patterned code (MEDIA/FP-like; very regular).
+    pub fn media() -> Self {
+        Self {
+            functions: 8,
+            stmts_per_function: (3, 7),
+            max_depth: 4,
+            stmt_weights: [6, 2, 1, 1, 3],
+            straight_run: (2, 10),
+            trip_range: (8, 200),
+            fixed_trip_pct: 90,
+            behavior_weights: [2, 5, 2, 0, 1],
+            bias: 0.9,
+            max_lag: 16,
+            switch_arms: (2, 4),
+        }
+    }
+
+    /// Floating-point-benchmark mix (SPEC-fp-like): very loopy numeric
+    /// kernels with long fixed trip counts and few hard branches.
+    pub fn fp_speed() -> Self {
+        Self {
+            functions: 12,
+            stmts_per_function: (3, 6),
+            max_depth: 4,
+            stmt_weights: [7, 2, 1, 0, 3],
+            straight_run: (3, 12),
+            trip_range: (16, 400),
+            fixed_trip_pct: 95,
+            behavior_weights: [5, 3, 1, 0, 1],
+            bias: 0.93,
+            max_lag: 8,
+            switch_arms: (2, 3),
+        }
+    }
+
+    /// Integer-benchmark mix (SPEC-int-like, for the DPC3-ish suite).
+    pub fn int_speed() -> Self {
+        Self {
+            functions: 60,
+            stmts_per_function: (4, 8),
+            max_depth: 3,
+            stmt_weights: [3, 4, 2, 1, 3],
+            straight_run: (1, 6),
+            trip_range: (2, 60),
+            fixed_trip_pct: 60,
+            behavior_weights: [4, 3, 3, 1, 1],
+            bias: 0.88,
+            max_lag: 16,
+            switch_arms: (2, 6),
+        }
+    }
+}
+
+/// Builder state: assigns instruction addresses and creates sites.
+struct Builder<'p> {
+    params: &'p ProgramParams,
+    rng: SmallRng,
+    next_ip: u64,
+    cond_sites: Vec<CondSite>,
+    loop_sites: Vec<LoopSite>,
+    call_sites: Vec<CallSite>,
+    switch_sites: Vec<SwitchSite>,
+    site_seed: u64,
+}
+
+impl<'p> Builder<'p> {
+    fn alloc_ip(&mut self) -> u64 {
+        let ip = self.next_ip;
+        self.next_ip += 4;
+        ip
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.site_seed = self.site_seed.wrapping_mul(6364136223846793005).wrapping_add(97);
+        self.site_seed
+    }
+
+    fn random_behavior(&mut self) -> Behavior {
+        let w = &self.params.behavior_weights;
+        let total: u32 = w.iter().sum();
+        let mut pick = self.rng.gen_range(0..total.max(1));
+        let mut idx = 0;
+        for (i, &wi) in w.iter().enumerate() {
+            if pick < wi {
+                idx = i;
+                break;
+            }
+            pick -= wi;
+        }
+        let kind = match idx {
+            0 => {
+                let p = if self.rng.gen() { self.params.bias } else { 1.0 - self.params.bias };
+                BehaviorKind::Biased { taken_probability: p }
+            }
+            1 => {
+                let len = self.rng.gen_range(2..=8);
+                let pattern = (0..len).map(|_| self.rng.gen()).collect();
+                BehaviorKind::Pattern { pattern }
+            }
+            2 => BehaviorKind::Correlated {
+                lag: self.rng.gen_range(1..=self.params.max_lag),
+                invert: self.rng.gen(),
+            },
+            3 => BehaviorKind::Random,
+            _ => BehaviorKind::Phased {
+                a: Box::new(BehaviorKind::Biased { taken_probability: self.params.bias }),
+                b: Box::new(BehaviorKind::Biased { taken_probability: 1.0 - self.params.bias }),
+                phase_len: self.rng.gen_range(500..5000),
+            },
+        };
+        let seed = self.next_seed();
+        Behavior::new(kind, seed)
+    }
+
+    fn build_block(&mut self, depth: usize, budget: usize, max_callee: usize) -> Vec<Stmt> {
+        let mut stmts = Vec::new();
+        let n = self
+            .rng
+            .gen_range(self.params.stmts_per_function.0..=self.params.stmts_per_function.1)
+            .min(budget.max(1));
+        for _ in 0..n {
+            stmts.push(self.build_stmt(depth, max_callee));
+        }
+        stmts
+    }
+
+    fn straight(&mut self) -> Stmt {
+        let (lo, hi) = self.params.straight_run;
+        let run = self.rng.gen_range(lo..=hi);
+        // Straight-line code occupies address space too, so loop back-edges
+        // always point strictly backwards over their body.
+        self.next_ip += 4 * run as u64;
+        Stmt::Straight(run)
+    }
+
+    fn build_stmt(&mut self, depth: usize, max_callee: usize) -> Stmt {
+        let w = self.params.stmt_weights;
+        // At max depth or without callees, fall back to flat statements.
+        let weights = [
+            if depth < self.params.max_depth { w[0] } else { 0 },
+            if depth < self.params.max_depth { w[1] } else { 0 },
+            if max_callee > 0 { w[2] } else { 0 },
+            if depth < self.params.max_depth { w[3] } else { 0 },
+            w[4].max(1),
+        ];
+        let total: u32 = weights.iter().sum();
+        let mut pick = self.rng.gen_range(0..total);
+        let mut idx = 4;
+        for (i, &wi) in weights.iter().enumerate() {
+            if pick < wi {
+                idx = i;
+                break;
+            }
+            pick -= wi;
+        }
+        match idx {
+            0 => {
+                // Loop: head, body, back-edge.
+                let head = self.next_ip;
+                let body = self.build_block(depth + 1, 3, max_callee);
+                let ip = self.alloc_ip();
+                let seed = self.next_seed();
+                let site = self.loop_sites.len();
+                self.loop_sites.push(LoopSite {
+                    ip,
+                    target: head,
+                    rng: SmallRng::seed_from_u64(seed),
+                });
+                let trips = if self.rng.gen_range(0..100) < self.params.fixed_trip_pct {
+                    TripModel::Fixed(self.rng.gen_range(self.params.trip_range.0..=self.params.trip_range.1))
+                } else {
+                    TripModel::Uniform {
+                        lo: self.params.trip_range.0,
+                        hi: self.params.trip_range.1,
+                    }
+                };
+                Stmt::Loop { site, trips, body }
+            }
+            1 => {
+                let ip = self.alloc_ip();
+                let then_arm = self.build_block(depth + 1, 2, max_callee);
+                let else_arm = if self.rng.gen() {
+                    self.build_block(depth + 1, 2, max_callee)
+                } else {
+                    vec![self.straight()]
+                };
+                let target = self.next_ip + 16; // skip-ahead target
+                let behavior = self.random_behavior();
+                let site = self.cond_sites.len();
+                self.cond_sites.push(CondSite { ip, target, behavior });
+                Stmt::If { site, then_arm, else_arm }
+            }
+            2 => {
+                let ip = self.alloc_ip();
+                let callee = self.rng.gen_range(0..max_callee);
+                let site = self.call_sites.len();
+                // Callee entry/ret addresses are patched in `Program::random`
+                // once all functions are laid out.
+                self.call_sites.push(CallSite { ip, target: 0, ret_ip: 0 });
+                Stmt::Call { callee, site }
+            }
+            3 => {
+                let ip = self.alloc_ip();
+                let n_arms = self
+                    .rng
+                    .gen_range(self.params.switch_arms.0..=self.params.switch_arms.1);
+                let mut targets = Vec::with_capacity(n_arms);
+                let mut arms = Vec::with_capacity(n_arms);
+                for _ in 0..n_arms {
+                    targets.push(self.next_ip);
+                    arms.push(vec![self.straight()]);
+                    self.next_ip += 32;
+                }
+                let selector = self.random_behavior();
+                let site = self.switch_sites.len();
+                self.switch_sites.push(SwitchSite { ip, targets, selector });
+                Stmt::Switch { site, arms }
+            }
+            _ => self.straight(),
+        }
+    }
+}
+
+impl Program {
+    /// Builds a random program from `params`, fully determined by `seed`.
+    pub fn random(params: &ProgramParams, seed: u64) -> Self {
+        let mut b = Builder {
+            params,
+            rng: SmallRng::seed_from_u64(seed),
+            next_ip: 0x40_0000,
+            cond_sites: Vec::new(),
+            loop_sites: Vec::new(),
+            call_sites: Vec::new(),
+            switch_sites: Vec::new(),
+            site_seed: seed ^ 0x5171_e5,
+        };
+        let mut functions = Vec::with_capacity(params.functions);
+        let mut entries = Vec::with_capacity(params.functions);
+        let mut ret_ips = Vec::with_capacity(params.functions);
+        // Lay out the leaf-most functions first so calls only target
+        // already-known entries. Function i may call functions with index
+        // greater than i; we build in reverse.
+        let mut call_patch: Vec<(usize, usize)> = Vec::new(); // (site, callee)
+        for fi in (0..params.functions).rev() {
+            entries.resize(params.functions, 0);
+            ret_ips.resize(params.functions, 0);
+            entries[fi] = b.next_ip;
+            let callees_above = params.functions - fi - 1;
+            let before = b.call_sites.len();
+            let body = b.build_block(0, usize::MAX, callees_above);
+            // Record which callee each new call site refers to (offset from
+            // fi + 1).
+            fn collect_calls(stmts: &[Stmt], out: &mut Vec<(usize, usize)>, base: usize) {
+                for s in stmts {
+                    match s {
+                        Stmt::Call { callee, site } => out.push((*site, base + callee)),
+                        Stmt::If { then_arm, else_arm, .. } => {
+                            collect_calls(then_arm, out, base);
+                            collect_calls(else_arm, out, base);
+                        }
+                        Stmt::Loop { body, .. } => collect_calls(body, out, base),
+                        Stmt::Switch { arms, .. } => {
+                            for a in arms {
+                                collect_calls(a, out, base);
+                            }
+                        }
+                        Stmt::Straight(_) => {}
+                    }
+                }
+            }
+            let mut new_calls = Vec::new();
+            collect_calls(&body, &mut new_calls, fi + 1);
+            call_patch.extend(new_calls.into_iter().filter(|(s, _)| *s >= before));
+            // Every function ends with a return instruction.
+            ret_ips[fi] = b.alloc_ip();
+            functions.push(body);
+        }
+        functions.reverse();
+        // `entries`/`ret_ips` were filled in reverse build order; rebuild
+        // them by walking again: entry of function fi was recorded when
+        // built. (They were indexed by fi directly, so they are correct.)
+        for (site, callee) in call_patch {
+            b.call_sites[site].target = entries[callee];
+            b.call_sites[site].ret_ip = ret_ips[callee];
+        }
+        Program {
+            functions,
+            cond_sites: b.cond_sites,
+            loop_sites: b.loop_sites,
+            call_sites: b.call_sites,
+            switch_sites: b.switch_sites,
+        }
+    }
+
+    /// Total static branch sites of all kinds.
+    pub fn static_branches(&self) -> usize {
+        self.cond_sites.len()
+            + self.loop_sites.len()
+            + self.call_sites.len() * 2 // call + ret
+            + self.switch_sites.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = Program::random(&ProgramParams::server(), 9);
+        let b = Program::random(&ProgramParams::server(), 9);
+        assert_eq!(a.static_branches(), b.static_branches());
+        assert_eq!(a.cond_sites.len(), b.cond_sites.len());
+        assert_eq!(
+            a.cond_sites.iter().map(|s| s.ip).collect::<Vec<_>>(),
+            b.cond_sites.iter().map(|s| s.ip).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Program::random(&ProgramParams::server(), 1);
+        let b = Program::random(&ProgramParams::server(), 2);
+        assert_ne!(
+            a.cond_sites.iter().map(|s| s.ip).collect::<Vec<_>>(),
+            b.cond_sites.iter().map(|s| s.ip).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn server_has_bigger_footprint_than_mobile() {
+        let mobile = Program::random(&ProgramParams::mobile(), 3);
+        let server = Program::random(&ProgramParams::server(), 3);
+        assert!(
+            server.static_branches() > mobile.static_branches(),
+            "server {} !> mobile {}",
+            server.static_branches(),
+            mobile.static_branches()
+        );
+    }
+
+    #[test]
+    fn call_sites_are_patched() {
+        let p = Program::random(&ProgramParams::server(), 5);
+        for cs in &p.call_sites {
+            assert_ne!(cs.target, 0, "call target must be patched");
+            assert_ne!(cs.ret_ip, 0, "ret ip must be patched");
+        }
+    }
+
+    #[test]
+    fn loop_back_edges_point_backward() {
+        let p = Program::random(&ProgramParams::media(), 7);
+        for ls in &p.loop_sites {
+            assert!(ls.target < ls.ip, "back-edge must point backward");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The classroom exercise of §V: "the examples library could serve a
+//! teacher to set up an exercise in which the students measure how the
+//! MPKI varies with respect to some parameters".
+//!
+//! This one is the classic: sweep the *storage budget* from 2 kB to 256 kB
+//! for three generations of predictors and watch (a) every predictor
+//! improve with budget, and (b) the generations separate — the reason the
+//! field moved from bimodal to history-based to tagged-geometric designs.
+//!
+//! Run with: `cargo run --release -p mbp --example classroom_exercise`
+
+use mbp::examples::{Bimodal, Gshare, Tage, TageConfig, TageTableSpec};
+use mbp::sim::SimConfig;
+use mbp::workloads::{ProgramParams, Suite, TraceSpec};
+
+/// TAGE geometry scaled to a log2 storage budget.
+fn tage_at(log_budget_bits: u32) -> TageConfig {
+    let table_log = log_budget_bits.saturating_sub(7).clamp(6, 12);
+    let lengths = [4u32, 8, 16, 32, 64, 128];
+    TageConfig {
+        base_log_size: table_log + 1,
+        tables: lengths
+            .iter()
+            .map(|&hist_len| TageTableSpec { log_size: table_log, hist_len, tag_bits: 9 })
+            .collect(),
+        reset_period: 128 * 1024,
+        seed: 0x7a6e,
+    }
+}
+
+fn kb(bits: u64) -> f64 {
+    bits as f64 / 8.0 / 1024.0
+}
+
+fn main() {
+    // A suite hard enough that table capacity matters: big-footprint
+    // server-style programs.
+    let suite = Suite {
+        name: "classroom",
+        traces: vec![
+            TraceSpec {
+                name: "SERVER-a".into(),
+                params: ProgramParams::server(),
+                seed: 0xc1a55,
+                instructions: 1_000_000,
+            },
+            TraceSpec {
+                name: "SERVER-b".into(),
+                params: ProgramParams::server(),
+                seed: 0xc1a56,
+                instructions: 1_000_000,
+            },
+        ],
+    };
+    let config = SimConfig::default();
+    println!("MPKI versus storage budget ({} suite)\n", suite.name);
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "budget", "bimodal", "gshare", "tage"
+    );
+
+    for log_bits in [9u32, 11, 13, 15, 18] {
+        // Bimodal: 2-bit counters → 2^(log_bits-1) entries.
+        let bimodal_log = log_bits - 1;
+        let bimodal = suite.evaluate(|| Bimodal::new(bimodal_log), &config);
+        let bimodal_kb = kb(Bimodal::new(bimodal_log).storage_bits());
+
+        // GShare: same table, moderate history (longer histories need more
+        // training time than a short trace provides).
+        let gshare = suite.evaluate(|| Gshare::new(12, bimodal_log), &config);
+
+        // TAGE at a comparable budget.
+        let tage_cfg = tage_at(log_bits);
+        let tage_kb = kb(Tage::new(tage_cfg.clone()).storage_bits());
+        let tage = suite.evaluate(|| Tage::new(tage_cfg.clone()), &config);
+
+        println!(
+            "{:>7.2}kB {:>12.4} {:>12.4} {:>12.4}   (tage actual {:.0} kB)",
+            bimodal_kb, bimodal.amean_mpki, gshare.amean_mpki, tage.amean_mpki, tage_kb
+        );
+    }
+
+    println!("\nexpected shape: columns improve with budget until the working set");
+    println!("fits, then saturate; and each generation dominates the previous one.");
+}

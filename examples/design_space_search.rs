@@ -1,0 +1,126 @@
+//! Searching the parameter space (§VI-B).
+//!
+//! "The state-of-the-art predictors … have dozens of parameters. In that
+//! case, we cannot afford to simulate all possible combinations … the user
+//! also has complete control of the program execution. Thus, they can
+//! integrate other libraries in their code and call MBPlib as part of the
+//! optimization process."
+//!
+//! This example plays the role of that "other library": a small random
+//! search + local-mutation optimizer over TAGE's geometry (number of
+//! tables, history range, tag widths), with MBPlib as its inner loop.
+//!
+//! Run with: `cargo run --release -p mbp --example design_space_search`
+
+use mbp::examples::{Tage, TageConfig, TageTableSpec};
+use mbp::sim::{simulate, SimConfig, SliceSource};
+use mbp::trace::BranchRecord;
+use mbp::utils::Xorshift64;
+use mbp::workloads::Suite;
+
+/// A candidate point in the design space.
+#[derive(Clone, Debug)]
+struct Candidate {
+    num_tables: u32,
+    min_hist: u32,
+    max_hist: u32,
+    tag_bits: u32,
+}
+
+impl Candidate {
+    fn config(&self) -> TageConfig {
+        let n = self.num_tables.max(2);
+        // Geometric interpolation between min and max history.
+        let ratio = (self.max_hist as f64 / self.min_hist as f64).powf(1.0 / (n - 1) as f64);
+        let mut lengths: Vec<u32> = (0..n)
+            .map(|i| (self.min_hist as f64 * ratio.powi(i as i32)).round() as u32)
+            .collect();
+        lengths.dedup();
+        TageConfig {
+            base_log_size: 12,
+            tables: lengths
+                .iter()
+                .map(|&hist_len| TageTableSpec {
+                    log_size: 9,
+                    hist_len,
+                    tag_bits: self.tag_bits,
+                })
+                .collect(),
+            reset_period: 128 * 1024,
+            seed: 0x7a6e,
+        }
+    }
+
+    fn mutate(&self, rng: &mut Xorshift64) -> Candidate {
+        let mut c = self.clone();
+        match rng.below(4) {
+            0 => c.num_tables = (c.num_tables as i64 + [-1, 1][rng.below(2) as usize]).clamp(3, 14) as u32,
+            1 => c.min_hist = (c.min_hist as i64 + [-1, 2][rng.below(2) as usize]).clamp(2, 16) as u32,
+            2 => c.max_hist = (c.max_hist as i64 + [-80, 80][rng.below(2) as usize]).clamp(64, 800) as u32,
+            _ => c.tag_bits = (c.tag_bits as i64 + [-1, 1][rng.below(2) as usize]).clamp(7, 13) as u32,
+        }
+        if c.min_hist >= c.max_hist {
+            c.max_hist = c.min_hist + 32;
+        }
+        c
+    }
+}
+
+fn evaluate(c: &Candidate, traces: &[(String, Vec<BranchRecord>)]) -> f64 {
+    let mut total = 0.0;
+    for (_, records) in traces {
+        let mut predictor = Tage::new(c.config());
+        let mut source = SliceSource::new(records);
+        let r = simulate(&mut source, &mut predictor, &SimConfig::default()).expect("in-memory");
+        total += r.metrics.mpki;
+    }
+    total / traces.len() as f64
+}
+
+fn main() {
+    let suite = Suite::cbp5_training(1);
+    let traces: Vec<_> = suite
+        .traces
+        .iter()
+        .take(3)
+        .map(|t| (t.name.clone(), t.records()))
+        .collect();
+    println!("optimizing TAGE geometry on {} traces\n", traces.len());
+
+    let mut rng = Xorshift64::new(0x0b71);
+    let mut best = Candidate { num_tables: 5, min_hist: 4, max_hist: 64, tag_bits: 8 };
+    let mut best_score = evaluate(&best, &traces);
+    println!("start: {best:?} → {best_score:.4} MPKI");
+
+    for step in 0..20 {
+        // Half random restarts, half local mutations — a toy optimizer,
+        // but the integration pattern is the point.
+        let candidate = if step % 4 == 3 {
+            Candidate {
+                num_tables: 3 + rng.below(10) as u32,
+                min_hist: 2 + rng.below(10) as u32,
+                max_hist: 64 + rng.below(600) as u32,
+                tag_bits: 7 + rng.below(6) as u32,
+            }
+        } else {
+            best.mutate(&mut rng)
+        };
+        let score = evaluate(&candidate, &traces);
+        let mark = if score < best_score { "← new best" } else { "" };
+        println!(
+            "step {step:>2}: tables={:<2} hist={:>2}..{:<3} tag={:<2} → {score:.4} MPKI {mark}",
+            candidate.num_tables, candidate.min_hist, candidate.max_hist, candidate.tag_bits
+        );
+        if score < best_score {
+            best_score = score;
+            best = candidate;
+        }
+    }
+
+    println!("\nbest configuration after search: {best:?}");
+    println!("average MPKI: {best_score:.4}");
+    println!(
+        "storage: {:.1} kB",
+        Tage::new(best.config()).storage_bits() as f64 / 8.0 / 1024.0
+    );
+}

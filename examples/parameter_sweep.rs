@@ -1,0 +1,50 @@
+//! Parameter optimization (§VI-A/B): sweep GShare's history length.
+//!
+//! The paper's CMake loop generates one executable per `H`; being a
+//! library, we express the same sweep as a plain loop — with the simulator
+//! called from *our* code, the sweep can feed any optimizer.
+//!
+//! Run with: `cargo run --release -p mbp --example parameter_sweep`
+
+use mbp::examples::Gshare;
+use mbp::sim::{simulate, SimConfig, SliceSource};
+use mbp::workloads::Suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small training set (CBP5-like categories, scaled down).
+    let suite = Suite::cbp5_training(1);
+    let traces: Vec<_> = suite
+        .traces
+        .iter()
+        .take(4)
+        .map(|spec| (spec.name.clone(), spec.records()))
+        .collect();
+    println!(
+        "sweeping GShare history length on {} traces from {}",
+        traces.len(),
+        suite.name
+    );
+
+    let table_bits = 18; // fixed by the storage budget (64 kB)
+    let mut best: Option<(u32, f64)> = None;
+    println!("{:>4} {:>10}   per-trace MPKI", "H", "avg MPKI");
+    for h in (6..=30).step_by(2) {
+        let mut mpkis = Vec::new();
+        for (_, records) in &traces {
+            let mut source = SliceSource::new(records);
+            let mut predictor = Gshare::new(h, table_bits);
+            let result = simulate(&mut source, &mut predictor, &SimConfig::default())?;
+            mpkis.push(result.metrics.mpki);
+        }
+        let avg = mpkis.iter().sum::<f64>() / mpkis.len() as f64;
+        let detail: Vec<String> = mpkis.iter().map(|m| format!("{m:6.3}")).collect();
+        println!("{h:>4} {avg:>10.4}   [{}]", detail.join(", "));
+        if best.is_none_or(|(_, b)| avg < b) {
+            best = Some((h, avg));
+        }
+    }
+
+    let (best_h, best_mpki) = best.expect("sweep ran");
+    println!("\nbest history length: H = {best_h} ({best_mpki:.4} MPKI average)");
+    Ok(())
+}

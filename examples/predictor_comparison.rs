@@ -1,0 +1,48 @@
+//! The comparison simulator (§VI-C): measure the effect of adding a loop
+//! predictor to TAGE, branch by branch.
+//!
+//! Run with: `cargo run --release -p mbp --example predictor_comparison`
+
+use mbp::examples::{LoopPredictor, Tage, TageConfig};
+use mbp::sim::{simulate_comparison, SimConfig, SliceSource};
+use mbp::workloads::{ProgramParams, TraceGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Media-style code is loop-heavy: the natural habitat of a loop
+    // predictor.
+    let records =
+        TraceGenerator::from_params(&ProgramParams::media(), 0x1007).take_instructions(1_500_000);
+    let mut source = SliceSource::named(&records, "MEDIA-loops");
+
+    let mut plain = Tage::new(TageConfig::small());
+    let mut with_loop = LoopPredictor::new(Box::new(Tage::new(TageConfig::small())), 8);
+
+    let result = simulate_comparison(
+        &mut source,
+        &mut plain,
+        &mut with_loop,
+        &SimConfig::default(),
+    )?;
+
+    println!("{:#}", result.to_json());
+    println!(
+        "\nTAGE alone:        {:.4} MPKI ({} mispredictions)",
+        result.mpki[0], result.mispredictions[0]
+    );
+    println!(
+        "TAGE + loop pred.: {:.4} MPKI ({} mispredictions)",
+        result.mpki[1], result.mispredictions[1]
+    );
+    println!(
+        "occurrences mispredicted by only one side: {} (TAGE) vs {} (TAGE+loop)",
+        result.only_a_wrong, result.only_b_wrong
+    );
+    println!("\nbranches with the biggest MPKI difference:");
+    for d in result.most_diverging.iter().take(8) {
+        println!(
+            "  {:#010x}: {:>7} occurrences, {:>6} vs {:>6} mispredictions ({:+.4} MPKI)",
+            d.ip, d.occurrences, d.mispredictions_a, d.mispredictions_b, d.mpki_difference
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Reusability and composability (§VI-D): build the generalized tournament
+//! from arbitrary components and show it beats both of them.
+//!
+//! The train/track split is what makes this possible: the tournament trains
+//! its chooser with a synthetic "which component was right" branch while
+//! still tracking every component with the program branch.
+//!
+//! Run with: `cargo run --release -p mbp --example tournament_composition`
+
+use mbp::examples::{Bimodal, Gshare, Tournament, TwoBcGskew};
+use mbp::sim::{simulate, Predictor, SimConfig, SliceSource};
+use mbp::workloads::{ProgramParams, TraceGenerator};
+
+fn run(name: &str, predictor: &mut dyn Predictor, records: &[mbp::trace::BranchRecord]) {
+    let mut source = SliceSource::named(records, "SERVER-mix");
+    let result = simulate(&mut source, predictor, &SimConfig::default()).expect("in-memory");
+    println!(
+        "{name:<38} {:>8.4} MPKI  {:>9} mispredictions",
+        result.metrics.mpki, result.metrics.mispredictions
+    );
+}
+
+fn main() {
+    let records = TraceGenerator::from_params(&ProgramParams::server(), 0x70_42)
+        .take_instructions(1_500_000);
+    println!(
+        "running on {} branches ({} conditional)\n",
+        records.len(),
+        records.iter().filter(|r| r.branch.is_conditional()).count()
+    );
+
+    // The original tournament: bimodal (stable) vs GShare (history).
+    run("bimodal(14)", &mut Bimodal::new(14), &records);
+    run("gshare(15, 14)", &mut Gshare::new(15, 14), &records);
+    let mut classic = Tournament::new(
+        Box::new(Bimodal::new(12)),
+        Box::new(Bimodal::new(14)),
+        Box::new(Gshare::new(15, 14)),
+    );
+    run("tournament(bimodal, gshare)", &mut classic, &records);
+
+    // The *generalized* tournament accepts any components: arbitrate
+    // between GShare and 2bc-gskew with a GShare chooser.
+    let mut exotic = Tournament::new(
+        Box::new(Gshare::new(8, 12)),
+        Box::new(Gshare::new(15, 14)),
+        Box::new(TwoBcGskew::new(14, 13)),
+    );
+    run("tournament(gshare, 2bc-gskew)", &mut exotic, &records);
+
+    // Components nest arbitrarily: a tournament of tournaments.
+    let mut nested = Tournament::new(
+        Box::new(Bimodal::new(12)),
+        Box::new(Tournament::classic(13)),
+        Box::new(TwoBcGskew::new(14, 13)),
+    );
+    run("tournament(tournament, 2bc-gskew)", &mut nested, &records);
+
+    println!("\nmetadata of the nested composition:");
+    println!("{:#}", nested.metadata());
+}

@@ -1,0 +1,148 @@
+//! End-to-end tests of the `mbpsim` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn mbpsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mbpsim"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mbplib-cli-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn list_names_every_stock_predictor() {
+    let out = mbpsim().arg("list").output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for name in mbp::examples::PREDICTOR_NAMES {
+        assert!(stdout.lines().any(|l| l == name), "missing {name}");
+    }
+}
+
+#[test]
+fn gen_run_info_pipeline() {
+    let dir = temp_dir("pipeline");
+    let out = mbpsim()
+        .args(["gen", "--suite", "smoke", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let trace = dir.join("SMOKE-mobile.sbbt.mzst");
+    assert!(trace.exists());
+
+    let out = mbpsim()
+        .args(["info", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("branch density"), "{stdout}");
+
+    let out = mbpsim()
+        .args(["run", "--predictor", "gshare", "--trace"])
+        .arg(&trace)
+        .args(["--warmup", "1000"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc: mbp::json::Value = String::from_utf8(out.stdout)
+        .expect("utf8")
+        .parse()
+        .expect("run output is valid JSON");
+    assert_eq!(doc["metadata"]["warmup_instr"].as_u64(), Some(1000));
+    assert!(doc["metrics"]["mpki"].as_f64().is_some());
+}
+
+#[test]
+fn translate_roundtrip_through_bt9() {
+    let dir = temp_dir("translate");
+    assert!(mbpsim()
+        .args(["gen", "--suite", "smoke", "--out"])
+        .arg(&dir)
+        .status()
+        .expect("spawn")
+        .success());
+    let sbbt = dir.join("SMOKE-mobile.sbbt.mzst");
+    let bt9 = dir.join("mobile.bt9.mgz");
+    let back = dir.join("mobile-back.sbbt");
+
+    assert!(mbpsim()
+        .args(["translate", "--from"])
+        .arg(&sbbt)
+        .arg("--to")
+        .arg(&bt9)
+        .status()
+        .expect("spawn")
+        .success());
+    assert!(mbpsim()
+        .args(["translate", "--from"])
+        .arg(&bt9)
+        .arg("--to")
+        .arg(&back)
+        .status()
+        .expect("spawn")
+        .success());
+
+    // The double translation preserves the branch stream exactly.
+    let original = mbp::trace::sbbt::SbbtReader::open(&sbbt)
+        .expect("open")
+        .read_all()
+        .expect("read");
+    let roundtripped = mbp::trace::sbbt::SbbtReader::open(&back)
+        .expect("open")
+        .read_all()
+        .expect("read");
+    assert_eq!(original, roundtripped);
+}
+
+#[test]
+fn compare_emits_comparison_json() {
+    let dir = temp_dir("compare");
+    assert!(mbpsim()
+        .args(["gen", "--suite", "smoke", "--out"])
+        .arg(&dir)
+        .status()
+        .expect("spawn")
+        .success());
+    let out = mbpsim()
+        .args(["compare", "--predictors", "bimodal,gshare", "--trace"])
+        .arg(dir.join("SMOKE-server.sbbt.mzst"))
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc: mbp::json::Value = String::from_utf8(out.stdout)
+        .expect("utf8")
+        .parse()
+        .expect("valid JSON");
+    assert!(doc["metrics"]["mpki_0"].as_f64().is_some());
+    assert!(doc["metrics"]["mpki_1"].as_f64().is_some());
+}
+
+#[test]
+fn helpful_errors_for_bad_input() {
+    let out = mbpsim()
+        .args(["run", "--predictor", "nonexistent", "--trace", "/does/not/matter"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown predictor"), "{stderr}");
+
+    let out = mbpsim().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = mbpsim()
+        .args(["run", "--predictor", "gshare"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --trace"));
+}

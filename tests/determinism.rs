@@ -1,0 +1,76 @@
+//! "Trace-based simulators always give the same results, provided that the
+//! user code is deterministic" (§VII-C) — across the whole pipeline:
+//! generation, compression, both simulators, and randomized predictors.
+
+use mbp::compress::{compress, decompress, Codec};
+use mbp::examples::{Batage, BatageConfig, Tage, TageConfig};
+use mbp::sim::{simulate, simulate_comparison, SimConfig, SliceSource};
+use mbp::trace::translate;
+use mbp::workloads::Suite;
+
+#[test]
+fn whole_pipeline_is_reproducible() {
+    let run_once = || {
+        let suite = Suite::smoke();
+        let mut digest = Vec::new();
+        for spec in &suite.traces {
+            let records = spec.records();
+            // Compress/decompress round trip inside the pipeline.
+            let sbbt = translate::records_to_sbbt(&records).unwrap();
+            let packed = compress(&sbbt, Codec::Mzst, 19).unwrap();
+            let restored = translate::sbbt_to_records(decompress(&packed).unwrap()).unwrap();
+            let mut source = SliceSource::new(&restored);
+            let mut tage = Tage::new(TageConfig::small());
+            let r = simulate(&mut source, &mut tage, &SimConfig::default()).unwrap();
+            digest.push((
+                spec.name.clone(),
+                r.metrics.mispredictions,
+                r.metadata.num_conditional_branches,
+                packed.len(),
+            ));
+        }
+        digest
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn randomized_predictors_are_seed_deterministic() {
+    let records = Suite::smoke().traces[1].records();
+    let run = || {
+        let mut source = SliceSource::new(&records);
+        let mut batage = Batage::new(BatageConfig::small());
+        simulate(&mut source, &mut batage, &SimConfig::default())
+            .unwrap()
+            .metrics
+            .mispredictions
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn comparison_simulator_is_deterministic() {
+    let records = Suite::smoke().traces[0].records();
+    let run = || {
+        let mut source = SliceSource::new(&records);
+        let mut a = Tage::new(TageConfig::small());
+        let mut b = Batage::new(BatageConfig::small());
+        let r = simulate_comparison(&mut source, &mut a, &mut b, &SimConfig::default()).unwrap();
+        (r.mispredictions, r.only_a_wrong, r.only_b_wrong)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn most_failed_report_is_stable() {
+    // Ties in the most-failed report break deterministically (by address),
+    // so tooling diffing two runs sees no churn.
+    let records = Suite::smoke().traces[0].records();
+    let run = || {
+        let mut source = SliceSource::new(&records);
+        let mut tage = Tage::new(TageConfig::small());
+        let r = simulate(&mut source, &mut tage, &SimConfig::default()).unwrap();
+        r.most_failed.iter().map(|s| (s.ip, s.mispredictions)).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

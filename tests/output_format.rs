@@ -1,0 +1,112 @@
+//! Listing 1: the simulator's JSON output schema.
+
+use mbp::examples::Gshare;
+use mbp::json::Value;
+use mbp::sim::{simulate, SimConfig, SliceSource};
+use mbp::workloads::{ProgramParams, TraceGenerator};
+
+fn run_output() -> Value {
+    let records =
+        TraceGenerator::from_params(&ProgramParams::server(), 3).take_instructions(200_000);
+    let mut source = SliceSource::named(&records, "traces/SHORT_SERVER-1.sbbt.mzst");
+    let mut predictor = Gshare::new(25, 18);
+    let config = SimConfig {
+        warmup_instructions: 10_000,
+        most_failed_limit: 10,
+        ..SimConfig::default()
+    };
+    simulate(&mut source, &mut predictor, &config)
+        .expect("in-memory simulation")
+        .to_json()
+}
+
+#[test]
+fn toplevel_sections_in_listing1_order() {
+    let doc = run_output();
+    let keys: Vec<_> = doc.as_object().expect("object").keys().collect();
+    assert_eq!(keys, ["metadata", "metrics", "predictor_statistics", "most_failed"]);
+}
+
+#[test]
+fn metadata_fields_match_listing1() {
+    let doc = run_output();
+    let meta = doc["metadata"].as_object().expect("object");
+    assert_eq!(meta.get("simulator").unwrap().as_str(), Some("MBPlib std simulator"));
+    assert!(meta.get("version").unwrap().as_str().unwrap().starts_with('v'));
+    assert_eq!(
+        meta.get("trace").unwrap().as_str(),
+        Some("traces/SHORT_SERVER-1.sbbt.mzst")
+    );
+    assert_eq!(meta.get("warmup_instr").unwrap().as_u64(), Some(10_000));
+    assert!(meta.get("simulation_instr").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(meta.get("exhausted_trace").unwrap().as_bool(), Some(true));
+    assert!(meta.get("num_conditional_branches").unwrap().as_u64().unwrap() > 0);
+    assert!(meta.get("num_branch_instructions").unwrap().as_u64().unwrap() > 0);
+
+    // The predictor section carries name + configuration (the paper: "we
+    // can tell that this is a 64 kB version of GShare").
+    let pred = &doc["metadata"]["predictor"];
+    assert_eq!(pred["name"].as_str(), Some("MBPlib GShare"));
+    assert_eq!(pred["history_length"].as_u64(), Some(25));
+    assert_eq!(pred["log_table_size"].as_u64(), Some(18));
+}
+
+#[test]
+fn metrics_fields_match_listing1() {
+    let doc = run_output();
+    let metrics = doc["metrics"].as_object().expect("object");
+    for key in [
+        "mpki",
+        "mispredictions",
+        "accuracy",
+        "num_most_failed_branches",
+        "simulation_time",
+    ] {
+        assert!(metrics.contains_key(key), "missing metrics.{key}");
+    }
+    let mpki = metrics.get("mpki").unwrap().as_f64().unwrap();
+    let acc = metrics.get("accuracy").unwrap().as_f64().unwrap();
+    assert!(mpki >= 0.0 && mpki < 1000.0);
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+fn most_failed_entries_have_per_branch_stats() {
+    let doc = run_output();
+    let list = doc["most_failed"].as_array().expect("array");
+    assert!(!list.is_empty());
+    assert!(list.len() <= 10, "most_failed_limit respected");
+    let mut last = u64::MAX;
+    for entry in list {
+        for key in ["ip", "occurrences", "mispredictions", "mpki", "accuracy"] {
+            assert!(entry.get(key).is_some(), "missing most_failed[].{key}");
+        }
+        let m = entry["mispredictions"].as_u64().unwrap();
+        assert!(m <= last, "most_failed must be sorted by mispredictions");
+        last = m;
+    }
+}
+
+#[test]
+fn document_roundtrips_through_parser() {
+    let doc = run_output();
+    let pretty = doc.to_pretty_string();
+    let compact = doc.to_compact_string();
+    assert_eq!(pretty.parse::<Value>().unwrap(), doc);
+    assert_eq!(compact.parse::<Value>().unwrap(), doc);
+}
+
+#[test]
+fn user_statistics_are_embedded() {
+    use mbp::examples::{Tage, TageConfig};
+    let records =
+        TraceGenerator::from_params(&ProgramParams::server(), 5).take_instructions(120_000);
+    let mut source = SliceSource::new(&records);
+    let mut tage = Tage::new(TageConfig::small());
+    let doc = simulate(&mut source, &mut tage, &SimConfig::default())
+        .unwrap()
+        .to_json();
+    // TAGE reports allocations under predictor_statistics (the paper's
+    // "execution statistics that … gather information unique to our design").
+    assert!(doc["predictor_statistics"]["allocations"].as_u64().unwrap() > 0);
+}

@@ -1,0 +1,120 @@
+//! Cross-predictor MPKI sanity on the synthetic suites: the orderings that
+//! decades of literature establish (and that Table II's pedagogical
+//! progression implies) must hold on our workloads.
+
+use mbp::examples::{
+    AlwaysTaken, Batage, BatageConfig, Bimodal, Gshare, HashedPerceptron, Tage, TageConfig,
+    Tournament, TwoBcGskew, TwoLevel,
+};
+use mbp::sim::{simulate, Predictor, SimConfig, SliceSource};
+use mbp::trace::BranchRecord;
+use mbp::workloads::{ProgramParams, TraceGenerator};
+
+fn records() -> Vec<BranchRecord> {
+    // A server-flavoured mix: correlated, phased and biased branches with a
+    // sizeable footprint.
+    TraceGenerator::from_params(&ProgramParams::server(), 0xbeef).take_instructions(600_000)
+}
+
+fn mpki_of(predictor: &mut dyn Predictor, records: &[BranchRecord]) -> f64 {
+    let mut source = SliceSource::new(records);
+    simulate(&mut source, predictor, &SimConfig::default())
+        .expect("in-memory simulation")
+        .metrics
+        .mpki
+}
+
+#[test]
+fn static_predictors_are_worst() {
+    let recs = records();
+    let statics = mpki_of(&mut AlwaysTaken, &recs);
+    let bimodal = mpki_of(&mut Bimodal::new(14), &recs);
+    assert!(
+        bimodal < statics,
+        "bimodal {bimodal:.2} must beat always-taken {statics:.2}"
+    );
+}
+
+#[test]
+fn history_beats_bimodal() {
+    let recs = records();
+    let bimodal = mpki_of(&mut Bimodal::new(14), &recs);
+    let gshare = mpki_of(&mut Gshare::new(17, 14), &recs);
+    let twolevel = mpki_of(&mut TwoLevel::pap(10, 8, 8), &recs);
+    assert!(gshare < bimodal, "gshare {gshare:.2} !< bimodal {bimodal:.2}");
+    assert!(
+        twolevel < bimodal * 1.1,
+        "two-level {twolevel:.2} should be competitive with bimodal {bimodal:.2}"
+    );
+}
+
+#[test]
+fn hybrids_beat_their_components() {
+    let recs = records();
+    let bimodal = mpki_of(&mut Bimodal::new(13), &recs);
+    let tournament = mpki_of(&mut Tournament::classic(13), &recs);
+    assert!(
+        tournament < bimodal,
+        "tournament {tournament:.2} !< bimodal {bimodal:.2}"
+    );
+    let gskew = mpki_of(&mut TwoBcGskew::new(16, 13), &recs);
+    assert!(gskew < bimodal, "2bc-gskew {gskew:.2} !< bimodal {bimodal:.2}");
+}
+
+#[test]
+fn state_of_the_art_beats_gshare() {
+    let recs = records();
+    let gshare = mpki_of(&mut Gshare::new(17, 14), &recs);
+    let perceptron = mpki_of(&mut HashedPerceptron::default_config(), &recs);
+    let tage = mpki_of(&mut Tage::new(TageConfig::default_64kb()), &recs);
+    let batage = mpki_of(&mut Batage::new(BatageConfig::default_64kb()), &recs);
+    assert!(tage < gshare, "TAGE {tage:.2} !< GShare {gshare:.2}");
+    assert!(batage < gshare, "BATAGE {batage:.2} !< GShare {gshare:.2}");
+    assert!(
+        perceptron < gshare * 1.15,
+        "perceptron {perceptron:.2} should be near/below gshare {gshare:.2}"
+    );
+}
+
+#[test]
+fn bigger_tables_do_not_hurt() {
+    let recs = records();
+    let small = mpki_of(&mut Gshare::new(13, 10), &recs);
+    let large = mpki_of(&mut Gshare::new(17, 16), &recs);
+    assert!(
+        large <= small * 1.02,
+        "larger gshare {large:.2} should not lose to smaller {small:.2}"
+    );
+}
+
+#[test]
+fn mobile_is_more_predictable_than_server() {
+    let mobile =
+        TraceGenerator::from_params(&ProgramParams::mobile(), 0x1).take_instructions(400_000);
+    let server = records();
+    let m = mpki_of(&mut Gshare::new(15, 14), &mobile);
+    let s = mpki_of(&mut Gshare::new(15, 14), &server);
+    assert!(m < s, "mobile {m:.2} should be easier than server {s:.2}");
+}
+
+#[test]
+fn warmup_reduces_measured_mpki() {
+    let recs = records();
+    let mut cold = Gshare::new(15, 14);
+    let mut warm = Gshare::new(15, 14);
+    let full = {
+        let mut src = SliceSource::new(&recs);
+        simulate(&mut src, &mut cold, &SimConfig::default()).unwrap()
+    };
+    let warmed = {
+        let mut src = SliceSource::new(&recs);
+        let cfg = SimConfig { warmup_instructions: 200_000, ..SimConfig::default() };
+        simulate(&mut src, &mut warm, &cfg).unwrap()
+    };
+    assert!(
+        warmed.metrics.mpki <= full.metrics.mpki,
+        "training excluded from measurement should not raise MPKI: {} vs {}",
+        warmed.metrics.mpki,
+        full.metrics.mpki
+    );
+}
