@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, tier-1 build + tests, and the
+# driver-equivalence suite that pins the batch pipeline to the scalar
+# reference. Everything runs offline against the vendored toolchain.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== driver equivalence (batch pipeline vs scalar reference) =="
+cargo test -q -p mbp --test driver_equivalence
+cargo test -q -p mbp --test equivalence
+
+echo "CI OK"

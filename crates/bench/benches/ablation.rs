@@ -12,45 +12,40 @@
 
 use std::collections::HashMap;
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use mbp_bench::harness::{BenchGroup, Throughput};
 use mbp_core::{simulate, Predictor, SimConfig, SliceSource};
 use mbp_predictors::Bimodal;
 use mbp_trace::sbbt::{decode_packet, SbbtReader, PACKET_BYTES};
 use mbp_trace::{translate, Branch, BranchKind, Opcode};
 use mbp_workloads::{ProgramParams, TraceGenerator};
 
-fn bench_graph_indirection(c: &mut Criterion) {
-    let records = TraceGenerator::from_params(&ProgramParams::server(), 0xab1a)
-        .take_instructions(1_000_000);
+fn bench_graph_indirection() {
+    let records =
+        TraceGenerator::from_params(&ProgramParams::server(), 0xab1a).take_instructions(1_000_000);
     let bt9 = mbp_trace::bt9::parse_text(&translate::records_to_bt9(&records)).expect("bt9");
     let sbbt = translate::records_to_sbbt(&records).expect("sbbt");
     let n = records.len() as u64;
 
-    let mut group = c.benchmark_group("trace_walk");
+    let mut group = BenchGroup::new("trace_walk");
     group.throughput(Throughput::Elements(n));
 
     // SBBT: a straight packet walk.
-    group.bench_function("sbbt_stream", |b| {
-        b.iter(|| {
-            let mut reader = SbbtReader::from_bytes(sbbt.clone()).expect("open");
-            let mut taken = 0u64;
-            while let Some(rec) = reader.next_record().expect("packet") {
-                taken += rec.branch.is_taken() as u64;
-            }
-            taken
-        })
+    group.bench_function("sbbt_stream", || {
+        let mut reader = SbbtReader::from_bytes(sbbt.clone()).expect("open");
+        let mut taken = 0u64;
+        while let Some(rec) = reader.next_record().expect("packet") {
+            taken += rec.branch.is_taken() as u64;
+        }
+        taken
     });
 
     // BT9 with vector-indexed graph (an idealized framework reader).
-    group.bench_function("bt9_graph_vec", |b| {
-        b.iter(|| {
-            let mut taken = 0u64;
-            for i in 0..bt9.sequence.len() {
-                taken += bt9.record(i).branch.is_taken() as u64;
-            }
-            taken
-        })
+    group.bench_function("bt9_graph_vec", || {
+        let mut taken = 0u64;
+        for i in 0..bt9.sequence.len() {
+            taken += bt9.record(i).branch.is_taken() as u64;
+        }
+        taken
     });
 
     // BT9 with hash-keyed graph, as the original framework stores it —
@@ -67,16 +62,14 @@ fn bench_graph_indirection(c: &mut Criterion) {
         .enumerate()
         .map(|(id, &n)| (id as u32, n))
         .collect();
-    group.bench_function("bt9_graph_hashed", |b| {
-        b.iter(|| {
-            let mut taken = 0u64;
-            for &e in &bt9.sequence {
-                let &(node, t, _, _) = edges.get(&e).expect("edge");
-                let &(ip, _) = nodes.get(&node).expect("node");
-                taken += (t && ip != 0) as u64;
-            }
-            taken
-        })
+    group.bench_function("bt9_graph_hashed", || {
+        let mut taken = 0u64;
+        for &e in &bt9.sequence {
+            let &(node, t, _, _) = edges.get(&e).expect("edge");
+            let &(ip, _) = nodes.get(&node).expect("node");
+            taken += (t && ip != 0) as u64;
+        }
+        taken
     });
     group.finish();
 }
@@ -96,57 +89,67 @@ fn bare_simulate<P: Predictor>(records: &[mbp_trace::BranchRecord], p: &mut P) -
     mis
 }
 
-fn bench_bookkeeping(c: &mut Criterion) {
-    let records = TraceGenerator::from_params(&ProgramParams::server(), 0xab1b)
-        .take_instructions(1_000_000);
+fn bench_bookkeeping() {
+    let records =
+        TraceGenerator::from_params(&ProgramParams::server(), 0xab1b).take_instructions(1_000_000);
     let instr: u64 = records.iter().map(|r| r.instructions()).sum();
 
-    let mut group = c.benchmark_group("simulator_bookkeeping");
+    let mut group = BenchGroup::new("simulator_bookkeeping");
     group.throughput(Throughput::Elements(instr));
-    group.bench_function("with_most_failed_stats", |b| {
-        b.iter(|| {
-            let mut p = Bimodal::new(18);
-            let mut src = SliceSource::new(&records);
-            simulate(&mut src, &mut p, &SimConfig::default()).expect("sim")
-        })
+    group.bench_function("with_most_failed_stats", || {
+        let mut p = Bimodal::new(18);
+        let mut src = SliceSource::new(&records);
+        simulate(&mut src, &mut p, &SimConfig::default()).expect("sim")
     });
-    group.bench_function("bare_loop", |b| {
-        b.iter(|| {
-            let mut p = Bimodal::new(18);
-            bare_simulate(&records, &mut p)
-        })
+    group.bench_function("bare_loop", || {
+        let mut p = Bimodal::new(18);
+        bare_simulate(&records, &mut p)
     });
     group.finish();
 }
 
-fn bench_packet_validation(c: &mut Criterion) {
+fn bench_packet_validation() {
     let rec = mbp_trace::BranchRecord::new(
-        Branch::new(0x40_1000, 0x40_2000, Opcode::new(true, false, BranchKind::Jump), true),
+        Branch::new(
+            0x40_1000,
+            0x40_2000,
+            Opcode::new(true, false, BranchKind::Jump),
+            true,
+        ),
         7,
     );
     let bytes = mbp_trace::sbbt::encode_packet(&rec).expect("encode");
+    // Per-packet decode is nanoseconds; run it over a big batch per sample
+    // so the harness clock resolution doesn't dominate.
+    const REPS: u64 = 1_000_000;
 
-    let mut group = c.benchmark_group("packet_decode");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("validated", |b| {
-        b.iter(|| decode_packet(&bytes, 0).expect("valid"))
+    let mut group = BenchGroup::new("packet_decode");
+    group.throughput(Throughput::Elements(REPS));
+    group.bench_function("validated", || {
+        let mut acc = 0u64;
+        for _ in 0..REPS {
+            let r = decode_packet(&bytes, 0).expect("valid");
+            acc = acc.wrapping_add(r.branch.ip());
+        }
+        acc
     });
-    group.bench_function("raw_fields_only", |b| {
-        b.iter(|| {
+    group.bench_function("raw_fields_only", || {
+        let mut acc = 0u64;
+        for _ in 0..REPS {
             let block1 = u64::from_le_bytes(bytes[..8].try_into().expect("len"));
             let block2 = u64::from_le_bytes(bytes[8..PACKET_BYTES].try_into().expect("len"));
-            (
-                ((block1 as i64) >> 12) as u64,
-                ((block2 as i64) >> 12) as u64,
-                block1 & 0xFFF,
-                block2 & 0xFFF,
-            )
-        })
+            acc = acc
+                .wrapping_add(((block1 as i64) >> 12) as u64)
+                .wrapping_add(((block2 as i64) >> 12) as u64)
+                .wrapping_add(block1 & 0xFFF)
+                .wrapping_add(block2 & 0xFFF);
+        }
+        acc
     });
     group.finish();
 }
 
-fn bench_cache_replacement(c: &mut Criterion) {
+fn bench_cache_replacement() {
     use champsim_lite::{Cache, CacheConfig, Replacement};
     use mbp_utils::mix64;
 
@@ -162,29 +165,28 @@ fn bench_cache_replacement(c: &mut Criterion) {
         })
         .collect();
 
-    let mut group = c.benchmark_group("cache_replacement");
+    let mut group = BenchGroup::new("cache_replacement");
     group.throughput(Throughput::Elements(accesses.len() as u64));
-    for (label, policy) in [("lru", Replacement::Lru), ("tree_plru", Replacement::TreePlru)] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let mut cache =
-                    Cache::new(CacheConfig::new("L2", 128, 16, 10).with_replacement(policy));
-                let mut hits = 0u64;
-                for &a in &accesses {
-                    hits += cache.access(a) as u64;
-                }
-                hits
-            })
+    for (label, policy) in [
+        ("lru", Replacement::Lru),
+        ("tree_plru", Replacement::TreePlru),
+    ] {
+        group.bench_function(label, || {
+            let mut cache =
+                Cache::new(CacheConfig::new("L2", 128, 16, 10).with_replacement(policy));
+            let mut hits = 0u64;
+            for &a in &accesses {
+                hits += cache.access(a) as u64;
+            }
+            hits
         });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_graph_indirection,
-    bench_bookkeeping,
-    bench_packet_validation,
-    bench_cache_replacement
-);
-criterion_main!(benches);
+fn main() {
+    bench_graph_indirection();
+    bench_bookkeeping();
+    bench_packet_validation();
+    bench_cache_replacement();
+}

@@ -1,4 +1,4 @@
-//! Criterion companion to Table IV and §IV: codec decode throughput.
+//! Companion to Table IV and §IV: codec decode throughput.
 //!
 //! Two claims are measured: the zstd-like codec decodes much faster than
 //! the gzip-like one on SBBT data, and its decode speed does not degrade
@@ -7,19 +7,18 @@
 //!
 //! Run: `cargo bench -p mbp-bench --bench decompress`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use mbp_bench::harness::{BenchGroup, Throughput};
 use mbp_compress::{compress, decompress, Codec};
 use mbp_trace::translate;
 use mbp_workloads::{ProgramParams, TraceGenerator};
 
-fn bench_codecs(c: &mut Criterion) {
+fn main() {
     let records = TraceGenerator::from_params(&ProgramParams::int_speed(), 0xdec0)
         .take_instructions(2_000_000);
     let sbbt = translate::records_to_sbbt(&records).expect("encode");
     let bt9 = translate::records_to_bt9(&records).into_bytes();
 
-    let mut group = c.benchmark_group("decompress_sbbt");
+    let mut group = BenchGroup::new("decompress_sbbt");
     group.throughput(Throughput::Bytes(sbbt.len() as u64));
     for (label, codec, level) in [
         ("mgz-6", Codec::Mgz, 6),
@@ -29,23 +28,16 @@ fn bench_codecs(c: &mut Criterion) {
         ("mzst-22", Codec::Mzst, 22),
     ] {
         let packed = compress(&sbbt, codec, level).expect("compress");
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| decompress(&packed).expect("decompress"))
-        });
+        group.bench_function(label, || decompress(&packed).expect("decompress"));
     }
     group.finish();
 
-    let mut group = c.benchmark_group("decompress_bt9");
+    let mut group = BenchGroup::new("decompress_bt9");
     group.throughput(Throughput::Bytes(bt9.len() as u64));
     for (label, codec) in [("mgz-6", Codec::Mgz), ("mzst-19", Codec::Mzst)] {
         let level = if codec == Codec::Mgz { 6 } else { 19 };
         let packed = compress(&bt9, codec, level).expect("compress");
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| decompress(&packed).expect("decompress"))
-        });
+        group.bench_function(label, || decompress(&packed).expect("decompress"));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_codecs);
-criterion_main!(benches);

@@ -1,33 +1,27 @@
-//! Criterion companion to §VI-A: the cost of one sweep point, i.e. how
-//! fast "prototyping in real time" is. The paper's goal was results within
+//! Companion to §VI-A: the cost of one sweep point, i.e. how fast
+//! "prototyping in real time" is. The paper's goal was results within
 //! seconds; each bench iteration is one full simulation of one trace.
 //!
 //! Run: `cargo bench -p mbp-bench --bench param_sweep`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use mbp_bench::harness::{BenchGroup, Throughput};
 use mbp_core::{simulate, SimConfig, SliceSource};
 use mbp_predictors::Gshare;
 use mbp_workloads::{ProgramParams, TraceGenerator};
 
-fn bench_sweep(c: &mut Criterion) {
-    let records = TraceGenerator::from_params(&ProgramParams::mobile(), 0x5eeb)
-        .take_instructions(1_000_000);
+fn main() {
+    let records =
+        TraceGenerator::from_params(&ProgramParams::mobile(), 0x5eeb).take_instructions(1_000_000);
     let instructions: u64 = records.iter().map(|r| r.instructions()).sum();
 
-    let mut group = c.benchmark_group("gshare_history_sweep");
+    let mut group = BenchGroup::new("gshare_history_sweep");
     group.throughput(Throughput::Elements(instructions));
     for h in [6u32, 12, 18, 24, 30] {
-        group.bench_function(BenchmarkId::from_parameter(h), |b| {
-            b.iter(|| {
-                let mut predictor = Gshare::new(h, 18);
-                let mut source = SliceSource::new(&records);
-                simulate(&mut source, &mut predictor, &SimConfig::default()).expect("sim")
-            })
+        group.bench_function(&format!("history-{h}"), || {
+            let mut predictor = Gshare::new(h, 18);
+            let mut source = SliceSource::new(&records);
+            simulate(&mut source, &mut predictor, &SimConfig::default()).expect("sim")
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_sweep);
-criterion_main!(benches);

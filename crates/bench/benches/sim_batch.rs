@@ -1,0 +1,117 @@
+//! Companion to the decode-once batch pipeline: the same simulation driven
+//! through the per-record path (`simulate_scalar`), the block path
+//! (`simulate` over `fill_batch`), and the parallel sweep
+//! (`simulate_many`), all behind the same `&mut dyn TraceSource` boundary
+//! the CLI and sweep workers use.
+//!
+//! Run: `cargo bench -p mbp-bench --bench sim_batch`
+
+use mbp_bench::harness::{BenchGroup, Throughput};
+use mbp_bench::table3_predictors;
+use mbp_core::{
+    simulate, simulate_many, simulate_scalar, SimConfig, SliceSource, SweepConfig, TraceSource,
+};
+use mbp_predictors::Gshare;
+use mbp_trace::sbbt::SbbtReader;
+use mbp_trace::translate;
+use mbp_workloads::Suite;
+
+fn main() {
+    let suite = Suite::smoke();
+    let config = SimConfig::default();
+
+    // One trace at a time: batched vs scalar on the identical byte stream.
+    let mut speedups = Vec::new();
+    let (mut scalar_total, mut batched_total) = (0.0f64, 0.0f64);
+    for spec in &suite.traces {
+        let records = spec.records();
+        let instructions: u64 = records.iter().map(|r| r.instructions()).sum();
+        let sbbt = translate::records_to_sbbt(&records).expect("generated records encode");
+
+        let mut group = BenchGroup::new(format!("sim_batch/{}", spec.name));
+        group
+            .sample_size(50)
+            .throughput(Throughput::Elements(instructions));
+
+        let mut reader = SbbtReader::from_decompressed(sbbt).expect("generated trace decodes");
+        let scalar = group.bench_function("scalar_next_record", || {
+            reader.rewind();
+            let source: &mut dyn TraceSource = &mut reader;
+            let mut predictor = Gshare::new(25, 18);
+            simulate_scalar(source, &mut predictor, &config).expect("sim")
+        });
+        let batched = group.bench_function("batched_fill_batch", || {
+            reader.rewind();
+            let source: &mut dyn TraceSource = &mut reader;
+            let mut predictor = Gshare::new(25, 18);
+            simulate(source, &mut predictor, &config).expect("sim")
+        });
+        group.finish();
+
+        // Fastest-sample ratio: the minimum is the robust estimator on a
+        // shared machine, where the mean absorbs scheduler outliers.
+        let speedup = scalar.fastest / batched.fastest;
+        println!("{}: batched speedup over scalar = {speedup:.2}x", spec.name);
+        speedups.push((spec.name.clone(), speedup));
+        scalar_total += scalar.fastest;
+        batched_total += batched.fastest;
+    }
+
+    // The sweep: all Table III predictors over one trace, sequential
+    // (decode + simulate per predictor, as N `mbpsim run` invocations
+    // would) versus one decode fanned across the worker pool.
+    let spec = &suite.traces[1]; // SMOKE-server, the branchier trace
+    let records = spec.records();
+    let instructions: u64 = records.iter().map(|r| r.instructions()).sum();
+    let predictors = table3_predictors();
+    let jobs = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut group = BenchGroup::new(format!("sweep/{}", spec.name));
+    group
+        .sample_size(10)
+        .throughput(Throughput::Elements(instructions * predictors.len() as u64));
+
+    let sequential = group.bench_function("sequential_runs", || {
+        let mut results = Vec::new();
+        for (_, build) in &predictors {
+            let mut predictor = build();
+            let mut source = SliceSource::new(&records);
+            results.push(simulate(&mut source, &mut *predictor, &config).expect("sim"));
+        }
+        results
+    });
+    let parallel = group.bench_function("simulate_many", || {
+        let many: Vec<_> = predictors
+            .iter()
+            .map(|(name, build)| (name.to_string(), build()))
+            .collect();
+        let mut source = SliceSource::new(&records);
+        let sweep_config = SweepConfig {
+            sim: config.clone(),
+            jobs: 0,
+        };
+        simulate_many(&mut source, many, &sweep_config).expect("sweep")
+    });
+    group.finish();
+
+    let sweep_speedup = sequential.fastest / parallel.fastest;
+    println!(
+        "{}: simulate_many speedup over sequential = {sweep_speedup:.2}x \
+         ({} predictors, {jobs} cores)",
+        spec.name,
+        predictors.len(),
+    );
+
+    println!("\n== summary ==");
+    for (name, speedup) in &speedups {
+        println!("batched vs scalar, {name}: {speedup:.2}x");
+    }
+    println!(
+        "batched vs scalar, smoke suite aggregate: {:.2}x",
+        scalar_total / batched_total
+    );
+    println!(
+        "parallel sweep vs sequential, {}: {sweep_speedup:.2}x",
+        spec.name
+    );
+}

@@ -1,19 +1,18 @@
-//! Criterion companion to Table III: steady-state simulation throughput of
-//! the three simulators on a fixed workload, per predictor.
+//! Companion to Table III: steady-state simulation throughput of the three
+//! simulators on a fixed workload, per predictor.
 //!
 //! Run: `cargo bench -p mbp-bench --bench sim_speed`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
 use cbp5_sim::{run_framework_text, McbpAdapter};
 use champsim_lite::{ChampsimConfig, Cpu, TargetPredictorChoice};
+use mbp_bench::harness::{BenchGroup, Throughput};
 use mbp_bench::table3_predictors;
 use mbp_core::{simulate, Predictor, SimConfig, SliceSource};
 use mbp_predictors::{Batage, BatageConfig, Gshare};
 use mbp_trace::translate;
 use mbp_workloads::{ProgramParams, TraceGenerator};
 
-struct Dyn(Box<dyn Predictor>);
+struct Dyn(Box<dyn Predictor + Send>);
 
 impl Predictor for Dyn {
     fn predict(&mut self, ip: u64) -> bool {
@@ -27,35 +26,33 @@ impl Predictor for Dyn {
     }
 }
 
-fn bench_simulators(c: &mut Criterion) {
-    let records = TraceGenerator::from_params(&ProgramParams::server(), 0xbe_ec)
-        .take_instructions(400_000);
+fn main() {
+    let records =
+        TraceGenerator::from_params(&ProgramParams::server(), 0xbe_ec).take_instructions(400_000);
     let instructions: u64 = records.iter().map(|r| r.instructions()).sum();
     let bt9 = translate::records_to_bt9(&records);
 
     // MBPlib simulator per predictor (the top half of Table III).
-    let mut group = c.benchmark_group("mbplib_simulator");
+    let mut group = BenchGroup::new("mbplib_simulator");
     group.throughput(Throughput::Elements(instructions));
     for (name, build) in table3_predictors() {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let mut predictor = build();
-                let mut source = SliceSource::new(&records);
-                simulate(&mut source, &mut *predictor, &SimConfig::default()).expect("sim")
-            })
+        group.bench_function(name, || {
+            let mut predictor = build();
+            let mut source = SliceSource::new(&records);
+            simulate(&mut source, &mut *predictor, &SimConfig::default()).expect("sim")
         });
     }
     group.finish();
 
     // CBP5 framework on the same stream (text parse + graph indirection).
-    let mut group = c.benchmark_group("cbp5_framework");
-    group.throughput(Throughput::Elements(instructions));
+    let mut group = BenchGroup::new("cbp5_framework");
+    group
+        .sample_size(5)
+        .throughput(Throughput::Elements(instructions));
     for (name, build) in table3_predictors() {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let mut predictor = McbpAdapter::new(Dyn(build()));
-                run_framework_text(&bt9, &mut predictor).expect("framework")
-            })
+        group.bench_function(name, || {
+            let mut predictor = McbpAdapter::new(Dyn(build()));
+            run_framework_text(&bt9, &mut predictor).expect("framework")
         });
     }
     group.finish();
@@ -64,31 +61,25 @@ fn bench_simulators(c: &mut Criterion) {
     // and their runtimes should be nearly identical, because the predictor
     // is a rounding error inside a cycle simulator.
     let champ = translate::records_to_champsim(&records).expect("in-memory");
-    let mut group = c.benchmark_group("champsim_lite");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(instructions));
-    group.bench_function("GShare", |b| {
-        b.iter(|| {
-            let mut cpu = Cpu::new(
-                ChampsimConfig::ice_lake_like(),
-                Box::new(Gshare::new(25, 18)),
-                TargetPredictorChoice::btb_with_gshare_indirect(),
-            );
-            cpu.run_bytes(&champ).expect("run")
-        })
+    let mut group = BenchGroup::new("champsim_lite");
+    group
+        .sample_size(5)
+        .throughput(Throughput::Elements(instructions));
+    group.bench_function("GShare", || {
+        let mut cpu = Cpu::new(
+            ChampsimConfig::ice_lake_like(),
+            Box::new(Gshare::new(25, 18)),
+            TargetPredictorChoice::btb_with_gshare_indirect(),
+        );
+        cpu.run_bytes(&champ).expect("run")
     });
-    group.bench_function("BATAGE", |b| {
-        b.iter(|| {
-            let mut cpu = Cpu::new(
-                ChampsimConfig::ice_lake_like(),
-                Box::new(Batage::new(BatageConfig::default_64kb())),
-                TargetPredictorChoice::btb_with_ittage(),
-            );
-            cpu.run_bytes(&champ).expect("run")
-        })
+    group.bench_function("BATAGE", || {
+        let mut cpu = Cpu::new(
+            ChampsimConfig::ice_lake_like(),
+            Box::new(Batage::new(BatageConfig::default_64kb())),
+            TargetPredictorChoice::btb_with_ittage(),
+        );
+        cpu.run_bytes(&champ).expect("run")
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_simulators);
-criterion_main!(benches);

@@ -39,16 +39,35 @@ fn main() {
 
     let mut rows = Vec::new();
 
-    let (n, orig, trans) = measure(&Suite::cbp5_training(scale), false, |b| b.bt9_mgz.len() as u64);
-    rows.push(Row { set: "CBP5 - Training", traces: n, original: orig, translated: trans });
+    let (n, orig, trans) = measure(&Suite::cbp5_training(scale), false, |b| {
+        b.bt9_mgz.len() as u64
+    });
+    rows.push(Row {
+        set: "CBP5 - Training",
+        traces: n,
+        original: orig,
+        translated: trans,
+    });
 
-    let (n, orig, trans) = measure(&Suite::cbp5_evaluation(scale), false, |b| b.bt9_mgz.len() as u64);
-    rows.push(Row { set: "CBP5 - Evaluation", traces: n, original: orig, translated: trans });
+    let (n, orig, trans) = measure(&Suite::cbp5_evaluation(scale), false, |b| {
+        b.bt9_mgz.len() as u64
+    });
+    rows.push(Row {
+        set: "CBP5 - Evaluation",
+        traces: n,
+        original: orig,
+        translated: trans,
+    });
 
     let (n, orig, trans) = measure(&Suite::dpc3(scale), true, |b| {
         b.champsim_mgz.as_ref().expect("built full").len() as u64
     });
-    rows.push(Row { set: "DPC3", traces: n, original: orig, translated: trans });
+    rows.push(Row {
+        set: "DPC3",
+        traces: n,
+        original: orig,
+        translated: trans,
+    });
 
     println!(
         "{:<20} {:>7} {:>14} {:>16} {:>10}",

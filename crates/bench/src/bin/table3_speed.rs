@@ -27,11 +27,7 @@ use mbp_workloads::Suite;
 
 /// Runs one predictor configuration through both simulators over the whole
 /// suite, monomorphized so the predictor inlines into the hot loops.
-fn compare<P: Predictor>(
-    name: &str,
-    bundles: &[TraceBundle],
-    make: impl Fn() -> P,
-) {
+fn compare<P: Predictor>(name: &str, bundles: &[TraceBundle], make: impl Fn() -> P) {
     let mut cbp5_times = Vec::new();
     let mut mbp_times = Vec::new();
     let mut cbp5_mis = 0u64;
@@ -81,7 +77,11 @@ fn main() {
     println!("Table III — simulation time, MBPlib vs CBP5 framework (scale {scale})\n");
     let bundles = TraceBundle::build_suite(&Suite::cbp5_training(scale));
     let total_instr: u64 = bundles.iter().map(|b| b.instructions).sum();
-    println!("{} traces, {} total instructions\n", bundles.len(), total_instr);
+    println!(
+        "{} traces, {} total instructions\n",
+        bundles.len(),
+        total_instr
+    );
     println!(
         "{:<13} {:>9} {:>12} {:>12} {:>9}",
         "Predictor", "", "CBP5", "MBPlib", "Speedup"
@@ -94,9 +94,13 @@ fn main() {
     compare("2bc-gskew", &bundles, || TwoBcGskew::new(16, 16));
     compare("Hashed Perc", &bundles, HashedPerceptron::default_config);
     compare("TAGE", &bundles, || Tage::new(TageConfig::default_64kb()));
-    compare("BATAGE", &bundles, || Batage::new(BatageConfig::default_64kb()));
+    compare("BATAGE", &bundles, || {
+        Batage::new(BatageConfig::default_64kb())
+    });
 
-    println!("\nTable III (bottom) — ChampSim-like cycle simulation, {champsim_cap} instructions\n");
+    println!(
+        "\nTable III (bottom) — ChampSim-like cycle simulation, {champsim_cap} instructions\n"
+    );
     let dpc3 = TraceBundle::build_suite_full(&Suite::dpc3(scale));
     for (name, direction, targets) in [
         (
@@ -137,7 +141,10 @@ fn main() {
         }
         let champ = Summary::of(&champ_times);
         let mbp = Summary::of(&mbp_times);
-        println!("{name:<13} {:>10} {:>12} {:>12} {:>9}", "", "ChampSim", "MBPlib", "Speedup");
+        println!(
+            "{name:<13} {:>10} {:>12} {:>12} {:>9}",
+            "", "ChampSim", "MBPlib", "Speedup"
+        );
         for (label, c, m) in [
             ("Slowest", champ.slowest, mbp.slowest),
             ("Average", champ.average, mbp.average),

@@ -1,0 +1,112 @@
+//! A `std`-only micro-benchmark harness with a criterion-like surface.
+//!
+//! The `[[bench]]` targets under `benches/` are plain `harness = false`
+//! binaries driven by this module: named groups, per-function throughput
+//! annotations, and fastest/mean/slowest reporting via [`crate::Summary`].
+//! Keeping the harness in-tree means `cargo bench` needs nothing from
+//! crates.io, so it works in the same offline environment as the tier-1
+//! build.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+use crate::{fmt_time, Summary};
+
+/// Work performed per benchmark iteration, used to derive a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Records/instructions processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of related benchmark functions sharing a sample count and
+/// throughput annotation.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchGroup {
+    /// Starts a group and prints its header.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("\n== {name} ==");
+        Self {
+            name,
+            samples: 10,
+            throughput: None,
+        }
+    }
+
+    /// Sets how many timed iterations each function runs (default 10).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Annotates the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `f` once as warm-up and then `samples` timed iterations,
+    /// printing the timing summary, and returns the summary for callers
+    /// that derive their own statistics (e.g. speedup ratios).
+    pub fn bench_function<T>(&mut self, id: &str, mut f: impl FnMut() -> T) -> Summary {
+        black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed().as_secs_f64());
+        }
+        let summary = Summary::of(&times);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>8.1} Minstr/s", n as f64 / summary.average / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>8.1} MB/s",
+                    n as f64 / summary.average / (1024.0 * 1024.0)
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<28} fastest {:>10}  mean {:>10}  slowest {:>10}{rate}",
+            self.name,
+            fmt_time(summary.fastest),
+            fmt_time(summary.average),
+            fmt_time(summary.slowest),
+        );
+        summary
+    }
+
+    /// Ends the group (kept for symmetry with the criterion API).
+    pub fn finish(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_requested_samples() {
+        let mut group = BenchGroup::new("harness_selftest");
+        group.sample_size(3).throughput(Throughput::Elements(1000));
+        let mut calls = 0u32;
+        let summary = group.bench_function("counting", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 4, "one warm-up plus three samples");
+        assert!(summary.fastest <= summary.average);
+        assert!(summary.average <= summary.slowest);
+    }
+}

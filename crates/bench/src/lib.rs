@@ -13,6 +13,8 @@ use mbp_core::Predictor;
 use mbp_trace::{translate, BranchRecord};
 use mbp_workloads::{Suite, TraceSpec};
 
+pub mod harness;
+
 /// A trace materialized in every on-disk representation the evaluation
 /// compares.
 pub struct TraceBundle {
@@ -58,19 +60,14 @@ impl TraceBundle {
         let bt9 = translate::records_to_bt9(&records);
         let champsim = with_champsim
             .then(|| translate::records_to_champsim(&records).expect("in-memory write"));
-        let raw_sizes = (
-            sbbt.len(),
-            bt9.len(),
-            champsim.as_ref().map_or(0, Vec::len),
-        );
+        let raw_sizes = (sbbt.len(), bt9.len(), champsim.as_ref().map_or(0, Vec::len));
         TraceBundle {
             name: spec.name.clone(),
             instructions,
             sbbt_mzst: compress(&sbbt, Codec::Mzst, 22).expect("level valid"),
             bt9_mgz: compress(bt9.as_bytes(), Codec::Mgz, 6).expect("level valid"),
             bt9_mzst: compress(bt9.as_bytes(), Codec::Mzst, 22).expect("level valid"),
-            champsim_mgz: champsim
-                .map(|c| compress(&c, Codec::Mgz, 6).expect("level valid")),
+            champsim_mgz: champsim.map(|c| compress(&c, Codec::Mgz, 6).expect("level valid")),
             records,
             raw_sizes,
         }
@@ -148,27 +145,50 @@ pub fn fmt_bytes(bytes: u64) -> String {
     }
 }
 
+/// A factory building one fresh predictor per benchmark iteration. The
+/// boxes are `Send` so they can feed `mbp_core::simulate_many` directly.
+pub type PredictorFactory = Box<dyn Fn() -> Box<dyn Predictor + Send>>;
+
 /// The eight predictor configurations of Table III, in table order, at
 /// their ~64 kB benchmark budgets.
-pub fn table3_predictors() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn Predictor>>)> {
+pub fn table3_predictors() -> Vec<(&'static str, PredictorFactory)> {
     use mbp_predictors::*;
     vec![
-        ("Bimodal", Box::new(|| Box::new(Bimodal::new(18)) as Box<dyn Predictor>)),
-        ("Two-Level", Box::new(|| Box::new(TwoLevel::gas(12, 6, 0)) as Box<dyn Predictor>)),
-        ("GShare", Box::new(|| Box::new(Gshare::new(25, 18)) as Box<dyn Predictor>)),
-        ("Tournament", Box::new(|| Box::new(Tournament::classic(16)) as Box<dyn Predictor>)),
-        ("2bc-gskew", Box::new(|| Box::new(TwoBcGskew::new(16, 16)) as Box<dyn Predictor>)),
+        (
+            "Bimodal",
+            Box::new(|| Box::new(Bimodal::new(18)) as Box<dyn Predictor + Send>),
+        ),
+        (
+            "Two-Level",
+            Box::new(|| Box::new(TwoLevel::gas(12, 6, 0)) as Box<dyn Predictor + Send>),
+        ),
+        (
+            "GShare",
+            Box::new(|| Box::new(Gshare::new(25, 18)) as Box<dyn Predictor + Send>),
+        ),
+        (
+            "Tournament",
+            Box::new(|| Box::new(Tournament::classic(16)) as Box<dyn Predictor + Send>),
+        ),
+        (
+            "2bc-gskew",
+            Box::new(|| Box::new(TwoBcGskew::new(16, 16)) as Box<dyn Predictor + Send>),
+        ),
         (
             "Hashed Perc",
-            Box::new(|| Box::new(HashedPerceptron::default_config()) as Box<dyn Predictor>),
+            Box::new(|| Box::new(HashedPerceptron::default_config()) as Box<dyn Predictor + Send>),
         ),
         (
             "TAGE",
-            Box::new(|| Box::new(Tage::new(TageConfig::default_64kb())) as Box<dyn Predictor>),
+            Box::new(|| {
+                Box::new(Tage::new(TageConfig::default_64kb())) as Box<dyn Predictor + Send>
+            }),
         ),
         (
             "BATAGE",
-            Box::new(|| Box::new(Batage::new(BatageConfig::default_64kb())) as Box<dyn Predictor>),
+            Box::new(|| {
+                Box::new(Batage::new(BatageConfig::default_64kb())) as Box<dyn Predictor + Send>
+            }),
         ),
     ]
 }
@@ -213,7 +233,10 @@ mod tests {
         assert!(bundle.sbbt_mzst.len() > 8);
         assert!(bundle.bt9_mgz.len() > 8);
         assert!(bundle.champsim_mgz.as_ref().unwrap().len() > 8);
-        assert!(bundle.raw_sizes.2 > bundle.raw_sizes.0, "champsim raw biggest");
+        assert!(
+            bundle.raw_sizes.2 > bundle.raw_sizes.0,
+            "champsim raw biggest"
+        );
     }
 
     #[test]

@@ -100,15 +100,18 @@ pub fn run_framework_text<P: CbpPredictor>(
         if line == "EOF" {
             break;
         }
-        let edge: u32 = line
-            .parse()
-            .map_err(|_| TraceError::Invalid { what: "bad sequence entry", position: 0 })?;
-        let &(node, taken, target, gap) = edges
-            .get(&edge)
-            .ok_or(TraceError::Invalid { what: "dangling edge", position: 0 })?;
-        let &(pc, op) = nodes
-            .get(&node)
-            .ok_or(TraceError::Invalid { what: "dangling node", position: 0 })?;
+        let edge: u32 = line.parse().map_err(|_| TraceError::Invalid {
+            what: "bad sequence entry",
+            position: 0,
+        })?;
+        let &(node, taken, target, gap) = edges.get(&edge).ok_or(TraceError::Invalid {
+            what: "dangling edge",
+            position: 0,
+        })?;
+        let &(pc, op) = nodes.get(&node).ok_or(TraceError::Invalid {
+            what: "dangling node",
+            position: 0,
+        })?;
 
         result.instructions += gap as u64 + 1;
         result.num_branches += 1;
@@ -149,8 +152,7 @@ pub fn run_framework<P: CbpPredictor, R: Read>(
     predictor: &mut P,
 ) -> Result<Cbp5Result, TraceError> {
     let data = DecompressReader::new(source)?.into_bytes();
-    let text =
-        String::from_utf8(data).map_err(|_| TraceError::BadSignature { format: "BT9" })?;
+    let text = String::from_utf8(data).map_err(|_| TraceError::BadSignature { format: "BT9" })?;
     run_framework_text(&text, predictor)
 }
 
@@ -230,7 +232,10 @@ mod tests {
         .unwrap();
 
         assert_eq!(fw.mispredictions, lib.metrics.mispredictions);
-        assert_eq!(fw.num_conditional_branches, lib.metadata.num_conditional_branches);
+        assert_eq!(
+            fw.num_conditional_branches,
+            lib.metadata.num_conditional_branches
+        );
         assert_eq!(fw.instructions, lib.metadata.simulation_instr);
         assert_eq!(fw.mpki, lib.metrics.mpki);
     }
@@ -238,10 +243,7 @@ mod tests {
     #[test]
     fn unconditional_branches_are_tracked_not_predicted() {
         let recs = vec![
-            BranchRecord::new(
-                Branch::new(0x10, 0x20, Opcode::call(), true),
-                0,
-            ),
+            BranchRecord::new(Branch::new(0x10, 0x20, Opcode::call(), true), 0),
             BranchRecord::new(
                 Branch::new(0x30, 0x40, Opcode::conditional_direct(), true),
                 0,
@@ -263,8 +265,7 @@ mod tests {
     fn runs_from_compressed_source() {
         let recs = sample_records(100);
         let text = bt9_text(&recs);
-        let packed =
-            mbp_compress::compress(text.as_bytes(), mbp_compress::Codec::Mgz, 6).unwrap();
+        let packed = mbp_compress::compress(text.as_bytes(), mbp_compress::Codec::Mgz, 6).unwrap();
         let mut p = McbpAdapter::new(Bimodal::new(8));
         let r = run_framework(&packed[..], &mut p).unwrap();
         assert_eq!(r.num_branches, 100);

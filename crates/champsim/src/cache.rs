@@ -43,7 +43,13 @@ impl CacheConfig {
     pub fn new(name: &'static str, sets: usize, ways: usize, latency: u64) -> Self {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
         assert!(ways > 0, "ways must be positive");
-        Self { name, sets, ways, latency, replacement: Replacement::Lru }
+        Self {
+            name,
+            sets,
+            ways,
+            latency,
+            replacement: Replacement::Lru,
+        }
     }
 
     /// Switches the level to the given replacement policy.
@@ -65,7 +71,7 @@ impl CacheConfig {
 
     /// Total capacity in bytes (64-byte blocks).
     pub fn capacity_bytes(&self) -> usize {
-        self.sets * self.ways << BLOCK_SHIFT
+        (self.sets * self.ways) << BLOCK_SHIFT
     }
 }
 
@@ -220,12 +226,24 @@ impl Hierarchy {
 
     /// Total latency of an instruction fetch at `addr`.
     pub fn access_instruction(&mut self, addr: u64) -> u64 {
-        Self::walk(&mut self.l1i, &mut self.l2, &mut self.llc, self.dram_latency, addr)
+        Self::walk(
+            &mut self.l1i,
+            &mut self.l2,
+            &mut self.llc,
+            self.dram_latency,
+            addr,
+        )
     }
 
     /// Total latency of a data access at `addr`.
     pub fn access_data(&mut self, addr: u64) -> u64 {
-        Self::walk(&mut self.l1d, &mut self.l2, &mut self.llc, self.dram_latency, addr)
+        Self::walk(
+            &mut self.l1d,
+            &mut self.l2,
+            &mut self.llc,
+            self.dram_latency,
+            addr,
+        )
     }
 }
 
@@ -279,9 +297,8 @@ mod tests {
 
     #[test]
     fn plru_cache_hits_on_repeat_and_bounds_capacity() {
-        let mut c = Cache::new(
-            CacheConfig::new("L", 2, 4, 1).with_replacement(Replacement::TreePlru),
-        );
+        let mut c =
+            Cache::new(CacheConfig::new("L", 2, 4, 1).with_replacement(Replacement::TreePlru));
         for i in 0..8u64 {
             assert!(!c.access(i), "cold access must miss");
         }
@@ -301,9 +318,8 @@ mod tests {
     fn plru_and_lru_agree_on_small_working_sets() {
         // While the working set fits, policy cannot matter.
         let mut lru = Cache::new(CacheConfig::new("L", 4, 4, 1));
-        let mut plru = Cache::new(
-            CacheConfig::new("L", 4, 4, 1).with_replacement(Replacement::TreePlru),
-        );
+        let mut plru =
+            Cache::new(CacheConfig::new("L", 4, 4, 1).with_replacement(Replacement::TreePlru));
         for round in 0..10 {
             for i in 0..12u64 {
                 assert_eq!(lru.access(i), plru.access(i), "round {round} block {i}");

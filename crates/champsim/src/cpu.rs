@@ -68,7 +68,12 @@ impl Cpu {
             cfg.llc.clone(),
             cfg.dram_latency,
         );
-        Self { cfg, predictor, targets, hierarchy }
+        Self {
+            cfg,
+            predictor,
+            targets,
+            hierarchy,
+        }
     }
 
     /// Simulates an in-memory ChampSim-format trace.
@@ -234,8 +239,8 @@ impl Cpu {
                             ok
                         }
                         (_, true) => {
-                            let ok = self.targets.indirect.predict_target(rec.ip)
-                                == Some(actual_target);
+                            let ok =
+                                self.targets.indirect.predict_target(rec.ip) == Some(actual_target);
                             if !ok {
                                 flush = true;
                             }
@@ -244,8 +249,7 @@ impl Cpu {
                         (_, false) => {
                             // Direct branches: a BTB miss costs a decode
                             // bubble, not a full pipeline flush.
-                            let ok =
-                                self.targets.btb.predict_target(rec.ip) == Some(actual_target);
+                            let ok = self.targets.btb.predict_target(rec.ip) == Some(actual_target);
                             if !ok {
                                 bubble = true;
                             }
@@ -263,8 +267,7 @@ impl Cpu {
                 self.targets.ras.on_branch(&branch);
 
                 if flush {
-                    stall_until = stall_until
-                        .max(completion + self.cfg.mispredict_flush_penalty);
+                    stall_until = stall_until.max(completion + self.cfg.mispredict_flush_penalty);
                 } else if bubble {
                     stall_until = stall_until.max(fetch_cycle + self.cfg.btb_miss_penalty);
                 }
@@ -315,10 +318,7 @@ mod tests {
         w.finish().unwrap()
     }
 
-    fn run_with(
-        predictor: Box<dyn Predictor>,
-        trace: &[u8],
-    ) -> ChampsimStats {
+    fn run_with(predictor: Box<dyn Predictor>, trace: &[u8]) -> ChampsimStats {
         let mut cpu = Cpu::new(
             ChampsimConfig::tiny(),
             predictor,
@@ -407,7 +407,11 @@ mod tests {
             "a serial chain cannot exceed 1 IPC, got {:.3}",
             stats.ipc
         );
-        assert!(stats.ipc > 0.8, "chain should still sustain ~1 IPC, got {:.3}", stats.ipc);
+        assert!(
+            stats.ipc > 0.8,
+            "chain should still sustain ~1 IPC, got {:.3}",
+            stats.ipc
+        );
     }
 
     #[test]

@@ -78,8 +78,7 @@ pub struct PipelineModel {
 /// assert!((speedup - 0.30 / 0.29).abs() < 1e-9);
 /// ```
 pub fn cpi_model(pipeline: PipelineModel, mpki: f64) -> f64 {
-    1.0 / pipeline.fetch_width as f64
-        + mpki / 1000.0 * (pipeline.branch_stage as f64 - 1.0)
+    1.0 / pipeline.fetch_width as f64 + mpki / 1000.0 * (pipeline.branch_stage as f64 - 1.0)
 }
 
 #[cfg(test)]
@@ -88,8 +87,14 @@ mod tests {
 
     #[test]
     fn section2_numbers_reproduce() {
-        let narrow = PipelineModel { fetch_width: 1, branch_stage: 5 };
-        let wide = PipelineModel { fetch_width: 4, branch_stage: 11 };
+        let narrow = PipelineModel {
+            fetch_width: 1,
+            branch_stage: 5,
+        };
+        let wide = PipelineModel {
+            fetch_width: 4,
+            branch_stage: 11,
+        };
         assert!((cpi_model(narrow, 5.0) - 1.02).abs() < 1e-12);
         assert!((cpi_model(narrow, 4.0) - 1.016).abs() < 1e-12);
         assert!((cpi_model(wide, 5.0) - 0.30).abs() < 1e-12);
@@ -104,7 +109,12 @@ mod tests {
 
     #[test]
     fn stats_json_sections() {
-        let s = ChampsimStats { instructions: 100, cycles: 50, ipc: 2.0, ..Default::default() };
+        let s = ChampsimStats {
+            instructions: 100,
+            cycles: 50,
+            ipc: 2.0,
+            ..Default::default()
+        };
         let v = s.to_json();
         assert_eq!(v["metrics"]["ipc"].as_f64(), Some(2.0));
         assert!(v["caches"]["l1d"]["accesses"].as_u64().is_some());

@@ -44,7 +44,9 @@ pub(crate) fn checksum64(data: &[u8]) -> u64 {
             *lane = mix(*lane ^ v);
         }
     }
-    let mut h = mix(lanes[0] ^ lanes[1].rotate_left(17) ^ lanes[2].rotate_left(31)
+    let mut h = mix(lanes[0]
+        ^ lanes[1].rotate_left(17)
+        ^ lanes[2].rotate_left(31)
         ^ lanes[3].rotate_left(47));
     let mut chunks = blocks.remainder().chunks_exact(8);
     for c in &mut chunks {
@@ -59,11 +61,7 @@ pub(crate) fn checksum64(data: &[u8]) -> u64 {
     h
 }
 
-pub(crate) fn compress(
-    data: &[u8],
-    magic: [u8; 4],
-    params: &MatchParams,
-) -> Vec<u8> {
+pub(crate) fn compress(data: &[u8], magic: [u8; 4], params: &MatchParams) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 3 + 64);
     out.extend_from_slice(&magic);
     out.extend_from_slice(&(data.len() as u64).to_le_bytes());

@@ -22,9 +22,26 @@ pub(crate) const NUM_DIST: usize = 40;
 
 /// `(base, extra_bits)` per length code, for match lengths starting at 4.
 pub(crate) const LEN_TABLE: [(u32, u32); NUM_LEN_CODES] = [
-    (4, 0), (5, 0), (6, 0), (7, 0), (8, 1), (10, 1), (12, 2), (16, 2),
-    (20, 3), (28, 3), (36, 4), (52, 4), (68, 5), (100, 5), (132, 6), (196, 6),
-    (260, 7), (388, 8), (644, 9), (1156, 10),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 1),
+    (10, 1),
+    (12, 2),
+    (16, 2),
+    (20, 3),
+    (28, 3),
+    (36, 4),
+    (52, 4),
+    (68, 5),
+    (100, 5),
+    (132, 6),
+    (196, 6),
+    (260, 7),
+    (388, 8),
+    (644, 9),
+    (1156, 10),
 ];
 
 const fn dist_table() -> [(u32, u32); NUM_DIST] {
@@ -56,7 +73,7 @@ pub(crate) fn len_code(len: usize) -> usize {
 }
 
 pub(crate) fn dist_code(dist: usize) -> usize {
-    debug_assert!(dist >= 1 && dist <= (1 << 20));
+    debug_assert!((1..=(1 << 20)).contains(&dist));
     let mut code = NUM_DIST - 1;
     for (i, &(base, _)) in DIST_TABLE.iter().enumerate() {
         if (dist as u32) < base {
@@ -77,7 +94,11 @@ pub(crate) struct BitWriter {
 
 impl BitWriter {
     pub(crate) fn new(out: Vec<u8>) -> Self {
-        Self { out, acc: 0, nbits: 0 }
+        Self {
+            out,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Writes `n` bits of `v`, LSB of `v` first.
@@ -117,7 +138,12 @@ pub(crate) struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     pub(crate) fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0, acc: 0, nbits: 0 }
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     pub(crate) fn get(&mut self, n: u32) -> Result<u64, CompressError> {
@@ -432,7 +458,11 @@ mod tests {
     fn huffman_is_prefix_free_and_complete() {
         let freqs: Vec<u64> = (1..=64u64).collect();
         let lens = huffman_lengths(&freqs);
-        let kraft: f64 = lens.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
         assert!((kraft - 1.0).abs() < 1e-9, "kraft = {kraft}");
         assert!(lens.iter().all(|&l| l <= MAX_CODE_LEN));
     }

@@ -27,7 +27,11 @@ impl fmt::Display for CompressError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompressError::BadLevel { codec, level } => {
-                write!(f, "invalid {codec} level {level} (valid: 1..={})", codec.max_level())
+                write!(
+                    f,
+                    "invalid {codec} level {level} (valid: 1..={})",
+                    codec.max_level()
+                )
             }
             CompressError::BadMagic => write!(f, "unknown compression magic"),
             CompressError::Truncated => write!(f, "compressed stream is truncated"),

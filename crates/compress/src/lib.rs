@@ -112,10 +112,7 @@ pub fn detect(data: &[u8]) -> Option<Codec> {
 /// codec's [`max_level`](Codec::max_level).
 pub fn compress(data: &[u8], codec: Codec, level: u32) -> Result<Vec<u8>, CompressError> {
     if level == 0 || level > codec.max_level() {
-        return Err(CompressError::BadLevel {
-            codec,
-            level,
-        });
+        return Err(CompressError::BadLevel { codec, level });
     }
     Ok(match codec {
         Codec::Mgz => mgz::compress(data, level),
@@ -140,24 +137,25 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
+    use mbp_utils::Xorshift64;
 
     fn trace_like_data(n: usize) -> Vec<u8> {
         // Synthetic SBBT-like content: repeating 16-byte records drawn from a
         // small working set of "branches", exercising realistic match
         // structure instead of pure noise.
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let mut rng = Xorshift64::new(42);
         let branches: Vec<[u8; 16]> = (0..64)
             .map(|_| {
                 let mut r = [0u8; 16];
-                rng.fill(&mut r);
+                for chunk in r.chunks_mut(8) {
+                    chunk.copy_from_slice(&rng.next_u64().to_le_bytes()[..chunk.len()]);
+                }
                 r
             })
             .collect();
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
-            let b = &branches[rng.gen_range(0..branches.len())];
+            let b = &branches[rng.below(branches.len() as u64) as usize];
             out.extend_from_slice(b);
         }
         out.truncate(n);
@@ -184,8 +182,8 @@ mod tests {
 
     #[test]
     fn incompressible_input_survives() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
-        let data: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        let mut rng = Xorshift64::new(7);
+        let data: Vec<u8> = (0..50_000).map(|_| rng.next_u64() as u8).collect();
         for codec in [Codec::Mgz, Codec::Mzst] {
             let packed = compress(&data, codec, 3).unwrap();
             assert_eq!(decompress(&packed).unwrap(), data);
@@ -207,7 +205,10 @@ mod tests {
 
     #[test]
     fn rejects_unknown_magic() {
-        assert!(matches!(decompress(b"NOPE1234"), Err(CompressError::BadMagic)));
+        assert!(matches!(
+            decompress(b"NOPE1234"),
+            Err(CompressError::BadMagic)
+        ));
         assert!(decompress(&[]).is_err());
     }
 
@@ -285,25 +286,32 @@ mod tests {
         ));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    // Deterministic property sweeps (offline stand-in for proptest).
 
-        #[test]
-        fn roundtrip_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096), mzst_level in 1u32..=22) {
+    #[test]
+    fn roundtrip_arbitrary_bytes() {
+        let mut rng = Xorshift64::new(0xa5b1_0001);
+        for case in 0..64u32 {
+            let n = rng.below(4096) as usize;
+            let data: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+            let mzst_level = 1 + case % 22;
             let packed = compress(&data, Codec::Mzst, mzst_level).unwrap();
-            prop_assert_eq!(decompress(&packed).unwrap(), data.clone());
+            assert_eq!(decompress(&packed).unwrap(), data);
             let packed = compress(&data, Codec::Mgz, 1 + mzst_level % 9).unwrap();
-            prop_assert_eq!(decompress(&packed).unwrap(), data);
+            assert_eq!(decompress(&packed).unwrap(), data);
         }
+    }
 
-        #[test]
-        fn roundtrip_repetitive(seed in any::<u64>(), n in 0usize..20_000) {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-            let alphabet = [b'a', b'b', b'c', b'd'];
-            let data: Vec<u8> = (0..n).map(|_| alphabet[rng.gen_range(0..4)]).collect();
+    #[test]
+    fn roundtrip_repetitive() {
+        let mut rng = Xorshift64::new(0xa5b1_0002);
+        let alphabet = [b'a', b'b', b'c', b'd'];
+        for _ in 0..24 {
+            let n = rng.below(20_000) as usize;
+            let data: Vec<u8> = (0..n).map(|_| alphabet[rng.below(4) as usize]).collect();
             for codec in [Codec::Mgz, Codec::Mzst] {
                 let packed = compress(&data, codec, 4).unwrap();
-                prop_assert_eq!(&decompress(&packed).unwrap(), &data);
+                assert_eq!(&decompress(&packed).unwrap(), &data);
             }
         }
     }

@@ -49,7 +49,12 @@ pub(crate) fn parse(data: &[u8], params: &MatchParams) -> Vec<Sequence> {
     let mut seqs = Vec::new();
     let n = data.len();
     if n == 0 {
-        seqs.push(Sequence { lit_start: 0, lit_len: 0, match_len: 0, match_dist: 0 });
+        seqs.push(Sequence {
+            lit_start: 0,
+            lit_len: 0,
+            match_len: 0,
+            match_dist: 0,
+        });
         return seqs;
     }
 
@@ -156,7 +161,7 @@ pub(crate) fn parse(data: &[u8], params: &MatchParams) -> Vec<Sequence> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mbp_utils::Xorshift64;
 
     fn params(max_chain: usize, lazy: bool) -> MatchParams {
         MatchParams {
@@ -212,7 +217,7 @@ mod tests {
         let mut p = params(64, false);
         p.window = 8;
         let mut data = b"ABCDEFGH".to_vec();
-        data.extend(std::iter::repeat(b'x').take(32));
+        data.extend(std::iter::repeat_n(b'x', 32));
         data.extend_from_slice(b"ABCDEFGH");
         let seqs = parse(&data, &p);
         assert_eq!(reconstruct(&data, &seqs), data);
@@ -221,21 +226,30 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn parse_reconstructs_input(
-            data in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', 0u8, 255u8]), 0..2000),
-            chain in 1usize..64,
-            lazy in any::<bool>(),
-        ) {
-            let seqs = parse(&data, &params(chain, lazy));
-            prop_assert_eq!(reconstruct(&data, &seqs), data);
-        }
+    // Deterministic property sweeps (offline stand-in for proptest).
 
-        #[test]
-        fn parse_reconstructs_random(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+    #[test]
+    fn parse_reconstructs_input() {
+        let alphabet = [b'a', b'b', b'c', 0u8, 255u8];
+        let mut rng = Xorshift64::new(0x1255_0001);
+        for _ in 0..64 {
+            let n = rng.below(2000) as usize;
+            let data: Vec<u8> = (0..n).map(|_| alphabet[rng.below(5) as usize]).collect();
+            let chain = rng.range_inclusive(1, 63) as usize;
+            let lazy = rng.next_bool();
+            let seqs = parse(&data, &params(chain, lazy));
+            assert_eq!(reconstruct(&data, &seqs), data);
+        }
+    }
+
+    #[test]
+    fn parse_reconstructs_random() {
+        let mut rng = Xorshift64::new(0x1255_0002);
+        for _ in 0..64 {
+            let n = rng.below(2000) as usize;
+            let data: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
             let seqs = parse(&data, &params(32, true));
-            prop_assert_eq!(reconstruct(&data, &seqs), data);
+            assert_eq!(reconstruct(&data, &seqs), data);
         }
     }
 }

@@ -61,7 +61,9 @@ mod tests {
 
     #[test]
     fn decode_speed_independent_of_level_structurally() {
-        let data: Vec<u8> = (0..10_000u32).flat_map(|i| (i % 97).to_le_bytes()).collect();
+        let data: Vec<u8> = (0..10_000u32)
+            .flat_map(|i| (i % 97).to_le_bytes())
+            .collect();
         let low = compress(&data, 1);
         let high = compress(&data, 22);
         assert_eq!(decompress(&low).unwrap(), data);

@@ -149,8 +149,7 @@ impl<W: Write> CompressWriter<W> {
     /// Propagates I/O errors from the sink.
     pub fn finish(mut self) -> io::Result<W> {
         let mut sink = self.sink.take().expect("finish called once");
-        let packed =
-            compress(&self.buf, self.codec, self.level).map_err(io::Error::from)?;
+        let packed = compress(&self.buf, self.codec, self.level).map_err(io::Error::from)?;
         sink.write_all(&packed)?;
         sink.flush()?;
         Ok(sink)

@@ -114,43 +114,45 @@ where
     let mut conditional = 0u64;
     let mut mis = [0u64; 2];
     let mut only = [0u64; 2];
-    let mut per_branch: HashMap<u64, (u64, u64, u64), FastHashBuilder> =
-        HashMap::default();
+    let mut per_branch: HashMap<u64, (u64, u64, u64), FastHashBuilder> = HashMap::default();
+    let mut batch: Vec<mbp_trace::BranchRecord> = Vec::new();
 
-    while let Some(rec) = trace.next_record()? {
-        if let Some(max) = config.max_instructions {
-            if instructions >= max {
-                break;
+    'trace: while trace.fill_batch(&mut batch)? > 0 {
+        for rec in &batch {
+            if let Some(max) = config.max_instructions {
+                if instructions >= max {
+                    break 'trace;
+                }
             }
-        }
-        instructions += rec.instructions();
-        let in_measurement = instructions > config.warmup_instructions;
-        if in_measurement {
-            measured_instructions += rec.instructions();
-        }
-        let br = rec.branch;
-        if br.is_conditional() {
-            let pa = a.predict(br.ip());
-            let pb = b.predict(br.ip());
-            let wrong_a = pa != br.is_taken();
-            let wrong_b = pb != br.is_taken();
+            instructions += rec.instructions();
+            let in_measurement = instructions > config.warmup_instructions;
             if in_measurement {
-                conditional += 1;
-                mis[0] += wrong_a as u64;
-                mis[1] += wrong_b as u64;
-                only[0] += (wrong_a && !wrong_b) as u64;
-                only[1] += (wrong_b && !wrong_a) as u64;
-                let e = per_branch.entry(br.ip()).or_insert((0, 0, 0));
-                e.0 += 1;
-                e.1 += wrong_a as u64;
-                e.2 += wrong_b as u64;
+                measured_instructions += rec.instructions();
             }
-            a.train(&br);
-            b.train(&br);
-        }
-        if !config.track_only_conditional || br.is_conditional() {
-            a.track(&br);
-            b.track(&br);
+            let br = rec.branch;
+            if br.is_conditional() {
+                let pa = a.predict(br.ip());
+                let pb = b.predict(br.ip());
+                let wrong_a = pa != br.is_taken();
+                let wrong_b = pb != br.is_taken();
+                if in_measurement {
+                    conditional += 1;
+                    mis[0] += wrong_a as u64;
+                    mis[1] += wrong_b as u64;
+                    only[0] += (wrong_a && !wrong_b) as u64;
+                    only[1] += (wrong_b && !wrong_a) as u64;
+                    let e = per_branch.entry(br.ip()).or_insert((0, 0, 0));
+                    e.0 += 1;
+                    e.1 += wrong_a as u64;
+                    e.2 += wrong_b as u64;
+                }
+                a.train(&br);
+                b.train(&br);
+            }
+            if !config.track_only_conditional || br.is_conditional() {
+                a.track(&br);
+                b.track(&br);
+            }
         }
     }
 

@@ -45,12 +45,14 @@ mod output;
 mod predictor;
 mod simulator;
 mod source;
+mod sweep;
 
 pub use compare::{simulate_comparison, ComparisonResult, DivergingBranch};
 pub use metrics::{BranchStat, Metrics, MostFailed};
 pub use predictor::Predictor;
-pub use simulator::{simulate, SimConfig, SimMetadata, SimResult};
-pub use source::{SliceSource, TraceSource, VecSource};
+pub use simulator::{simulate, simulate_scalar, SimConfig, SimMetadata, SimResult};
+pub use source::{SliceSource, TraceSource, VecSource, BATCH_RECORDS};
+pub use sweep::{simulate_many, SweepConfig, SweepEntry, SweepResult};
 
 // Re-export the vocabulary types so predictor crates depend on `mbp-core`
 // alone.

@@ -35,10 +35,54 @@ pub struct BranchStat {
     pub accuracy: f64,
 }
 
+/// Direct-mapped cache slots in front of the per-branch hash map. Static
+/// branch working sets are small (hundreds to a few thousand ips), so
+/// almost every dynamic occurrence hits its slot and costs two additions
+/// instead of a hash-map probe — this accumulator sits on the simulator's
+/// per-record hot path.
+const SLOT_BITS: u32 = 11;
+const SLOT_COUNT: usize = 1 << SLOT_BITS;
+/// Branch addresses are below 2^51 (SBBT packet layout), so `u64::MAX`
+/// can mark an empty slot.
+const EMPTY: u64 = u64::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    ip: u64,
+    occurrences: u64,
+    mispredictions: u64,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    ip: EMPTY,
+    occurrences: 0,
+    mispredictions: 0,
+};
+
 /// Accumulates per-branch outcomes and derives the most-failed report.
-#[derive(Clone, Debug, Default)]
+///
+/// Counts live in a direct-mapped slot array while a branch stays hot;
+/// conflicting branches spill into the hash map and are merged back when a
+/// report is derived, so totals are exact regardless of collisions.
+#[derive(Clone, Debug)]
 pub struct MostFailed {
-    per_branch: HashMap<u64, (u64, u64), FastHashBuilder>,
+    slots: Box<[Slot; SLOT_COUNT]>,
+    spilled: HashMap<u64, (u64, u64), FastHashBuilder>,
+}
+
+impl Default for MostFailed {
+    fn default() -> Self {
+        Self {
+            slots: Box::new([EMPTY_SLOT; SLOT_COUNT]),
+            spilled: HashMap::default(),
+        }
+    }
+}
+
+#[inline]
+fn slot_index(ip: u64) -> usize {
+    // Fibonacci hashing: one multiply, top bits as the index.
+    (ip.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - SLOT_BITS)) as usize
 }
 
 impl MostFailed {
@@ -48,21 +92,64 @@ impl MostFailed {
     }
 
     /// Records one measured conditional branch.
+    #[inline]
     pub fn record(&mut self, ip: u64, mispredicted: bool) {
-        let e = self.per_branch.entry(ip).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += mispredicted as u64;
+        let index = slot_index(ip);
+        if self.slots[index].ip != ip {
+            self.claim(index, ip);
+        }
+        let slot = &mut self.slots[index];
+        slot.occurrences += 1;
+        slot.mispredictions += mispredicted as u64;
     }
 
     /// Notes a static branch address without attributing an outcome
     /// (unconditional branches, or warm-up occurrences).
+    #[inline]
     pub fn note_static(&mut self, ip: u64) {
-        self.per_branch.entry(ip).or_insert((0, 0));
+        let index = slot_index(ip);
+        if self.slots[index].ip != ip {
+            self.claim(index, ip);
+        }
+    }
+
+    /// Evicts whatever occupies `index` into the spill map and claims the
+    /// slot for `ip` with zeroed counts.
+    #[cold]
+    fn claim(&mut self, index: usize, ip: u64) {
+        let slot = &mut self.slots[index];
+        if slot.ip != EMPTY {
+            let e = self.spilled.entry(slot.ip).or_insert((0, 0));
+            e.0 += slot.occurrences;
+            e.1 += slot.mispredictions;
+        }
+        *slot = Slot {
+            ip,
+            occurrences: 0,
+            mispredictions: 0,
+        };
+        // Spilled branches must keep their map entry even if they never
+        // return, so note_static semantics survive eviction; the new
+        // occupant gets its entry from the merge at report time.
+        self.spilled.entry(ip).or_insert((0, 0));
+    }
+
+    /// Merges live slots and spilled entries into exact per-branch totals.
+    fn merged(&self) -> HashMap<u64, (u64, u64), FastHashBuilder> {
+        let mut merged = self.spilled.clone();
+        for slot in self.slots.iter() {
+            if slot.ip != EMPTY {
+                let e = merged.entry(slot.ip).or_insert((0, 0));
+                e.0 += slot.occurrences;
+                e.1 += slot.mispredictions;
+            }
+        }
+        merged
     }
 
     /// Number of distinct measured branch addresses.
     pub fn distinct_branches(&self) -> u64 {
-        self.per_branch.len() as u64
+        self.merged().len() as u64
     }
 
     /// The minimum number of branches whose mispredictions sum to at least
@@ -72,7 +159,8 @@ impl MostFailed {
         if total_mispredictions == 0 {
             return 0;
         }
-        let mut counts: Vec<u64> = self.per_branch.values().map(|&(_, m)| m).collect();
+        let merged = self.merged();
+        let mut counts: Vec<u64> = merged.values().map(|&(_, m)| m).collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let mut acc = 0u64;
         for (i, m) in counts.iter().enumerate() {
@@ -88,10 +176,10 @@ impl MostFailed {
     /// `instructions` is the measured instruction count used for per-branch
     /// MPKI. Ties break toward lower addresses so output is deterministic.
     pub fn top(&self, limit: usize, instructions: u64) -> Vec<BranchStat> {
-        let mut entries: Vec<(&u64, &(u64, u64))> = self.per_branch.iter().collect();
-        entries.sort_unstable_by(|(ip_a, (_, ma)), (ip_b, (_, mb))| {
-            mb.cmp(ma).then(ip_a.cmp(ip_b))
-        });
+        let merged = self.merged();
+        let mut entries: Vec<(&u64, &(u64, u64))> = merged.iter().collect();
+        entries
+            .sort_unstable_by(|(ip_a, (_, ma)), (ip_b, (_, mb))| mb.cmp(ma).then(ip_a.cmp(ip_b)));
         entries
             .into_iter()
             .filter(|(_, (occ, _))| *occ > 0)

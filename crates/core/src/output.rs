@@ -97,11 +97,18 @@ mod tests {
 
         // Section presence and ordering per Listing 1.
         let keys: Vec<_> = doc.as_object().unwrap().keys().collect();
-        assert_eq!(keys, ["metadata", "metrics", "predictor_statistics", "most_failed"]);
+        assert_eq!(
+            keys,
+            ["metadata", "metrics", "predictor_statistics", "most_failed"]
+        );
 
         let meta = doc["metadata"].as_object().unwrap();
         for key in [
-            "simulator", "version", "trace", "warmup_instr", "simulation_instr",
+            "simulator",
+            "version",
+            "trace",
+            "warmup_instr",
+            "simulation_instr",
             "exhausted_trace",
         ] {
             assert!(meta.contains_key(key), "missing metadata.{key}");
@@ -110,14 +117,23 @@ mod tests {
         // corrected spelling.
         assert!(meta.contains_key("num_conditional_branches"));
         assert!(meta.contains_key("num_branch_instructions"));
-        assert_eq!(doc["metadata"]["predictor"]["history_length"], Value::from(25));
+        assert_eq!(
+            doc["metadata"]["predictor"]["history_length"],
+            Value::from(25)
+        );
         assert_eq!(
             doc["metadata"]["trace"].as_str(),
             Some("traces/SHORT_SERVER-1.sbbt.mzst")
         );
 
         let metrics = doc["metrics"].as_object().unwrap();
-        for key in ["mpki", "mispredictions", "accuracy", "num_most_failed_branches", "simulation_time"] {
+        for key in [
+            "mpki",
+            "mispredictions",
+            "accuracy",
+            "num_most_failed_branches",
+            "simulation_time",
+        ] {
             assert!(metrics.contains_key(key), "missing metrics.{key}");
         }
 

@@ -86,17 +86,175 @@ pub struct SimResult {
     pub most_failed: Vec<BranchStat>,
 }
 
-/// Runs `predictor` over `trace`.
+/// Per-record bookkeeping shared by the batched and scalar drivers.
+struct SimState {
+    instructions: u64,
+    measured_instructions: u64,
+    conditional: u64,
+    mispredictions: u64,
+    most_failed: MostFailed,
+    exhausted: bool,
+}
+
+impl SimState {
+    fn new() -> Self {
+        Self {
+            instructions: 0,
+            measured_instructions: 0,
+            conditional: 0,
+            mispredictions: 0,
+            most_failed: MostFailed::new(),
+            exhausted: true,
+        }
+    }
+
+    fn into_result<S, P>(
+        self,
+        trace: &S,
+        predictor: &P,
+        config: &SimConfig,
+        simulation_time: f64,
+    ) -> SimResult
+    where
+        S: TraceSource + ?Sized,
+        P: Predictor + ?Sized,
+    {
+        SimResult {
+            metadata: SimMetadata {
+                simulator: crate::SIMULATOR_NAME,
+                version: crate::SIMULATOR_VERSION,
+                trace: trace.description(),
+                warmup_instr: config.warmup_instructions,
+                simulation_instr: self.measured_instructions,
+                exhausted_trace: self.exhausted,
+                num_conditional_branches: self.conditional,
+                num_branch_instructions: self.most_failed.distinct_branches(),
+                track_only_conditional: config.track_only_conditional,
+                predictor: predictor.metadata(),
+            },
+            metrics: Metrics {
+                mpki: mpki(self.mispredictions, self.measured_instructions),
+                mispredictions: self.mispredictions,
+                accuracy: accuracy(self.mispredictions, self.conditional),
+                num_most_failed_branches: self.most_failed.half_coverage_count(self.mispredictions),
+                simulation_time,
+            },
+            predictor_statistics: predictor.execution_statistics(),
+            most_failed: self
+                .most_failed
+                .top(config.most_failed_limit, self.measured_instructions),
+        }
+    }
+}
+
+/// Runs `predictor` over `trace`, pulling records in decoded blocks.
 ///
 /// For every record: the instruction counter advances by the record's gap
 /// plus one; conditional branches are predicted and trained; all branches
 /// are tracked (unless [`SimConfig::track_only_conditional`]). Mispredictions
 /// are only counted once the warm-up window has elapsed.
 ///
+/// The trace is consumed through [`TraceSource::fill_batch`], so the source
+/// decodes whole blocks into one reusable buffer instead of answering a
+/// virtual call per record. Results are identical to
+/// [`simulate_scalar`] (the one-record-at-a-time reference driver) on any
+/// source whose `fill_batch` agrees with its `next_record` stream.
+///
 /// # Errors
 ///
 /// Propagates trace decoding errors; the predictor cannot fail.
 pub fn simulate<S, P>(
+    trace: &mut S,
+    predictor: &mut P,
+    config: &SimConfig,
+) -> Result<SimResult, TraceError>
+where
+    S: TraceSource + ?Sized,
+    P: Predictor + ?Sized,
+{
+    let start = Instant::now();
+    let mut st = SimState::new();
+    let mut batch: Vec<mbp_trace::BranchRecord> = Vec::new();
+
+    'trace: while trace.fill_batch(&mut batch)? > 0 {
+        // Steady state: once warm-up has elapsed and no cut-off is set,
+        // every record of the batch is measured, so the per-record window
+        // checks can be hoisted out of the loop. Any record advances the
+        // counter by at least one instruction, so `instructions >= warmup`
+        // here implies `instructions > warmup` after each record below.
+        if config.max_instructions.is_none() && st.instructions >= config.warmup_instructions {
+            for rec in &batch {
+                let advanced = rec.instructions();
+                st.instructions += advanced;
+                st.measured_instructions += advanced;
+                let b = rec.branch;
+                if b.is_conditional() {
+                    let mispredicted = predictor.predict(b.ip()) != b.is_taken();
+                    st.conditional += 1;
+                    st.mispredictions += mispredicted as u64;
+                    st.most_failed.record(b.ip(), mispredicted);
+                    predictor.train(&b);
+                } else {
+                    st.most_failed.note_static(b.ip());
+                }
+                if !config.track_only_conditional || b.is_conditional() {
+                    predictor.track(&b);
+                }
+            }
+            continue;
+        }
+        for rec in &batch {
+            if let Some(max) = config.max_instructions {
+                if st.instructions >= max {
+                    // A record exists beyond the cut-off, so the trace was
+                    // not exhausted — same contract as the scalar driver,
+                    // which pulls (but does not process) one more record.
+                    st.exhausted = false;
+                    break 'trace;
+                }
+            }
+            st.instructions += rec.instructions();
+            let in_measurement = st.instructions > config.warmup_instructions;
+            if in_measurement {
+                st.measured_instructions += rec.instructions();
+            }
+            let b = rec.branch;
+            if b.is_conditional() {
+                let prediction = predictor.predict(b.ip());
+                let mispredicted = prediction != b.is_taken();
+                if in_measurement {
+                    st.conditional += 1;
+                    st.mispredictions += mispredicted as u64;
+                    st.most_failed.record(b.ip(), mispredicted);
+                } else {
+                    st.most_failed.note_static(b.ip());
+                }
+                predictor.train(&b);
+            } else {
+                st.most_failed.note_static(b.ip());
+            }
+            if !config.track_only_conditional || b.is_conditional() {
+                predictor.track(&b);
+            }
+        }
+    }
+
+    let simulation_time = start.elapsed().as_secs_f64();
+    Ok(st.into_result(trace, predictor, config, simulation_time))
+}
+
+/// The one-record-at-a-time reference driver.
+///
+/// Processes the trace through [`TraceSource::next_record`] exactly as
+/// [`simulate`] does through [`TraceSource::fill_batch`]; the two must
+/// produce identical results (the equivalence test suite pins this). Kept
+/// as the semantic baseline and for sources whose batch path is not
+/// trustworthy while debugging.
+///
+/// # Errors
+///
+/// Propagates trace decoding errors; the predictor cannot fail.
+pub fn simulate_scalar<S, P>(
     trace: &mut S,
     predictor: &mut P,
     config: &SimConfig,
@@ -206,11 +364,17 @@ mod tests {
     }
 
     fn cond(ip: u64, taken: bool, gap: u32) -> BranchRecord {
-        BranchRecord::new(Branch::new(ip, 0x9000, Opcode::conditional_direct(), taken), gap)
+        BranchRecord::new(
+            Branch::new(ip, 0x9000, Opcode::conditional_direct(), taken),
+            gap,
+        )
     }
 
     fn uncond(ip: u64, gap: u32) -> BranchRecord {
-        BranchRecord::new(Branch::new(ip, 0x9000, Opcode::unconditional_direct(), true), gap)
+        BranchRecord::new(
+            Branch::new(ip, 0x9000, Opcode::unconditional_direct(), true),
+            gap,
+        )
     }
 
     #[test]
@@ -218,7 +382,12 @@ mod tests {
         // train before track, train only for conditional, track for all.
         let recs = vec![cond(0x10, true, 0), uncond(0x20, 0), cond(0x10, false, 0)];
         let mut spy = Spy::default();
-        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &mut SliceSource::new(&recs),
+            &mut spy,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(spy.predicts, 2);
         assert_eq!(spy.trains, 2);
         assert_eq!(spy.tracks, 3);
@@ -232,7 +401,10 @@ mod tests {
     fn track_only_conditional_skips_unconditional() {
         let recs = vec![cond(0x10, true, 0), uncond(0x20, 0)];
         let mut spy = Spy::default();
-        let cfg = SimConfig { track_only_conditional: true, ..SimConfig::default() };
+        let cfg = SimConfig {
+            track_only_conditional: true,
+            ..SimConfig::default()
+        };
         let r = simulate(&mut SliceSource::new(&recs), &mut spy, &cfg).unwrap();
         assert_eq!(spy.tracks, 1);
         assert!(r.metadata.track_only_conditional);
@@ -246,7 +418,10 @@ mod tests {
             cond(0x10, false, 9),
             cond(0x10, false, 9), // measured
         ];
-        let cfg = SimConfig { warmup_instructions: 20, ..SimConfig::default() };
+        let cfg = SimConfig {
+            warmup_instructions: 20,
+            ..SimConfig::default()
+        };
         let mut spy = Spy::default();
         let r = simulate(&mut SliceSource::new(&recs), &mut spy, &cfg).unwrap();
         assert_eq!(spy.trains, 3, "training happens during warm-up too");
@@ -258,7 +433,10 @@ mod tests {
     #[test]
     fn max_instructions_stops_early() {
         let recs: Vec<_> = (0..100).map(|i| cond(0x10 + i, true, 9)).collect();
-        let cfg = SimConfig { max_instructions: Some(50), ..SimConfig::default() };
+        let cfg = SimConfig {
+            max_instructions: Some(50),
+            ..SimConfig::default()
+        };
         let mut spy = Spy::default();
         let r = simulate(&mut SliceSource::new(&recs), &mut spy, &cfg).unwrap();
         assert!(!r.metadata.exhausted_trace);
@@ -270,7 +448,12 @@ mod tests {
     fn exhausted_flag_set_when_trace_ends() {
         let recs = vec![cond(0x10, true, 0)];
         let mut spy = Spy::default();
-        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &mut SliceSource::new(&recs),
+            &mut spy,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert!(r.metadata.exhausted_trace);
     }
 
@@ -278,7 +461,12 @@ mod tests {
     fn predictor_sections_embedded() {
         let recs = vec![cond(0x10, true, 0)];
         let mut spy = Spy::default();
-        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &mut SliceSource::new(&recs),
+            &mut spy,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.metadata.predictor["name"], Value::from("spy"));
         assert_eq!(r.predictor_statistics["tracks"], Value::from(1));
     }
@@ -291,7 +479,12 @@ mod tests {
             cond(0x20, true, 0),
         ];
         let mut spy = Spy::default();
-        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &SimConfig::default()).unwrap();
+        let r = simulate(
+            &mut SliceSource::new(&recs),
+            &mut spy,
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.metrics.num_most_failed_branches, 1);
         assert_eq!(r.most_failed[0].ip, 0x10);
         assert_eq!(r.most_failed[0].mispredictions, 2);

@@ -4,6 +4,10 @@ use mbp_json::Value;
 use mbp_trace::sbbt::SbbtReader;
 use mbp_trace::{BranchRecord, TraceError};
 
+/// Records per [`TraceSource::fill_batch`] call, matching the SBBT
+/// reader's native block size.
+pub use mbp_trace::sbbt::BATCH_RECORDS;
+
 /// A stream of branch records consumable by the simulators.
 ///
 /// Implemented for [`SbbtReader`] (the normal case), and for in-memory
@@ -16,6 +20,34 @@ pub trait TraceSource {
     ///
     /// Malformed trace content.
     fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceError>;
+
+    /// Replaces the contents of `out` with the next block of up to
+    /// [`BATCH_RECORDS`] records and returns how many were produced.
+    ///
+    /// The simulators drive this method in their hot loop: one virtual call
+    /// amortizes over a whole block, and `out` is caller-owned so its
+    /// allocation is reused across calls. Implementations must return fewer
+    /// than `BATCH_RECORDS` records only at the end of the trace (or on
+    /// error); `0` means the trace is exhausted.
+    ///
+    /// The default implementation loops [`TraceSource::next_record`];
+    /// sources with a cheaper block path (the SBBT reader, in-memory
+    /// sources) override it.
+    ///
+    /// # Errors
+    ///
+    /// Malformed trace content; `out` holds the records produced before
+    /// the error.
+    fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
+        out.clear();
+        while out.len() < BATCH_RECORDS {
+            match self.next_record()? {
+                Some(rec) => out.push(rec),
+                None => break,
+            }
+        }
+        Ok(out.len())
+    }
 
     /// A JSON description of the source (e.g. the trace path), embedded in
     /// the result metadata.
@@ -32,6 +64,10 @@ pub trait TraceSource {
 impl TraceSource for SbbtReader {
     fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
         SbbtReader::next_record(self)
+    }
+
+    fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
+        SbbtReader::fill_batch(self, out)
     }
 
     fn description(&self) -> Value {
@@ -54,7 +90,11 @@ pub struct SliceSource<'a> {
 impl<'a> SliceSource<'a> {
     /// Wraps a slice of records.
     pub fn new(records: &'a [BranchRecord]) -> Self {
-        Self { records, pos: 0, name: None }
+        Self {
+            records,
+            pos: 0,
+            name: None,
+        }
     }
 
     /// Wraps a slice with a human-readable trace name for the metadata.
@@ -77,6 +117,14 @@ impl TraceSource for SliceSource<'_> {
         let rec = self.records.get(self.pos).copied();
         self.pos += rec.is_some() as usize;
         Ok(rec)
+    }
+
+    fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
+        out.clear();
+        let end = self.records.len().min(self.pos + BATCH_RECORDS);
+        out.extend_from_slice(&self.records[self.pos..end]);
+        self.pos = end;
+        Ok(out.len())
     }
 
     fn description(&self) -> Value {
@@ -102,7 +150,11 @@ pub struct VecSource {
 impl VecSource {
     /// Wraps a vector of records.
     pub fn new(records: Vec<BranchRecord>) -> Self {
-        Self { records, pos: 0, name: None }
+        Self {
+            records,
+            pos: 0,
+            name: None,
+        }
     }
 
     /// Wraps a vector with a trace name for the metadata.
@@ -130,6 +182,14 @@ impl TraceSource for VecSource {
         let rec = self.records.get(self.pos).copied();
         self.pos += rec.is_some() as usize;
         Ok(rec)
+    }
+
+    fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
+        out.clear();
+        let end = self.records.len().min(self.pos + BATCH_RECORDS);
+        out.extend_from_slice(&self.records[self.pos..end]);
+        self.pos = end;
+        Ok(out.len())
     }
 
     fn description(&self) -> Value {
@@ -177,7 +237,10 @@ mod tests {
     #[test]
     fn sources_report_instruction_hint() {
         let records = recs(4);
-        assert_eq!(SliceSource::new(&records).instruction_count_hint(), Some(12));
+        assert_eq!(
+            SliceSource::new(&records).instruction_count_hint(),
+            Some(12)
+        );
         assert_eq!(VecSource::new(records).instruction_count_hint(), Some(12));
     }
 
@@ -186,5 +249,53 @@ mod tests {
         let records = recs(1);
         let s = SliceSource::named(&records, "SHORT_SERVER-1");
         assert_eq!(s.description(), Value::from("SHORT_SERVER-1"));
+    }
+
+    #[test]
+    fn fill_batch_blocks_and_exhausts() {
+        let records = recs(BATCH_RECORDS + 10);
+        let mut s = SliceSource::new(&records);
+        let mut buf = Vec::new();
+        assert_eq!(s.fill_batch(&mut buf).unwrap(), BATCH_RECORDS);
+        assert_eq!(buf[0], records[0]);
+        assert_eq!(s.fill_batch(&mut buf).unwrap(), 10);
+        assert_eq!(buf[9], records[BATCH_RECORDS + 9]);
+        assert_eq!(s.fill_batch(&mut buf).unwrap(), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn fill_batch_interleaves_with_next_record() {
+        let records = recs(5);
+        let mut s = VecSource::new(records.clone());
+        assert_eq!(s.next_record().unwrap(), Some(records[0]));
+        let mut buf = Vec::new();
+        assert_eq!(s.fill_batch(&mut buf).unwrap(), 4);
+        assert_eq!(buf[0], records[1]);
+    }
+
+    #[test]
+    fn default_fill_batch_matches_specialized() {
+        /// A source with only `next_record`, to exercise the trait default.
+        struct OneAtATime<'a>(SliceSource<'a>);
+        impl TraceSource for OneAtATime<'_> {
+            fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
+                self.0.next_record()
+            }
+        }
+
+        let records = recs(BATCH_RECORDS + 7);
+        let mut defaulted = OneAtATime(SliceSource::new(&records));
+        let mut specialized = SliceSource::new(&records);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        loop {
+            let n = defaulted.fill_batch(&mut a).unwrap();
+            let m = specialized.fill_batch(&mut b).unwrap();
+            assert_eq!(n, m);
+            assert_eq!(a, b);
+            if n == 0 {
+                break;
+            }
+        }
     }
 }

@@ -1,0 +1,377 @@
+//! The multi-predictor sweep engine: decode a trace once, fan N predictors
+//! across a worker pool.
+//!
+//! The paper's prototyping workflow (§VI-A) runs the same trace through
+//! many predictor configurations. Doing that with N separate `mbpsim run`
+//! invocations decodes — and possibly decompresses — the trace N times;
+//! [`simulate_many`] decodes it exactly once into shared memory and then
+//! simulates every predictor against the same record block, in parallel,
+//! using only `std` threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mbp_json::{json, Value};
+use mbp_trace::{BranchRecord, TraceError};
+
+use crate::simulator::{simulate, SimConfig, SimResult};
+use crate::{Predictor, SliceSource, TraceSource};
+
+/// A named predictor awaiting simulation, claimed by exactly one worker.
+type WorkSlot = Mutex<Option<(String, Box<dyn Predictor + Send>)>>;
+/// A finished predictor's name and outcome, written by exactly one worker.
+type DoneSlot = Mutex<Option<(String, Result<SimResult, TraceError>)>>;
+
+/// Configuration of a sweep run.
+#[derive(Clone, Debug, Default)]
+pub struct SweepConfig {
+    /// Per-predictor simulation parameters (warm-up, instruction cap, …).
+    pub sim: SimConfig,
+    /// Worker threads; `0` means one per available core, capped at the
+    /// number of predictors.
+    pub jobs: usize,
+}
+
+/// One predictor's outcome within a sweep, in leaderboard order.
+#[derive(Clone, Debug)]
+pub struct SweepEntry {
+    /// Leaderboard position, starting at 1 (best MPKI).
+    pub rank: usize,
+    /// The predictor's display name (as passed to [`simulate_many`]).
+    pub name: String,
+    /// The full simulation result, identical to what `mbpsim run` with the
+    /// same predictor and configuration would produce.
+    pub result: SimResult,
+}
+
+/// The outcome of a sweep: every predictor's result, ranked by MPKI.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Trace description from the source.
+    pub trace: Value,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Seconds spent decoding the trace (paid once, not per predictor).
+    pub decode_time: f64,
+    /// Wall-clock seconds for the whole parallel simulation phase.
+    pub wall_time: f64,
+    /// Sum of every predictor's individual simulation time; the ratio
+    /// `cumulative_sim_time / wall_time` is the effective parallel speedup.
+    pub cumulative_sim_time: f64,
+    /// Per-predictor results, best MPKI first (ties broken by name).
+    pub entries: Vec<SweepEntry>,
+}
+
+impl SweepResult {
+    /// The effective parallel speedup: cumulative per-predictor simulation
+    /// time over the wall-clock time of the parallel phase.
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.wall_time == 0.0 {
+            0.0
+        } else {
+            self.cumulative_sim_time / self.wall_time
+        }
+    }
+
+    /// Renders the sweep as a JSON leaderboard document.
+    ///
+    /// The `leaderboard` array is ranked by MPKI ascending and carries each
+    /// predictor's headline metrics; `results` holds the corresponding full
+    /// Listing-1 documents in the same order.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "metadata": {
+                "simulator": "MBPlib sweep simulator",
+                "version": crate::SIMULATOR_VERSION,
+                "trace": self.trace.clone(),
+                "num_predictors": self.entries.len(),
+                "jobs": self.jobs,
+                "decode_time": self.decode_time,
+                "wall_time": self.wall_time,
+                "cumulative_simulation_time": self.cumulative_sim_time,
+                "parallel_speedup": self.parallel_speedup(),
+            },
+            "leaderboard": self.entries.iter().map(|e| json!({
+                "rank": e.rank,
+                "predictor": e.name.as_str(),
+                "mpki": e.result.metrics.mpki,
+                "accuracy": e.result.metrics.accuracy,
+                "mispredictions": e.result.metrics.mispredictions,
+                "simulation_time": e.result.metrics.simulation_time,
+            })).collect::<Vec<_>>(),
+            "results": self.entries.iter().map(|e| e.result.to_json())
+                .collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// Simulates every named predictor over `trace`, decoding the trace exactly
+/// once and running the predictors on a pool of `config.jobs` workers.
+///
+/// Each predictor is simulated independently with `config.sim`, so every
+/// entry's [`SimResult`] — metrics, most-failed report, warm-up and
+/// instruction-cap behaviour — is identical to a standalone
+/// [`simulate`] run (`mbpsim run`) of that predictor over the same trace.
+/// Workers pull predictors from a shared queue, so N predictors on C cores
+/// keep all cores busy until the queue drains.
+///
+/// # Errors
+///
+/// Propagates trace decoding errors from the single decode pass.
+pub fn simulate_many<S>(
+    trace: &mut S,
+    predictors: Vec<(String, Box<dyn Predictor + Send>)>,
+    config: &SweepConfig,
+) -> Result<SweepResult, TraceError>
+where
+    S: TraceSource + ?Sized,
+{
+    // Phase 1: decode once into shared memory.
+    let decode_start = Instant::now();
+    let mut records: Vec<BranchRecord> = match trace.instruction_count_hint() {
+        // A rough pre-size: traces average a handful of instructions per
+        // branch, so this over-reserves at most a few times.
+        Some(hint) => Vec::with_capacity((hint / 4).min(1 << 28) as usize),
+        None => Vec::new(),
+    };
+    let mut batch = Vec::new();
+    while trace.fill_batch(&mut batch)? > 0 {
+        records.extend_from_slice(&batch);
+    }
+    let decode_time = decode_start.elapsed().as_secs_f64();
+    let description = trace.description();
+
+    let n = predictors.len();
+    let jobs = effective_jobs(config.jobs, n);
+
+    // Phase 2: fan out. Workers claim predictor indices from an atomic
+    // queue; each slot hands its predictor to exactly one worker and
+    // receives that worker's result.
+    let work: Vec<WorkSlot> = predictors
+        .into_iter()
+        .map(|p| Mutex::new(Some(p)))
+        .collect();
+    let done: Vec<DoneSlot> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (name, mut predictor) = work[i]
+                    .lock()
+                    .expect("no panics while holding work slot")
+                    .take()
+                    .expect("each index is claimed once");
+                let mut source = SliceSource::new(&records);
+                let result = simulate(&mut source, &mut *predictor, &config.sim);
+                *done[i].lock().expect("no panics while holding done slot") = Some((name, result));
+            });
+        }
+    });
+    let wall_time = wall_start.elapsed().as_secs_f64();
+
+    let mut entries = Vec::with_capacity(n);
+    for slot in done {
+        let (name, result) = slot
+            .into_inner()
+            .expect("no panics while holding done slot")
+            .expect("scope joins all workers");
+        let mut result = result?;
+        // Each worker simulated an anonymous in-memory slice; attribute the
+        // result to the real trace, as a standalone run would.
+        result.metadata.trace = description.clone();
+        entries.push(SweepEntry {
+            rank: 0,
+            name,
+            result,
+        });
+    }
+
+    entries.sort_by(|a, b| {
+        a.result
+            .metrics
+            .mpki
+            .partial_cmp(&b.result.metrics.mpki)
+            .expect("finite mpki")
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let cumulative_sim_time = entries
+        .iter()
+        .map(|e| e.result.metrics.simulation_time)
+        .sum();
+    for (i, e) in entries.iter_mut().enumerate() {
+        e.rank = i + 1;
+    }
+
+    Ok(SweepResult {
+        trace: description,
+        jobs,
+        decode_time,
+        wall_time,
+        cumulative_sim_time,
+        entries,
+    })
+}
+
+/// Resolves a `--jobs` request against the machine and the work available.
+fn effective_jobs(requested: usize, predictors: usize) -> usize {
+    let jobs = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        requested
+    };
+    jobs.clamp(1, predictors.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbp_trace::{Branch, BranchRecord, Opcode};
+
+    struct Fixed(bool);
+
+    impl Predictor for Fixed {
+        fn predict(&mut self, _ip: u64) -> bool {
+            self.0
+        }
+        fn train(&mut self, _b: &Branch) {}
+        fn track(&mut self, _b: &Branch) {}
+        fn metadata(&self) -> Value {
+            json!({"name": "fixed", "dir": self.0})
+        }
+    }
+
+    fn biased_records(n: usize) -> Vec<BranchRecord> {
+        (0..n)
+            .map(|i| {
+                BranchRecord::new(
+                    Branch::new(0x10, 0, Opcode::conditional_direct(), i % 4 != 0),
+                    3,
+                )
+            })
+            .collect()
+    }
+
+    fn fixed_pair() -> Vec<(String, Box<dyn Predictor + Send>)> {
+        vec![
+            (
+                "never".to_string(),
+                Box::new(Fixed(false)) as Box<dyn Predictor + Send>,
+            ),
+            (
+                "always".to_string(),
+                Box::new(Fixed(true)) as Box<dyn Predictor + Send>,
+            ),
+        ]
+    }
+
+    #[test]
+    fn ranks_by_mpki() {
+        // 3 of 4 branches taken: always-taken beats never-taken.
+        let records = biased_records(100);
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, fixed_pair(), &SweepConfig::default()).unwrap();
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.entries[0].name, "always");
+        assert_eq!(r.entries[0].rank, 1);
+        assert_eq!(r.entries[1].name, "never");
+        assert_eq!(r.entries[1].rank, 2);
+        assert!(r.entries[0].result.metrics.mpki < r.entries[1].result.metrics.mpki);
+    }
+
+    #[test]
+    fn results_match_standalone_simulate() {
+        let records = biased_records(64);
+        let cfg = SweepConfig::default();
+        let mut src = SliceSource::new(&records);
+        let sweep = simulate_many(&mut src, fixed_pair(), &cfg).unwrap();
+
+        let mut standalone = Fixed(true);
+        let direct = simulate(&mut SliceSource::new(&records), &mut standalone, &cfg.sim).unwrap();
+        let entry = sweep.entries.iter().find(|e| e.name == "always").unwrap();
+        assert_eq!(
+            entry.result.metrics.mispredictions,
+            direct.metrics.mispredictions
+        );
+        assert_eq!(entry.result.metrics.mpki, direct.metrics.mpki);
+        assert_eq!(
+            entry.result.metadata.num_conditional_branches,
+            direct.metadata.num_conditional_branches
+        );
+    }
+
+    #[test]
+    fn respects_jobs_and_queues_excess_work() {
+        let records = biased_records(32);
+        let predictors: Vec<(String, Box<dyn Predictor + Send>)> = (0..7)
+            .map(|i| {
+                (
+                    format!("p{i}"),
+                    Box::new(Fixed(i % 2 == 0)) as Box<dyn Predictor + Send>,
+                )
+            })
+            .collect();
+        let cfg = SweepConfig {
+            jobs: 2,
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, predictors, &cfg).unwrap();
+        assert_eq!(r.jobs, 2);
+        assert_eq!(r.entries.len(), 7, "all queued predictors complete");
+    }
+
+    #[test]
+    fn jobs_zero_uses_available_parallelism_capped_by_work() {
+        let records = biased_records(8);
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, fixed_pair(), &SweepConfig::default()).unwrap();
+        assert!(r.jobs >= 1 && r.jobs <= 2, "two predictors cap jobs at 2");
+    }
+
+    #[test]
+    fn empty_sweep_is_ok() {
+        let records = biased_records(4);
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, Vec::new(), &SweepConfig::default()).unwrap();
+        assert!(r.entries.is_empty());
+        assert_eq!(r.to_json()["leaderboard"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn json_leaderboard_is_ranked_and_parses_back() {
+        let records = biased_records(40);
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, fixed_pair(), &SweepConfig::default()).unwrap();
+        let doc = r.to_json();
+        assert_eq!(doc["leaderboard"][0]["rank"], Value::from(1));
+        assert_eq!(doc["leaderboard"][0]["predictor"], Value::from("always"));
+        assert_eq!(doc["metadata"]["num_predictors"], Value::from(2));
+        assert_eq!(
+            doc["results"][0]["metadata"]["simulator"].as_str(),
+            Some(crate::SIMULATOR_NAME),
+        );
+        let text = doc.to_pretty_string();
+        let reparsed: Value = text.parse().unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn trace_description_propagates_to_entries() {
+        let records = biased_records(4);
+        let mut src = SliceSource::named(&records, "traces/T1.sbbt.mzst");
+        let r = simulate_many(&mut src, fixed_pair(), &SweepConfig::default()).unwrap();
+        for e in &r.entries {
+            assert_eq!(
+                e.result.metadata.trace.as_str(),
+                Some("traces/T1.sbbt.mzst")
+            );
+        }
+    }
+}

@@ -187,9 +187,10 @@ impl<'a> Parser<'a> {
                     if end > self.bytes.len() {
                         return Err(self.err("truncated UTF-8 sequence"));
                     }
-                    s.push_str(std::str::from_utf8(&self.bytes[start..end]).map_err(|_| {
-                        self.err("invalid UTF-8 sequence")
-                    })?);
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid UTF-8 sequence"))?,
+                    );
                     self.pos = end;
                 }
             }
@@ -199,7 +200,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, ParseJsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -266,7 +269,6 @@ impl<'a> Parser<'a> {
 mod tests {
     use super::*;
     use crate::json;
-    use proptest::prelude::*;
 
     #[test]
     fn parses_scalars() {
@@ -292,8 +294,19 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "tru", "01", "1.", "1e", "\"\\x\"", "\"", "[1]x",
-            "{\"a\" 1}", "nan",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"\\x\"",
+            "\"",
+            "[1]x",
+            "{\"a\" 1}",
+            "nan",
         ] {
             assert!(bad.parse::<Value>().is_err(), "should reject {bad:?}");
         }
@@ -324,38 +337,92 @@ mod tests {
         assert_eq!(v, json!({"a": [1, 2]}));
     }
 
-    fn arb_value() -> impl Strategy<Value = Value> {
-        let leaf = prop_oneof![
-            Just(Value::Null),
-            any::<bool>().prop_map(Value::from),
-            any::<i64>().prop_map(Value::from),
-            any::<u64>().prop_map(Value::from),
-            (-1e12f64..1e12f64).prop_map(Value::from),
-            "[ -~]{0,12}".prop_map(Value::from),
-            "\\PC{0,8}".prop_map(Value::from),
-        ];
-        leaf.prop_recursive(4, 32, 6, |inner| {
-            prop_oneof![
-                prop::collection::vec(inner.clone(), 0..6).prop_map(Value::from),
-                prop::collection::vec(("[a-z]{1,6}", inner), 0..6)
-                    .prop_map(|kv| Value::Object(kv.into_iter().collect())),
-            ]
-        })
-    }
+    // Deterministic random-document roundtrips (offline stand-in for
+    // proptest). The generator below is a tiny self-contained xorshift64*
+    // stream so mbp-json keeps zero dependencies, dev or otherwise.
+    struct TestRng(u64);
 
-    proptest! {
-        #[test]
-        fn compact_roundtrip(v in arb_value()) {
-            let text = v.to_compact_string();
-            let back: Value = text.parse().unwrap();
-            prop_assert_eq!(back, v);
+    impl TestRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
         }
 
-        #[test]
-        fn pretty_roundtrip(v in arb_value()) {
+        fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    fn arb_value(rng: &mut TestRng, depth: u32) -> Value {
+        let containers_allowed = depth < 4;
+        match rng.below(if containers_allowed { 9 } else { 7 }) {
+            0 => Value::Null,
+            1 => Value::from(rng.next_u64() & 1 == 0),
+            2 => Value::from(rng.next_u64() as i64),
+            3 => Value::from(rng.next_u64()),
+            4 => Value::from((rng.next_u64() % 2_000_000_000_000) as f64 - 1e12),
+            5 => {
+                // Printable ASCII, including spaces, quotes and backslashes.
+                let n = rng.below(13);
+                Value::from(
+                    (0..n)
+                        .map(|_| (b' ' + rng.below(95) as u8) as char)
+                        .collect::<String>(),
+                )
+            }
+            6 => {
+                // Arbitrary unicode scalar values, escapes and surrogates
+                // pairs included.
+                let n = rng.below(9);
+                Value::from(
+                    (0..n)
+                        .filter_map(|_| char::from_u32(rng.below(0x11_0000) as u32))
+                        .collect::<String>(),
+                )
+            }
+            7 => Value::from(
+                (0..rng.below(6))
+                    .map(|_| arb_value(rng, depth + 1))
+                    .collect::<Vec<_>>(),
+            ),
+            _ => Value::Object(
+                (0..rng.below(6))
+                    .map(|i| {
+                        let len = 1 + rng.below(6);
+                        let key: String = (0..len)
+                            .map(|_| (b'a' + rng.below(26) as u8) as char)
+                            .chain(std::iter::once((b'0' + i as u8) as char))
+                            .collect();
+                        (key, arb_value(rng, depth + 1))
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let mut rng = TestRng(0x4a50_0001);
+        for _ in 0..256 {
+            let v = arb_value(&mut rng, 0);
+            let text = v.to_compact_string();
+            let back: Value = text.parse().unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn pretty_roundtrip() {
+        let mut rng = TestRng(0x4a50_0002);
+        for _ in 0..256 {
+            let v = arb_value(&mut rng, 0);
             let text = v.to_pretty_string();
             let back: Value = text.parse().unwrap();
-            prop_assert_eq!(back, v);
+            assert_eq!(back, v);
         }
     }
 }

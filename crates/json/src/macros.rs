@@ -118,7 +118,7 @@ macro_rules! json_internal {
 
 #[cfg(test)]
 mod tests {
-    use crate::{json, Value};
+    use crate::Value;
 
     #[test]
     fn macro_in_function_scope() {

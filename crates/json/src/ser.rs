@@ -133,7 +133,10 @@ mod tests {
     #[test]
     fn compact_matches_expected() {
         let v = json!({"a": 1, "b": [true, null], "c": "x\"y"});
-        assert_eq!(v.to_compact_string(), r#"{"a":1,"b":[true,null],"c":"x\"y"}"#);
+        assert_eq!(
+            v.to_compact_string(),
+            r#"{"a":1,"b":[true,null],"c":"x\"y"}"#
+        );
     }
 
     #[test]

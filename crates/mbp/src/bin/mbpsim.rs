@@ -6,6 +6,7 @@
 //! ```text
 //! mbpsim run --predictor tage --trace t.sbbt.mzst [--warmup N] [--max N]
 //! mbpsim compare --predictors gshare,tage --trace t.sbbt.mzst
+//! mbpsim sweep --predictors gshare,tage,batage --trace t.sbbt.mzst [--jobs N]
 //! mbpsim gen --suite cbp5-training [--scale N] --out traces/
 //! mbpsim translate --from t.bt9 --to t.sbbt.mzst
 //! mbpsim info --trace t.sbbt.mzst
@@ -17,7 +18,7 @@ use std::process::ExitCode;
 
 use mbp::compress::Codec;
 use mbp::examples::{by_name, PREDICTOR_NAMES};
-use mbp::sim::{simulate, simulate_comparison, SimConfig};
+use mbp::sim::{simulate, simulate_comparison, simulate_many, SimConfig, SweepConfig};
 use mbp::trace::sbbt::{SbbtReader, SbbtWriter};
 use mbp::trace::{bt9, translate};
 use mbp::workloads::Suite;
@@ -26,6 +27,7 @@ fn usage() -> &'static str {
     "usage:\n  \
      mbpsim run --predictor <name> --trace <file> [--warmup N] [--max N] [--track-only-conditional]\n  \
      mbpsim compare --predictors <a>,<b> --trace <file> [--warmup N] [--max N]\n  \
+     mbpsim sweep --predictors <a>,<b>,... --trace <file> [--jobs N] [--warmup N] [--max N]\n  \
      mbpsim gen --suite <cbp5-training|cbp5-evaluation|dpc3|smoke> [--scale N] --out <dir>\n  \
      mbpsim translate --from <file.bt9[.mgz]> --to <file.sbbt[.mzst|.mgz]>\n  \
      mbpsim info --trace <file>\n  \
@@ -51,13 +53,16 @@ impl Args {
     }
 
     fn required(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing {key}\n{}", usage()))
+        self.get(key)
+            .ok_or_else(|| format!("missing {key}\n{}", usage()))
     }
 
     fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for {key}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for {key}: {v}")),
         }
     }
 }
@@ -65,7 +70,10 @@ impl Args {
 fn sim_config(args: &Args) -> Result<SimConfig, String> {
     Ok(SimConfig {
         warmup_instructions: args.parsed("--warmup", 0)?,
-        max_instructions: args.get("--max").map(|v| v.parse()).transpose()
+        max_instructions: args
+            .get("--max")
+            .map(|v| v.parse())
+            .transpose()
             .map_err(|_| "invalid value for --max".to_string())?,
         track_only_conditional: args.flag("--track-only-conditional"),
         ..SimConfig::default()
@@ -117,6 +125,34 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let names = args.required("--predictors")?;
+    let mut predictors = Vec::new();
+    for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let p = by_name(name)
+            .ok_or_else(|| format!("unknown predictor {name:?}; try `mbpsim list`"))?;
+        predictors.push((name.to_string(), p));
+    }
+    if predictors.is_empty() {
+        return Err("expected --predictors <a>,<b>,...".to_string());
+    }
+    let trace_path = args.required("--trace")?;
+    let mut trace =
+        SbbtReader::open(trace_path).map_err(|e| format!("cannot open {trace_path}: {e}"))?;
+    let config = SweepConfig {
+        sim: sim_config(args)?,
+        jobs: args.parsed("--jobs", 0usize)?,
+    };
+    let mut result =
+        simulate_many(&mut trace, predictors, &config).map_err(|e| format!("sweep failed: {e}"))?;
+    result.trace = trace_path.into();
+    for entry in &mut result.entries {
+        entry.result.metadata.trace = trace_path.into();
+    }
+    println!("{:#}", result.to_json());
+    Ok(())
+}
+
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let scale = args.parsed("--scale", 1u64)?;
     let suite = match args.required("--suite")? {
@@ -151,7 +187,11 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
             size
         );
     }
-    println!("wrote {} traces from suite {}", suite.traces.len(), suite.name);
+    println!(
+        "wrote {} traces from suite {}",
+        suite.traces.len(),
+        suite.name
+    );
     Ok(())
 }
 
@@ -165,7 +205,9 @@ fn cmd_translate(args: &Args) -> Result<(), String> {
     } else {
         let mut reader =
             SbbtReader::open(&from).map_err(|e| format!("cannot open {from_name}: {e}"))?;
-        reader.read_all().map_err(|e| format!("cannot read {from_name}: {e}"))?
+        reader
+            .read_all()
+            .map_err(|e| format!("cannot read {from_name}: {e}"))?
     };
 
     let to_name = to.to_string_lossy().to_string();
@@ -183,21 +225,29 @@ fn cmd_translate(args: &Args) -> Result<(), String> {
                 let mut w = SbbtWriter::create_compressed(&to, codec, level)
                     .map_err(|e| format!("cannot create {to_name}: {e}"))?;
                 for r in &records {
-                    w.write_record(r).map_err(|e| format!("write failed: {e}"))?;
+                    w.write_record(r)
+                        .map_err(|e| format!("write failed: {e}"))?;
                 }
-                w.finish_compressed().map_err(|e| format!("finish failed: {e}"))?;
+                w.finish_compressed()
+                    .map_err(|e| format!("finish failed: {e}"))?;
             }
             None => {
-                let mut w = SbbtWriter::create(&to)
-                    .map_err(|e| format!("cannot create {to_name}: {e}"))?;
+                let mut w =
+                    SbbtWriter::create(&to).map_err(|e| format!("cannot create {to_name}: {e}"))?;
                 for r in &records {
-                    w.write_record(r).map_err(|e| format!("write failed: {e}"))?;
+                    w.write_record(r)
+                        .map_err(|e| format!("write failed: {e}"))?;
                 }
                 w.finish().map_err(|e| format!("finish failed: {e}"))?;
             }
         }
     }
-    println!("translated {} records: {} -> {}", records.len(), from_name, to_name);
+    println!(
+        "translated {} records: {} -> {}",
+        records.len(),
+        from_name,
+        to_name
+    );
     Ok(())
 }
 
@@ -211,7 +261,10 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     let mut calls = 0u64;
     let mut rets = 0u64;
     let mut indirect = 0u64;
-    while let Some(rec) = reader.next_record().map_err(|e| format!("bad packet: {e}"))? {
+    while let Some(rec) = reader
+        .next_record()
+        .map_err(|e| format!("bad packet: {e}"))?
+    {
         let b = rec.branch;
         conditional += b.is_conditional() as u64;
         taken += b.is_taken() as u64;
@@ -247,6 +300,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
+        "sweep" => cmd_sweep(&args),
         "gen" => cmd_gen(&args),
         "translate" => cmd_translate(&args),
         "info" => cmd_info(&args),

@@ -32,9 +32,15 @@ struct Dual {
 impl Dual {
     fn fresh(taken: bool) -> Self {
         if taken {
-            Dual { taken: 1, not_taken: 0 }
+            Dual {
+                taken: 1,
+                not_taken: 0,
+            }
         } else {
-            Dual { taken: 0, not_taken: 1 }
+            Dual {
+                taken: 0,
+                not_taken: 1,
+            }
         }
     }
 
@@ -66,8 +72,14 @@ impl Dual {
     /// the "dual counter comparison" at the heart of BATAGE's decision
     /// rule.
     fn at_least_as_confident_as(self, other: Dual) -> bool {
-        let (ms, ts) = (self.taken.min(self.not_taken) as u32, (self.taken + self.not_taken) as u32);
-        let (mo, to) = (other.taken.min(other.not_taken) as u32, (other.taken + other.not_taken) as u32);
+        let (ms, ts) = (
+            self.taken.min(self.not_taken) as u32,
+            (self.taken + self.not_taken) as u32,
+        );
+        let (mo, to) = (
+            other.taken.min(other.not_taken) as u32,
+            (other.taken + other.not_taken) as u32,
+        );
         (ms + 1) * (to + 2) <= (mo + 1) * (ts + 2)
     }
 
@@ -139,7 +151,7 @@ impl BatageConfig {
                 .map(|(i, &h)| (10u32, h, (8 + i as u32 / 3).min(12)))
                 .collect(),
             cat_max: 16 * 1024,
-            seed: 0xba7a_6e,
+            seed: 0x00ba_7a6e,
         }
     }
 
@@ -256,10 +268,22 @@ impl Batage {
     fn base_as_dual(&self, ip: u64) -> Dual {
         let c = self.base[self.base_index(ip)];
         match (c.is_taken(), c.is_weak()) {
-            (true, false) => Dual { taken: 5, not_taken: 0 },
-            (true, true) => Dual { taken: 1, not_taken: 0 },
-            (false, true) => Dual { taken: 0, not_taken: 1 },
-            (false, false) => Dual { taken: 0, not_taken: 5 },
+            (true, false) => Dual {
+                taken: 5,
+                not_taken: 0,
+            },
+            (true, true) => Dual {
+                taken: 1,
+                not_taken: 0,
+            },
+            (false, true) => Dual {
+                taken: 0,
+                not_taken: 1,
+            },
+            (false, false) => Dual {
+                taken: 0,
+                not_taken: 5,
+            },
         }
     }
 
@@ -344,8 +368,7 @@ impl Predictor for Batage {
             let start = provider.map_or(0, |p| p + 1);
             let throttle = self.cat.max(0) as u64;
             // Allocate with probability (cat_max - cat) / cat_max.
-            let allow =
-                throttle == 0 || self.rng.below(self.cfg.cat_max as u64 + 1) >= throttle;
+            let allow = throttle == 0 || self.rng.below(self.cfg.cat_max as u64 + 1) >= throttle;
             if start < self.tables.len() && allow {
                 let mut allocated = false;
                 for i in start..self.tables.len() {
@@ -438,7 +461,10 @@ mod tests {
 
     #[test]
     fn dual_decay_reaches_useless() {
-        let mut d = Dual { taken: 5, not_taken: 2 };
+        let mut d = Dual {
+            taken: 5,
+            not_taken: 2,
+        };
         for _ in 0..10 {
             d.decay();
         }

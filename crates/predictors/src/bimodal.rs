@@ -113,12 +113,7 @@ mod tests {
         let mut recs = Vec::new();
         for i in 0..100u64 {
             recs.extend(biased(20, i).into_iter().map(|mut r| {
-                r.branch = Branch::new(
-                    0x4000 + i * 8,
-                    0,
-                    r.branch.opcode(),
-                    r.branch.is_taken(),
-                );
+                r.branch = Branch::new(0x4000 + i * 8, 0, r.branch.opcode(), r.branch.is_taken());
                 r
             }));
         }

@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use mbp_utils::FastHashBuilder;
+
 use mbp_core::{json, Branch, Predictor, Value};
 
 /// Per-branch filter state.
@@ -39,7 +41,7 @@ enum BiasState {
 /// ```
 pub struct BiasFilter {
     inner: Box<dyn Predictor>,
-    states: HashMap<u64, BiasState>,
+    states: HashMap<u64, BiasState, FastHashBuilder>,
     filtered: u64,
 }
 
@@ -48,7 +50,7 @@ impl BiasFilter {
     pub fn new(inner: Box<dyn Predictor>) -> Self {
         Self {
             inner,
-            states: HashMap::new(),
+            states: HashMap::default(),
             filtered: 0,
         }
     }
@@ -72,14 +74,11 @@ impl Predictor for BiasFilter {
     fn train(&mut self, branch: &Branch) {
         let ip = branch.ip();
         let taken = branch.is_taken();
-        let state = self
-            .states
-            .entry(ip)
-            .or_insert(if taken {
-                BiasState::OnlyTaken(0)
-            } else {
-                BiasState::OnlyNotTaken(0)
-            });
+        let state = self.states.entry(ip).or_insert(if taken {
+            BiasState::OnlyTaken(0)
+        } else {
+            BiasState::OnlyNotTaken(0)
+        });
         match state {
             BiasState::OnlyTaken(n) if taken => {
                 *n += 1;
@@ -222,8 +221,7 @@ mod tests {
         use crate::Gshare;
         let recs = correlated_pair(3000, 41);
         let (mis_plain, _) = run(&mut Gshare::new(10, 12), &recs);
-        let (mis_filtered, total) =
-            run(&mut BiasFilter::new(Box::new(Gshare::new(10, 12))), &recs);
+        let (mis_filtered, total) = run(&mut BiasFilter::new(Box::new(Gshare::new(10, 12))), &recs);
         // Both branches here are mixed, so the filter defers quickly.
         assert!(
             (mis_filtered as i64 - mis_plain as i64).abs() < total as i64 / 10,

@@ -39,8 +39,14 @@ impl GSelect {
     /// Panics unless `1 <= history_bits <= 24`, `1 <= address_bits <= 24`
     /// and their sum is at most 30.
     pub fn new(history_bits: u32, address_bits: u32) -> Self {
-        assert!((1..=24).contains(&history_bits), "history_bits must be in 1..=24");
-        assert!((1..=24).contains(&address_bits), "address_bits must be in 1..=24");
+        assert!(
+            (1..=24).contains(&history_bits),
+            "history_bits must be in 1..=24"
+        );
+        assert!(
+            (1..=24).contains(&address_bits),
+            "address_bits must be in 1..=24"
+        );
         assert!(
             history_bits + address_bits <= 30,
             "table capped at 2^30 entries"

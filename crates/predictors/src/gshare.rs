@@ -28,6 +28,10 @@ pub struct Gshare {
     ghist: HistoryRegister,
     history_length: u32,
     log_size: u32,
+    /// Index computed by the latest `predict`, reused by `train` when the
+    /// simulator issues the usual predict → train pair on one branch.
+    /// Invalidated by `track`, the only call that changes the history.
+    cached_index: Option<(u64, usize)>,
 }
 
 impl Gshare {
@@ -48,6 +52,7 @@ impl Gshare {
             ghist: HistoryRegister::new(history_length as usize),
             history_length,
             log_size,
+            cached_index: None,
         }
     }
 
@@ -64,16 +69,22 @@ impl Gshare {
 
 impl Predictor for Gshare {
     fn predict(&mut self, ip: u64) -> bool {
-        self.table[self.hash(ip)].is_taken()
+        let idx = self.hash(ip);
+        self.cached_index = Some((ip, idx));
+        self.table[idx].is_taken()
     }
 
     fn train(&mut self, branch: &Branch) {
-        let idx = self.hash(branch.ip());
+        let idx = match self.cached_index {
+            Some((ip, idx)) if ip == branch.ip() => idx,
+            _ => self.hash(branch.ip()),
+        };
         self.table[idx].sum_or_sub(branch.is_taken());
     }
 
     fn track(&mut self, branch: &Branch) {
         self.ghist.push(branch.is_taken());
+        self.cached_index = None;
     }
 
     fn metadata(&self) -> Value {

@@ -61,8 +61,10 @@ impl TwoBcGskew {
     /// banks, the defining property of the gskew family.
     fn skew_index(&self, ip: u64, bank: u64, hist_bits: u32) -> usize {
         let h = self.ghist.low_n(hist_bits as usize);
-        xor_fold(mix64(ip ^ h.rotate_left(bank as u32 * 7) ^ (bank << 61)), self.log_size)
-            as usize
+        xor_fold(
+            mix64(ip ^ h.rotate_left(bank as u32 * 7) ^ (bank << 61)),
+            self.log_size,
+        ) as usize
     }
 
     fn indices(&self, ip: u64) -> [usize; 4] {
@@ -71,8 +73,10 @@ impl TwoBcGskew {
             self.skew_index(ip, 1, self.hist_len / 2),
             self.skew_index(ip, 2, self.hist_len),
             // META mixes the address with a short history slice.
-            xor_fold(ip ^ (self.ghist.low_n((self.hist_len / 4).max(1) as usize) << 1), self.log_size)
-                as usize,
+            xor_fold(
+                ip ^ (self.ghist.low_n((self.hist_len / 4).max(1) as usize) << 1),
+                self.log_size,
+            ) as usize,
         ]
     }
 

@@ -72,7 +72,10 @@ use mbp_core::Predictor;
 /// Recognized names: `always-taken`, `never-taken`, `btfn`, `bimodal`,
 /// `two-level`, `gshare`, `gselect`, `tournament`, `2bc-gskew`,
 /// `hashed-perceptron`, `tage`, `batage`.
-pub fn by_name(name: &str) -> Option<Box<dyn Predictor>> {
+///
+/// The box is `Send` so the result can be handed to
+/// `mbp_core::simulate_many`'s worker pool.
+pub fn by_name(name: &str) -> Option<Box<dyn Predictor + Send>> {
     Some(match name {
         "always-taken" => Box::new(AlwaysTaken),
         "never-taken" => Box::new(NeverTaken),
@@ -158,10 +161,7 @@ pub(crate) mod testutil {
     }
 
     /// Runs a predictor over records and returns (mispredictions, total).
-    pub fn run(
-        predictor: &mut dyn mbp_core::Predictor,
-        recs: &[BranchRecord],
-    ) -> (u64, u64) {
+    pub fn run(predictor: &mut dyn mbp_core::Predictor, recs: &[BranchRecord]) -> (u64, u64) {
         let mut mis = 0;
         let mut total = 0;
         for r in recs {

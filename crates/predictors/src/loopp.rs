@@ -173,17 +173,17 @@ mod tests {
         let recs = loop_pattern(0x1000, 9, 300);
         let mut p = LoopPredictor::new(Box::new(Bimodal::new(12)), 8);
         let (mis, total) = run(&mut p, &recs);
-        assert!(
-            (mis as f64) < 0.02 * total as f64,
-            "mis = {mis} of {total}"
-        );
+        assert!((mis as f64) < 0.02 * total as f64, "mis = {mis} of {total}");
         assert!(p.overrides > 0, "loop table never engaged");
     }
 
     #[test]
     fn beats_bare_bimodal_on_loops() {
         let recs = loop_pattern(0x1000, 9, 300);
-        let (mis_loop, _) = run(&mut LoopPredictor::new(Box::new(Bimodal::new(12)), 8), &recs);
+        let (mis_loop, _) = run(
+            &mut LoopPredictor::new(Box::new(Bimodal::new(12)), 8),
+            &recs,
+        );
         let (mis_bim, _) = run(&mut Bimodal::new(12), &recs);
         assert!(mis_loop < mis_bim, "{mis_loop} !< {mis_bim}");
     }

@@ -49,7 +49,10 @@ impl HashedPerceptron {
     /// Panics if `history_lengths` is empty or unsorted, or `log_size` is
     /// not in `1..=28`.
     pub fn new(history_lengths: Vec<u32>, log_size: u32) -> Self {
-        assert!(!history_lengths.is_empty(), "need at least one history length");
+        assert!(
+            !history_lengths.is_empty(),
+            "need at least one history length"
+        );
         assert!(
             history_lengths.windows(2).all(|w| w[0] < w[1]),
             "history lengths must be strictly increasing"

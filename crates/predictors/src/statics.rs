@@ -55,7 +55,7 @@ impl Predictor for NeverTaken {
 /// approximation for trace-driven evaluation.
 #[derive(Clone, Debug, Default)]
 pub struct Btfn {
-    backward: std::collections::HashMap<u64, bool>,
+    backward: std::collections::HashMap<u64, bool, mbp_utils::FastHashBuilder>,
 }
 
 impl Predictor for Btfn {
@@ -66,7 +66,8 @@ impl Predictor for Btfn {
 
     fn train(&mut self, branch: &Branch) {
         if branch.is_taken() && branch.target() != 0 {
-            self.backward.insert(branch.ip(), branch.target() < branch.ip());
+            self.backward
+                .insert(branch.ip(), branch.target() < branch.ip());
         }
     }
 

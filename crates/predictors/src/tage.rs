@@ -9,7 +9,9 @@
 //! the folded-history and counter utilities do the heavy lifting here too.
 
 use mbp_core::{json, Branch, Predictor, Value};
-use mbp_utils::{xor_fold, FoldedHistory, HistoryRegister, SatCounter, USatCounter, Xorshift64, I2};
+use mbp_utils::{
+    xor_fold, FoldedHistory, HistoryRegister, SatCounter, USatCounter, Xorshift64, I2,
+};
 
 /// Geometry of one tagged table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -132,7 +134,10 @@ impl Tage {
     /// Panics if the configuration is empty, history lengths are not
     /// strictly increasing, or a tag is wider than 15 bits.
     pub fn new(cfg: TageConfig) -> Self {
-        assert!(!cfg.tables.is_empty(), "TAGE needs at least one tagged table");
+        assert!(
+            !cfg.tables.is_empty(),
+            "TAGE needs at least one tagged table"
+        );
         assert!(
             cfg.tables.windows(2).all(|w| w[0].hist_len < w[1].hist_len),
             "history lengths must be strictly increasing"
@@ -187,8 +192,10 @@ impl Tage {
         lk.slots.clear();
         lk.hits.clear();
         for (i, spec) in self.cfg.tables.iter().enumerate() {
-            let idx = (xor_fold(ip ^ (ip >> (spec.log_size / 2 + i as u32 + 1)), spec.log_size)
-                ^ self.idx_fold[i].value()) as usize;
+            let idx = (xor_fold(
+                ip ^ (ip >> (spec.log_size / 2 + i as u32 + 1)),
+                spec.log_size,
+            ) ^ self.idx_fold[i].value()) as usize;
             let tag_mask = (1u16 << spec.tag_bits) - 1;
             let tag = ((xor_fold(ip, spec.tag_bits)
                 ^ self.tag_fold0[i].value()
@@ -335,7 +342,7 @@ impl Predictor for Tage {
         }
 
         // Graceful aging of usefulness counters.
-        if self.updates % self.cfg.reset_period == 0 {
+        if self.updates.is_multiple_of(self.cfg.reset_period) {
             for table in &mut self.tables {
                 for e in table.iter_mut() {
                     e.useful.halve();

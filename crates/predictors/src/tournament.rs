@@ -30,9 +30,9 @@ use crate::{Bimodal, Gshare};
 /// assert_eq!(p.metadata()["name"].as_str(), Some("MBPlib Tournament"));
 /// ```
 pub struct Tournament {
-    meta: Box<dyn Predictor>,
-    bp0: Box<dyn Predictor>,
-    bp1: Box<dyn Predictor>,
+    meta: Box<dyn Predictor + Send>,
+    bp0: Box<dyn Predictor + Send>,
+    bp1: Box<dyn Predictor + Send>,
     // Cached data (Listing 4): predict() fills these; train() reuses them.
     predicted_ip: u64,
     tracked: bool,
@@ -43,9 +43,9 @@ pub struct Tournament {
 impl Tournament {
     /// Builds a tournament from any three predictors.
     pub fn new(
-        meta: Box<dyn Predictor>,
-        bp0: Box<dyn Predictor>,
-        bp1: Box<dyn Predictor>,
+        meta: Box<dyn Predictor + Send>,
+        bp0: Box<dyn Predictor + Send>,
+        bp1: Box<dyn Predictor + Send>,
     ) -> Self {
         Self {
             meta,
@@ -141,15 +141,16 @@ mod tests {
     use crate::testutil::{correlated_pair, run};
     use crate::{AlwaysTaken, NeverTaken};
     use mbp_core::Opcode;
-    use std::cell::Cell;
-    use std::rc::Rc;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     /// A component that counts train calls, to observe the partial-update
-    /// policy from outside.
+    /// policy from outside. (`Arc<AtomicU64>` rather than `Rc<Cell<_>>`
+    /// because `Tournament` components must be `Send`.)
     struct Counting {
         direction: bool,
-        trains: Rc<Cell<u64>>,
-        tracks: Rc<Cell<u64>>,
+        trains: Arc<AtomicU64>,
+        tracks: Arc<AtomicU64>,
     }
 
     impl Predictor for Counting {
@@ -157,10 +158,10 @@ mod tests {
             self.direction
         }
         fn train(&mut self, _b: &Branch) {
-            self.trains.set(self.trains.get() + 1);
+            self.trains.fetch_add(1, Ordering::Relaxed);
         }
         fn track(&mut self, _b: &Branch) {
-            self.tracks.set(self.tracks.get() + 1);
+            self.tracks.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -170,48 +171,52 @@ mod tests {
 
     #[test]
     fn meta_trained_only_on_disagreement() {
-        let trains = Rc::new(Cell::new(0));
-        let tracks = Rc::new(Cell::new(0));
+        let trains = Arc::new(AtomicU64::new(0));
+        let tracks = Arc::new(AtomicU64::new(0));
         let meta = Counting {
             direction: false,
             trains: trains.clone(),
             tracks: tracks.clone(),
         };
         // Components always agree (both taken) → meta never trained.
-        let mut t = Tournament::new(
-            Box::new(meta),
-            Box::new(AlwaysTaken),
-            Box::new(AlwaysTaken),
-        );
+        let mut t = Tournament::new(Box::new(meta), Box::new(AlwaysTaken), Box::new(AlwaysTaken));
         for i in 0..10 {
             let b = cond(0x100 + i, true);
             t.predict(b.ip());
             t.train(&b);
             t.track(&b);
         }
-        assert_eq!(trains.get(), 0, "agreeing components never train the meta");
-        assert_eq!(tracks.get(), 10, "meta is tracked for every branch");
+        assert_eq!(
+            trains.load(Ordering::Relaxed),
+            0,
+            "agreeing components never train the meta"
+        );
+        assert_eq!(
+            tracks.load(Ordering::Relaxed),
+            10,
+            "meta is tracked for every branch"
+        );
     }
 
     #[test]
     fn meta_branch_encodes_which_component_was_right() {
-        let trains = Rc::new(Cell::new(0));
-        let tracks = Rc::new(Cell::new(0));
+        let trains = Arc::new(AtomicU64::new(0));
+        let tracks = Arc::new(AtomicU64::new(0));
         let meta = Counting {
             direction: true, // always choose component 1
             trains: trains.clone(),
             tracks: tracks.clone(),
         };
         // bp0 = never taken, bp1 = always taken: they always disagree.
-        let mut t = Tournament::new(
-            Box::new(meta),
-            Box::new(NeverTaken),
-            Box::new(AlwaysTaken),
-        );
+        let mut t = Tournament::new(Box::new(meta), Box::new(NeverTaken), Box::new(AlwaysTaken));
         let b = cond(0x100, true);
         assert!(t.predict(b.ip()), "chooser selects bp1 (taken)");
         t.train(&b);
-        assert_eq!(trains.get(), 1, "disagreement trains the meta");
+        assert_eq!(
+            trains.load(Ordering::Relaxed),
+            1,
+            "disagreement trains the meta"
+        );
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl TwoLevel {
         log_phts: u32,
     ) -> Self {
         assert!((1..=24).contains(&hist_len), "hist_len must be in 1..=24");
-        assert!(log_bhrs <= 20 && log_phts <= 20, "table sizes capped at 2^20");
+        assert!(
+            log_bhrs <= 20 && log_phts <= 20,
+            "table sizes capped at 2^20"
+        );
         let num_bhrs = match hscope {
             HistoryScope::Global => 1,
             _ => 1usize << log_bhrs,
@@ -114,12 +117,24 @@ impl TwoLevel {
 
     /// The classic GAs configuration.
     pub fn gas(hist_len: u32, log_phts: u32, _unused_log_bhrs: u32) -> Self {
-        Self::new(HistoryScope::Global, HistoryScope::PerSet, hist_len, 0, log_phts)
+        Self::new(
+            HistoryScope::Global,
+            HistoryScope::PerSet,
+            hist_len,
+            0,
+            log_phts,
+        )
     }
 
     /// The classic PAg configuration.
     pub fn pag(hist_len: u32, log_bhrs: u32) -> Self {
-        Self::new(HistoryScope::PerAddress, HistoryScope::Global, hist_len, log_bhrs, 0)
+        Self::new(
+            HistoryScope::PerAddress,
+            HistoryScope::Global,
+            hist_len,
+            log_bhrs,
+            0,
+        )
     }
 
     /// The classic PAp configuration.

@@ -40,7 +40,11 @@ pub struct Opcode {
 impl Opcode {
     /// Creates an opcode from its three components.
     pub fn new(conditional: bool, indirect: bool, kind: BranchKind) -> Self {
-        Self { conditional, indirect, kind }
+        Self {
+            conditional,
+            indirect,
+            kind,
+        }
     }
 
     /// The common conditional direct jump (what `bcc` instructions are).
@@ -146,7 +150,12 @@ pub struct Branch {
 impl Branch {
     /// Creates a branch occurrence.
     pub fn new(ip: u64, target: u64, opcode: Opcode, taken: bool) -> Self {
-        Self { ip, target, opcode, taken }
+        Self {
+            ip,
+            target,
+            opcode,
+            taken,
+        }
     }
 
     /// Virtual address of the branch instruction.
@@ -241,8 +250,14 @@ mod tests {
     #[test]
     fn opcode_kind_encoding_matches_paper() {
         // JUMP (00), CALL (10), RET (01) in bits 2–3.
-        assert_eq!(Opcode::new(false, false, BranchKind::Jump).bits() >> 2, 0b00);
-        assert_eq!(Opcode::new(false, false, BranchKind::Call).bits() >> 2, 0b10);
+        assert_eq!(
+            Opcode::new(false, false, BranchKind::Jump).bits() >> 2,
+            0b00
+        );
+        assert_eq!(
+            Opcode::new(false, false, BranchKind::Call).bits() >> 2,
+            0b10
+        );
         assert_eq!(Opcode::new(false, false, BranchKind::Ret).bits() >> 2, 0b01);
     }
 
@@ -266,10 +281,7 @@ mod tests {
 
     #[test]
     fn record_instruction_accounting() {
-        let rec = BranchRecord::new(
-            Branch::new(0, 0, Opcode::conditional_direct(), true),
-            9,
-        );
+        let rec = BranchRecord::new(Branch::new(0, 0, Opcode::conditional_direct(), true), 9);
         assert_eq!(rec.instructions(), 10);
     }
 }

@@ -23,6 +23,8 @@
 //! ```
 
 use std::collections::HashMap;
+
+use mbp_utils::FastHashBuilder;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{Read, Write};
@@ -119,8 +121,8 @@ impl Bt9Trace {
 #[derive(Debug, Default)]
 pub struct Bt9Writer {
     trace: Bt9Trace,
-    node_ids: HashMap<u64, u32>,
-    edge_ids: HashMap<(u32, bool, u64, u32), u32>,
+    node_ids: HashMap<u64, u32, FastHashBuilder>,
+    edge_ids: HashMap<(u32, bool, u64, u32), u32, FastHashBuilder>,
 }
 
 impl Bt9Writer {
@@ -199,8 +201,8 @@ impl Bt9Writer {
 /// numbers in [`TraceError::Invalid::position`].
 pub fn parse<R: Read>(source: R) -> Result<Bt9Trace, TraceError> {
     let data = DecompressReader::new(source)?.into_bytes();
-    let text = std::str::from_utf8(&data)
-        .map_err(|_| TraceError::BadSignature { format: "BT9" })?;
+    let text =
+        std::str::from_utf8(&data).map_err(|_| TraceError::BadSignature { format: "BT9" })?;
     parse_text(text)
 }
 
@@ -312,11 +314,13 @@ fn parse_text_impl(text: &str, enforce_counts: bool) -> Result<Bt9Trace, TraceEr
                     return Err(TraceError::invalid("non-sequential node id", line_no));
                 }
                 let ip = parse_hex(
-                    f.next().ok_or_else(|| TraceError::invalid("missing node address", line_no))?,
+                    f.next()
+                        .ok_or_else(|| TraceError::invalid("missing node address", line_no))?,
                     line_no,
                 )?;
                 let op = parse_mnemonic(
-                    f.next().ok_or_else(|| TraceError::invalid("missing node opcode", line_no))?,
+                    f.next()
+                        .ok_or_else(|| TraceError::invalid("missing node opcode", line_no))?,
                     line_no,
                 )?;
                 trace.nodes.push((ip, op));
@@ -346,7 +350,8 @@ fn parse_text_impl(text: &str, enforce_counts: bool) -> Result<Bt9Trace, TraceEr
                     _ => return Err(TraceError::invalid("bad edge outcome", line_no)),
                 };
                 let target = parse_hex(
-                    f.next().ok_or_else(|| TraceError::invalid("missing edge target", line_no))?,
+                    f.next()
+                        .ok_or_else(|| TraceError::invalid("missing edge target", line_no))?,
                     line_no,
                 )?;
                 let gap: u32 = f
@@ -360,7 +365,10 @@ fn parse_text_impl(text: &str, enforce_counts: bool) -> Result<Bt9Trace, TraceEr
                     .parse()
                     .map_err(|_| TraceError::invalid("bad sequence entry", line_no))?;
                 if edge as usize >= trace.edges.len() {
-                    return Err(TraceError::invalid("sequence references unknown edge", line_no));
+                    return Err(TraceError::invalid(
+                        "sequence references unknown edge",
+                        line_no,
+                    ));
                 }
                 trace.sequence.push(edge);
             }
@@ -405,7 +413,7 @@ mod tests {
         let trace = parse_text(&text).unwrap();
         let back: Vec<_> = trace.records().collect();
         assert_eq!(back, sample_records());
-        assert_eq!(trace.instruction_count, 5 + 3 + 3 + 0 + 2 + 3);
+        assert_eq!(trace.instruction_count, (5 + 3 + 3) + 2 + 3);
     }
 
     #[test]
@@ -465,7 +473,9 @@ mod tests {
     fn rejects_branch_count_mismatch() {
         let mut w = Bt9Writer::new();
         w.write_record(&sample_records()[0]);
-        let text = w.to_text().replace("branch_instruction_count: 1", "branch_instruction_count: 9");
+        let text = w
+            .to_text()
+            .replace("branch_instruction_count: 1", "branch_instruction_count: 9");
         assert!(matches!(parse_text(&text), Err(TraceError::Invalid { .. })));
     }
 
@@ -476,8 +486,7 @@ mod tests {
             w.write_record(&r);
         }
         let text = w.to_text();
-        let packed =
-            mbp_compress::compress(text.as_bytes(), mbp_compress::Codec::Mgz, 6).unwrap();
+        let packed = mbp_compress::compress(text.as_bytes(), mbp_compress::Codec::Mgz, 6).unwrap();
         let trace = parse(&packed[..]).unwrap();
         assert_eq!(trace.branch_count(), 5);
     }

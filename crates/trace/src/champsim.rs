@@ -112,12 +112,18 @@ impl ChampsimRecord {
             ..Self::default()
         };
         for i in 0..2 {
-            rec.dest_mem[i] =
-                u64::from_le_bytes(bytes[16 + 8 * i..24 + 8 * i].try_into().expect("fixed size"));
+            rec.dest_mem[i] = u64::from_le_bytes(
+                bytes[16 + 8 * i..24 + 8 * i]
+                    .try_into()
+                    .expect("fixed size"),
+            );
         }
         for i in 0..4 {
-            rec.src_mem[i] =
-                u64::from_le_bytes(bytes[32 + 8 * i..40 + 8 * i].try_into().expect("fixed size"));
+            rec.src_mem[i] = u64::from_le_bytes(
+                bytes[32 + 8 * i..40 + 8 * i]
+                    .try_into()
+                    .expect("fixed size"),
+            );
         }
         rec
     }
@@ -153,7 +159,11 @@ impl OperandSynth {
             // the backend can sustain several IPC; otherwise dependency
             // stalls would hide every branch-misprediction bubble.
             src_regs: [
-                if c % 3 == 0 { 1 + (c % 14) as u8 } else { 0 },
+                if c.is_multiple_of(3) {
+                    1 + (c % 14) as u8
+                } else {
+                    0
+                },
                 0,
                 0,
                 0,
@@ -163,8 +173,8 @@ impl OperandSynth {
         };
         // ~1 in 7 instructions load; mostly cache-friendly streaming with
         // an occasional scattered access.
-        if c % 7 == 0 {
-            rec.src_mem[0] = if c % 70 == 0 {
+        if c.is_multiple_of(7) {
+            rec.src_mem[0] = if c.is_multiple_of(70) {
                 self.data_base + (mbp_hash(c) % (1 << 22))
             } else {
                 // Sequential 8-byte stream over a cache-resident window.
@@ -172,7 +182,7 @@ impl OperandSynth {
             };
         }
         // ~1 in 11 instructions store.
-        if c % 11 == 0 {
+        if c.is_multiple_of(11) {
             rec.dest_mem[0] = self.data_base + (1 << 22) + (c * 16) % (1 << 16);
         }
         rec
@@ -403,14 +413,22 @@ mod tests {
     fn branch_reduction_reconstructs_gaps_and_targets() {
         let mut w = ChampsimWriter::new(Vec::new());
         let recs = vec![
-            BranchRecord::new(Branch::new(0x1010, 0x2000, Opcode::conditional_direct(), true), 2),
-            BranchRecord::new(Branch::new(0x2008, 0x3000, Opcode::conditional_direct(), false), 1),
+            BranchRecord::new(
+                Branch::new(0x1010, 0x2000, Opcode::conditional_direct(), true),
+                2,
+            ),
+            BranchRecord::new(
+                Branch::new(0x2008, 0x3000, Opcode::conditional_direct(), false),
+                1,
+            ),
         ];
         for r in &recs {
             w.write_branch_record(r).unwrap();
         }
         let bytes = w.finish().unwrap();
-        let back = ChampsimReader::from_reader(&bytes[..]).unwrap().to_branch_records();
+        let back = ChampsimReader::from_reader(&bytes[..])
+            .unwrap()
+            .to_branch_records();
         assert_eq!(back.len(), 2);
         assert_eq!(back[0].gap, 2);
         assert_eq!(back[0].branch.ip(), 0x1010);
@@ -442,7 +460,7 @@ mod tests {
         let recs: Vec<_> = (0..100).map(|i| s.filler(i)).collect();
         let loads = recs.iter().filter(|r| r.src_mem[0] != 0).count();
         let stores = recs.iter().filter(|r| r.dest_mem[0] != 0).count();
-        assert!(loads >= 10 && loads < 30, "loads = {loads}");
-        assert!(stores >= 5 && stores < 25, "stores = {stores}");
+        assert!((10..30).contains(&loads), "loads = {loads}");
+        assert!((5..25).contains(&stores), "stores = {stores}");
     }
 }

@@ -36,7 +36,10 @@ pub struct SbbtHeader {
 impl SbbtHeader {
     /// Creates a header with the given totals.
     pub fn new(instruction_count: u64, branch_count: u64) -> Self {
-        Self { instruction_count, branch_count }
+        Self {
+            instruction_count,
+            branch_count,
+        }
     }
 
     /// Encodes to the 24-byte on-disk layout: signature, (major, minor,

@@ -14,14 +14,14 @@ mod writer;
 
 pub use header::{SbbtHeader, SBBT_SIGNATURE, SBBT_VERSION};
 pub use packet::{decode_packet, encode_packet, PACKET_BYTES};
-pub use reader::SbbtReader;
+pub use reader::{SbbtReader, BATCH_RECORDS};
 pub use writer::{SbbtWriter, StreamingSbbtWriter};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Branch, BranchKind, BranchRecord, Opcode};
-    use proptest::prelude::*;
+    use mbp_utils::Xorshift64;
 
     /// Golden-bytes pin of Fig. 2: any change to the packet layout breaks
     /// this test, guarding on-disk compatibility.
@@ -32,10 +32,7 @@ mod tests {
             5,
         );
         let bytes = encode_packet(&rec).unwrap();
-        assert_eq!(
-            bytes.to_vec(),
-            hex("01080001040000000500000204000000"),
-        );
+        assert_eq!(bytes.to_vec(), hex("01080001040000000500000204000000"),);
     }
 
     /// Golden-bytes pin of Fig. 1 (the 192-bit header).
@@ -55,46 +52,47 @@ mod tests {
             .collect()
     }
 
-    fn arb_opcode() -> impl Strategy<Value = Opcode> {
-        (any::<bool>(), any::<bool>(), prop_oneof![
-            Just(BranchKind::Jump),
-            Just(BranchKind::Call),
-            Just(BranchKind::Ret),
-        ])
-            .prop_map(|(c, i, k)| Opcode::new(c, i, k))
+    /// Arbitrary *valid* records (SBBT validity rules + field widths),
+    /// drawn from a deterministic stream — the offline stand-in for
+    /// proptest.
+    fn arb_record(rng: &mut Xorshift64) -> BranchRecord {
+        let kind = match rng.below(3) {
+            0 => BranchKind::Jump,
+            1 => BranchKind::Call,
+            _ => BranchKind::Ret,
+        };
+        let op = Opcode::new(rng.next_bool(), rng.next_bool(), kind);
+        let ip = rng.below(1 << 51);
+        let mut target = rng.below(1 << 51);
+        let taken = rng.next_bool() || !op.is_conditional();
+        if op.is_conditional() && op.is_indirect() && !taken {
+            target = 0;
+        }
+        let gap = rng.below(4096) as u32;
+        BranchRecord::new(Branch::new(ip, target, op, taken), gap)
     }
 
-    /// Arbitrary *valid* records (SBBT validity rules + field widths).
-    fn arb_record() -> impl Strategy<Value = BranchRecord> {
-        (arb_opcode(), 0u64..(1 << 51), 0u64..(1 << 51), any::<bool>(), 0u32..=4095)
-            .prop_map(|(op, ip, target, taken, gap)| {
-                let taken = taken || !op.is_conditional();
-                let target = if op.is_conditional() && op.is_indirect() && !taken {
-                    0
-                } else {
-                    target
-                };
-                BranchRecord::new(Branch::new(ip, target, op, taken), gap)
-            })
-    }
+    #[test]
+    fn stream_roundtrip() {
+        let mut rng = Xorshift64::new(0x5bb7_0001);
+        for _ in 0..64 {
+            let n = rng.below(200) as usize;
+            let records: Vec<BranchRecord> = (0..n).map(|_| arb_record(&mut rng)).collect();
 
-    proptest! {
-        #[test]
-        fn stream_roundtrip(records in prop::collection::vec(arb_record(), 0..200)) {
             let mut w = SbbtWriter::new(Vec::new());
             for r in &records {
                 w.write_record(r).unwrap();
             }
             let bytes = w.finish().unwrap();
-            prop_assert_eq!(bytes.len(), 24 + 16 * records.len());
+            assert_eq!(bytes.len(), 24 + 16 * records.len());
 
             let mut r = SbbtReader::from_bytes(bytes).unwrap();
-            prop_assert_eq!(r.header().branch_count, records.len() as u64);
+            assert_eq!(r.header().branch_count, records.len() as u64);
             let mut back = Vec::new();
             while let Some(rec) = r.next_record().unwrap() {
                 back.push(rec);
             }
-            prop_assert_eq!(back, records);
+            assert_eq!(back, records);
         }
     }
 }

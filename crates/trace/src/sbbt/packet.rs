@@ -53,9 +53,8 @@ pub fn encode_packet(rec: &BranchRecord) -> Result<[u8; PACKET_BYTES], TraceErro
             "record violates SBBT validity rules".to_owned(),
         ));
     }
-    let block1 = (b.ip() << 12)
-        | (b.opcode().bits() as u64)
-        | if b.is_taken() { OUTCOME_BIT } else { 0 };
+    let block1 =
+        (b.ip() << 12) | (b.opcode().bits() as u64) | if b.is_taken() { OUTCOME_BIT } else { 0 };
     let block2 = (b.target() << 12) | rec.gap as u64;
     let mut out = [0u8; PACKET_BYTES];
     out[..8].copy_from_slice(&block1.to_le_bytes());
@@ -69,7 +68,10 @@ pub fn encode_packet(rec: &BranchRecord) -> Result<[u8; PACKET_BYTES], TraceErro
 ///
 /// [`TraceError::Invalid`] (at byte `position`) if the opcode uses the
 /// reserved kind, reserved bits are set, or the validity rules are violated.
-pub fn decode_packet(bytes: &[u8; PACKET_BYTES], position: u64) -> Result<BranchRecord, TraceError> {
+pub fn decode_packet(
+    bytes: &[u8; PACKET_BYTES],
+    position: u64,
+) -> Result<BranchRecord, TraceError> {
     let block1 = u64::from_le_bytes(bytes[..8].try_into().expect("fixed size"));
     let block2 = u64::from_le_bytes(bytes[8..].try_into().expect("fixed size"));
 
@@ -91,6 +93,64 @@ pub fn decode_packet(bytes: &[u8; PACKET_BYTES], position: u64) -> Result<Branch
         ));
     }
     Ok(BranchRecord::new(branch, gap))
+}
+
+/// Block-decode variant of [`decode_packet`] for the `fill_batch` hot loop.
+///
+/// Semantically identical — same accepted packets, same rejected packets,
+/// same error kinds and positions (`decoders_agree_on_every_bit_pattern`
+/// pins this) — but folds every format rule into one branch-free predicate
+/// so the per-packet cost inside a block is a handful of ALU ops. The
+/// one-at-a-time [`decode_packet`] stays on `Opcode::from_bits` and
+/// `Branch::is_valid`, the canonical statements of the format rules.
+pub(crate) fn decode_packet_fast(
+    bytes: &[u8; PACKET_BYTES],
+    position: u64,
+) -> Result<BranchRecord, TraceError> {
+    let block1 = u64::from_le_bytes(bytes[..8].try_into().expect("fixed size"));
+    let block2 = u64::from_le_bytes(bytes[8..].try_into().expect("fixed size"));
+
+    let conditional = block1 & 0b01 != 0;
+    let indirect = block1 & 0b10 != 0;
+    let taken = block1 & OUTCOME_BIT != 0;
+    let target = ((block2 as i64) >> 12) as u64;
+
+    // Reserved bits clear, kind not the reserved `11` pattern, and the
+    // §IV-C outcome/target validity rules. The non-short-circuiting `|`
+    // keeps the combined test a single well-predicted branch.
+    let malformed = (block1 & RESERVED_MASK != 0)
+        | (block1 & 0b1100 == 0b1100)
+        | (!conditional & !taken)
+        | (conditional & indirect & !taken & (target != 0));
+    if malformed {
+        return Err(malformed_error(block1, position));
+    }
+
+    let kind = match (block1 >> 2) & 0b11 {
+        0b00 => crate::BranchKind::Jump,
+        0b01 => crate::BranchKind::Ret,
+        _ => crate::BranchKind::Call, // `11` was rejected above
+    };
+    let opcode = Opcode::new(conditional, indirect, kind);
+    let ip = ((block1 as i64) >> 12) as u64;
+    let gap = (block2 & 0xFFF) as u32;
+    Ok(BranchRecord::new(
+        Branch::new(ip, target, opcode, taken),
+        gap,
+    ))
+}
+
+/// Picks the error for a packet that failed the combined format test,
+/// mirroring the order [`decode_packet`] applies its checks.
+#[cold]
+fn malformed_error(block1: u64, position: u64) -> TraceError {
+    if block1 & RESERVED_MASK != 0 {
+        return TraceError::invalid("reserved opcode bits set", position);
+    }
+    if block1 & 0b1100 == 0b1100 {
+        return TraceError::invalid("reserved branch kind", position);
+    }
+    TraceError::invalid("packet violates outcome/target validity rules", position)
 }
 
 #[cfg(test)]
@@ -185,6 +245,34 @@ mod tests {
         bytes[0] &= !1; // clear conditional bit
         bytes[1] &= !(1 << 3); // clear outcome bit (bit 11 of block1)
         assert!(decode_packet(&bytes, 0).is_err());
+    }
+
+    #[test]
+    fn decoders_agree_on_every_bit_pattern() {
+        // Sweep the full format-rule space: every opcode nibble, outcome
+        // bit, each reserved bit, and null/non-null targets. The fast
+        // block decoder must accept, reject, and report positions exactly
+        // like the canonical one.
+        for low_bits in 0u64..4096 {
+            for target in [0u64, 0x40_2000] {
+                let block1 = (0x40_1000u64 << 12) | low_bits;
+                let block2 = (target << 12) | 17;
+                let mut bytes = [0u8; PACKET_BYTES];
+                bytes[..8].copy_from_slice(&block1.to_le_bytes());
+                bytes[8..].copy_from_slice(&block2.to_le_bytes());
+                let canonical = decode_packet(&bytes, 4242);
+                let fast = decode_packet_fast(&bytes, 4242);
+                match (&canonical, &fast) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "block1 {block1:#x}"),
+                    (Err(a), Err(b)) => {
+                        assert_eq!(format!("{a:?}"), format!("{b:?}"), "block1 {block1:#x}")
+                    }
+                    _ => {
+                        panic!("decoders disagree on block1 {block1:#x}: {canonical:?} vs {fast:?}")
+                    }
+                }
+            }
+        }
     }
 
     #[test]

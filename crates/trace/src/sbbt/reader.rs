@@ -7,8 +7,14 @@ use std::path::Path;
 use mbp_compress::DecompressReader;
 
 use crate::sbbt::header::{SbbtHeader, HEADER_BYTES};
-use crate::sbbt::packet::{decode_packet, PACKET_BYTES};
+use crate::sbbt::packet::{decode_packet, decode_packet_fast, PACKET_BYTES};
 use crate::{BranchRecord, TraceError};
+
+/// Number of records decoded per [`SbbtReader::fill_batch`] call.
+///
+/// 2048 packets are 32 kB of trace, big enough to amortize per-call
+/// overhead and small enough to stay cache-resident.
+pub const BATCH_RECORDS: usize = 2048;
 
 /// Reads SBBT traces, raw or MGZ/MZST-compressed.
 ///
@@ -51,8 +57,11 @@ impl SbbtReader {
     ///
     /// Same as [`SbbtReader::open`].
     pub fn from_reader<R: Read>(source: R) -> Result<Self, TraceError> {
+        // `DecompressReader` has already probed for a compression codec and
+        // unpacked the payload, so go straight to header validation instead
+        // of routing through `from_bytes` and probing a second time.
         let data = DecompressReader::new(source)?.into_bytes();
-        Self::from_bytes(data)
+        Self::from_decompressed(data)
     }
 
     /// Parses an in-memory trace (decompressing if needed).
@@ -67,9 +76,19 @@ impl SbbtReader {
         } else {
             data
         };
+        Self::from_decompressed(data)
+    }
+
+    /// Parses an in-memory trace known to be raw SBBT bytes, skipping the
+    /// compression-codec probe of [`SbbtReader::from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SbbtReader::from_bytes`].
+    pub fn from_decompressed(data: Vec<u8>) -> Result<Self, TraceError> {
         let header = SbbtHeader::decode(&data)?;
         let body_len = data.len() - HEADER_BYTES;
-        if body_len % PACKET_BYTES != 0 {
+        if !body_len.is_multiple_of(PACKET_BYTES) {
             return Err(TraceError::Truncated);
         }
         if (body_len / PACKET_BYTES) as u64 != header.branch_count {
@@ -95,6 +114,12 @@ impl SbbtReader {
         ((self.data.len() - self.pos) / PACKET_BYTES) as u64
     }
 
+    /// Resets the reader to the first packet, so the same decoded buffer can
+    /// be replayed without reopening (or re-decompressing) the trace.
+    pub fn rewind(&mut self) {
+        self.pos = HEADER_BYTES;
+    }
+
     /// Decodes the next packet, or `None` at end of trace.
     ///
     /// # Errors
@@ -113,6 +138,46 @@ impl SbbtReader {
         Ok(Some(rec))
     }
 
+    /// Decodes up to [`BATCH_RECORDS`](crate::sbbt::BATCH_RECORDS) packets
+    /// into `out`, replacing its previous contents, and returns how many
+    /// were decoded.
+    ///
+    /// This is the hot-path entry point of the simulator: one call amortizes
+    /// the per-record bounds checks and virtual dispatch of
+    /// [`SbbtReader::next_record`] over a whole block. `out` keeps its
+    /// allocation between calls, so a caller looping `fill_batch` performs
+    /// no allocation after the first block.
+    ///
+    /// A return value smaller than `BATCH_RECORDS` means the trace is
+    /// exhausted; `0` means no records remain.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Invalid`] on the first malformed packet; `out` holds
+    /// the records decoded before it.
+    pub fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
+        out.clear();
+        let start = self.pos;
+        let end = self.data.len().min(start + BATCH_RECORDS * PACKET_BYTES);
+        out.reserve((end - start) / PACKET_BYTES);
+        // The cursor is committed once per block (or set to the failing
+        // packet), keeping the decode loop free of writes through `self`.
+        for (i, packet) in self.data[start..end].chunks_exact(PACKET_BYTES).enumerate() {
+            let bytes: &[u8; PACKET_BYTES] =
+                packet.try_into().expect("chunks_exact yields full packets");
+            let position = start + i * PACKET_BYTES;
+            match decode_packet_fast(bytes, position as u64) {
+                Ok(rec) => out.push(rec),
+                Err(e) => {
+                    self.pos = position;
+                    return Err(e);
+                }
+            }
+        }
+        self.pos = end;
+        Ok(out.len())
+    }
+
     /// Reads every remaining record.
     ///
     /// # Errors
@@ -120,8 +185,9 @@ impl SbbtReader {
     /// Propagates the first packet error encountered.
     pub fn read_all(&mut self) -> Result<Vec<BranchRecord>, TraceError> {
         let mut out = Vec::with_capacity(self.remaining() as usize);
-        while let Some(rec) = self.next_record()? {
-            out.push(rec);
+        let mut batch = Vec::new();
+        while self.fill_batch(&mut batch)? > 0 {
+            out.extend_from_slice(&batch);
         }
         Ok(out)
     }
@@ -222,6 +288,69 @@ mod tests {
         assert_eq!(items.len(), 2, "one good record, one error, then stop");
         assert!(items[0].is_ok());
         assert!(items[1].is_err());
+    }
+
+    #[test]
+    fn fill_batch_matches_next_record() {
+        let n = BATCH_RECORDS + 100; // forces a full block plus a tail
+        let bytes = sample_trace(n);
+        let mut scalar = SbbtReader::from_bytes(bytes.clone()).unwrap();
+        let mut batched = SbbtReader::from_bytes(bytes).unwrap();
+
+        let mut via_batches = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            let got = batched.fill_batch(&mut buf).unwrap();
+            if got == 0 {
+                break;
+            }
+            assert!(got == BATCH_RECORDS || batched.remaining() == 0);
+            via_batches.extend_from_slice(&buf);
+        }
+
+        let mut via_scalar = Vec::new();
+        while let Some(rec) = scalar.next_record().unwrap() {
+            via_scalar.push(rec);
+        }
+        assert_eq!(via_batches, via_scalar);
+        assert_eq!(via_batches.len(), n);
+    }
+
+    #[test]
+    fn rewind_replays_from_the_start() {
+        let mut r = SbbtReader::from_bytes(sample_trace(7)).unwrap();
+        let first = r.read_all().unwrap();
+        assert_eq!(r.remaining(), 0);
+        r.rewind();
+        assert_eq!(r.remaining(), 7);
+        assert_eq!(r.read_all().unwrap(), first);
+    }
+
+    #[test]
+    fn fill_batch_replaces_buffer_contents() {
+        let mut r = SbbtReader::from_bytes(sample_trace(3)).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(r.fill_batch(&mut buf).unwrap(), 3);
+        assert_eq!(r.fill_batch(&mut buf).unwrap(), 0);
+        assert!(buf.is_empty(), "exhausted fill clears the buffer");
+    }
+
+    #[test]
+    fn fill_batch_surfaces_packet_errors() {
+        let mut bytes = sample_trace(5);
+        let off = 24 + 2 * 16;
+        bytes[off] |= 0b0111_0000; // corrupt third packet's reserved bits
+        let mut r = SbbtReader::from_bytes(bytes).unwrap();
+        let mut buf = Vec::new();
+        assert!(r.fill_batch(&mut buf).is_err());
+        assert_eq!(buf.len(), 2, "records before the error are kept");
+    }
+
+    #[test]
+    fn from_decompressed_rejects_compressed_payload() {
+        use mbp_compress::{compress, Codec};
+        let packed = compress(&sample_trace(4), Codec::Mzst, 3).unwrap();
+        assert!(SbbtReader::from_decompressed(packed).is_err());
     }
 
     #[test]

@@ -105,7 +105,12 @@ mod tests {
         (0..40)
             .map(|i| {
                 BranchRecord::new(
-                    Branch::new(0x1000 + 32 * (i % 5), 0x2000 + 32 * (i % 5), cond, i % 3 != 0),
+                    Branch::new(
+                        0x1000 + 32 * (i % 5),
+                        0x2000 + 32 * (i % 5),
+                        cond,
+                        i % 3 != 0,
+                    ),
                     (i % 11) as u32,
                 )
             })
@@ -161,53 +166,60 @@ mod tests {
     mod properties {
         use super::*;
         use crate::{BranchKind, Opcode};
-        use proptest::prelude::*;
+        use mbp_utils::Xorshift64;
 
-        fn arb_opcode() -> impl Strategy<Value = Opcode> {
-            (any::<bool>(), any::<bool>(), prop_oneof![
-                Just(BranchKind::Jump),
-                Just(BranchKind::Call),
-                Just(BranchKind::Ret),
-            ])
-                .prop_map(|(c, i, k)| Opcode::new(c, i, k))
-        }
-
-        fn arb_record() -> impl Strategy<Value = BranchRecord> {
-            (arb_opcode(), 0u64..(1 << 51), 0u64..(1 << 51), any::<bool>(), 0u32..=4095)
-                .prop_map(|(op, ip, target, taken, gap)| {
-                    let taken = taken || !op.is_conditional();
-                    let target = if op.is_conditional() && op.is_indirect() && !taken {
-                        0
-                    } else {
-                        target
-                    };
-                    BranchRecord::new(Branch::new(ip, target, op, taken), gap)
-                })
-        }
-
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
-
-            #[test]
-            fn sbbt_roundtrip_arbitrary(records in prop::collection::vec(arb_record(), 0..100)) {
-                let bytes = records_to_sbbt(&records).unwrap();
-                prop_assert_eq!(sbbt_to_records(bytes).unwrap(), records);
+        /// Deterministic valid-record stream — offline stand-in for
+        /// proptest.
+        fn arb_record(rng: &mut Xorshift64) -> BranchRecord {
+            let kind = match rng.below(3) {
+                0 => BranchKind::Jump,
+                1 => BranchKind::Call,
+                _ => BranchKind::Ret,
+            };
+            let op = Opcode::new(rng.next_bool(), rng.next_bool(), kind);
+            let ip = rng.below(1 << 51);
+            let mut target = rng.below(1 << 51);
+            let taken = rng.next_bool() || !op.is_conditional();
+            if op.is_conditional() && op.is_indirect() && !taken {
+                target = 0;
             }
+            let gap = rng.below(4096) as u32;
+            BranchRecord::new(Branch::new(ip, target, op, taken), gap)
+        }
 
-            #[test]
-            fn bt9_roundtrip_arbitrary(records in prop::collection::vec(arb_record(), 0..100)) {
+        fn record_batches(seed: u64) -> impl Iterator<Item = Vec<BranchRecord>> {
+            let mut rng = Xorshift64::new(seed);
+            (0..64).map(move |_| {
+                let n = rng.below(100) as usize;
+                (0..n).map(|_| arb_record(&mut rng)).collect()
+            })
+        }
+
+        #[test]
+        fn sbbt_roundtrip_arbitrary() {
+            for records in record_batches(0x7e_0001) {
+                let bytes = records_to_sbbt(&records).unwrap();
+                assert_eq!(sbbt_to_records(bytes).unwrap(), records);
+            }
+        }
+
+        #[test]
+        fn bt9_roundtrip_arbitrary() {
+            for records in record_batches(0x7e_0002) {
                 let text = records_to_bt9(&records);
                 let parsed = crate::bt9::parse_text(&text).unwrap();
                 let back: Vec<BranchRecord> = parsed.records().collect();
-                prop_assert_eq!(back, records);
+                assert_eq!(back, records);
             }
+        }
 
-            #[test]
-            fn bt9_to_sbbt_composes(records in prop::collection::vec(arb_record(), 0..100)) {
+        #[test]
+        fn bt9_to_sbbt_composes() {
+            for records in record_batches(0x7e_0003) {
                 let text = records_to_bt9(&records);
                 let parsed = crate::bt9::parse_text(&text).unwrap();
                 let bytes = bt9_to_sbbt(&parsed).unwrap();
-                prop_assert_eq!(sbbt_to_records(bytes).unwrap(), records);
+                assert_eq!(sbbt_to_records(bytes).unwrap(), records);
             }
         }
     }

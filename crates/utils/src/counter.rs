@@ -228,7 +228,7 @@ impl<const BITS: u32> fmt::Display for USatCounter<BITS> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::Xorshift64;
 
     #[test]
     fn signed_range_bounds() {
@@ -316,35 +316,50 @@ mod tests {
         assert!(u < 3);
     }
 
-    proptest! {
-        #[test]
-        fn signed_always_in_range(start in -10i8..10, deltas in prop::collection::vec(-3i8..=3, 0..64)) {
+    // Deterministic property sweeps (offline stand-in for proptest).
+
+    #[test]
+    fn signed_always_in_range() {
+        let mut rng = Xorshift64::new(0xc0_0001);
+        for _ in 0..256 {
+            let start = rng.range_inclusive(0, 19) as i8 - 10;
             let mut c = SatCounter::<3>::new(start);
-            for d in deltas {
-                c += d;
-                prop_assert!(c.value() >= SatCounter::<3>::MIN);
-                prop_assert!(c.value() <= SatCounter::<3>::MAX);
+            for _ in 0..rng.below(64) {
+                c += rng.range_inclusive(0, 6) as i8 - 3;
+                assert!(c.value() >= SatCounter::<3>::MIN);
+                assert!(c.value() <= SatCounter::<3>::MAX);
             }
         }
+    }
 
-        #[test]
-        fn unsigned_always_in_range(ops in prop::collection::vec(any::<bool>(), 0..64)) {
+    #[test]
+    fn unsigned_always_in_range() {
+        let mut rng = Xorshift64::new(0xc0_0002);
+        for _ in 0..256 {
             let mut u = USatCounter::<4>::new(7);
-            for up in ops {
-                if up { u += 1 } else { u -= 1 }
-                prop_assert!(u.value() <= USatCounter::<4>::MAX);
+            for _ in 0..rng.below(64) {
+                if rng.next_bool() {
+                    u += 1
+                } else {
+                    u -= 1
+                }
+                assert!(u.value() <= USatCounter::<4>::MAX);
             }
         }
+    }
 
-        #[test]
-        fn sum_or_sub_matches_reference(outcomes in prop::collection::vec(any::<bool>(), 0..128)) {
-            // Reference model: plain integer clamped after every step.
+    #[test]
+    fn sum_or_sub_matches_reference() {
+        // Reference model: plain integer clamped after every step.
+        let mut rng = Xorshift64::new(0xc0_0003);
+        for _ in 0..256 {
             let mut c = I2::default();
             let mut reference: i32 = 0;
-            for t in outcomes {
+            for _ in 0..rng.below(128) {
+                let t = rng.next_bool();
                 c.sum_or_sub(t);
                 reference = (reference + if t { 1 } else { -1 }).clamp(-2, 1);
-                prop_assert_eq!(c.value() as i32, reference);
+                assert_eq!(c.value() as i32, reference);
             }
         }
     }

@@ -92,7 +92,7 @@ impl FoldedHistory {
 mod tests {
     use super::*;
     use crate::HistoryRegister;
-    use proptest::prelude::*;
+    use crate::Xorshift64;
 
     /// Drives a `HistoryRegister` and a `FoldedHistory` in lockstep and
     /// checks the incremental fold equals the naive recomputation.
@@ -112,7 +112,11 @@ mod tests {
 
     #[test]
     fn matches_naive_fold_simple() {
-        check_equivalence(8, 3, &[true, false, true, true, false, false, true, true, true]);
+        check_equivalence(
+            8,
+            3,
+            &[true, false, true, true, false, false, true, true, true],
+        );
     }
 
     #[test]
@@ -144,19 +148,21 @@ mod tests {
         assert_eq!(folded.value(), 0);
     }
 
-    proptest! {
-        #[test]
-        fn equivalent_to_naive(
-            hist_len in 1usize..300,
-            width in 1u32..=20,
-            outcomes in prop::collection::vec(any::<bool>(), 1..500),
-        ) {
+    // Deterministic property sweep (offline stand-in for proptest).
+
+    #[test]
+    fn equivalent_to_naive() {
+        let mut rng = Xorshift64::new(0xf0_1ded);
+        for _ in 0..64 {
+            let hist_len = rng.range_inclusive(1, 299) as usize;
+            let width = rng.range_inclusive(1, 20) as u32;
             let mut hist = HistoryRegister::new(hist_len);
             let mut folded = FoldedHistory::new(hist_len, width);
-            for &t in &outcomes {
+            for _ in 0..rng.range_inclusive(1, 499) {
+                let t = rng.next_bool();
                 folded.update(t, hist.bit(hist_len - 1));
                 hist.push(t);
-                prop_assert_eq!(folded.value(), hist.fold(width));
+                assert_eq!(folded.value(), hist.fold(width));
             }
         }
     }

@@ -117,7 +117,7 @@ impl std::hash::Hasher for FastHasher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::Xorshift64;
 
     #[test]
     fn xor_fold_identity_for_small_values() {
@@ -129,7 +129,10 @@ mod tests {
     fn xor_fold_known_values() {
         assert_eq!(xor_fold(0xFF, 4), 0xF ^ 0xF);
         assert_eq!(xor_fold(0x1234_5678, 16), 0x1234 ^ 0x5678);
-        assert_eq!(xor_fold(0xABCD_EF01_2345_6789, 32), 0xABCD_EF01 ^ 0x2345_6789);
+        assert_eq!(
+            xor_fold(0xABCD_EF01_2345_6789, 32),
+            0xABCD_EF01 ^ 0x2345_6789
+        );
     }
 
     #[test]
@@ -146,19 +149,34 @@ mod tests {
         for i in 0..1024u64 {
             seen.insert(mix64(i) & 0x3FF);
         }
-        assert!(seen.len() > 600, "only {} distinct low-10-bit values", seen.len());
+        assert!(
+            seen.len() > 600,
+            "only {} distinct low-10-bit values",
+            seen.len()
+        );
     }
 
-    proptest! {
-        #[test]
-        fn xor_fold_in_range(v in any::<u64>(), width in 1u32..=63) {
-            prop_assert!(xor_fold(v, width) < (1u64 << width));
-        }
+    // Deterministic property sweeps (offline stand-in for proptest).
 
-        #[test]
-        fn xor_fold_is_linear(a in any::<u64>(), b in any::<u64>(), width in 1u32..=63) {
-            // Fold is XOR-linear: fold(a ^ b) == fold(a) ^ fold(b).
-            prop_assert_eq!(
+    #[test]
+    fn xor_fold_in_range() {
+        let mut rng = Xorshift64::new(0x4a54_0001);
+        for _ in 0..4096 {
+            let v = rng.next_u64();
+            let width = rng.range_inclusive(1, 63) as u32;
+            assert!(xor_fold(v, width) < (1u64 << width));
+        }
+    }
+
+    #[test]
+    fn xor_fold_is_linear() {
+        // Fold is XOR-linear: fold(a ^ b) == fold(a) ^ fold(b).
+        let mut rng = Xorshift64::new(0x4a54_0002);
+        for _ in 0..4096 {
+            let a = rng.next_u64();
+            let b = rng.next_u64();
+            let width = rng.range_inclusive(1, 63) as u32;
+            assert_eq!(
                 xor_fold(a ^ b, width),
                 xor_fold(a, width) ^ xor_fold(b, width)
             );

@@ -25,6 +25,9 @@ use std::fmt;
 pub struct HistoryRegister {
     words: Vec<u64>,
     len: usize,
+    /// Valid-bit mask of the last word, precomputed so `push` (called once
+    /// per simulated branch) does no division or length arithmetic.
+    top_mask: u64,
 }
 
 impl HistoryRegister {
@@ -35,9 +38,11 @@ impl HistoryRegister {
     /// Panics if `len` is zero.
     pub fn new(len: usize) -> Self {
         assert!(len > 0, "history length must be positive");
+        let rem = len % 64;
         Self {
             words: vec![0; len.div_ceil(64)],
             len,
+            top_mask: if rem == 0 { u64::MAX } else { (1 << rem) - 1 },
         }
     }
 
@@ -52,7 +57,14 @@ impl HistoryRegister {
     }
 
     /// Shifts in a new outcome as bit 0; the oldest bit falls off.
+    #[inline]
     pub fn push(&mut self, taken: bool) {
+        if let [word] = self.words.as_mut_slice() {
+            // Histories up to 64 bits (every predictor except the long-
+            // history tables of TAGE/BATAGE) shift one word, branch-free.
+            *word = ((*word << 1) | taken as u64) & self.top_mask;
+            return;
+        }
         let mut carry = taken as u64;
         for w in &mut self.words {
             let next_carry = *w >> 63;
@@ -126,11 +138,8 @@ impl HistoryRegister {
     }
 
     fn mask_top(&mut self) {
-        let rem = self.len % 64;
-        if rem != 0 {
-            let last = self.words.len() - 1;
-            self.words[last] &= (1u64 << rem) - 1;
-        }
+        let last = self.words.len() - 1;
+        self.words[last] &= self.top_mask;
     }
 }
 
@@ -151,7 +160,7 @@ impl fmt::Debug for HistoryRegister {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::Xorshift64;
 
     #[test]
     fn push_and_read_small() {
@@ -249,29 +258,39 @@ mod tests {
         assert_eq!(h.count_ones(), 0);
     }
 
-    proptest! {
-        #[test]
-        fn matches_vecdeque_model(len in 1usize..200, outcomes in prop::collection::vec(any::<bool>(), 0..400)) {
+    // Deterministic property sweeps (offline stand-in for proptest).
+
+    #[test]
+    fn matches_vecdeque_model() {
+        let mut rng = Xorshift64::new(0x415701);
+        for _ in 0..64 {
+            let len = rng.range_inclusive(1, 199) as usize;
             let mut h = HistoryRegister::new(len);
             let mut model = std::collections::VecDeque::new();
-            for t in outcomes {
+            for _ in 0..rng.below(400) {
+                let t = rng.next_bool();
                 h.push(t);
                 model.push_front(t);
                 model.truncate(len);
                 for (i, &m) in model.iter().enumerate() {
-                    prop_assert_eq!(h.bit(i), m);
+                    assert_eq!(h.bit(i), m);
                 }
             }
         }
+    }
 
-        #[test]
-        fn fold_stays_in_width(len in 1usize..128, width in 1u32..=16, outcomes in prop::collection::vec(any::<bool>(), 0..200)) {
+    #[test]
+    fn fold_stays_in_width() {
+        let mut rng = Xorshift64::new(0x415702);
+        for _ in 0..128 {
+            let len = rng.range_inclusive(1, 127) as usize;
+            let width = rng.range_inclusive(1, 16) as u32;
             let mut h = HistoryRegister::new(len);
-            for t in outcomes {
-                h.push(t);
+            for _ in 0..rng.below(200) {
+                h.push(rng.next_bool());
             }
             let folded = h.fold(width);
-            prop_assert!(width == 64 || folded < (1u64 << width));
+            assert!(folded < (1u64 << width));
         }
     }
 }

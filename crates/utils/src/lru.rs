@@ -115,7 +115,7 @@ impl<T> LruSet<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::Xorshift64;
 
     #[test]
     fn evicts_least_recently_used() {
@@ -179,19 +179,22 @@ mod tests {
         assert!(s.is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn never_exceeds_ways(ways in 1usize..8, ops in prop::collection::vec((0u64..16, any::<bool>()), 0..200)) {
+    // Deterministic property sweep (offline stand-in for proptest).
+
+    #[test]
+    fn never_exceeds_ways() {
+        let mut rng = Xorshift64::new(0x12c_0001);
+        for _ in 0..128 {
+            let ways = rng.range_inclusive(1, 7) as usize;
             let mut s = LruSet::new(ways);
-            for (tag, is_insert) in ops {
-                if is_insert {
+            for _ in 0..rng.below(200) {
+                let tag = rng.below(16);
+                if rng.next_bool() {
                     s.insert(tag, tag);
-                } else {
-                    if let Some(v) = s.get(tag) {
-                        prop_assert_eq!(*v, tag);
-                    }
+                } else if let Some(v) = s.get(tag) {
+                    assert_eq!(*v, tag);
                 }
-                prop_assert!(s.len() <= ways);
+                assert!(s.len() <= ways);
             }
         }
     }

@@ -46,7 +46,11 @@ impl PathHistory {
     /// Shifts in the low bits of a new branch address.
     pub fn push(&mut self, ip: u64) {
         let total = self.depth as u32 * self.bits_per_branch;
-        let mask = if total == 64 { u64::MAX } else { (1u64 << total) - 1 };
+        let mask = if total == 64 {
+            u64::MAX
+        } else {
+            (1u64 << total) - 1
+        };
         let branch_mask = (1u64 << self.bits_per_branch) - 1;
         self.value = ((self.value << self.bits_per_branch) | (ip & branch_mask)) & mask;
     }

@@ -35,7 +35,10 @@ impl TreePlru {
     ///
     /// Panics unless `ways` is a power of two and at least 2.
     pub fn new(ways: usize) -> Self {
-        assert!(ways.is_power_of_two() && ways >= 2, "ways must be a power of two >= 2");
+        assert!(
+            ways.is_power_of_two() && ways >= 2,
+            "ways must be a power of two >= 2"
+        );
         Self {
             bits: vec![false; ways],
             ways,
@@ -66,7 +69,7 @@ impl TreePlru {
                 node = 2 * node + 1;
                 lo = mid;
             } else {
-                node = 2 * node;
+                node *= 2;
                 hi = mid;
             }
         }
@@ -83,7 +86,7 @@ impl TreePlru {
                 node = 2 * node + 1;
                 lo = mid;
             } else {
-                node = 2 * node;
+                node *= 2;
                 hi = mid;
             }
         }

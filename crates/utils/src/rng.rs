@@ -28,7 +28,11 @@ impl Xorshift64 {
     /// non-zero constant, since xorshift has an all-zero fixed point).
     pub fn new(seed: u64) -> Self {
         Self {
-            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
         }
     }
 
@@ -63,6 +67,47 @@ impl Xorshift64 {
     /// Panics if `n` is zero.
     pub fn one_in(&mut self, n: u64) -> bool {
         self.below(n) == 0
+    }
+
+    /// A uniformly distributed value in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
+    }
+
+    /// An unbiased pseudo-random bool.
+    pub fn next_bool(&mut self) -> bool {
+        // Use the high bit: xorshift64* low bits are the weakest.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// A pseudo-random bool that is `true` with probability `p`.
+    ///
+    /// Out-of-range probabilities clamp to certainty (`p <= 0` never,
+    /// `p >= 1` always), matching the generated workloads' bias knobs.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 uniform mantissa bits are plenty for workload biases.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// A uniformly distributed `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
@@ -106,13 +151,50 @@ mod tests {
         for _ in 0..500 {
             seen[r.below(8) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
     }
 
     #[test]
     fn one_in_roughly_uniform() {
         let mut r = Xorshift64::new(77);
         let hits = (0..10_000).filter(|_| r.one_in(4)).count();
-        assert!((2000..3000).contains(&hits), "1/4 hits out of range: {hits}");
+        assert!(
+            (2000..3000).contains(&hits),
+            "1/4 hits out of range: {hits}"
+        );
+    }
+
+    #[test]
+    fn range_inclusive_covers_bounds() {
+        let mut r = Xorshift64::new(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            let v = r.range_inclusive(5, 8);
+            assert!((5..=8).contains(&v));
+            lo_seen |= v == 5;
+            hi_seen |= v == 8;
+        }
+        assert!(lo_seen && hi_seen);
+        assert_eq!(r.range_inclusive(9, 9), 9, "degenerate range");
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = Xorshift64::new(11);
+        let hits = (0..20_000).filter(|_| r.chance(0.9)).count();
+        assert!((17400..18600).contains(&hits), "p=0.9 hits: {hits}");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn next_bool_balanced() {
+        let mut r = Xorshift64::new(21);
+        let trues = (0..10_000).filter(|_| r.next_bool()).count();
+        assert!((4500..5500).contains(&trues), "bools skewed: {trues}");
     }
 }

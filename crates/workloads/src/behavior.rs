@@ -1,7 +1,6 @@
 //! Outcome models for conditional branches.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mbp_utils::Xorshift64;
 
 /// The stateless description of how a branch decides its outcome.
 #[derive(Clone, Debug, PartialEq)]
@@ -43,7 +42,7 @@ pub enum BehaviorKind {
 #[derive(Clone, Debug)]
 pub struct Behavior {
     kind: BehaviorKind,
-    rng: SmallRng,
+    rng: Xorshift64,
     position: u64,
 }
 
@@ -52,7 +51,7 @@ impl Behavior {
     pub fn new(kind: BehaviorKind, seed: u64) -> Self {
         Self {
             kind,
-            rng: SmallRng::seed_from_u64(seed ^ 0x00b1_7ab1e5),
+            rng: Xorshift64::new(seed ^ 0x00b1_7ab1e5),
             position: 0,
         }
     }
@@ -70,9 +69,9 @@ impl Behavior {
         Self::eval(&self.kind, pos, &mut self.rng, recent)
     }
 
-    fn eval(kind: &BehaviorKind, pos: u64, rng: &mut SmallRng, recent: &RecentOutcomes) -> bool {
+    fn eval(kind: &BehaviorKind, pos: u64, rng: &mut Xorshift64, recent: &RecentOutcomes) -> bool {
         match kind {
-            BehaviorKind::Biased { taken_probability } => rng.gen_bool(*taken_probability),
+            BehaviorKind::Biased { taken_probability } => rng.chance(*taken_probability),
             BehaviorKind::Pattern { pattern } => {
                 if pattern.is_empty() {
                     true
@@ -84,7 +83,7 @@ impl Behavior {
                 let referenced = recent.get(*lag).unwrap_or(true);
                 referenced ^ invert
             }
-            BehaviorKind::Random => rng.gen(),
+            BehaviorKind::Random => rng.next_bool(),
             BehaviorKind::Phased { a, b, phase_len } => {
                 let phase = (pos / *phase_len as u64) % 2;
                 let inner = if phase == 0 { a } else { b };
@@ -132,7 +131,12 @@ mod tests {
 
     #[test]
     fn biased_respects_probability() {
-        let mut b = Behavior::new(BehaviorKind::Biased { taken_probability: 0.9 }, 1);
+        let mut b = Behavior::new(
+            BehaviorKind::Biased {
+                taken_probability: 0.9,
+            },
+            1,
+        );
         let recent = RecentOutcomes::new();
         let taken = (0..10_000).filter(|_| b.next_outcome(&recent)).count();
         assert!((8700..9300).contains(&taken), "taken = {taken}");
@@ -141,7 +145,9 @@ mod tests {
     #[test]
     fn pattern_repeats() {
         let mut b = Behavior::new(
-            BehaviorKind::Pattern { pattern: vec![true, true, false] },
+            BehaviorKind::Pattern {
+                pattern: vec![true, true, false],
+            },
             2,
         );
         let recent = RecentOutcomes::new();
@@ -151,18 +157,36 @@ mod tests {
 
     #[test]
     fn correlated_follows_history() {
-        let mut b = Behavior::new(BehaviorKind::Correlated { lag: 1, invert: false }, 3);
+        let mut b = Behavior::new(
+            BehaviorKind::Correlated {
+                lag: 1,
+                invert: false,
+            },
+            3,
+        );
         let mut recent = RecentOutcomes::new();
         recent.push(true); // lag 1 after the next push
         recent.push(false); // lag 0
         assert!(b.next_outcome(&recent), "copies lag-1 outcome");
-        let mut b = Behavior::new(BehaviorKind::Correlated { lag: 0, invert: true }, 3);
+        let mut b = Behavior::new(
+            BehaviorKind::Correlated {
+                lag: 0,
+                invert: true,
+            },
+            3,
+        );
         assert!(b.next_outcome(&recent), "inverts lag-0 outcome (false)");
     }
 
     #[test]
     fn correlated_with_empty_history_defaults_taken() {
-        let mut b = Behavior::new(BehaviorKind::Correlated { lag: 5, invert: false }, 4);
+        let mut b = Behavior::new(
+            BehaviorKind::Correlated {
+                lag: 5,
+                invert: false,
+            },
+            4,
+        );
         assert!(b.next_outcome(&RecentOutcomes::new()));
     }
 
@@ -170,15 +194,22 @@ mod tests {
     fn phased_switches_behavior() {
         let mut b = Behavior::new(
             BehaviorKind::Phased {
-                a: Box::new(BehaviorKind::Pattern { pattern: vec![true] }),
-                b: Box::new(BehaviorKind::Pattern { pattern: vec![false] }),
+                a: Box::new(BehaviorKind::Pattern {
+                    pattern: vec![true],
+                }),
+                b: Box::new(BehaviorKind::Pattern {
+                    pattern: vec![false],
+                }),
                 phase_len: 3,
             },
             5,
         );
         let recent = RecentOutcomes::new();
         let out: Vec<bool> = (0..9).map(|_| b.next_outcome(&recent)).collect();
-        assert_eq!(out, [true, true, true, false, false, false, true, true, true]);
+        assert_eq!(
+            out,
+            [true, true, true, false, false, false, true, true, true]
+        );
     }
 
     #[test]

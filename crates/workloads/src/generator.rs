@@ -4,7 +4,6 @@ use std::collections::VecDeque;
 
 use mbp_core::TraceSource;
 use mbp_trace::{Branch, BranchRecord, Opcode, TraceError, MAX_GAP};
-use rand::Rng;
 
 use crate::behavior::RecentOutcomes;
 use crate::program::{Program, ProgramParams, Stmt, TripModel};
@@ -133,8 +132,12 @@ impl TraceGenerator {
         let before = self.state.buffer.len();
         exec_block(&self.functions, 0, &mut self.state);
         if self.state.buffer.len() == before {
-            self.state
-                .emit(Branch::new(0x40_0000, 0x40_0000, Opcode::unconditional_direct(), true));
+            self.state.emit(Branch::new(
+                0x40_0000,
+                0x40_0000,
+                Opcode::unconditional_direct(),
+                true,
+            ));
         }
     }
 }
@@ -152,11 +155,17 @@ fn exec_stmts(functions: &[Vec<Stmt>], fi: usize, stmts: &[Stmt], st: &mut GenSt
         }
         match stmt {
             Stmt::Straight(n) => st.pending_gap = st.pending_gap.saturating_add(*n),
-            Stmt::If { site, then_arm, else_arm } => {
+            Stmt::If {
+                site,
+                then_arm,
+                else_arm,
+            } => {
                 let (ip, target, taken) = {
                     // Destructure for disjoint field borrows: the behaviour
                     // needs &mut, the outcome history needs &.
-                    let GenState { cond_sites, recent, .. } = st;
+                    let GenState {
+                        cond_sites, recent, ..
+                    } = st;
                     let s = &mut cond_sites[*site];
                     (s.ip, s.target, s.behavior.next_outcome(recent))
                 };
@@ -170,7 +179,10 @@ fn exec_stmts(functions: &[Vec<Stmt>], fi: usize, stmts: &[Stmt], st: &mut GenSt
             Stmt::Loop { site, trips, body } => {
                 let trips = match trips {
                     TripModel::Fixed(n) => *n,
-                    TripModel::Uniform { lo, hi } => st.loop_sites[*site].rng.gen_range(*lo..=*hi),
+                    TripModel::Uniform { lo, hi } => st.loop_sites[*site]
+                        .rng
+                        .range_inclusive(*lo as u64, *hi as u64)
+                        as u32,
                 };
                 let (ip, target) = {
                     let s = &st.loop_sites[*site];
@@ -198,7 +210,11 @@ fn exec_stmts(functions: &[Vec<Stmt>], fi: usize, stmts: &[Stmt], st: &mut GenSt
             }
             Stmt::Switch { site, arms } => {
                 let (ip, target, arm) = {
-                    let GenState { switch_sites, recent, .. } = st;
+                    let GenState {
+                        switch_sites,
+                        recent,
+                        ..
+                    } = st;
                     let s = &mut switch_sites[*site];
                     // Derive an arm index from the behaviour's bit stream so
                     // correlated selectors make targets path-predictable.

@@ -1,8 +1,7 @@
 //! Synthetic program models: control-flow structure with parameterized
 //! branch behaviours.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mbp_utils::Xorshift64;
 
 use crate::behavior::{Behavior, BehaviorKind};
 
@@ -82,7 +81,7 @@ pub struct LoopSite {
     /// Loop head (taken target).
     pub target: u64,
     /// Per-site RNG for `TripModel::Uniform`.
-    pub rng: SmallRng,
+    pub rng: Xorshift64,
 }
 
 /// A call site (and the callee's return site).
@@ -247,7 +246,7 @@ impl ProgramParams {
 /// Builder state: assigns instruction addresses and creates sites.
 struct Builder<'p> {
     params: &'p ProgramParams,
-    rng: SmallRng,
+    rng: Xorshift64,
     next_ip: u64,
     cond_sites: Vec<CondSite>,
     loop_sites: Vec<LoopSite>,
@@ -264,14 +263,17 @@ impl<'p> Builder<'p> {
     }
 
     fn next_seed(&mut self) -> u64 {
-        self.site_seed = self.site_seed.wrapping_mul(6364136223846793005).wrapping_add(97);
+        self.site_seed = self
+            .site_seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(97);
         self.site_seed
     }
 
     fn random_behavior(&mut self) -> Behavior {
         let w = &self.params.behavior_weights;
         let total: u32 = w.iter().sum();
-        let mut pick = self.rng.gen_range(0..total.max(1));
+        let mut pick = self.rng.below(total.max(1) as u64) as u32;
         let mut idx = 0;
         for (i, &wi) in w.iter().enumerate() {
             if pick < wi {
@@ -282,23 +284,33 @@ impl<'p> Builder<'p> {
         }
         let kind = match idx {
             0 => {
-                let p = if self.rng.gen() { self.params.bias } else { 1.0 - self.params.bias };
-                BehaviorKind::Biased { taken_probability: p }
+                let p = if self.rng.next_bool() {
+                    self.params.bias
+                } else {
+                    1.0 - self.params.bias
+                };
+                BehaviorKind::Biased {
+                    taken_probability: p,
+                }
             }
             1 => {
-                let len = self.rng.gen_range(2..=8);
-                let pattern = (0..len).map(|_| self.rng.gen()).collect();
+                let len = self.rng.range_inclusive(2, 8);
+                let pattern = (0..len).map(|_| self.rng.next_bool()).collect();
                 BehaviorKind::Pattern { pattern }
             }
             2 => BehaviorKind::Correlated {
-                lag: self.rng.gen_range(1..=self.params.max_lag),
-                invert: self.rng.gen(),
+                lag: self.rng.range_inclusive(1, self.params.max_lag as u64) as usize,
+                invert: self.rng.next_bool(),
             },
             3 => BehaviorKind::Random,
             _ => BehaviorKind::Phased {
-                a: Box::new(BehaviorKind::Biased { taken_probability: self.params.bias }),
-                b: Box::new(BehaviorKind::Biased { taken_probability: 1.0 - self.params.bias }),
-                phase_len: self.rng.gen_range(500..5000),
+                a: Box::new(BehaviorKind::Biased {
+                    taken_probability: self.params.bias,
+                }),
+                b: Box::new(BehaviorKind::Biased {
+                    taken_probability: 1.0 - self.params.bias,
+                }),
+                phase_len: self.rng.range_inclusive(500, 4999) as u32,
             },
         };
         let seed = self.next_seed();
@@ -307,9 +319,10 @@ impl<'p> Builder<'p> {
 
     fn build_block(&mut self, depth: usize, budget: usize, max_callee: usize) -> Vec<Stmt> {
         let mut stmts = Vec::new();
-        let n = self
-            .rng
-            .gen_range(self.params.stmts_per_function.0..=self.params.stmts_per_function.1)
+        let n = (self.rng.range_inclusive(
+            self.params.stmts_per_function.0 as u64,
+            self.params.stmts_per_function.1 as u64,
+        ) as usize)
             .min(budget.max(1));
         for _ in 0..n {
             stmts.push(self.build_stmt(depth, max_callee));
@@ -319,7 +332,7 @@ impl<'p> Builder<'p> {
 
     fn straight(&mut self) -> Stmt {
         let (lo, hi) = self.params.straight_run;
-        let run = self.rng.gen_range(lo..=hi);
+        let run = self.rng.range_inclusive(lo as u64, hi as u64) as u32;
         // Straight-line code occupies address space too, so loop back-edges
         // always point strictly backwards over their body.
         self.next_ip += 4 * run as u64;
@@ -330,14 +343,26 @@ impl<'p> Builder<'p> {
         let w = self.params.stmt_weights;
         // At max depth or without callees, fall back to flat statements.
         let weights = [
-            if depth < self.params.max_depth { w[0] } else { 0 },
-            if depth < self.params.max_depth { w[1] } else { 0 },
+            if depth < self.params.max_depth {
+                w[0]
+            } else {
+                0
+            },
+            if depth < self.params.max_depth {
+                w[1]
+            } else {
+                0
+            },
             if max_callee > 0 { w[2] } else { 0 },
-            if depth < self.params.max_depth { w[3] } else { 0 },
+            if depth < self.params.max_depth {
+                w[3]
+            } else {
+                0
+            },
             w[4].max(1),
         ];
         let total: u32 = weights.iter().sum();
-        let mut pick = self.rng.gen_range(0..total);
+        let mut pick = self.rng.below(total as u64) as u32;
         let mut idx = 4;
         for (i, &wi) in weights.iter().enumerate() {
             if pick < wi {
@@ -357,10 +382,13 @@ impl<'p> Builder<'p> {
                 self.loop_sites.push(LoopSite {
                     ip,
                     target: head,
-                    rng: SmallRng::seed_from_u64(seed),
+                    rng: Xorshift64::new(seed),
                 });
-                let trips = if self.rng.gen_range(0..100) < self.params.fixed_trip_pct {
-                    TripModel::Fixed(self.rng.gen_range(self.params.trip_range.0..=self.params.trip_range.1))
+                let trips = if (self.rng.below(100) as u32) < self.params.fixed_trip_pct {
+                    TripModel::Fixed(self.rng.range_inclusive(
+                        self.params.trip_range.0 as u64,
+                        self.params.trip_range.1 as u64,
+                    ) as u32)
                 } else {
                     TripModel::Uniform {
                         lo: self.params.trip_range.0,
@@ -372,7 +400,7 @@ impl<'p> Builder<'p> {
             1 => {
                 let ip = self.alloc_ip();
                 let then_arm = self.build_block(depth + 1, 2, max_callee);
-                let else_arm = if self.rng.gen() {
+                let else_arm = if self.rng.next_bool() {
                     self.build_block(depth + 1, 2, max_callee)
                 } else {
                     vec![self.straight()]
@@ -380,23 +408,36 @@ impl<'p> Builder<'p> {
                 let target = self.next_ip + 16; // skip-ahead target
                 let behavior = self.random_behavior();
                 let site = self.cond_sites.len();
-                self.cond_sites.push(CondSite { ip, target, behavior });
-                Stmt::If { site, then_arm, else_arm }
+                self.cond_sites.push(CondSite {
+                    ip,
+                    target,
+                    behavior,
+                });
+                Stmt::If {
+                    site,
+                    then_arm,
+                    else_arm,
+                }
             }
             2 => {
                 let ip = self.alloc_ip();
-                let callee = self.rng.gen_range(0..max_callee);
+                let callee = self.rng.below(max_callee as u64) as usize;
                 let site = self.call_sites.len();
                 // Callee entry/ret addresses are patched in `Program::random`
                 // once all functions are laid out.
-                self.call_sites.push(CallSite { ip, target: 0, ret_ip: 0 });
+                self.call_sites.push(CallSite {
+                    ip,
+                    target: 0,
+                    ret_ip: 0,
+                });
                 Stmt::Call { callee, site }
             }
             3 => {
                 let ip = self.alloc_ip();
-                let n_arms = self
-                    .rng
-                    .gen_range(self.params.switch_arms.0..=self.params.switch_arms.1);
+                let n_arms = self.rng.range_inclusive(
+                    self.params.switch_arms.0 as u64,
+                    self.params.switch_arms.1 as u64,
+                ) as usize;
                 let mut targets = Vec::with_capacity(n_arms);
                 let mut arms = Vec::with_capacity(n_arms);
                 for _ in 0..n_arms {
@@ -406,7 +447,11 @@ impl<'p> Builder<'p> {
                 }
                 let selector = self.random_behavior();
                 let site = self.switch_sites.len();
-                self.switch_sites.push(SwitchSite { ip, targets, selector });
+                self.switch_sites.push(SwitchSite {
+                    ip,
+                    targets,
+                    selector,
+                });
                 Stmt::Switch { site, arms }
             }
             _ => self.straight(),
@@ -419,13 +464,13 @@ impl Program {
     pub fn random(params: &ProgramParams, seed: u64) -> Self {
         let mut b = Builder {
             params,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Xorshift64::new(seed),
             next_ip: 0x40_0000,
             cond_sites: Vec::new(),
             loop_sites: Vec::new(),
             call_sites: Vec::new(),
             switch_sites: Vec::new(),
-            site_seed: seed ^ 0x5171_e5,
+            site_seed: seed ^ 0x0051_71e5,
         };
         let mut functions = Vec::with_capacity(params.functions);
         let mut entries = Vec::with_capacity(params.functions);
@@ -447,7 +492,9 @@ impl Program {
                 for s in stmts {
                     match s {
                         Stmt::Call { callee, site } => out.push((*site, base + callee)),
-                        Stmt::If { then_arm, else_arm, .. } => {
+                        Stmt::If {
+                            then_arm, else_arm, ..
+                        } => {
                             collect_calls(then_arm, out, base);
                             collect_calls(else_arm, out, base);
                         }

@@ -68,7 +68,8 @@ impl Suite {
         let scale = scale.max(1);
         let base_instr = 1_000_000u64;
         let mut traces = Vec::new();
-        let categories: [(&str, fn() -> ProgramParams); 4] = [
+        type ParamsFn = fn() -> ProgramParams;
+        let categories: [(&str, ParamsFn); 4] = [
             ("SHORT_MOBILE", ProgramParams::mobile),
             ("SHORT_SERVER", ProgramParams::server),
             ("LONG_MOBILE", ProgramParams::mobile),
@@ -110,7 +111,10 @@ impl Suite {
                 instructions: 1_000_000,
             })
             .collect();
-        Suite { name: "DPC3", traces }
+        Suite {
+            name: "DPC3",
+            traces,
+        }
     }
 
     /// Runs a predictor configuration over every trace of the suite
@@ -261,8 +265,16 @@ mod tests {
     #[test]
     fn long_traces_are_longer() {
         let s = Suite::cbp5_training(1);
-        let short = s.traces.iter().find(|t| t.name.starts_with("SHORT_MOBILE")).unwrap();
-        let long = s.traces.iter().find(|t| t.name.starts_with("LONG_MOBILE")).unwrap();
+        let short = s
+            .traces
+            .iter()
+            .find(|t| t.name.starts_with("SHORT_MOBILE"))
+            .unwrap();
+        let long = s
+            .traces
+            .iter()
+            .find(|t| t.name.starts_with("LONG_MOBILE"))
+            .unwrap();
         assert!(long.instructions > 2 * short.instructions);
     }
 

@@ -21,7 +21,11 @@ fn tage_at(log_budget_bits: u32) -> TageConfig {
         base_log_size: table_log + 1,
         tables: lengths
             .iter()
-            .map(|&hist_len| TageTableSpec { log_size: table_log, hist_len, tag_bits: 9 })
+            .map(|&hist_len| TageTableSpec {
+                log_size: table_log,
+                hist_len,
+                tag_bits: 9,
+            })
             .collect(),
         reset_period: 128 * 1024,
         seed: 0x7a6e,

@@ -54,10 +54,22 @@ impl Candidate {
     fn mutate(&self, rng: &mut Xorshift64) -> Candidate {
         let mut c = self.clone();
         match rng.below(4) {
-            0 => c.num_tables = (c.num_tables as i64 + [-1, 1][rng.below(2) as usize]).clamp(3, 14) as u32,
-            1 => c.min_hist = (c.min_hist as i64 + [-1, 2][rng.below(2) as usize]).clamp(2, 16) as u32,
-            2 => c.max_hist = (c.max_hist as i64 + [-80, 80][rng.below(2) as usize]).clamp(64, 800) as u32,
-            _ => c.tag_bits = (c.tag_bits as i64 + [-1, 1][rng.below(2) as usize]).clamp(7, 13) as u32,
+            0 => {
+                c.num_tables =
+                    (c.num_tables as i64 + [-1, 1][rng.below(2) as usize]).clamp(3, 14) as u32
+            }
+            1 => {
+                c.min_hist =
+                    (c.min_hist as i64 + [-1, 2][rng.below(2) as usize]).clamp(2, 16) as u32
+            }
+            2 => {
+                c.max_hist =
+                    (c.max_hist as i64 + [-80, 80][rng.below(2) as usize]).clamp(64, 800) as u32
+            }
+            _ => {
+                c.tag_bits =
+                    (c.tag_bits as i64 + [-1, 1][rng.below(2) as usize]).clamp(7, 13) as u32
+            }
         }
         if c.min_hist >= c.max_hist {
             c.max_hist = c.min_hist + 32;
@@ -88,7 +100,12 @@ fn main() {
     println!("optimizing TAGE geometry on {} traces\n", traces.len());
 
     let mut rng = Xorshift64::new(0x0b71);
-    let mut best = Candidate { num_tables: 5, min_hist: 4, max_hist: 64, tag_bits: 8 };
+    let mut best = Candidate {
+        num_tables: 5,
+        min_hist: 4,
+        max_hist: 64,
+        tag_bits: 8,
+    };
     let mut best_score = evaluate(&best, &traces);
     println!("start: {best:?} → {best_score:.4} MPKI");
 
@@ -106,7 +123,11 @@ fn main() {
             best.mutate(&mut rng)
         };
         let score = evaluate(&candidate, &traces);
-        let mark = if score < best_score { "← new best" } else { "" };
+        let mark = if score < best_score {
+            "← new best"
+        } else {
+            ""
+        };
         println!(
             "step {step:>2}: tables={:<2} hist={:>2}..{:<3} tag={:<2} → {score:.4} MPKI {mark}",
             candidate.num_tables, candidate.min_hist, candidate.max_hist, candidate.tag_bits

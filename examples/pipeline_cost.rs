@@ -15,8 +15,14 @@ use mbp::workloads::{ProgramParams, TraceGenerator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("analytic model (§II):");
-    let narrow = PipelineModel { fetch_width: 1, branch_stage: 5 };
-    let wide = PipelineModel { fetch_width: 4, branch_stage: 11 };
+    let narrow = PipelineModel {
+        fetch_width: 1,
+        branch_stage: 5,
+    };
+    let wide = PipelineModel {
+        fetch_width: 4,
+        branch_stage: 11,
+    };
     for (name, p) in [("1-wide, stage-5", narrow), ("4-wide, stage-11", wide)] {
         let at5 = cpi_model(p, 5.0);
         let at4 = cpi_model(p, 4.0);
@@ -36,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = writer.finish()?;
 
     for (name, predictor) in [
-        ("always-taken", Box::new(AlwaysTaken) as Box<dyn mbp::sim::Predictor>),
+        (
+            "always-taken",
+            Box::new(AlwaysTaken) as Box<dyn mbp::sim::Predictor>,
+        ),
         ("gshare 64kB", Box::new(Gshare::new(25, 18))),
     ] {
         let mut cpu = Cpu::new(

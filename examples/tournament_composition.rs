@@ -21,8 +21,8 @@ fn run(name: &str, predictor: &mut dyn Predictor, records: &[mbp::trace::BranchR
 }
 
 fn main() {
-    let records = TraceGenerator::from_params(&ProgramParams::server(), 0x70_42)
-        .take_instructions(1_500_000);
+    let records =
+        TraceGenerator::from_params(&ProgramParams::server(), 0x70_42).take_instructions(1_500_000);
     println!(
         "running on {} branches ({} conditional)\n",
         records.len(),

@@ -21,10 +21,13 @@ fn row(label: &str, raw: usize, mgz: usize, mzst: usize) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let records = TraceGenerator::from_params(&ProgramParams::int_speed(), 0xd15c)
-        .take_instructions(500_000);
+    let records =
+        TraceGenerator::from_params(&ProgramParams::int_speed(), 0xd15c).take_instructions(500_000);
     println!("one stream, three formats ({} branches):\n", records.len());
-    println!("{:<28} {:>12} {:>12} {:>12}", "format", "raw", "MGZ-9", "MZST-22");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "format", "raw", "MGZ-9", "MZST-22"
+    );
 
     // SBBT.
     let sbbt = translate::records_to_sbbt(&records)?;
@@ -57,11 +60,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let parsed = bt9::parse_text(&bt9_text)?;
     let back = translate::sbbt_to_records(translate::bt9_to_sbbt(&parsed)?)?;
     assert_eq!(back, records, "BT9 → SBBT must preserve the stream");
-    println!("\nBT9 → SBBT translation verified: {} records identical", back.len());
+    println!(
+        "\nBT9 → SBBT translation verified: {} records identical",
+        back.len()
+    );
 
     // Inspect the SBBT header (Fig. 1).
     let reader = SbbtReader::from_bytes(sbbt)?;
-    let SbbtHeader { instruction_count, branch_count } = *reader.header();
+    let SbbtHeader {
+        instruction_count,
+        branch_count,
+    } = *reader.header();
     println!("SBBT header: {instruction_count} instructions, {branch_count} branches");
     println!(
         "branch density: {:.1}%",

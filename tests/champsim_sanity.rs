@@ -9,8 +9,8 @@ use mbp::trace::champsim::ChampsimWriter;
 use mbp::workloads::{ProgramParams, TraceGenerator};
 
 fn champsim_trace(seed: u64, instructions: u64) -> Vec<u8> {
-    let records =
-        TraceGenerator::from_params(&ProgramParams::int_speed(), seed).take_instructions(instructions);
+    let records = TraceGenerator::from_params(&ProgramParams::int_speed(), seed)
+        .take_instructions(instructions);
     let mut w = ChampsimWriter::new(Vec::new());
     for r in &records {
         w.write_branch_record(r).unwrap();
@@ -18,7 +18,11 @@ fn champsim_trace(seed: u64, instructions: u64) -> Vec<u8> {
     w.finish().unwrap()
 }
 
-fn run(predictor: Box<dyn Predictor>, targets: TargetPredictorChoice, trace: &[u8]) -> mbp::baselines::champsim::ChampsimStats {
+fn run(
+    predictor: Box<dyn Predictor>,
+    targets: TargetPredictorChoice,
+    trace: &[u8],
+) -> mbp::baselines::champsim::ChampsimStats {
     let mut cpu = Cpu::new(ChampsimConfig::ice_lake_like(), predictor, targets);
     cpu.run_bytes(trace).unwrap()
 }
@@ -76,7 +80,11 @@ fn ipc_stays_within_machine_width() {
         &trace,
     );
     let width = ChampsimConfig::ice_lake_like().fetch_width as f64;
-    assert!(stats.ipc <= width, "IPC {:.3} exceeds fetch width {width}", stats.ipc);
+    assert!(
+        stats.ipc <= width,
+        "IPC {:.3} exceeds fetch width {width}",
+        stats.ipc
+    );
     assert!(stats.ipc > 0.05, "IPC {:.3} implausibly low", stats.ipc);
 }
 
@@ -144,6 +152,9 @@ fn mpki_matches_mbplib_on_same_stream() {
     let mut src = SliceSource::new(&records);
     let lib = simulate(&mut src, &mut Gshare::new(15, 13), &SimConfig::default()).unwrap();
 
-    assert_eq!(champ.conditional_branches, lib.metadata.num_conditional_branches);
+    assert_eq!(
+        champ.conditional_branches,
+        lib.metadata.num_conditional_branches
+    );
     assert_eq!(champ.mispredictions, lib.metrics.mispredictions);
 }

@@ -32,7 +32,11 @@ fn gen_run_info_pipeline() {
         .arg(&dir)
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let trace = dir.join("SMOKE-mobile.sbbt.mzst");
     assert!(trace.exists());
 
@@ -51,7 +55,11 @@ fn gen_run_info_pipeline() {
         .args(["--warmup", "1000"])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let doc: mbp::json::Value = String::from_utf8(out.stdout)
         .expect("utf8")
         .parse()
@@ -116,7 +124,11 @@ fn compare_emits_comparison_json() {
         .arg(dir.join("SMOKE-server.sbbt.mzst"))
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let doc: mbp::json::Value = String::from_utf8(out.stdout)
         .expect("utf8")
         .parse()
@@ -128,7 +140,13 @@ fn compare_emits_comparison_json() {
 #[test]
 fn helpful_errors_for_bad_input() {
     let out = mbpsim()
-        .args(["run", "--predictor", "nonexistent", "--trace", "/does/not/matter"])
+        .args([
+            "run",
+            "--predictor",
+            "nonexistent",
+            "--trace",
+            "/does/not/matter",
+        ])
         .output()
         .expect("spawn");
     assert!(!out.status.success());

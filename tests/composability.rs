@@ -4,8 +4,7 @@
 //! that an owning component can call `train` and `track` independently,
 //! with different `Branch` values, on arbitrarily nested components.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mbp::examples::{
     AlwaysTaken, BiasFilter, Bimodal, Gshare, LoopPredictor, NeverTaken, Tournament,
@@ -14,10 +13,15 @@ use mbp::sim::{simulate, Predictor, SimConfig, SliceSource, Value};
 use mbp::trace::{Branch, BranchRecord, Opcode};
 use mbp::workloads::{ProgramParams, TraceGenerator};
 
-/// Records every interface call with its branch outcome.
+/// A shared log of interface calls with their branch outcomes.
+/// (`Arc<Mutex<_>>` rather than `Rc<RefCell<_>>` because `Tournament`
+/// components must be `Send`.)
+type CallLog = Arc<Mutex<Vec<(&'static str, u64, bool)>>>;
+
+/// Records every interface call in a [`CallLog`].
 #[derive(Clone, Default)]
 struct Probe {
-    log: Rc<RefCell<Vec<(&'static str, u64, bool)>>>,
+    log: CallLog,
     answer: bool,
 }
 
@@ -26,10 +30,16 @@ impl Predictor for Probe {
         self.answer
     }
     fn train(&mut self, b: &Branch) {
-        self.log.borrow_mut().push(("train", b.ip(), b.is_taken()));
+        self.log
+            .lock()
+            .unwrap()
+            .push(("train", b.ip(), b.is_taken()));
     }
     fn track(&mut self, b: &Branch) {
-        self.log.borrow_mut().push(("track", b.ip(), b.is_taken()));
+        self.log
+            .lock()
+            .unwrap()
+            .push(("track", b.ip(), b.is_taken()));
     }
 }
 
@@ -41,8 +51,11 @@ fn cond(ip: u64, taken: bool) -> Branch {
 fn meta_predictor_trains_components_with_synthetic_branches() {
     // §VI-D: the tournament trains its chooser with a branch whose outcome
     // is "component 1 was right", not the program outcome.
-    let log = Rc::new(RefCell::new(Vec::new()));
-    let meta = Probe { log: log.clone(), answer: false };
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let meta = Probe {
+        log: log.clone(),
+        answer: false,
+    };
     let mut t = Tournament::new(
         Box::new(meta),
         Box::new(NeverTaken),  // component 0: predicts false
@@ -56,19 +69,21 @@ fn meta_predictor_trains_components_with_synthetic_branches() {
     t.predict(b.ip());
     t.train(&b);
     let trains: Vec<_> = log
-        .borrow()
+        .lock()
+        .unwrap()
         .iter()
         .filter(|(what, _, _)| *what == "train")
         .cloned()
         .collect();
     assert_eq!(trains, vec![("train", 0x100, false)]);
 
-    log.borrow_mut().clear();
+    log.lock().unwrap().clear();
     let b = cond(0x100, true); // component 1 right → meta outcome true
     t.predict(b.ip());
     t.train(&b);
     let trains: Vec<_> = log
-        .borrow()
+        .lock()
+        .unwrap()
         .iter()
         .filter(|(what, _, _)| *what == "train")
         .cloned()
@@ -80,19 +95,19 @@ fn meta_predictor_trains_components_with_synthetic_branches() {
 fn components_are_tracked_with_the_program_branch() {
     // "the track function of the meta-predictor is always invoked with the
     // program branch" — even when train got a synthetic one.
-    let log = Rc::new(RefCell::new(Vec::new()));
-    let meta = Probe { log: log.clone(), answer: false };
-    let mut t = Tournament::new(
-        Box::new(meta),
-        Box::new(NeverTaken),
-        Box::new(AlwaysTaken),
-    );
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let meta = Probe {
+        log: log.clone(),
+        answer: false,
+    };
+    let mut t = Tournament::new(Box::new(meta), Box::new(NeverTaken), Box::new(AlwaysTaken));
     let b = cond(0x200, false);
     t.predict(b.ip());
     t.train(&b);
     t.track(&b);
     let tracks: Vec<_> = log
-        .borrow()
+        .lock()
+        .unwrap()
         .iter()
         .filter(|(what, _, _)| *what == "track")
         .cloned()
@@ -104,8 +119,8 @@ fn components_are_tracked_with_the_program_branch() {
 fn three_level_nesting_runs_and_reports_nested_metadata() {
     // Filter over a loop predictor over a tournament: the paper's
     // composition freedoms all at once.
-    let records = TraceGenerator::from_params(&ProgramParams::media(), 0xc0de)
-        .take_instructions(300_000);
+    let records =
+        TraceGenerator::from_params(&ProgramParams::media(), 0xc0de).take_instructions(300_000);
     let mut stack = BiasFilter::new(Box::new(LoopPredictor::new(
         Box::new(Tournament::new(
             Box::new(Bimodal::new(10)),
@@ -121,7 +136,10 @@ fn three_level_nesting_runs_and_reports_nested_metadata() {
     // Metadata nests three levels deep (JSON flexibility, §VI-D).
     let meta = result.metadata.predictor;
     assert_eq!(meta["name"].as_str(), Some("MBPlib Bias Filter"));
-    assert_eq!(meta["inner"]["name"].as_str(), Some("MBPlib Loop Predictor"));
+    assert_eq!(
+        meta["inner"]["name"].as_str(),
+        Some("MBPlib Loop Predictor")
+    );
     assert_eq!(
         meta["inner"]["inner"]["name"].as_str(),
         Some("MBPlib Tournament")
@@ -134,8 +152,8 @@ fn three_level_nesting_runs_and_reports_nested_metadata() {
 
 #[test]
 fn nested_stack_beats_or_matches_its_core_component() {
-    let records = TraceGenerator::from_params(&ProgramParams::media(), 0xc0df)
-        .take_instructions(400_000);
+    let records =
+        TraceGenerator::from_params(&ProgramParams::media(), 0xc0df).take_instructions(400_000);
     let mpki = |p: &mut dyn Predictor| {
         let mut source = SliceSource::new(&records);
         simulate(&mut source, p, &SimConfig::default())
@@ -172,8 +190,8 @@ fn predict_remains_pure_across_all_stock_predictors() {
     // way that would affect future predictions". Calling predict an extra
     // time between train/track must not change results.
     use mbp::examples::by_name;
-    let records = TraceGenerator::from_params(&ProgramParams::server(), 0xc0ee)
-        .take_instructions(120_000);
+    let records =
+        TraceGenerator::from_params(&ProgramParams::server(), 0xc0ee).take_instructions(120_000);
     for name in mbp::examples::PREDICTOR_NAMES {
         let run = |double_predict: bool| {
             let mut p = by_name(name).expect("stock predictor");

@@ -70,7 +70,10 @@ fn most_failed_report_is_stable() {
         let mut source = SliceSource::new(&records);
         let mut tage = Tage::new(TageConfig::small());
         let r = simulate(&mut source, &mut tage, &SimConfig::default()).unwrap();
-        r.most_failed.iter().map(|s| (s.ip, s.mispredictions)).collect::<Vec<_>>()
+        r.most_failed
+            .iter()
+            .map(|s| (s.ip, s.mispredictions))
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
 }

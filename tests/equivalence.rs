@@ -36,8 +36,7 @@ where
         "{name}: mispredictions differ between CBP5 framework and MBPlib"
     );
     assert_eq!(
-        framework.num_conditional_branches,
-        library.metadata.num_conditional_branches,
+        framework.num_conditional_branches, library.metadata.num_conditional_branches,
         "{name}: conditional branch counts differ"
     );
     assert_eq!(
@@ -57,7 +56,12 @@ fn bimodal_identical_across_simulators() {
 #[test]
 fn two_level_identical_across_simulators() {
     for (name, recs) in suite_records() {
-        assert_identical(&name, TwoLevel::gas(10, 8, 0), TwoLevel::gas(10, 8, 0), &recs);
+        assert_identical(
+            &name,
+            TwoLevel::gas(10, 8, 0),
+            TwoLevel::gas(10, 8, 0),
+            &recs,
+        );
     }
 }
 
@@ -71,14 +75,24 @@ fn gshare_identical_across_simulators() {
 #[test]
 fn tournament_identical_across_simulators() {
     for (name, recs) in suite_records() {
-        assert_identical(&name, Tournament::classic(12), Tournament::classic(12), &recs);
+        assert_identical(
+            &name,
+            Tournament::classic(12),
+            Tournament::classic(12),
+            &recs,
+        );
     }
 }
 
 #[test]
 fn gskew_identical_across_simulators() {
     for (name, recs) in suite_records() {
-        assert_identical(&name, TwoBcGskew::new(14, 12), TwoBcGskew::new(14, 12), &recs);
+        assert_identical(
+            &name,
+            TwoBcGskew::new(14, 12),
+            TwoBcGskew::new(14, 12),
+            &recs,
+        );
     }
 }
 

@@ -24,15 +24,26 @@ fn run_output() -> Value {
 fn toplevel_sections_in_listing1_order() {
     let doc = run_output();
     let keys: Vec<_> = doc.as_object().expect("object").keys().collect();
-    assert_eq!(keys, ["metadata", "metrics", "predictor_statistics", "most_failed"]);
+    assert_eq!(
+        keys,
+        ["metadata", "metrics", "predictor_statistics", "most_failed"]
+    );
 }
 
 #[test]
 fn metadata_fields_match_listing1() {
     let doc = run_output();
     let meta = doc["metadata"].as_object().expect("object");
-    assert_eq!(meta.get("simulator").unwrap().as_str(), Some("MBPlib std simulator"));
-    assert!(meta.get("version").unwrap().as_str().unwrap().starts_with('v'));
+    assert_eq!(
+        meta.get("simulator").unwrap().as_str(),
+        Some("MBPlib std simulator")
+    );
+    assert!(meta
+        .get("version")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .starts_with('v'));
     assert_eq!(
         meta.get("trace").unwrap().as_str(),
         Some("traces/SHORT_SERVER-1.sbbt.mzst")
@@ -40,8 +51,20 @@ fn metadata_fields_match_listing1() {
     assert_eq!(meta.get("warmup_instr").unwrap().as_u64(), Some(10_000));
     assert!(meta.get("simulation_instr").unwrap().as_u64().unwrap() > 0);
     assert_eq!(meta.get("exhausted_trace").unwrap().as_bool(), Some(true));
-    assert!(meta.get("num_conditional_branches").unwrap().as_u64().unwrap() > 0);
-    assert!(meta.get("num_branch_instructions").unwrap().as_u64().unwrap() > 0);
+    assert!(
+        meta.get("num_conditional_branches")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    assert!(
+        meta.get("num_branch_instructions")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
 
     // The predictor section carries name + configuration (the paper: "we
     // can tell that this is a 64 kB version of GShare").
@@ -66,7 +89,7 @@ fn metrics_fields_match_listing1() {
     }
     let mpki = metrics.get("mpki").unwrap().as_f64().unwrap();
     let acc = metrics.get("accuracy").unwrap().as_f64().unwrap();
-    assert!(mpki >= 0.0 && mpki < 1000.0);
+    assert!((0.0..1000.0).contains(&mpki));
     assert!((0.0..=1.0).contains(&acc));
 }
 

@@ -41,7 +41,10 @@ fn history_beats_bimodal() {
     let bimodal = mpki_of(&mut Bimodal::new(14), &recs);
     let gshare = mpki_of(&mut Gshare::new(17, 14), &recs);
     let twolevel = mpki_of(&mut TwoLevel::pap(10, 8, 8), &recs);
-    assert!(gshare < bimodal, "gshare {gshare:.2} !< bimodal {bimodal:.2}");
+    assert!(
+        gshare < bimodal,
+        "gshare {gshare:.2} !< bimodal {bimodal:.2}"
+    );
     assert!(
         twolevel < bimodal * 1.1,
         "two-level {twolevel:.2} should be competitive with bimodal {bimodal:.2}"
@@ -58,7 +61,10 @@ fn hybrids_beat_their_components() {
         "tournament {tournament:.2} !< bimodal {bimodal:.2}"
     );
     let gskew = mpki_of(&mut TwoBcGskew::new(16, 13), &recs);
-    assert!(gskew < bimodal, "2bc-gskew {gskew:.2} !< bimodal {bimodal:.2}");
+    assert!(
+        gskew < bimodal,
+        "2bc-gskew {gskew:.2} !< bimodal {bimodal:.2}"
+    );
 }
 
 #[test]
@@ -108,7 +114,10 @@ fn warmup_reduces_measured_mpki() {
     };
     let warmed = {
         let mut src = SliceSource::new(&recs);
-        let cfg = SimConfig { warmup_instructions: 200_000, ..SimConfig::default() };
+        let cfg = SimConfig {
+            warmup_instructions: 200_000,
+            ..SimConfig::default()
+        };
         simulate(&mut src, &mut warm, &cfg).unwrap()
     };
     assert!(

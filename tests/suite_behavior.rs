@@ -50,7 +50,11 @@ fn every_training_trace_is_predictable_but_not_trivial() {
         let m = mpki(&records, &mut Tage::new(TageConfig::small()));
         assert!(m < 60.0, "{}: TAGE MPKI {m:.1} absurdly high", spec.name);
         let b = mpki(&records, &mut Bimodal::new(13));
-        assert!(b > 0.05, "{}: bimodal MPKI {b:.2} suspiciously perfect", spec.name);
+        assert!(
+            b > 0.05,
+            "{}: bimodal MPKI {b:.2} suspiciously perfect",
+            spec.name
+        );
     }
 }
 

@@ -102,8 +102,18 @@ fn format_sizes_are_ordered_like_table1() {
     // bigger" — raw BT9 (deduplicated via its graph) may well be smaller
     // than raw SBBT; what must hold is that the per-instruction format
     // dwarfs both.
-    assert!(champ.len() > 4 * sbbt.len(), "ChampSim {} vs SBBT {}", champ.len(), sbbt.len());
-    assert!(champ.len() > 4 * bt9.len(), "ChampSim {} vs BT9 {}", champ.len(), bt9.len());
+    assert!(
+        champ.len() > 4 * sbbt.len(),
+        "ChampSim {} vs SBBT {}",
+        champ.len(),
+        sbbt.len()
+    );
+    assert!(
+        champ.len() > 4 * bt9.len(),
+        "ChampSim {} vs BT9 {}",
+        champ.len(),
+        bt9.len()
+    );
 
     // "Using a good compression method also helps to reduce the amount of
     // redundant information": compressed SBBT must shed most of its raw
