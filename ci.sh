@@ -11,6 +11,13 @@ cargo fmt --all -- --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== clippy (panic-free decode paths) =="
+# Library code of the crates that parse untrusted bytes must not contain
+# unwrap/expect at all — every failure is a typed error. Test code (the
+# --lib target excludes it) is exempt.
+cargo clippy -p mbp-trace -p mbp-compress --lib -- \
+  -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "== build (release) =="
 cargo build --release
 
@@ -20,5 +27,9 @@ cargo test -q
 echo "== driver equivalence (batch pipeline vs scalar reference) =="
 cargo test -q -p mbp --test driver_equivalence
 cargo test -q -p mbp --test equivalence
+
+echo "== fault injection (readers fail closed on corrupt traces) =="
+cargo test -q -p mbp-faultsim --test fault_injection
+cargo test -q -p mbp-faultsim --test alloc_bounds
 
 echo "CI OK"

@@ -19,6 +19,34 @@ const BLOCK_SEQS: usize = 1 << 16;
 /// one output buffer.
 const PARSE_CHUNK: usize = 4 << 20;
 
+/// Upper bound on how many output bytes one compressed input byte can
+/// yield: a match symbol costs at least two bits (one literal/length code
+/// bit plus one distance code bit) and emits at most the 2179-byte maximum
+/// match, so eight input bits can never produce more than four maximal
+/// matches. Any header declaring more than this is corrupt, and no `Vec`
+/// reservation is ever sized beyond it.
+const MAX_EXPANSION: u64 = 4 * 2179;
+
+/// Little-endian `u64` from the first 8 bytes of `bytes` (zero-padded when
+/// shorter) — panic-free on any input length.
+#[inline]
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = bytes.len().min(8);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    u64::from_le_bytes(buf)
+}
+
+/// Little-endian `u32` from the first 4 bytes of `bytes` (zero-padded when
+/// shorter).
+#[inline]
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut buf = [0u8; 4];
+    let n = bytes.len().min(4);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    u32::from_le_bytes(buf)
+}
+
 /// Content checksum over the uncompressed bytes (8-byte chunks through the
 /// splitmix finalizer) — the analogue of gzip's CRC32 / zstd's XXH64
 /// trailer, so silent corruption cannot masquerade as valid trace data.
@@ -40,8 +68,7 @@ pub(crate) fn checksum64(data: &[u8]) -> u64 {
     let mut blocks = data.chunks_exact(32);
     for b in &mut blocks {
         for (i, lane) in lanes.iter_mut().enumerate() {
-            let v = u64::from_le_bytes(b[8 * i..8 * i + 8].try_into().expect("exact block"));
-            *lane = mix(*lane ^ v);
+            *lane = mix(*lane ^ le_u64(&b[8 * i..]));
         }
     }
     let mut h = mix(lanes[0]
@@ -50,13 +77,11 @@ pub(crate) fn checksum64(data: &[u8]) -> u64 {
         ^ lanes[3].rotate_left(47));
     let mut chunks = blocks.remainder().chunks_exact(8);
     for c in &mut chunks {
-        h = mix(h ^ u64::from_le_bytes(c.try_into().expect("exact chunk")));
+        h = mix(h ^ le_u64(c));
     }
     let rest = chunks.remainder();
     if !rest.is_empty() {
-        let mut tail = [0u8; 8];
-        tail[..rest.len()].copy_from_slice(rest);
-        h = mix(h ^ u64::from_le_bytes(tail));
+        h = mix(h ^ le_u64(rest));
     }
     h
 }
@@ -150,7 +175,18 @@ pub(crate) fn decompress<D: SymbolDecoder>(
     if body.len() < 8 {
         return Err(CompressError::Truncated);
     }
-    let size = u64::from_le_bytes(body[..8].try_into().expect("checked")) as usize;
+    // Sanity-cap the declared size against what the actual stream could
+    // possibly decode to *before* sizing any buffer from it: a corrupt
+    // header claiming terabytes must fail typed, not OOM.
+    let declared = le_u64(body);
+    let payload_len = body.len() as u64 - 8;
+    if declared > payload_len.saturating_mul(MAX_EXPANSION) {
+        return Err(CompressError::Corrupt(
+            "declared size exceeds stream capacity",
+        ));
+    }
+    let size = usize::try_from(declared)
+        .map_err(|_| CompressError::Corrupt("declared size exceeds address space"))?;
     let mut out = Vec::with_capacity(size);
     let mut rest = &body[8..];
     while out.len() < size {
@@ -161,7 +197,7 @@ pub(crate) fn decompress<D: SymbolDecoder>(
                 if rest.len() < 4 {
                     return Err(CompressError::Truncated);
                 }
-                let len = u32::from_le_bytes(rest[..4].try_into().expect("checked")) as usize;
+                let len = le_u32(rest) as usize;
                 if rest.len() < 4 + len {
                     return Err(CompressError::Truncated);
                 }
@@ -179,7 +215,7 @@ pub(crate) fn decompress<D: SymbolDecoder>(
         }
     }
     let trailer = rest.get(..8).ok_or(CompressError::Truncated)?;
-    if u64::from_le_bytes(trailer.try_into().expect("checked")) != checksum64(&out) {
+    if le_u64(trailer) != checksum64(&out) {
         return Err(CompressError::Corrupt("content checksum mismatch"));
     }
     Ok(out)

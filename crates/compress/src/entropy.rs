@@ -241,9 +241,14 @@ fn huffman_lengths_unlimited(freqs: &[u64]) -> Vec<u32> {
     for (node, &sym) in live.iter().enumerate() {
         heap.push(std::cmp::Reverse((freqs[sym], node)));
     }
+    // The loop guard proves two pops succeed; the `else` keeps the function
+    // total (and panic-free) even if that invariant ever breaks.
     while heap.len() > 1 {
-        let std::cmp::Reverse((fa, a)) = heap.pop().expect("len > 1");
-        let std::cmp::Reverse((fb, b)) = heap.pop().expect("len > 1");
+        let (Some(std::cmp::Reverse((fa, a))), Some(std::cmp::Reverse((fb, b)))) =
+            (heap.pop(), heap.pop())
+        else {
+            break;
+        };
         let parent = parents.len();
         parents.push(None);
         parents[a] = Some(parent);

@@ -91,13 +91,9 @@ impl std::fmt::Display for Codec {
 ///
 /// Returns `None` for raw (uncompressed) data.
 pub fn detect(data: &[u8]) -> Option<Codec> {
-    if data.len() < 4 {
-        return None;
-    }
-    let magic: [u8; 4] = data[..4].try_into().expect("length checked");
-    if magic == Codec::Mgz.magic() {
+    if data.starts_with(&Codec::Mgz.magic()) {
         Some(Codec::Mgz)
-    } else if magic == Codec::Mzst.magic() {
+    } else if data.starts_with(&Codec::Mzst.magic()) {
         Some(Codec::Mzst)
     } else {
         None

@@ -114,7 +114,7 @@ impl Read for DecompressReader {
 /// ```
 #[derive(Debug)]
 pub struct CompressWriter<W: Write> {
-    sink: Option<W>,
+    sink: W,
     buf: Vec<u8>,
     codec: Codec,
     level: u32,
@@ -134,7 +134,7 @@ impl<W: Write> CompressWriter<W> {
             ));
         }
         Ok(Self {
-            sink: Some(sink),
+            sink,
             buf: Vec::new(),
             codec,
             level,
@@ -148,11 +148,10 @@ impl<W: Write> CompressWriter<W> {
     ///
     /// Propagates I/O errors from the sink.
     pub fn finish(mut self) -> io::Result<W> {
-        let mut sink = self.sink.take().expect("finish called once");
         let packed = compress(&self.buf, self.codec, self.level).map_err(io::Error::from)?;
-        sink.write_all(&packed)?;
-        sink.flush()?;
-        Ok(sink)
+        self.sink.write_all(&packed)?;
+        self.sink.flush()?;
+        Ok(self.sink)
     }
 
     /// Bytes buffered so far (uncompressed).

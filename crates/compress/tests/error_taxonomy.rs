@@ -1,0 +1,146 @@
+//! Table-driven proof that every `CompressError` variant is reachable from
+//! a crafted input, for each codec. This pins the error taxonomy: a refactor
+//! that silently collapses variants (or starts panicking instead) fails
+//! here, not in a fleet replaying corrupt traces.
+
+use mbp_compress::{compress, decompress, Codec, CompressError};
+
+/// The variant classes of the taxonomy (payloads aside).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    BadLevel,
+    BadMagic,
+    Truncated,
+    Corrupt,
+}
+
+fn kind(e: &CompressError) -> Kind {
+    match e {
+        CompressError::BadLevel { .. } => Kind::BadLevel,
+        CompressError::BadMagic => Kind::BadMagic,
+        CompressError::Truncated => Kind::Truncated,
+        CompressError::Corrupt(_) => Kind::Corrupt,
+    }
+}
+
+/// A valid stream to mutate: compressible structure plus an incompressible
+/// tail, so both entropy-coded and raw blocks appear.
+fn valid_stream(codec: Codec) -> Vec<u8> {
+    let mut data = b"the branch at 0x401000 was taken ".repeat(200);
+    data.extend((0u32..600).flat_map(|i| (i.wrapping_mul(2_654_435_761)).to_le_bytes()));
+    compress(&data, codec, 3).expect("valid input compresses")
+}
+
+#[test]
+fn every_variant_reachable_per_codec() {
+    for codec in [Codec::Mgz, Codec::Mzst] {
+        let packed = valid_stream(codec);
+        assert!(decompress(&packed).is_ok(), "{codec}: baseline decodes");
+
+        // (case name, crafted input, expected variant class)
+        let mut cases: Vec<(&str, Vec<u8>, Kind)> = vec![
+            ("empty input", Vec::new(), Kind::BadMagic),
+            ("wrong magic", b"NOPE0123456789".to_vec(), Kind::BadMagic),
+            (
+                "magic of the other codec body",
+                {
+                    // Valid magic, rest of the header missing.
+                    packed[..4].to_vec()
+                },
+                Kind::Truncated,
+            ),
+            ("cut mid size field", packed[..8].to_vec(), Kind::Truncated),
+            (
+                "cut mid first block",
+                packed[..packed.len().min(40)].to_vec(),
+                Kind::Truncated,
+            ),
+            (
+                "cut before checksum trailer",
+                packed[..packed.len() - 8].to_vec(),
+                Kind::Truncated,
+            ),
+            (
+                "checksum trailer flipped",
+                {
+                    let mut bad = packed.clone();
+                    let last = bad.len() - 1;
+                    bad[last] ^= 0xFF;
+                    bad
+                },
+                Kind::Corrupt,
+            ),
+            (
+                "declared size exceeds stream capacity",
+                {
+                    let mut bad = packed.clone();
+                    bad[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+                    bad
+                },
+                Kind::Corrupt,
+            ),
+            (
+                "unknown block kind",
+                {
+                    let mut bad = codec.magic().to_vec();
+                    bad.extend_from_slice(&1u64.to_le_bytes());
+                    bad.push(7); // kinds are 0 (raw) and 1 (entropy)
+                    bad
+                },
+                Kind::Corrupt,
+            ),
+            (
+                "over-subscribed Huffman code",
+                {
+                    // An entropy block whose code-length nibbles are all 1:
+                    // far more than two length-1 codes is over-subscribed.
+                    let mut bad = codec.magic().to_vec();
+                    bad.extend_from_slice(&64u64.to_le_bytes());
+                    bad.push(1);
+                    bad.extend(std::iter::repeat_n(0x11u8, 200));
+                    bad
+                },
+                Kind::Corrupt,
+            ),
+        ];
+        for (name, input, want) in cases.drain(..) {
+            let err =
+                decompress(&input).expect_err(&format!("{codec}/{name}: must error, not decode"));
+            assert_eq!(
+                kind(&err),
+                want,
+                "{codec}/{name}: got {err:?}, wanted {want:?}"
+            );
+        }
+
+        // BadLevel comes from the compression entry points.
+        for level in [0, codec.max_level() + 1] {
+            let err = compress(b"x", codec, level).expect_err("level out of range");
+            assert_eq!(kind(&err), Kind::BadLevel, "{codec}/level {level}");
+            assert!(matches!(
+                err,
+                CompressError::BadLevel { codec: c, level: l } if c == codec && l == level
+            ));
+        }
+    }
+}
+
+#[test]
+fn display_messages_are_one_line() {
+    // `mbpsim` prints these to stderr as one-line structured errors; a
+    // variant growing an embedded newline would break that contract.
+    let samples = [
+        CompressError::BadLevel {
+            codec: Codec::Mgz,
+            level: 99,
+        },
+        CompressError::BadMagic,
+        CompressError::Truncated,
+        CompressError::Corrupt("content checksum mismatch"),
+    ];
+    for e in samples {
+        let msg = e.to_string();
+        assert!(!msg.contains('\n'), "{msg:?}");
+        assert!(!msg.is_empty());
+    }
+}

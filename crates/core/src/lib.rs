@@ -52,7 +52,7 @@ pub use metrics::{BranchStat, Metrics, MostFailed};
 pub use predictor::Predictor;
 pub use simulator::{simulate, simulate_scalar, SimConfig, SimMetadata, SimResult};
 pub use source::{SliceSource, TraceSource, VecSource, BATCH_RECORDS};
-pub use sweep::{simulate_many, SweepConfig, SweepEntry, SweepResult};
+pub use sweep::{simulate_many, SweepConfig, SweepEntry, SweepFailure, SweepResult};
 
 // Re-export the vocabulary types so predictor crates depend on `mbp-core`
 // alone.

@@ -59,6 +59,16 @@ pub trait TraceSource {
     fn instruction_count_hint(&self) -> Option<u64> {
         None
     }
+
+    /// Branch records remaining in the source, if known ahead of time.
+    ///
+    /// Unlike [`TraceSource::instruction_count_hint`] — which may come
+    /// straight from an untrusted file header — implementations must derive
+    /// this from the actual data they hold, so callers can size allocations
+    /// from it safely.
+    fn record_count_hint(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl TraceSource for SbbtReader {
@@ -76,6 +86,12 @@ impl TraceSource for SbbtReader {
 
     fn instruction_count_hint(&self) -> Option<u64> {
         Some(self.header().instruction_count)
+    }
+
+    fn record_count_hint(&self) -> Option<u64> {
+        // Derived from the in-memory buffer length, not the header (the
+        // constructor cross-checked the two anyway).
+        Some(self.remaining())
     }
 }
 
@@ -136,6 +152,10 @@ impl TraceSource for SliceSource<'_> {
 
     fn instruction_count_hint(&self) -> Option<u64> {
         Some(self.records.iter().map(|r| r.instructions()).sum())
+    }
+
+    fn record_count_hint(&self) -> Option<u64> {
+        Some((self.records.len() - self.pos) as u64)
     }
 }
 
@@ -201,6 +221,10 @@ impl TraceSource for VecSource {
 
     fn instruction_count_hint(&self) -> Option<u64> {
         Some(self.records.iter().map(|r| r.instructions()).sum())
+    }
+
+    fn record_count_hint(&self) -> Option<u64> {
+        Some((self.records.len() - self.pos) as u64)
     }
 }
 

@@ -8,8 +8,9 @@
 //! simulates every predictor against the same record block, in parallel,
 //! using only `std` threads.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use mbp_json::{json, Value};
@@ -20,8 +21,9 @@ use crate::{Predictor, SliceSource, TraceSource};
 
 /// A named predictor awaiting simulation, claimed by exactly one worker.
 type WorkSlot = Mutex<Option<(String, Box<dyn Predictor + Send>)>>;
-/// A finished predictor's name and outcome, written by exactly one worker.
-type DoneSlot = Mutex<Option<(String, Result<SimResult, TraceError>)>>;
+/// A finished predictor's outcome, written by exactly one worker. A worker
+/// failure (panic or trace error) is data, not a crash of the sweep.
+type DoneSlot = Mutex<Option<Result<SimResult, SweepFailure>>>;
 
 /// Configuration of a sweep run.
 #[derive(Clone, Debug, Default)]
@@ -45,6 +47,42 @@ pub struct SweepEntry {
     pub result: SimResult,
 }
 
+/// A predictor that did not produce a result: it panicked mid-simulation or
+/// hit a trace error. The sweep completes regardless; failures are reported
+/// alongside the leaderboard of survivors.
+#[derive(Clone, Debug)]
+pub struct SweepFailure {
+    /// The failed predictor's display name.
+    pub name: String,
+    /// Failure class: `"panic"` or `"trace_error"`.
+    pub kind: &'static str,
+    /// One-line human-readable cause (panic payload or error display).
+    pub message: String,
+}
+
+impl SweepFailure {
+    fn to_json(&self) -> Value {
+        json!({
+            "predictor": self.name.as_str(),
+            "kind": self.kind,
+            "message": self.message.as_str(),
+        })
+    }
+}
+
+/// Renders a panic payload as a one-line message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "panic payload of unknown type"
+    };
+    // Panic payloads are arbitrary; keep the report one line.
+    msg.lines().next().unwrap_or("").to_string()
+}
+
 /// The outcome of a sweep: every predictor's result, ranked by MPKI.
 #[derive(Clone, Debug)]
 pub struct SweepResult {
@@ -61,6 +99,9 @@ pub struct SweepResult {
     pub cumulative_sim_time: f64,
     /// Per-predictor results, best MPKI first (ties broken by name).
     pub entries: Vec<SweepEntry>,
+    /// Predictors that failed (panicked or errored), sorted by name. The
+    /// leaderboard ranks only the survivors.
+    pub failures: Vec<SweepFailure>,
 }
 
 impl SweepResult {
@@ -85,7 +126,8 @@ impl SweepResult {
                 "simulator": "MBPlib sweep simulator",
                 "version": crate::SIMULATOR_VERSION,
                 "trace": self.trace.clone(),
-                "num_predictors": self.entries.len(),
+                "num_predictors": self.entries.len() + self.failures.len(),
+                "num_failures": self.failures.len(),
                 "jobs": self.jobs,
                 "decode_time": self.decode_time,
                 "wall_time": self.wall_time,
@@ -100,6 +142,8 @@ impl SweepResult {
                 "mispredictions": e.result.metrics.mispredictions,
                 "simulation_time": e.result.metrics.simulation_time,
             })).collect::<Vec<_>>(),
+            "failures": self.failures.iter().map(SweepFailure::to_json)
+                .collect::<Vec<_>>(),
             "results": self.entries.iter().map(|e| e.result.to_json())
                 .collect::<Vec<_>>(),
         })
@@ -118,7 +162,11 @@ impl SweepResult {
 ///
 /// # Errors
 ///
-/// Propagates trace decoding errors from the single decode pass.
+/// Propagates trace decoding errors from the single decode pass. Per-
+/// predictor failures — a panic inside `predict`/`train`/`track`, or a
+/// trace error seen by one worker — do **not** abort the sweep: each worker
+/// runs under [`catch_unwind`], the failed predictor is recorded in
+/// [`SweepResult::failures`], and the survivors are ranked as usual.
 pub fn simulate_many<S>(
     trace: &mut S,
     predictors: Vec<(String, Box<dyn Predictor + Send>)>,
@@ -127,14 +175,12 @@ pub fn simulate_many<S>(
 where
     S: TraceSource + ?Sized,
 {
-    // Phase 1: decode once into shared memory.
+    // Phase 1: decode once into shared memory. The pre-size comes from
+    // `record_count_hint` — derived from data the source actually holds —
+    // never from a header-declared count an attacker controls.
     let decode_start = Instant::now();
-    let mut records: Vec<BranchRecord> = match trace.instruction_count_hint() {
-        // A rough pre-size: traces average a handful of instructions per
-        // branch, so this over-reserves at most a few times.
-        Some(hint) => Vec::with_capacity((hint / 4).min(1 << 28) as usize),
-        None => Vec::new(),
-    };
+    let mut records: Vec<BranchRecord> =
+        Vec::with_capacity(trace.record_count_hint().unwrap_or(0) as usize);
     let mut batch = Vec::new();
     while trace.fill_batch(&mut batch)? > 0 {
         records.extend_from_slice(&batch);
@@ -144,6 +190,7 @@ where
 
     let n = predictors.len();
     let jobs = effective_jobs(config.jobs, n);
+    let names: Vec<String> = predictors.iter().map(|(name, _)| name.clone()).collect();
 
     // Phase 2: fan out. Workers claim predictor indices from an atomic
     // queue; each slot hands its predictor to exactly one worker and
@@ -163,44 +210,88 @@ where
                 if i >= n {
                     break;
                 }
-                let (name, mut predictor) = work[i]
+                let Some((name, mut predictor)) = work[i]
                     .lock()
-                    .expect("no panics while holding work slot")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .take()
-                    .expect("each index is claimed once");
-                let mut source = SliceSource::new(&records);
-                let result = simulate(&mut source, &mut *predictor, &config.sim);
-                *done[i].lock().expect("no panics while holding done slot") = Some((name, result));
+                else {
+                    continue; // unreachable: each index is claimed once
+                };
+                // Fault isolation: a predictor that panics takes down this
+                // one simulation, not the sweep. The predictor and source
+                // are owned by the closure, so no shared state is observed
+                // after an unwind.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut source = SliceSource::new(&records);
+                    simulate(&mut source, &mut *predictor, &config.sim)
+                }));
+                let outcome = match outcome {
+                    Ok(Ok(result)) => Ok(result),
+                    Ok(Err(e)) => Err(SweepFailure {
+                        name,
+                        kind: "trace_error",
+                        message: e.to_string(),
+                    }),
+                    Err(payload) => Err(SweepFailure {
+                        name,
+                        kind: "panic",
+                        message: panic_message(payload.as_ref()),
+                    }),
+                };
+                *done[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
             });
         }
     });
     let wall_time = wall_start.elapsed().as_secs_f64();
 
     let mut entries = Vec::with_capacity(n);
-    for slot in done {
-        let (name, result) = slot
+    let mut failures = Vec::new();
+    for (i, slot) in done.into_iter().enumerate() {
+        let outcome = slot
             .into_inner()
-            .expect("no panics while holding done slot")
-            .expect("scope joins all workers");
-        let mut result = result?;
-        // Each worker simulated an anonymous in-memory slice; attribute the
-        // result to the real trace, as a standalone run would.
-        result.metadata.trace = description.clone();
-        entries.push(SweepEntry {
-            rank: 0,
-            name,
-            result,
-        });
+            .unwrap_or_else(PoisonError::into_inner)
+            .unwrap_or_else(|| {
+                // A worker died without reporting (it cannot panic between
+                // claiming and writing, but fail soft rather than crash).
+                Err(SweepFailure {
+                    name: names[i].clone(),
+                    kind: "panic",
+                    message: "worker finished without reporting a result".to_string(),
+                })
+            });
+        match outcome {
+            Ok(mut result) => {
+                // Each worker simulated an anonymous in-memory slice;
+                // attribute the result to the real trace, as a standalone
+                // run would.
+                result.metadata.trace = description.clone();
+                entries.push(SweepEntry {
+                    rank: 0,
+                    name: names[i].clone(),
+                    result,
+                });
+            }
+            Err(failure) => failures.push(failure),
+        }
     }
 
     entries.sort_by(|a, b| {
+        // NaN MPKI (a predictor returning garbage) sorts last instead of
+        // panicking the leaderboard.
         a.result
             .metrics
             .mpki
             .partial_cmp(&b.result.metrics.mpki)
-            .expect("finite mpki")
+            .unwrap_or_else(|| {
+                a.result
+                    .metrics
+                    .mpki
+                    .is_nan()
+                    .cmp(&b.result.metrics.mpki.is_nan())
+            })
             .then_with(|| a.name.cmp(&b.name))
     });
+    failures.sort_by(|a, b| a.name.cmp(&b.name));
     let cumulative_sim_time = entries
         .iter()
         .map(|e| e.result.metrics.simulation_time)
@@ -216,6 +307,7 @@ where
         wall_time,
         cumulative_sim_time,
         entries,
+        failures,
     })
 }
 
@@ -244,6 +336,25 @@ mod tests {
         fn track(&mut self, _b: &Branch) {}
         fn metadata(&self) -> Value {
             json!({"name": "fixed", "dir": self.0})
+        }
+    }
+
+    /// Panics on the `n`-th prediction — a stand-in for a buggy predictor
+    /// under development, the case sweep fault-isolation exists for.
+    struct PanicAfter(u64);
+
+    impl Predictor for PanicAfter {
+        fn predict(&mut self, _ip: u64) -> bool {
+            if self.0 == 0 {
+                panic!("intentional fault for testing");
+            }
+            self.0 -= 1;
+            true
+        }
+        fn train(&mut self, _b: &Branch) {}
+        fn track(&mut self, _b: &Branch) {}
+        fn metadata(&self) -> Value {
+            json!({"name": "panic-after"})
         }
     }
 
@@ -360,6 +471,76 @@ mod tests {
         let text = doc.to_pretty_string();
         let reparsed: Value = text.parse().unwrap();
         assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn panicking_predictor_is_isolated_and_reported() {
+        let records = biased_records(64);
+        let mut predictors = fixed_pair();
+        predictors.push((
+            "buggy".to_string(),
+            Box::new(PanicAfter(10)) as Box<dyn Predictor + Send>,
+        ));
+        let mut src = SliceSource::new(&records);
+        let cfg = SweepConfig {
+            jobs: 2,
+            ..SweepConfig::default()
+        };
+        let r = simulate_many(&mut src, predictors, &cfg).expect("sweep survives the panic");
+
+        // Survivors are ranked exactly as a panic-free sweep would rank them.
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.entries[0].name, "always");
+        assert_eq!(r.entries[0].rank, 1);
+        assert_eq!(r.entries[1].name, "never");
+
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].name, "buggy");
+        assert_eq!(r.failures[0].kind, "panic");
+        assert!(
+            r.failures[0].message.contains("intentional fault"),
+            "panic payload surfaces: {:?}",
+            r.failures[0].message
+        );
+    }
+
+    #[test]
+    fn failures_appear_in_sweep_json() {
+        let records = biased_records(16);
+        let predictors: Vec<(String, Box<dyn Predictor + Send>)> = vec![
+            ("ok".to_string(), Box::new(Fixed(true))),
+            ("bad".to_string(), Box::new(PanicAfter(0))),
+        ];
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, predictors, &SweepConfig::default()).unwrap();
+        let doc = r.to_json();
+        assert_eq!(doc["metadata"]["num_predictors"], Value::from(2));
+        assert_eq!(doc["metadata"]["num_failures"], Value::from(1));
+        assert_eq!(doc["failures"][0]["predictor"], Value::from("bad"));
+        assert_eq!(doc["failures"][0]["kind"], Value::from("panic"));
+        assert_eq!(doc["leaderboard"].as_array().unwrap().len(), 1);
+        // The whole document still parses back (valid JSON with failures).
+        let reparsed: Value = doc.to_pretty_string().parse().unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn all_predictors_failing_still_completes() {
+        let records = biased_records(8);
+        let predictors: Vec<(String, Box<dyn Predictor + Send>)> = (0..4)
+            .map(|i| {
+                (
+                    format!("bad{i}"),
+                    Box::new(PanicAfter(i)) as Box<dyn Predictor + Send>,
+                )
+            })
+            .collect();
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, predictors, &SweepConfig::default()).unwrap();
+        assert!(r.entries.is_empty());
+        assert_eq!(r.failures.len(), 4);
+        let names: Vec<&str> = r.failures.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["bad0", "bad1", "bad2", "bad3"], "sorted by name");
     }
 
     #[test]

@@ -23,6 +23,49 @@ use mbp::trace::sbbt::{SbbtReader, SbbtWriter};
 use mbp::trace::{bt9, translate};
 use mbp::workloads::Suite;
 
+/// Exit codes, so scripts driving fleets of `mbpsim` runs can triage
+/// without parsing stderr:
+///
+/// * `0` — success.
+/// * `1` — unexpected internal error (I/O while writing output, …).
+/// * `2` — usage error: bad flags, unknown command/predictor/suite.
+/// * `3` — trace error: the input could not be opened, decoded or decompressed.
+/// * `4` — partial sweep failure: the sweep completed and printed its JSON,
+///   but at least one predictor failed (see the `failures` array).
+const EXIT_INTERNAL: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_TRACE: u8 = 3;
+const EXIT_PARTIAL_SWEEP: u8 = 4;
+
+/// A command failure carrying the exit code it should map to.
+struct Failure {
+    code: u8,
+    message: String,
+}
+
+impl Failure {
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            code: EXIT_USAGE,
+            message: message.into(),
+        }
+    }
+
+    fn trace(message: impl Into<String>) -> Self {
+        Self {
+            code: EXIT_TRACE,
+            message: message.into(),
+        }
+    }
+
+    fn internal(message: impl Into<String>) -> Self {
+        Self {
+            code: EXIT_INTERNAL,
+            message: message.into(),
+        }
+    }
+}
+
 fn usage() -> &'static str {
     "usage:\n  \
      mbpsim run --predictor <name> --trace <file> [--warmup N] [--max N] [--track-only-conditional]\n  \
@@ -52,29 +95,29 @@ impl Args {
         self.items.iter().any(|a| a == key)
     }
 
-    fn required(&self, key: &str) -> Result<&str, String> {
+    fn required(&self, key: &str) -> Result<&str, Failure> {
         self.get(key)
-            .ok_or_else(|| format!("missing {key}\n{}", usage()))
+            .ok_or_else(|| Failure::usage(format!("missing {key}\n{}", usage())))
     }
 
-    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, Failure> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("invalid value for {key}: {v}")),
+                .map_err(|_| Failure::usage(format!("invalid value for {key}: {v}"))),
         }
     }
 }
 
-fn sim_config(args: &Args) -> Result<SimConfig, String> {
+fn sim_config(args: &Args) -> Result<SimConfig, Failure> {
     Ok(SimConfig {
         warmup_instructions: args.parsed("--warmup", 0)?,
         max_instructions: args
             .get("--max")
             .map(|v| v.parse())
             .transpose()
-            .map_err(|_| "invalid value for --max".to_string())?,
+            .map_err(|_| Failure::usage("invalid value for --max"))?,
         track_only_conditional: args.flag("--track-only-conditional"),
         ..SimConfig::default()
     })
@@ -88,15 +131,15 @@ fn codec_for(path: &Path) -> Option<(Codec, u32)> {
     }
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+fn cmd_run(args: &Args) -> Result<ExitCode, Failure> {
     let name = args.required("--predictor")?;
-    let mut predictor =
-        by_name(name).ok_or_else(|| format!("unknown predictor {name:?}; try `mbpsim list`"))?;
+    let mut predictor = by_name(name)
+        .ok_or_else(|| Failure::usage(format!("unknown predictor {name:?}; try `mbpsim list`")))?;
     let trace_path = args.required("--trace")?;
-    let mut trace =
-        SbbtReader::open(trace_path).map_err(|e| format!("cannot open {trace_path}: {e}"))?;
+    let mut trace = SbbtReader::open(trace_path)
+        .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
     let result = simulate(&mut trace, &mut predictor, &sim_config(args)?)
-        .map_err(|e| format!("simulation failed: {e}"))?;
+        .map_err(|e| Failure::trace(format!("simulation failed: {e}")))?;
     let mut doc = result.to_json();
     if let Some(meta) = doc
         .as_object_mut()
@@ -106,78 +149,94 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         meta.insert("trace", trace_path);
     }
     println!("{doc:#}");
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_compare(args: &Args) -> Result<(), String> {
+fn cmd_compare(args: &Args) -> Result<ExitCode, Failure> {
     let names = args.required("--predictors")?;
     let (a, b) = names
         .split_once(',')
-        .ok_or_else(|| "expected --predictors <a>,<b>".to_string())?;
-    let mut pa = by_name(a.trim()).ok_or_else(|| format!("unknown predictor {a:?}"))?;
-    let mut pb = by_name(b.trim()).ok_or_else(|| format!("unknown predictor {b:?}"))?;
+        .ok_or_else(|| Failure::usage("expected --predictors <a>,<b>"))?;
+    let mut pa =
+        by_name(a.trim()).ok_or_else(|| Failure::usage(format!("unknown predictor {a:?}")))?;
+    let mut pb =
+        by_name(b.trim()).ok_or_else(|| Failure::usage(format!("unknown predictor {b:?}")))?;
     let trace_path = args.required("--trace")?;
-    let mut trace =
-        SbbtReader::open(trace_path).map_err(|e| format!("cannot open {trace_path}: {e}"))?;
+    let mut trace = SbbtReader::open(trace_path)
+        .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
     let result = simulate_comparison(&mut trace, &mut pa, &mut pb, &sim_config(args)?)
-        .map_err(|e| format!("simulation failed: {e}"))?;
+        .map_err(|e| Failure::trace(format!("simulation failed: {e}")))?;
     println!("{:#}", result.to_json());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_sweep(args: &Args) -> Result<(), String> {
+fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
     let names = args.required("--predictors")?;
     let mut predictors = Vec::new();
     for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        let p = by_name(name)
-            .ok_or_else(|| format!("unknown predictor {name:?}; try `mbpsim list`"))?;
+        let p = by_name(name).ok_or_else(|| {
+            Failure::usage(format!("unknown predictor {name:?}; try `mbpsim list`"))
+        })?;
         predictors.push((name.to_string(), p));
     }
     if predictors.is_empty() {
-        return Err("expected --predictors <a>,<b>,...".to_string());
+        return Err(Failure::usage("expected --predictors <a>,<b>,..."));
     }
     let trace_path = args.required("--trace")?;
-    let mut trace =
-        SbbtReader::open(trace_path).map_err(|e| format!("cannot open {trace_path}: {e}"))?;
+    let mut trace = SbbtReader::open(trace_path)
+        .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
     let config = SweepConfig {
         sim: sim_config(args)?,
         jobs: args.parsed("--jobs", 0usize)?,
     };
-    let mut result =
-        simulate_many(&mut trace, predictors, &config).map_err(|e| format!("sweep failed: {e}"))?;
+    let mut result = simulate_many(&mut trace, predictors, &config)
+        .map_err(|e| Failure::trace(format!("sweep failed: {e}")))?;
     result.trace = trace_path.into();
     for entry in &mut result.entries {
         entry.result.metadata.trace = trace_path.into();
     }
     println!("{:#}", result.to_json());
-    Ok(())
+    if result.failures.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        // The JSON above is complete (survivors ranked, failures listed);
+        // the exit code tells drivers the sweep was only partially healthy.
+        for failure in &result.failures {
+            eprintln!(
+                "mbpsim: predictor {:?} failed ({}): {}",
+                failure.name, failure.kind, failure.message
+            );
+        }
+        Ok(ExitCode::from(EXIT_PARTIAL_SWEEP))
+    }
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn cmd_gen(args: &Args) -> Result<ExitCode, Failure> {
     let scale = args.parsed("--scale", 1u64)?;
     let suite = match args.required("--suite")? {
         "cbp5-training" => Suite::cbp5_training(scale),
         "cbp5-evaluation" => Suite::cbp5_evaluation(scale),
         "dpc3" => Suite::dpc3(scale),
         "smoke" => Suite::smoke(),
-        other => return Err(format!("unknown suite {other:?}")),
+        other => return Err(Failure::usage(format!("unknown suite {other:?}"))),
     };
     let out = PathBuf::from(args.required("--out")?);
-    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    std::fs::create_dir_all(&out)
+        .map_err(|e| Failure::internal(format!("cannot create {}: {e}", out.display())))?;
     for spec in &suite.traces {
         let path = out.join(format!("{}.sbbt.mzst", spec.name));
         let mut writer = SbbtWriter::create_compressed(&path, Codec::Mzst, 22)
-            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            .map_err(|e| Failure::internal(format!("cannot create {}: {e}", path.display())))?;
         for record in spec.records() {
             writer
                 .write_record(&record)
-                .map_err(|e| format!("write failed: {e}"))?;
+                .map_err(|e| Failure::internal(format!("write failed: {e}")))?;
         }
         let branches = writer.branch_count();
         let instructions = writer.instruction_count();
         writer
             .finish_compressed()
-            .map_err(|e| format!("finish failed: {e}"))?;
+            .map_err(|e| Failure::internal(format!("finish failed: {e}")))?;
         let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         println!(
             "{}: {} branches, {} instructions, {} bytes",
@@ -192,22 +251,23 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         suite.traces.len(),
         suite.name
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_translate(args: &Args) -> Result<(), String> {
+fn cmd_translate(args: &Args) -> Result<ExitCode, Failure> {
     let from = PathBuf::from(args.required("--from")?);
     let to = PathBuf::from(args.required("--to")?);
     let from_name = from.to_string_lossy();
     let records = if from_name.contains(".bt9") {
-        let trace = bt9::open(&from).map_err(|e| format!("cannot parse {from_name}: {e}"))?;
+        let trace = bt9::open(&from)
+            .map_err(|e| Failure::trace(format!("cannot parse {from_name}: {e}")))?;
         trace.records().collect::<Vec<_>>()
     } else {
-        let mut reader =
-            SbbtReader::open(&from).map_err(|e| format!("cannot open {from_name}: {e}"))?;
+        let mut reader = SbbtReader::open(&from)
+            .map_err(|e| Failure::trace(format!("cannot open {from_name}: {e}")))?;
         reader
             .read_all()
-            .map_err(|e| format!("cannot read {from_name}: {e}"))?
+            .map_err(|e| Failure::trace(format!("cannot read {from_name}: {e}")))?
     };
 
     let to_name = to.to_string_lossy().to_string();
@@ -215,30 +275,32 @@ fn cmd_translate(args: &Args) -> Result<(), String> {
         let text = translate::records_to_bt9(&records);
         let bytes = match codec_for(&to) {
             Some((codec, level)) => mbp::compress::compress(text.as_bytes(), codec, level)
-                .map_err(|e| format!("compress failed: {e}"))?,
+                .map_err(|e| Failure::internal(format!("compress failed: {e}")))?,
             None => text.into_bytes(),
         };
-        std::fs::write(&to, bytes).map_err(|e| format!("cannot write {to_name}: {e}"))?;
+        std::fs::write(&to, bytes)
+            .map_err(|e| Failure::internal(format!("cannot write {to_name}: {e}")))?;
     } else {
         match codec_for(&to) {
             Some((codec, level)) => {
                 let mut w = SbbtWriter::create_compressed(&to, codec, level)
-                    .map_err(|e| format!("cannot create {to_name}: {e}"))?;
+                    .map_err(|e| Failure::internal(format!("cannot create {to_name}: {e}")))?;
                 for r in &records {
                     w.write_record(r)
-                        .map_err(|e| format!("write failed: {e}"))?;
+                        .map_err(|e| Failure::internal(format!("write failed: {e}")))?;
                 }
                 w.finish_compressed()
-                    .map_err(|e| format!("finish failed: {e}"))?;
+                    .map_err(|e| Failure::internal(format!("finish failed: {e}")))?;
             }
             None => {
-                let mut w =
-                    SbbtWriter::create(&to).map_err(|e| format!("cannot create {to_name}: {e}"))?;
+                let mut w = SbbtWriter::create(&to)
+                    .map_err(|e| Failure::internal(format!("cannot create {to_name}: {e}")))?;
                 for r in &records {
                     w.write_record(r)
-                        .map_err(|e| format!("write failed: {e}"))?;
+                        .map_err(|e| Failure::internal(format!("write failed: {e}")))?;
                 }
-                w.finish().map_err(|e| format!("finish failed: {e}"))?;
+                w.finish()
+                    .map_err(|e| Failure::internal(format!("finish failed: {e}")))?;
             }
         }
     }
@@ -248,13 +310,13 @@ fn cmd_translate(args: &Args) -> Result<(), String> {
         from_name,
         to_name
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_info(args: &Args) -> Result<(), String> {
+fn cmd_info(args: &Args) -> Result<ExitCode, Failure> {
     let trace_path = args.required("--trace")?;
-    let mut reader =
-        SbbtReader::open(trace_path).map_err(|e| format!("cannot open {trace_path}: {e}"))?;
+    let mut reader = SbbtReader::open(trace_path)
+        .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
     let header = *reader.header();
     let mut conditional = 0u64;
     let mut taken = 0u64;
@@ -263,7 +325,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     let mut indirect = 0u64;
     while let Some(rec) = reader
         .next_record()
-        .map_err(|e| format!("bad packet: {e}"))?
+        .map_err(|e| Failure::trace(format!("bad packet: {e}")))?
     {
         let b = rec.branch;
         conditional += b.is_conditional() as u64;
@@ -286,14 +348,36 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     println!("taken:            {taken}");
     println!("indirect:         {indirect}");
     println!("calls / returns:  {calls} / {rets}");
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Replaces the default panic handler (multi-line message plus backtrace
+/// pointer) with a one-line structured error, so that even a bug that slips
+/// past the typed error paths never dumps a backtrace at a fleet driver
+/// scraping stderr.
+fn install_panic_hook() {
+    std::panic::set_hook(Box::new(|info| {
+        let message = if let Some(s) = info.payload().downcast_ref::<&str>() {
+            s
+        } else if let Some(s) = info.payload().downcast_ref::<String>() {
+            s.as_str()
+        } else {
+            "unknown panic"
+        };
+        let message = message.lines().next().unwrap_or("unknown panic");
+        match info.location() {
+            Some(loc) => eprintln!("mbpsim: internal error at {loc}: {message}"),
+            None => eprintln!("mbpsim: internal error: {message}"),
+        }
+    }));
 }
 
 fn main() -> ExitCode {
+    install_panic_hook();
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
         eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     }
     let command = argv.remove(0);
     let args = Args { items: argv };
@@ -308,19 +392,22 @@ fn main() -> ExitCode {
             for name in PREDICTOR_NAMES {
                 println!("{name}");
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        other => Err(Failure::usage(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("mbpsim: {msg}");
-            ExitCode::FAILURE
+        Ok(code) => code,
+        Err(Failure { code, message }) => {
+            eprintln!("mbpsim: {message}");
+            ExitCode::from(code)
         }
     }
 }

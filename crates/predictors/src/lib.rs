@@ -89,8 +89,48 @@ pub fn by_name(name: &str) -> Option<Box<dyn Predictor + Send>> {
         "hashed-perceptron" => Box::new(HashedPerceptron::default_config()),
         "tage" => Box::new(Tage::new(TageConfig::default_64kb())),
         "batage" => Box::new(Batage::new(BatageConfig::default_64kb())),
+        // Deliberately absent from `PREDICTOR_NAMES`: an intentionally
+        // panicking predictor for exercising sweep fault isolation end to
+        // end (the `mbpsim` exit-code tests request it by name).
+        "faulty" => Box::new(Faulty::default()),
         _ => return None,
     })
+}
+
+/// An intentionally broken predictor used only to test fault isolation.
+///
+/// Behaves like [`AlwaysTaken`] for a handful of predictions, then panics —
+/// mimicking a latent bug that only fires once a predictor has warmed up.
+/// It is reachable through [`by_name`] as `"faulty"` but is *not* listed in
+/// [`PREDICTOR_NAMES`], so rosters, `mbpsim list` output and default sweeps
+/// never pick it up by accident.
+#[derive(Clone, Copy, Debug)]
+pub struct Faulty {
+    remaining: u64,
+}
+
+impl Default for Faulty {
+    fn default() -> Self {
+        Self { remaining: 8 }
+    }
+}
+
+impl Predictor for Faulty {
+    fn predict(&mut self, _ip: u64) -> bool {
+        if self.remaining == 0 {
+            panic!("intentional fault: the 'faulty' test predictor always panics");
+        }
+        self.remaining -= 1;
+        true
+    }
+
+    fn train(&mut self, _branch: &mbp_core::Branch) {}
+
+    fn track(&mut self, _branch: &mbp_core::Branch) {}
+
+    fn metadata(&self) -> mbp_core::Value {
+        mbp_core::json!({"name": "Intentionally faulty test predictor"})
+    }
 }
 
 /// Names accepted by [`by_name`], in Table II order.

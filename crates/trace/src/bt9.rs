@@ -30,8 +30,6 @@ use std::fs::File;
 use std::io::{Read, Write};
 use std::path::Path;
 
-use mbp_compress::DecompressReader;
-
 use crate::{Branch, BranchKind, BranchRecord, Opcode, TraceError};
 
 const SIGNATURE: &str = "BT9_SPA_TRACE_FORMAT";
@@ -199,8 +197,14 @@ impl Bt9Writer {
 ///
 /// Signature, structure and reference-validity errors, with 1-based line
 /// numbers in [`TraceError::Invalid::position`].
-pub fn parse<R: Read>(source: R) -> Result<Bt9Trace, TraceError> {
-    let data = DecompressReader::new(source)?.into_bytes();
+pub fn parse<R: Read>(mut source: R) -> Result<Bt9Trace, TraceError> {
+    let mut data = Vec::new();
+    source.read_to_end(&mut data)?;
+    let data = if mbp_compress::detect(&data).is_some() {
+        mbp_compress::decompress(&data)?
+    } else {
+        data
+    };
     let text =
         std::str::from_utf8(&data).map_err(|_| TraceError::BadSignature { format: "BT9" })?;
     parse_text(text)

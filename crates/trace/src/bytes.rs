@@ -1,0 +1,58 @@
+//! Panic-free primitives for reading little-endian words out of untrusted
+//! byte streams.
+//!
+//! Every decoder in this crate funnels its raw loads through these helpers
+//! so that no slice-length `unwrap`/`expect` survives on a path fed by file
+//! contents: out-of-range reads surface as `None` (mapped to
+//! [`TraceError::Truncated`](crate::TraceError::Truncated) by callers) and
+//! in-range reads are proven infallible by construction.
+
+/// Reads a little-endian `u64` at byte offset `off`, or `None` if fewer
+/// than 8 bytes remain.
+#[inline]
+pub(crate) fn le_u64_at(bytes: &[u8], off: usize) -> Option<u64> {
+    let chunk = bytes.get(off..off.checked_add(8)?)?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(chunk); // chunk is exactly 8 bytes by construction
+    Some(u64::from_le_bytes(buf))
+}
+
+/// Splits a fixed 16-byte packet into its two little-endian 64-bit blocks.
+///
+/// The fixed-size argument lets the compiler elide every bounds check: this
+/// compiles to two plain loads, which is what keeps it usable from the
+/// `fill_batch` hot loop.
+#[inline(always)]
+pub(crate) fn split_u64_pair(bytes: &[u8; 16]) -> (u64, u64) {
+    let mut lo = [0u8; 8];
+    let mut hi = [0u8; 8];
+    lo.copy_from_slice(&bytes[..8]);
+    hi.copy_from_slice(&bytes[8..]);
+    (u64::from_le_bytes(lo), u64::from_le_bytes(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_u64_reads_and_bounds() {
+        let data: Vec<u8> = (0u8..16).collect();
+        assert_eq!(le_u64_at(&data, 0), Some(0x0706_0504_0302_0100));
+        assert_eq!(le_u64_at(&data, 8), Some(0x0F0E_0D0C_0B0A_0908));
+        assert_eq!(le_u64_at(&data, 9), None);
+        assert_eq!(le_u64_at(&data, usize::MAX), None, "no overflow panic");
+        assert_eq!(le_u64_at(&[], 0), None);
+    }
+
+    #[test]
+    fn split_matches_individual_reads() {
+        let mut packet = [0u8; 16];
+        for (i, b) in packet.iter_mut().enumerate() {
+            *b = i as u8 + 1;
+        }
+        let (lo, hi) = split_u64_pair(&packet);
+        assert_eq!(Some(lo), le_u64_at(&packet, 0));
+        assert_eq!(Some(hi), le_u64_at(&packet, 8));
+    }
+}

@@ -29,8 +29,7 @@ use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
-use mbp_compress::DecompressReader;
-
+use crate::bytes::le_u64_at;
 use crate::{Branch, BranchRecord, Opcode, TraceError};
 
 /// Size of one encoded instruction record.
@@ -101,29 +100,22 @@ impl ChampsimRecord {
         out
     }
 
-    /// Decodes the 64-byte layout.
+    /// Decodes the 64-byte layout. Every bit pattern is a valid record, so
+    /// decoding is infallible (and, with the fixed-size input, panic-free).
     pub fn decode(bytes: &[u8; RECORD_BYTES]) -> Self {
         let mut rec = Self {
-            ip: u64::from_le_bytes(bytes[0..8].try_into().expect("fixed size")),
+            ip: le_u64_at(bytes, 0).unwrap_or(0),
             is_branch: bytes[8] != 0,
             branch_taken: bytes[9] != 0,
-            dest_regs: bytes[10..12].try_into().expect("fixed size"),
-            src_regs: bytes[12..16].try_into().expect("fixed size"),
+            dest_regs: [bytes[10], bytes[11]],
+            src_regs: [bytes[12], bytes[13], bytes[14], bytes[15]],
             ..Self::default()
         };
         for i in 0..2 {
-            rec.dest_mem[i] = u64::from_le_bytes(
-                bytes[16 + 8 * i..24 + 8 * i]
-                    .try_into()
-                    .expect("fixed size"),
-            );
+            rec.dest_mem[i] = le_u64_at(bytes, 16 + 8 * i).unwrap_or(0);
         }
         for i in 0..4 {
-            rec.src_mem[i] = u64::from_le_bytes(
-                bytes[32 + 8 * i..40 + 8 * i]
-                    .try_into()
-                    .expect("fixed size"),
-            );
+            rec.src_mem[i] = le_u64_at(bytes, 32 + 8 * i).unwrap_or(0);
         }
         rec
     }
@@ -292,8 +284,25 @@ impl ChampsimReader {
     /// # Errors
     ///
     /// Same as [`ChampsimReader::open`].
-    pub fn from_reader<R: Read>(source: R) -> Result<Self, TraceError> {
-        let data = DecompressReader::new(source)?.into_bytes();
+    pub fn from_reader<R: Read>(mut source: R) -> Result<Self, TraceError> {
+        let mut data = Vec::new();
+        source.read_to_end(&mut data)?;
+        Self::from_bytes(data)
+    }
+
+    /// Parses an in-memory trace (decompressing if needed).
+    ///
+    /// # Errors
+    ///
+    /// Decompression errors ([`TraceError::Decompress`]) and
+    /// [`TraceError::Truncated`] if the length is not a whole number of
+    /// 64-byte records.
+    pub fn from_bytes(data: Vec<u8>) -> Result<Self, TraceError> {
+        let data = if mbp_compress::detect(&data).is_some() {
+            mbp_compress::decompress(&data)?
+        } else {
+            data
+        };
         if data.len() % RECORD_BYTES != 0 {
             return Err(TraceError::Truncated);
         }
@@ -307,12 +316,13 @@ impl ChampsimReader {
 
     /// Next instruction, or `None` at the end.
     pub fn next_instr(&mut self) -> Option<ChampsimRecord> {
-        if self.pos >= self.data.len() {
-            return None;
-        }
-        let bytes: &[u8; RECORD_BYTES] = self.data[self.pos..self.pos + RECORD_BYTES]
-            .try_into()
-            .expect("length validated in constructor");
+        // The constructor proved the data is whole records, so the read is
+        // always in bounds; a `None` here also covers the (unreachable)
+        // partial-tail case instead of panicking.
+        let bytes: &[u8; RECORD_BYTES] = self
+            .data
+            .get(self.pos..self.pos + RECORD_BYTES)
+            .and_then(|s| s.first_chunk())?;
         self.pos += RECORD_BYTES;
         Some(ChampsimRecord::decode(bytes))
     }
@@ -335,7 +345,7 @@ impl ChampsimReader {
                 let op = rec.branch_opcode().unwrap_or_default();
                 pending = Some((rec.ip, op, rec.branch_taken));
             } else {
-                gap += 1;
+                gap = gap.saturating_add(1);
             }
         }
         if let Some((ip, op, taken)) = pending {

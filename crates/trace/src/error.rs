@@ -4,11 +4,20 @@ use std::error::Error;
 use std::fmt;
 use std::io;
 
+use mbp_compress::CompressError;
+
 /// Errors produced while reading, writing or translating traces.
+///
+/// Every decode path over untrusted input returns one of these variants;
+/// none of the readers panic on malformed bytes (the fault-injection suite
+/// in `mbp-faultsim` drives every reader through thousands of mutants to
+/// pin that).
 #[derive(Debug)]
 pub enum TraceError {
     /// An underlying I/O failure.
     Io(io::Error),
+    /// The compression layer rejected the stream.
+    Decompress(CompressError),
     /// The file does not start with the expected signature.
     BadSignature {
         /// Format name (e.g. `"SBBT"`).
@@ -26,6 +35,17 @@ pub enum TraceError {
         /// Byte (binary formats) or line (text formats) position.
         position: u64,
     },
+    /// A declared header field disagrees with the actual stream — e.g. a
+    /// branch count that does not match the body length. Caught *before*
+    /// any allocation is sized from the declared value.
+    Corrupt {
+        /// Name of the header field that lied.
+        field: &'static str,
+        /// The value the header declared.
+        declared: u64,
+        /// The value implied by the actual stream.
+        actual: u64,
+    },
     /// The stream ended in the middle of a packet or section.
     Truncated,
     /// A record cannot be encoded (e.g. gap > 4095 or address out of the
@@ -37,12 +57,21 @@ impl TraceError {
     pub(crate) fn invalid(what: &'static str, position: u64) -> Self {
         TraceError::Invalid { what, position }
     }
+
+    pub(crate) fn corrupt(field: &'static str, declared: u64, actual: u64) -> Self {
+        TraceError::Corrupt {
+            field,
+            declared,
+            actual,
+        }
+    }
 }
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Decompress(e) => write!(f, "trace decompression error: {e}"),
             TraceError::BadSignature { format } => {
                 write!(f, "missing {format} signature")
             }
@@ -51,6 +80,16 @@ impl fmt::Display for TraceError {
             }
             TraceError::Invalid { what, position } => {
                 write!(f, "invalid trace content at {position}: {what}")
+            }
+            TraceError::Corrupt {
+                field,
+                declared,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "corrupt trace header: {field} declares {declared} but the stream implies {actual}"
+                )
             }
             TraceError::Truncated => write!(f, "trace ends mid-record"),
             TraceError::Unencodable(msg) => write!(f, "record cannot be encoded: {msg}"),
@@ -62,6 +101,7 @@ impl Error for TraceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TraceError::Io(e) => Some(e),
+            TraceError::Decompress(e) => Some(e),
             _ => None,
         }
     }
@@ -70,5 +110,11 @@ impl Error for TraceError {
 impl From<io::Error> for TraceError {
     fn from(e: io::Error) -> Self {
         TraceError::Io(e)
+    }
+}
+
+impl From<CompressError> for TraceError {
+    fn from(e: CompressError) -> Self {
+        TraceError::Decompress(e)
     }
 }

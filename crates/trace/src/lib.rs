@@ -42,6 +42,7 @@
 
 mod branch;
 pub mod bt9;
+pub(crate) mod bytes;
 pub mod champsim;
 mod error;
 pub mod sbbt;

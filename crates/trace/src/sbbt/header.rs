@@ -73,9 +73,11 @@ impl SbbtHeader {
         if version.0 != SBBT_VERSION.0 {
             return Err(TraceError::UnsupportedVersion { version });
         }
+        // The length check above guarantees both reads; `le_u64_at` still
+        // degrades to `Truncated` rather than panicking if it ever changes.
         Ok(Self {
-            instruction_count: u64::from_le_bytes(bytes[8..16].try_into().expect("checked")),
-            branch_count: u64::from_le_bytes(bytes[16..24].try_into().expect("checked")),
+            instruction_count: crate::bytes::le_u64_at(bytes, 8).ok_or(TraceError::Truncated)?,
+            branch_count: crate::bytes::le_u64_at(bytes, 16).ok_or(TraceError::Truncated)?,
         })
     }
 }

@@ -72,8 +72,7 @@ pub fn decode_packet(
     bytes: &[u8; PACKET_BYTES],
     position: u64,
 ) -> Result<BranchRecord, TraceError> {
-    let block1 = u64::from_le_bytes(bytes[..8].try_into().expect("fixed size"));
-    let block2 = u64::from_le_bytes(bytes[8..].try_into().expect("fixed size"));
+    let (block1, block2) = crate::bytes::split_u64_pair(bytes);
 
     if block1 & RESERVED_MASK != 0 {
         return Err(TraceError::invalid("reserved opcode bits set", position));
@@ -107,8 +106,7 @@ pub(crate) fn decode_packet_fast(
     bytes: &[u8; PACKET_BYTES],
     position: u64,
 ) -> Result<BranchRecord, TraceError> {
-    let block1 = u64::from_le_bytes(bytes[..8].try_into().expect("fixed size"));
-    let block2 = u64::from_le_bytes(bytes[8..].try_into().expect("fixed size"));
+    let (block1, block2) = crate::bytes::split_u64_pair(bytes);
 
     let conditional = block1 & 0b01 != 0;
     let indirect = block1 & 0b10 != 0;

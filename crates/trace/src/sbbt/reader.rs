@@ -4,8 +4,6 @@ use std::fs::File;
 use std::io::Read;
 use std::path::Path;
 
-use mbp_compress::DecompressReader;
-
 use crate::sbbt::header::{SbbtHeader, HEADER_BYTES};
 use crate::sbbt::packet::{decode_packet, decode_packet_fast, PACKET_BYTES};
 use crate::{BranchRecord, TraceError};
@@ -56,12 +54,13 @@ impl SbbtReader {
     /// # Errors
     ///
     /// Same as [`SbbtReader::open`].
-    pub fn from_reader<R: Read>(source: R) -> Result<Self, TraceError> {
-        // `DecompressReader` has already probed for a compression codec and
-        // unpacked the payload, so go straight to header validation instead
-        // of routing through `from_bytes` and probing a second time.
-        let data = DecompressReader::new(source)?.into_bytes();
-        Self::from_decompressed(data)
+    pub fn from_reader<R: Read>(mut source: R) -> Result<Self, TraceError> {
+        // Slurp first, then decode in memory: decompression failures keep
+        // their typed `CompressError` instead of being flattened into an
+        // `io::Error` by a streaming adapter.
+        let mut data = Vec::new();
+        source.read_to_end(&mut data)?;
+        Self::from_bytes(data)
     }
 
     /// Parses an in-memory trace (decompressing if needed).
@@ -69,10 +68,11 @@ impl SbbtReader {
     /// # Errors
     ///
     /// Header validation errors; also rejects a body whose length is not a
-    /// whole number of packets or does not match the declared branch count.
+    /// whole number of packets ([`TraceError::Truncated`]) or does not match
+    /// the declared branch count ([`TraceError::Corrupt`]).
     pub fn from_bytes(data: Vec<u8>) -> Result<Self, TraceError> {
         let data = if mbp_compress::detect(&data).is_some() {
-            mbp_compress::decompress(&data).map_err(std::io::Error::from)?
+            mbp_compress::decompress(&data)?
         } else {
             data
         };
@@ -91,10 +91,25 @@ impl SbbtReader {
         if !body_len.is_multiple_of(PACKET_BYTES) {
             return Err(TraceError::Truncated);
         }
-        if (body_len / PACKET_BYTES) as u64 != header.branch_count {
-            return Err(TraceError::invalid(
-                "branch count disagrees with file length",
-                8,
+        // Cross-check the declared totals against the actual stream before
+        // anything (here or downstream) sizes an allocation from them: a
+        // corrupt 192-bit header must never translate into an OOM.
+        let actual_branches = (body_len / PACKET_BYTES) as u64;
+        if actual_branches != header.branch_count {
+            return Err(TraceError::corrupt(
+                "branch_count",
+                header.branch_count,
+                actual_branches,
+            ));
+        }
+        // Every packet accounts for at least one instruction (the branch
+        // itself), so a trustworthy header can never declare fewer
+        // instructions than branches.
+        if header.instruction_count < header.branch_count {
+            return Err(TraceError::corrupt(
+                "instruction_count",
+                header.instruction_count,
+                header.branch_count,
             ));
         }
         Ok(Self {
@@ -130,9 +145,13 @@ impl SbbtReader {
         if self.pos >= self.data.len() {
             return Ok(None);
         }
-        let bytes: &[u8; PACKET_BYTES] = self.data[self.pos..self.pos + PACKET_BYTES]
-            .try_into()
-            .expect("length validated in constructor");
+        // The constructor proved the body is whole packets, so this read is
+        // always in bounds; fail soft instead of panicking regardless.
+        let bytes: &[u8; PACKET_BYTES] = self
+            .data
+            .get(self.pos..self.pos + PACKET_BYTES)
+            .and_then(|s| s.first_chunk())
+            .ok_or(TraceError::Truncated)?;
         let rec = decode_packet(bytes, self.pos as u64)?;
         self.pos += PACKET_BYTES;
         Ok(Some(rec))
@@ -163,9 +182,13 @@ impl SbbtReader {
         // The cursor is committed once per block (or set to the failing
         // packet), keeping the decode loop free of writes through `self`.
         for (i, packet) in self.data[start..end].chunks_exact(PACKET_BYTES).enumerate() {
-            let bytes: &[u8; PACKET_BYTES] =
-                packet.try_into().expect("chunks_exact yields full packets");
             let position = start + i * PACKET_BYTES;
+            // `chunks_exact` only yields full packets; degrade to a typed
+            // error rather than panicking if that invariant ever breaks.
+            let Some(bytes) = packet.first_chunk::<PACKET_BYTES>() else {
+                self.pos = position;
+                return Err(TraceError::Truncated);
+            };
             match decode_packet_fast(bytes, position as u64) {
                 Ok(rec) => out.push(rec),
                 Err(e) => {
@@ -273,7 +296,47 @@ mod tests {
         bytes[16] = 99;
         assert!(matches!(
             SbbtReader::from_bytes(bytes),
-            Err(TraceError::Invalid { .. })
+            Err(TraceError::Corrupt {
+                field: "branch_count",
+                declared: 99,
+                actual: 3,
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_instruction_count_below_branch_count() {
+        let mut bytes = sample_trace(3);
+        // Zero the instruction count: three packets imply at least three
+        // executed instructions, so the header is lying.
+        for b in &mut bytes[8..16] {
+            *b = 0;
+        }
+        assert!(matches!(
+            SbbtReader::from_bytes(bytes),
+            Err(TraceError::Corrupt {
+                field: "instruction_count",
+                declared: 0,
+                actual: 3,
+            })
+        ));
+    }
+
+    #[test]
+    fn huge_declared_counts_error_without_allocating() {
+        // A corrupt header declaring u64::MAX records must be rejected by
+        // the stream-length cross-check, never used to size a buffer.
+        let mut bytes = sample_trace(3);
+        for b in &mut bytes[16..24] {
+            *b = 0xFF;
+        }
+        assert!(matches!(
+            SbbtReader::from_bytes(bytes),
+            Err(TraceError::Corrupt {
+                field: "branch_count",
+                declared: u64::MAX,
+                ..
+            })
         ));
     }
 

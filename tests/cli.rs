@@ -164,3 +164,108 @@ fn helpful_errors_for_bad_input() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("missing --trace"));
 }
+
+#[test]
+fn usage_errors_exit_with_code_2() {
+    for argv in [
+        vec!["frobnicate"],
+        vec!["run", "--predictor", "nonexistent", "--trace", "/x"],
+        vec!["run", "--predictor", "gshare"],
+        vec!["gen", "--suite", "bogus", "--out", "/tmp"],
+    ] {
+        let out = mbpsim().args(&argv).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "{argv:?}");
+    }
+}
+
+#[test]
+fn corrupt_trace_exits_3_with_one_line_error() {
+    let dir = temp_dir("corrupt");
+    let trace = dir.join("bad.sbbt");
+    // A valid signature followed by a header declaring u64::MAX branches.
+    let mut bytes = b"SBBT\n\x01\x00\x00".to_vec();
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+    std::fs::write(&trace, bytes).expect("write");
+
+    for cmd in ["run", "info"] {
+        let mut invocation = mbpsim();
+        invocation.arg(cmd);
+        if cmd == "run" {
+            invocation.args(["--predictor", "gshare"]);
+        }
+        let out = invocation
+            .arg("--trace")
+            .arg(&trace)
+            .output()
+            .expect("spawn");
+        assert_eq!(out.status.code(), Some(3), "{cmd}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        // One structured line, not a panic backtrace.
+        assert_eq!(stderr.lines().count(), 1, "{cmd}: {stderr}");
+        assert!(stderr.starts_with("mbpsim: "), "{cmd}: {stderr}");
+        assert!(!stderr.contains("panicked at"), "{cmd}: {stderr}");
+        assert!(!stderr.contains("RUST_BACKTRACE"), "{cmd}: {stderr}");
+    }
+}
+
+#[test]
+fn truncated_compressed_trace_exits_3() {
+    let dir = temp_dir("truncated");
+    assert!(mbpsim()
+        .args(["gen", "--suite", "smoke", "--out"])
+        .arg(&dir)
+        .status()
+        .expect("spawn")
+        .success());
+    let path = dir.join("SMOKE-mobile.sbbt.mzst");
+    let mut bytes = std::fs::read(&path).expect("read");
+    bytes.truncate(bytes.len() / 2);
+    std::fs::write(&path, bytes).expect("write");
+
+    let out = mbpsim()
+        .args(["info", "--trace"])
+        .arg(&path)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+}
+
+#[test]
+fn sweep_with_faulty_predictor_exits_4_and_reports_failure() {
+    let dir = temp_dir("faulty-sweep");
+    assert!(mbpsim()
+        .args(["gen", "--suite", "smoke", "--out"])
+        .arg(&dir)
+        .status()
+        .expect("spawn")
+        .success());
+    let out = mbpsim()
+        .args(["sweep", "--predictors", "bimodal,faulty,gshare", "--trace"])
+        .arg(dir.join("SMOKE-mobile.sbbt.mzst"))
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(4));
+
+    // The JSON document is complete: survivors ranked, the failure listed.
+    let doc: mbp::json::Value = String::from_utf8(out.stdout)
+        .expect("utf8")
+        .parse()
+        .expect("sweep output is valid JSON");
+    assert_eq!(doc["metadata"]["num_predictors"].as_u64(), Some(3));
+    assert_eq!(doc["metadata"]["num_failures"].as_u64(), Some(1));
+    assert_eq!(doc["failures"][0]["predictor"].as_str(), Some("faulty"));
+    assert_eq!(doc["failures"][0]["kind"].as_str(), Some("panic"));
+    let leaderboard: Vec<&str> = (0..2)
+        .map(|i| doc["leaderboard"][i]["predictor"].as_str().expect("name"))
+        .collect();
+    assert!(leaderboard.contains(&"bimodal"), "{leaderboard:?}");
+    assert!(leaderboard.contains(&"gshare"), "{leaderboard:?}");
+
+    // The failure is also summarized on stderr, without a backtrace.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("\"faulty\" failed (panic)"), "{stderr}");
+    assert!(!stderr.contains("RUST_BACKTRACE"), "{stderr}");
+}
