@@ -32,4 +32,16 @@ echo "== fault injection (readers fail closed on corrupt traces) =="
 cargo test -q -p mbp-faultsim --test fault_injection
 cargo test -q -p mbp-faultsim --test alloc_bounds
 
+echo "== observability layer (mbp-stats) =="
+cargo test -q -p mbp-stats
+
+echo "== golden vectors (bit-exact predictor conformance) =="
+cargo test -q -p mbp-predictors --test golden_vectors
+
+echo "== utils property suite =="
+cargo test -q -p mbp-utils --test properties
+
+echo "== bench guard (instrumented batch pipeline within 5% of baseline) =="
+cargo run -q --release -p mbp-bench --bin bench_guard
+
 echo "CI OK"

@@ -1,0 +1,133 @@
+//! CI regression guard for the decode-once batch pipeline.
+//!
+//! The observability layer (`mbp-stats`) instruments the simulator's hot
+//! path; this guard pins the cost of that instrumentation against the
+//! numbers recorded in `bench_tables.txt` when the batch pipeline landed:
+//!
+//! * the batched driver's absolute throughput on each smoke trace must stay
+//!   within 5% of the recorded baseline (760 / 345 Minstr/s), and
+//! * the batched driver must still clearly beat the scalar reference
+//!   (aggregate speedup floor), since instrumentation leaking into the
+//!   per-record loop would erase exactly that gap.
+//!
+//! The speedup floor is deliberately below the recorded 1.63x aggregate:
+//! the ratio moves whenever *either* driver shifts (both carry the same
+//! per-run instrumentation), so the ratio check is a coarse tripwire while
+//! the absolute-throughput check carries the 5% budget.
+//!
+//! Throughput is estimated from the fastest of 30 samples — the minimum is
+//! the robust estimator on a shared machine. On a machine slower than the
+//! one the baselines were recorded on, scale the floors with
+//! `MBP_BENCH_GUARD_SCALE=<factor>` (e.g. `0.5`), or set it to `0` to turn
+//! the absolute checks into reports only.
+//!
+//! Run: `cargo run --release -p mbp-bench --bin bench_guard`
+
+use mbp_bench::harness::{BenchGroup, Throughput};
+use mbp_core::{simulate, simulate_scalar, SimConfig, TraceSource};
+use mbp_predictors::Gshare;
+use mbp_trace::sbbt::SbbtReader;
+use mbp_trace::translate;
+use mbp_workloads::Suite;
+
+/// Batched-path throughput recorded in `bench_tables.txt` when the batch
+/// pipeline landed, in instructions per second, keyed by smoke-trace name.
+const BASELINE_INSTR_PER_S: [(&str, f64); 2] = [("SMOKE-mobile", 760e6), ("SMOKE-server", 345e6)];
+
+/// Allowed regression on absolute batched throughput: within 5%.
+const TOLERANCE: f64 = 0.95;
+
+/// Coarse floor on the aggregate batched/scalar speedup (recorded: 1.63x).
+const SPEEDUP_FLOOR: f64 = 1.15;
+
+fn main() {
+    let scale = std::env::var("MBP_BENCH_GUARD_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0);
+
+    let suite = Suite::smoke();
+    let config = SimConfig::default();
+    let (mut scalar_total, mut batched_total) = (0.0f64, 0.0f64);
+    let mut failures = Vec::new();
+
+    for spec in &suite.traces {
+        let records = spec.records();
+        let instructions: u64 = records.iter().map(|r| r.instructions()).sum();
+        let sbbt = translate::records_to_sbbt(&records).expect("generated records encode");
+
+        let mut group = BenchGroup::new(format!("bench_guard/{}", spec.name));
+        group
+            .sample_size(30)
+            .throughput(Throughput::Elements(instructions));
+
+        let mut reader = SbbtReader::from_decompressed(sbbt).expect("generated trace decodes");
+        let scalar = group.bench_function("scalar_next_record", || {
+            reader.rewind();
+            let source: &mut dyn TraceSource = &mut reader;
+            let mut predictor = Gshare::new(25, 18);
+            simulate_scalar(source, &mut predictor, &config).expect("sim")
+        });
+        let batched = group.bench_function("batched_fill_batch", || {
+            reader.rewind();
+            let source: &mut dyn TraceSource = &mut reader;
+            let mut predictor = Gshare::new(25, 18);
+            simulate(source, &mut predictor, &config).expect("sim")
+        });
+        group.finish();
+
+        scalar_total += scalar.fastest;
+        batched_total += batched.fastest;
+
+        let throughput = instructions as f64 / batched.fastest;
+        let baseline = BASELINE_INSTR_PER_S
+            .iter()
+            .find(|(name, _)| *name == spec.name)
+            .map(|(_, t)| *t);
+        match baseline {
+            Some(base) => {
+                let floor = base * TOLERANCE * scale;
+                let verdict = if throughput >= floor { "ok" } else { "FAIL" };
+                println!(
+                    "{}: batched {:.0} Minstr/s (baseline {:.0}, floor {:.0}) {verdict}, \
+                     speedup over scalar {:.2}x",
+                    spec.name,
+                    throughput / 1e6,
+                    base / 1e6,
+                    floor / 1e6,
+                    scalar.fastest / batched.fastest,
+                );
+                if throughput < floor {
+                    failures.push(format!(
+                        "{}: batched throughput {:.0} Minstr/s below the {:.0} Minstr/s floor",
+                        spec.name,
+                        throughput / 1e6,
+                        floor / 1e6
+                    ));
+                }
+            }
+            None => println!(
+                "{}: batched {:.0} Minstr/s (no recorded baseline)",
+                spec.name,
+                throughput / 1e6
+            ),
+        }
+    }
+
+    let aggregate = scalar_total / batched_total;
+    println!("aggregate batched/scalar speedup: {aggregate:.2}x (floor {SPEEDUP_FLOOR:.2}x)");
+    if aggregate < SPEEDUP_FLOOR {
+        failures.push(format!(
+            "aggregate batched/scalar speedup {aggregate:.2}x below the {SPEEDUP_FLOOR:.2}x floor \
+             (instrumentation leaking into the record loop?)"
+        ));
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench_guard: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench_guard: OK");
+}

@@ -187,11 +187,17 @@ pub(crate) fn decompress<D: SymbolDecoder>(
     }
     let size = usize::try_from(declared)
         .map_err(|_| CompressError::Corrupt("declared size exceeds address space"))?;
+    // Per-block accounting happens at block granularity (64 KiB-scale), so
+    // the cost is a handful of atomic adds per megabyte of trace.
+    let stats = &mbp_stats::pipeline().compress;
+    let _span = stats.inflate.span();
     let mut out = Vec::with_capacity(size);
     let mut rest = &body[8..];
     while out.len() < size {
         let (&kind, tail) = rest.split_first().ok_or(CompressError::Truncated)?;
         rest = tail;
+        let block_in = rest.len();
+        let block_out = out.len();
         match kind {
             0 => {
                 if rest.len() < 4 {
@@ -209,6 +215,14 @@ pub(crate) fn decompress<D: SymbolDecoder>(
                 rest = &rest[consumed..];
             }
             _ => return Err(CompressError::Corrupt("unknown block kind")),
+        }
+        let consumed = (block_in - rest.len()) as u64;
+        let produced = (out.len() - block_out) as u64;
+        stats.blocks_inflated.inc();
+        stats.compressed_bytes.add(consumed);
+        stats.inflated_bytes.add(produced);
+        if let Some(ratio_pct) = (100 * produced).checked_div(consumed) {
+            stats.block_ratio_pct.record(ratio_pct);
         }
         if out.len() > size {
             return Err(CompressError::Corrupt("output exceeds declared size"));

@@ -48,7 +48,9 @@ mod source;
 mod sweep;
 
 pub use compare::{simulate_comparison, ComparisonResult, DivergingBranch};
-pub use metrics::{BranchStat, Metrics, MostFailed};
+pub use metrics::{
+    BranchStat, BranchTaxonomy, ClassStat, Metrics, MostFailed, ENTROPY_CLASSES, TRANSITION_CLASSES,
+};
 pub use predictor::Predictor;
 pub use simulator::{simulate, simulate_scalar, SimConfig, SimMetadata, SimResult};
 pub use source::{SliceSource, TraceSource, VecSource, BATCH_RECORDS};

@@ -29,10 +29,94 @@ pub struct BranchStat {
     pub occurrences: u64,
     /// Mispredictions attributed to this branch.
     pub mispredictions: u64,
+    /// Taken outcomes among the measured occurrences.
+    pub taken: u64,
     /// This branch's contribution to MPKI.
     pub mpki: f64,
     /// Prediction accuracy on this branch alone.
     pub accuracy: f64,
+    /// Shannon entropy of the branch's direction (0 = perfectly biased,
+    /// 1 = 50/50).
+    pub direction_entropy: f64,
+    /// Fraction of consecutive occurrences whose outcomes differ
+    /// (0 = constant, 1 = strictly alternating).
+    pub transition_rate: f64,
+}
+
+/// Aggregated counts of one taxonomy class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassStat {
+    /// Static branches in the class.
+    pub branches: u64,
+    /// Their dynamic occurrences.
+    pub occurrences: u64,
+    /// Their mispredictions.
+    pub mispredictions: u64,
+}
+
+/// Entropy-class boundaries: `strongly_biased` H < 0.1, `biased` < 0.5,
+/// `mixed` < 0.9, `unbiased` ≥ 0.9.
+pub const ENTROPY_CLASSES: [&str; 4] = ["strongly_biased", "biased", "mixed", "unbiased"];
+/// Transition-class boundaries: `stable` rate < 0.2, `irregular` < 0.8,
+/// `alternating` ≥ 0.8.
+pub const TRANSITION_CLASSES: [&str; 3] = ["stable", "irregular", "alternating"];
+
+/// Per-static-branch misprediction characterization: how biased each
+/// branch's direction is (entropy) and how often it flips (transition
+/// rate), aggregated into fixed classes. The lens of the workload-
+/// characterization literature: a high-MPKI predictor losing on
+/// `unbiased`/`alternating` branches needs history; one losing on
+/// `strongly_biased` branches has a capacity or aliasing problem.
+///
+/// Derived purely from outcome counts, so two drivers that process the
+/// same record stream produce byte-identical taxonomies.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BranchTaxonomy {
+    /// Static branches with at least one measured occurrence.
+    pub measured_branches: u64,
+    /// Occurrence-weighted mean direction entropy.
+    pub mean_direction_entropy: f64,
+    /// Occurrence-weighted mean transition rate.
+    pub mean_transition_rate: f64,
+    /// Per-class stats, in [`ENTROPY_CLASSES`] order.
+    pub entropy_classes: [ClassStat; 4],
+    /// Per-class stats, in [`TRANSITION_CLASSES`] order.
+    pub transition_classes: [ClassStat; 3],
+}
+
+/// Shannon entropy of a branch taken `taken` times in `occurrences`.
+fn direction_entropy(taken: u64, occurrences: u64) -> f64 {
+    if occurrences == 0 || taken == 0 || taken == occurrences {
+        return 0.0;
+    }
+    let p = taken as f64 / occurrences as f64;
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// Transition rate over `occurrences` outcomes with `transitions` flips.
+fn transition_rate(transitions: u64, occurrences: u64) -> f64 {
+    if occurrences < 2 {
+        0.0
+    } else {
+        transitions as f64 / (occurrences - 1) as f64
+    }
+}
+
+fn entropy_class(h: f64) -> usize {
+    match h {
+        h if h < 0.1 => 0,
+        h if h < 0.5 => 1,
+        h if h < 0.9 => 2,
+        _ => 3,
+    }
+}
+
+fn transition_class(rate: f64) -> usize {
+    match rate {
+        r if r < 0.2 => 0,
+        r if r < 0.8 => 1,
+        _ => 2,
+    }
 }
 
 /// Direct-mapped cache slots in front of the per-branch hash map. Static
@@ -46,17 +130,47 @@ const SLOT_COUNT: usize = 1 << SLOT_BITS;
 /// can mark an empty slot.
 const EMPTY: u64 = u64::MAX;
 
+/// Exact per-branch outcome totals (slot-resident or spilled).
+#[derive(Clone, Copy, Debug, Default)]
+struct Counts {
+    occurrences: u64,
+    mispredictions: u64,
+    taken: u64,
+    transitions: u64,
+}
+
+impl Counts {
+    fn absorb(&mut self, other: &Counts) {
+        self.occurrences += other.occurrences;
+        self.mispredictions += other.mispredictions;
+        self.taken += other.taken;
+        self.transitions += other.transitions;
+    }
+}
+
+/// Sentinel for "no previous outcome observed" in [`Slot::last_taken`].
+const NO_OUTCOME: u8 = 2;
+
 #[derive(Clone, Copy, Debug)]
 struct Slot {
     ip: u64,
-    occurrences: u64,
-    mispredictions: u64,
+    counts: Counts,
+    /// Previous outcome (0/1), or [`NO_OUTCOME`] right after a claim.
+    /// Transitions are only counted within a slot residency, so an evicted
+    /// branch restarts its outcome chain — deterministic for a fixed record
+    /// stream, which is all the taxonomy needs.
+    last_taken: u8,
 }
 
 const EMPTY_SLOT: Slot = Slot {
     ip: EMPTY,
-    occurrences: 0,
-    mispredictions: 0,
+    counts: Counts {
+        occurrences: 0,
+        mispredictions: 0,
+        taken: 0,
+        transitions: 0,
+    },
+    last_taken: NO_OUTCOME,
 };
 
 /// Accumulates per-branch outcomes and derives the most-failed report.
@@ -67,7 +181,7 @@ const EMPTY_SLOT: Slot = Slot {
 #[derive(Clone, Debug)]
 pub struct MostFailed {
     slots: Box<[Slot; SLOT_COUNT]>,
-    spilled: HashMap<u64, (u64, u64), FastHashBuilder>,
+    spilled: HashMap<u64, Counts, FastHashBuilder>,
 }
 
 impl Default for MostFailed {
@@ -91,16 +205,19 @@ impl MostFailed {
         Self::default()
     }
 
-    /// Records one measured conditional branch.
+    /// Records one measured conditional branch outcome.
     #[inline]
-    pub fn record(&mut self, ip: u64, mispredicted: bool) {
+    pub fn record(&mut self, ip: u64, taken: bool, mispredicted: bool) {
         let index = slot_index(ip);
         if self.slots[index].ip != ip {
             self.claim(index, ip);
         }
         let slot = &mut self.slots[index];
-        slot.occurrences += 1;
-        slot.mispredictions += mispredicted as u64;
+        slot.counts.occurrences += 1;
+        slot.counts.mispredictions += mispredicted as u64;
+        slot.counts.taken += taken as u64;
+        slot.counts.transitions += (slot.last_taken == !taken as u8) as u64;
+        slot.last_taken = taken as u8;
     }
 
     /// Notes a static branch address without attributing an outcome
@@ -119,29 +236,28 @@ impl MostFailed {
     fn claim(&mut self, index: usize, ip: u64) {
         let slot = &mut self.slots[index];
         if slot.ip != EMPTY {
-            let e = self.spilled.entry(slot.ip).or_insert((0, 0));
-            e.0 += slot.occurrences;
-            e.1 += slot.mispredictions;
+            self.spilled
+                .entry(slot.ip)
+                .or_default()
+                .absorb(&slot.counts);
         }
         *slot = Slot {
             ip,
-            occurrences: 0,
-            mispredictions: 0,
+            counts: Counts::default(),
+            last_taken: NO_OUTCOME,
         };
         // Spilled branches must keep their map entry even if they never
         // return, so note_static semantics survive eviction; the new
         // occupant gets its entry from the merge at report time.
-        self.spilled.entry(ip).or_insert((0, 0));
+        self.spilled.entry(ip).or_default();
     }
 
     /// Merges live slots and spilled entries into exact per-branch totals.
-    fn merged(&self) -> HashMap<u64, (u64, u64), FastHashBuilder> {
+    fn merged(&self) -> HashMap<u64, Counts, FastHashBuilder> {
         let mut merged = self.spilled.clone();
         for slot in self.slots.iter() {
             if slot.ip != EMPTY {
-                let e = merged.entry(slot.ip).or_insert((0, 0));
-                e.0 += slot.occurrences;
-                e.1 += slot.mispredictions;
+                merged.entry(slot.ip).or_default().absorb(&slot.counts);
             }
         }
         merged
@@ -160,7 +276,7 @@ impl MostFailed {
             return 0;
         }
         let merged = self.merged();
-        let mut counts: Vec<u64> = merged.values().map(|&(_, m)| m).collect();
+        let mut counts: Vec<u64> = merged.values().map(|c| c.mispredictions).collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let mut acc = 0u64;
         for (i, m) in counts.iter().enumerate() {
@@ -177,29 +293,73 @@ impl MostFailed {
     /// MPKI. Ties break toward lower addresses so output is deterministic.
     pub fn top(&self, limit: usize, instructions: u64) -> Vec<BranchStat> {
         let merged = self.merged();
-        let mut entries: Vec<(&u64, &(u64, u64))> = merged.iter().collect();
-        entries
-            .sort_unstable_by(|(ip_a, (_, ma)), (ip_b, (_, mb))| mb.cmp(ma).then(ip_a.cmp(ip_b)));
+        let mut entries: Vec<(&u64, &Counts)> = merged.iter().collect();
+        entries.sort_unstable_by(|(ip_a, a), (ip_b, b)| {
+            b.mispredictions.cmp(&a.mispredictions).then(ip_a.cmp(ip_b))
+        });
         entries
             .into_iter()
-            .filter(|(_, (occ, _))| *occ > 0)
+            .filter(|(_, c)| c.occurrences > 0)
             .take(limit)
-            .map(|(&ip, &(occ, mis))| BranchStat {
+            .map(|(&ip, c)| BranchStat {
                 ip,
-                occurrences: occ,
-                mispredictions: mis,
+                occurrences: c.occurrences,
+                mispredictions: c.mispredictions,
+                taken: c.taken,
                 mpki: if instructions == 0 {
                     0.0
                 } else {
-                    mis as f64 * 1000.0 / instructions as f64
+                    c.mispredictions as f64 * 1000.0 / instructions as f64
                 },
-                accuracy: if occ == 0 {
+                accuracy: if c.occurrences == 0 {
                     1.0
                 } else {
-                    (occ - mis) as f64 / occ as f64
+                    (c.occurrences - c.mispredictions) as f64 / c.occurrences as f64
                 },
+                direction_entropy: direction_entropy(c.taken, c.occurrences),
+                transition_rate: transition_rate(c.transitions, c.occurrences),
             })
             .collect()
+    }
+
+    /// Characterizes every measured branch into the taxonomy classes.
+    ///
+    /// Entries are accumulated in address order, so the floating-point means
+    /// are identical for any two accumulators that saw the same outcomes —
+    /// regardless of hash-map iteration order.
+    pub fn taxonomy(&self) -> BranchTaxonomy {
+        let merged = self.merged();
+        let mut entries: Vec<(&u64, &Counts)> = merged.iter().collect();
+        entries.sort_unstable_by_key(|(ip, _)| **ip);
+
+        let mut tax = BranchTaxonomy::default();
+        let mut weighted_entropy = 0.0;
+        let mut weighted_transition = 0.0;
+        let mut occurrences = 0u64;
+        for (_, c) in entries {
+            if c.occurrences == 0 {
+                continue; // never measured (warm-up only or unconditional)
+            }
+            let h = direction_entropy(c.taken, c.occurrences);
+            let rate = transition_rate(c.transitions, c.occurrences);
+            tax.measured_branches += 1;
+            occurrences += c.occurrences;
+            weighted_entropy += h * c.occurrences as f64;
+            weighted_transition += rate * c.occurrences as f64;
+            for (class, stat) in [
+                (entropy_class(h), &mut tax.entropy_classes[..]),
+                (transition_class(rate), &mut tax.transition_classes[..]),
+            ] {
+                stat[class].branches += 1;
+                stat[class].occurrences += c.occurrences;
+                stat[class].mispredictions += c.mispredictions;
+            }
+        }
+        if occurrences > 0 {
+            tax.mean_direction_entropy = weighted_entropy / occurrences as f64;
+            tax.mean_transition_rate = weighted_transition / occurrences as f64;
+        }
+        tax
     }
 }
 
@@ -237,10 +397,10 @@ mod tests {
     fn half_coverage_single_dominant_branch() {
         let mut mf = MostFailed::new();
         for _ in 0..60 {
-            mf.record(0xA, true);
+            mf.record(0xA, true, true);
         }
         for i in 0..40 {
-            mf.record(0xB + i % 4, true);
+            mf.record(0xB + i % 4, true, true);
         }
         // 0xA holds 60 of 100 mispredictions: one branch suffices.
         assert_eq!(mf.half_coverage_count(100), 1);
@@ -251,7 +411,7 @@ mod tests {
         let mut mf = MostFailed::new();
         for ip in 0..10u64 {
             for _ in 0..10 {
-                mf.record(ip, true);
+                mf.record(ip, true, true);
             }
         }
         assert_eq!(mf.half_coverage_count(100), 5);
@@ -260,7 +420,7 @@ mod tests {
     #[test]
     fn half_coverage_zero_mispredictions() {
         let mut mf = MostFailed::new();
-        mf.record(1, false);
+        mf.record(1, true, false);
         assert_eq!(mf.half_coverage_count(0), 0);
     }
 
@@ -268,15 +428,15 @@ mod tests {
     fn top_sorts_by_mispredictions_then_ip() {
         let mut mf = MostFailed::new();
         for _ in 0..3 {
-            mf.record(0x30, true);
+            mf.record(0x30, true, true);
         }
         for _ in 0..3 {
-            mf.record(0x10, true);
+            mf.record(0x10, true, true);
         }
         for _ in 0..5 {
-            mf.record(0x20, true);
+            mf.record(0x20, true, true);
         }
-        mf.record(0x40, false);
+        mf.record(0x40, true, false);
         let top = mf.top(10, 1000);
         assert_eq!(top[0].ip, 0x20);
         assert_eq!(top[1].ip, 0x10, "tie broken toward lower ip");
@@ -290,9 +450,87 @@ mod tests {
     fn top_respects_limit() {
         let mut mf = MostFailed::new();
         for ip in 0..20u64 {
-            mf.record(ip, true);
+            mf.record(ip, true, true);
         }
         assert_eq!(mf.top(5, 100).len(), 5);
         assert_eq!(mf.distinct_branches(), 20);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        // Always-taken branch: zero entropy, zero transitions.
+        let mut mf = MostFailed::new();
+        for _ in 0..100 {
+            mf.record(0xA, true, false);
+        }
+        // Alternating branch: maximal entropy and transition rate.
+        for i in 0..100 {
+            mf.record(0xB, i % 2 == 0, true);
+        }
+        let top = mf.top(10, 1000);
+        let a = top.iter().find(|s| s.ip == 0xA).unwrap();
+        let b = top.iter().find(|s| s.ip == 0xB).unwrap();
+        assert_eq!(a.direction_entropy, 0.0);
+        assert_eq!(a.transition_rate, 0.0);
+        assert_eq!(a.taken, 100);
+        assert!((b.direction_entropy - 1.0).abs() < 1e-12, "50/50 → H = 1");
+        assert_eq!(b.transition_rate, 1.0, "strict alternation");
+        assert_eq!(b.taken, 50);
+    }
+
+    #[test]
+    fn taxonomy_classes_and_means() {
+        let mut mf = MostFailed::new();
+        for _ in 0..50 {
+            mf.record(0x10, true, false); // strongly biased + stable
+        }
+        for i in 0..50 {
+            mf.record(0x20, i % 2 == 0, true); // unbiased + alternating
+        }
+        let tax = mf.taxonomy();
+        assert_eq!(tax.measured_branches, 2);
+        assert_eq!(tax.entropy_classes[0].branches, 1, "strongly_biased");
+        assert_eq!(tax.entropy_classes[3].branches, 1, "unbiased");
+        assert_eq!(tax.transition_classes[0].branches, 1, "stable");
+        assert_eq!(tax.transition_classes[2].branches, 1, "alternating");
+        assert_eq!(tax.entropy_classes[3].mispredictions, 50);
+        assert!((tax.mean_direction_entropy - 0.5).abs() < 1e-9);
+        // 49 transitions over 49 consecutive pairs on 0x20, none on 0x10;
+        // weighted by occurrences: (0*50 + 1*50) / 100.
+        assert!((tax.mean_transition_rate - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn taxonomy_survives_slot_eviction() {
+        // Two addresses that collide in the slot array thrash each other;
+        // totals must still be exact after the spill merge.
+        let a = 0x100;
+        let mut b = 0x101;
+        while super::slot_index(b) != super::slot_index(a) {
+            b += 1;
+        }
+        let mut mf = MostFailed::new();
+        for i in 0..40 {
+            mf.record(a, true, false);
+            mf.record(b, i % 2 == 0, true);
+        }
+        let tax = mf.taxonomy();
+        assert_eq!(tax.measured_branches, 2);
+        let top = mf.top(10, 1000);
+        let sa = top.iter().find(|s| s.ip == a).unwrap();
+        let sb = top.iter().find(|s| s.ip == b).unwrap();
+        assert_eq!(sa.occurrences, 40);
+        assert_eq!(sa.taken, 40);
+        assert_eq!(sb.occurrences, 40);
+        assert_eq!(sb.taken, 20);
+        // Each residency is a single record, so no within-residency pairs
+        // exist and the transition count stays zero — deterministically.
+        assert_eq!(sb.transition_rate, 0.0);
+    }
+
+    #[test]
+    fn taxonomy_empty() {
+        let mf = MostFailed::new();
+        assert_eq!(mf.taxonomy(), BranchTaxonomy::default());
     }
 }

@@ -2,7 +2,39 @@
 
 use mbp_json::{json, Value};
 
+use crate::metrics::{BranchTaxonomy, ClassStat, ENTROPY_CLASSES, TRANSITION_CLASSES};
 use crate::SimResult;
+
+/// Renders one taxonomy class table as a name-keyed object.
+fn classes_json(names: &[&str], stats: &[ClassStat]) -> Value {
+    let mut obj = json!({});
+    if let Some(map) = obj.as_object_mut() {
+        for (name, s) in names.iter().zip(stats) {
+            map.insert(
+                *name,
+                json!({
+                    "branches": s.branches,
+                    "occurrences": s.occurrences,
+                    "mispredictions": s.mispredictions,
+                }),
+            );
+        }
+    }
+    obj
+}
+
+impl BranchTaxonomy {
+    /// Renders the taxonomy as the `metrics.branch_taxonomy` JSON object.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "measured_branches": self.measured_branches,
+            "mean_direction_entropy": self.mean_direction_entropy,
+            "mean_transition_rate": self.mean_transition_rate,
+            "entropy_classes": classes_json(&ENTROPY_CLASSES, &self.entropy_classes),
+            "transition_classes": classes_json(&TRANSITION_CLASSES, &self.transition_classes),
+        })
+    }
+}
 
 impl SimResult {
     /// Renders the result as the JSON document of Listing 1: `metadata`,
@@ -49,14 +81,18 @@ impl SimResult {
                 "accuracy": self.metrics.accuracy,
                 "num_most_failed_branches": self.metrics.num_most_failed_branches,
                 "simulation_time": self.metrics.simulation_time,
+                "branch_taxonomy": self.branch_taxonomy.to_json(),
             },
             "predictor_statistics": self.predictor_statistics.clone(),
             "most_failed": self.most_failed.iter().map(|s| json!({
                 "ip": s.ip,
                 "occurrences": s.occurrences,
                 "mispredictions": s.mispredictions,
+                "taken": s.taken,
                 "mpki": s.mpki,
                 "accuracy": s.accuracy,
+                "direction_entropy": s.direction_entropy,
+                "transition_rate": s.transition_rate,
             })).collect::<Vec<_>>(),
         })
     }

@@ -5,7 +5,7 @@ use std::time::Instant;
 use mbp_json::Value;
 use mbp_trace::TraceError;
 
-use crate::metrics::{accuracy, mpki, BranchStat, Metrics, MostFailed};
+use crate::metrics::{accuracy, mpki, BranchStat, BranchTaxonomy, Metrics, MostFailed};
 use crate::{Predictor, TraceSource};
 
 /// Configuration of a simulation run.
@@ -84,6 +84,9 @@ pub struct SimResult {
     pub predictor_statistics: Value,
     /// The `most_failed` section.
     pub most_failed: Vec<BranchStat>,
+    /// Per-branch misprediction characterization (rendered under
+    /// `metrics.branch_taxonomy`).
+    pub branch_taxonomy: BranchTaxonomy,
 }
 
 /// Per-record bookkeeping shared by the batched and scalar drivers.
@@ -143,6 +146,7 @@ impl SimState {
             most_failed: self
                 .most_failed
                 .top(config.most_failed_limit, self.measured_instructions),
+            branch_taxonomy: self.most_failed.taxonomy(),
         }
     }
 }
@@ -173,10 +177,23 @@ where
     P: Predictor + ?Sized,
 {
     let start = Instant::now();
+    let stats = &mbp_stats::pipeline().sim;
+    stats.runs.inc();
     let mut st = SimState::new();
+    let mut records = 0u64;
     let mut batch: Vec<mbp_trace::BranchRecord> = Vec::new();
 
-    'trace: while trace.fill_batch(&mut batch)? > 0 {
+    'trace: loop {
+        // Time the decode share separately from the whole run; one span per
+        // 2048-record block keeps the instrumentation off the record loop.
+        let got = {
+            let _span = stats.fill_batch.span();
+            trace.fill_batch(&mut batch)?
+        };
+        if got == 0 {
+            break;
+        }
+        records += got as u64;
         // Steady state: once warm-up has elapsed and no cut-off is set,
         // every record of the batch is measured, so the per-record window
         // checks can be hoisted out of the loop. Any record advances the
@@ -192,7 +209,7 @@ where
                     let mispredicted = predictor.predict(b.ip()) != b.is_taken();
                     st.conditional += 1;
                     st.mispredictions += mispredicted as u64;
-                    st.most_failed.record(b.ip(), mispredicted);
+                    st.most_failed.record(b.ip(), b.is_taken(), mispredicted);
                     predictor.train(&b);
                 } else {
                     st.most_failed.note_static(b.ip());
@@ -225,7 +242,7 @@ where
                 if in_measurement {
                     st.conditional += 1;
                     st.mispredictions += mispredicted as u64;
-                    st.most_failed.record(b.ip(), mispredicted);
+                    st.most_failed.record(b.ip(), b.is_taken(), mispredicted);
                 } else {
                     st.most_failed.note_static(b.ip());
                 }
@@ -239,8 +256,13 @@ where
         }
     }
 
-    let simulation_time = start.elapsed().as_secs_f64();
-    Ok(st.into_result(trace, predictor, config, simulation_time))
+    let elapsed = start.elapsed();
+    stats.records.add(records);
+    stats.instructions.add(st.instructions);
+    stats
+        .simulate
+        .record_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    Ok(st.into_result(trace, predictor, config, elapsed.as_secs_f64()))
 }
 
 /// The one-record-at-a-time reference driver.
@@ -264,6 +286,9 @@ where
     P: Predictor + ?Sized,
 {
     let start = Instant::now();
+    let stats = &mbp_stats::pipeline().sim;
+    stats.runs.inc();
+    let mut records = 0u64;
     let mut instructions = 0u64;
     let mut measured_instructions = 0u64;
     let mut conditional = 0u64;
@@ -272,6 +297,7 @@ where
     let mut exhausted = true;
 
     while let Some(rec) = trace.next_record()? {
+        records += 1;
         if let Some(max) = config.max_instructions {
             if instructions >= max {
                 exhausted = false;
@@ -290,7 +316,7 @@ where
             if in_measurement {
                 conditional += 1;
                 mispredictions += mispredicted as u64;
-                most_failed.record(b.ip(), mispredicted);
+                most_failed.record(b.ip(), b.is_taken(), mispredicted);
             } else {
                 most_failed.note_static(b.ip());
             }
@@ -303,7 +329,13 @@ where
         }
     }
 
-    let simulation_time = start.elapsed().as_secs_f64();
+    let elapsed = start.elapsed();
+    stats.records.add(records);
+    stats.instructions.add(instructions);
+    stats
+        .simulate
+        .record_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    let simulation_time = elapsed.as_secs_f64();
     Ok(SimResult {
         metadata: SimMetadata {
             simulator: crate::SIMULATOR_NAME,
@@ -326,6 +358,7 @@ where
         },
         predictor_statistics: predictor.execution_statistics(),
         most_failed: most_failed.top(config.most_failed_limit, measured_instructions),
+        branch_taxonomy: most_failed.taxonomy(),
     })
 }
 

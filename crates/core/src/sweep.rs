@@ -203,6 +203,8 @@ where
     let next = AtomicUsize::new(0);
 
     let wall_start = Instant::now();
+    let stats = &mbp_stats::pipeline().sweep;
+    stats.workers.add(jobs as u64);
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
@@ -217,6 +219,11 @@ where
                 else {
                     continue; // unreachable: each index is claimed once
                 };
+                // Busy time spans claim to report, once per predictor, so
+                // worker accounting adds nothing to the simulation loop.
+                let busy = stats.worker_busy.span();
+                let claimed = Instant::now();
+                stats.predictors.inc();
                 // Fault isolation: a predictor that panics takes down this
                 // one simulation, not the sweep. The predictor and source
                 // are owned by the closure, so no shared state is observed
@@ -227,17 +234,27 @@ where
                 }));
                 let outcome = match outcome {
                     Ok(Ok(result)) => Ok(result),
-                    Ok(Err(e)) => Err(SweepFailure {
-                        name,
-                        kind: "trace_error",
-                        message: e.to_string(),
-                    }),
-                    Err(payload) => Err(SweepFailure {
-                        name,
-                        kind: "panic",
-                        message: panic_message(payload.as_ref()),
-                    }),
+                    Ok(Err(e)) => {
+                        stats.trace_errors.inc();
+                        Err(SweepFailure {
+                            name,
+                            kind: "trace_error",
+                            message: e.to_string(),
+                        })
+                    }
+                    Err(payload) => {
+                        stats.faults.inc();
+                        Err(SweepFailure {
+                            name,
+                            kind: "panic",
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
                 };
+                stats
+                    .predictor_us
+                    .record(u64::try_from(claimed.elapsed().as_micros()).unwrap_or(u64::MAX));
+                busy.finish();
                 *done[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
             });
         }

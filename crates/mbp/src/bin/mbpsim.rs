@@ -74,7 +74,12 @@ fn usage() -> &'static str {
      mbpsim gen --suite <cbp5-training|cbp5-evaluation|dpc3|smoke> [--scale N] --out <dir>\n  \
      mbpsim translate --from <file.bt9[.mgz]> --to <file.sbbt[.mzst|.mgz]>\n  \
      mbpsim info --trace <file>\n  \
-     mbpsim list"
+     mbpsim list\n\
+     \n\
+     run, compare, sweep and gen also accept:\n  \
+     --metrics              add pipeline metrics to the JSON output and print\n                         \
+     a one-screen summary on stderr\n  \
+     --metrics-out <file>   also write the metrics object to <file>"
 }
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
@@ -123,6 +128,43 @@ fn sim_config(args: &Args) -> Result<SimConfig, Failure> {
     })
 }
 
+/// Whether this invocation asked for pipeline metrics.
+fn wants_metrics(args: &Args) -> bool {
+    args.flag("--metrics") || args.get("--metrics-out").is_some()
+}
+
+/// Emits the pipeline-metrics object: merges its sections into `doc`'s
+/// `metrics` object (creating one for documents without it), writes it to
+/// `--metrics-out` when requested, and prints the one-screen summary on
+/// stderr. Call after the simulation work, so the snapshot covers it.
+fn emit_metrics(args: &Args, doc: Option<&mut mbp::json::Value>) -> Result<(), Failure> {
+    if !wants_metrics(args) {
+        return Ok(());
+    }
+    let snap = mbp::stats::pipeline().snapshot();
+    let pipeline = mbp::report::pipeline_json(&snap);
+    if let Some(doc) = doc {
+        if let Some(obj) = doc.as_object_mut() {
+            if !obj.contains_key("metrics") {
+                obj.insert("metrics", mbp::json::json!({}));
+            }
+            if let Some(metrics) = obj.get_mut("metrics").and_then(|m| m.as_object_mut()) {
+                if let Some(sections) = pipeline.as_object() {
+                    for (key, value) in sections.iter() {
+                        metrics.insert(key, value.clone());
+                    }
+                }
+            }
+        }
+    }
+    if let Some(path) = args.get("--metrics-out") {
+        std::fs::write(path, format!("{pipeline:#}\n"))
+            .map_err(|e| Failure::internal(format!("cannot write {path}: {e}")))?;
+    }
+    eprintln!("{}", mbp::report::human_summary(&snap));
+    Ok(())
+}
+
 fn codec_for(path: &Path) -> Option<(Codec, u32)> {
     match path.extension().and_then(|e| e.to_str()) {
         Some("mzst") => Some((Codec::Mzst, 22)),
@@ -148,6 +190,7 @@ fn cmd_run(args: &Args) -> Result<ExitCode, Failure> {
     {
         meta.insert("trace", trace_path);
     }
+    emit_metrics(args, Some(&mut doc))?;
     println!("{doc:#}");
     Ok(ExitCode::SUCCESS)
 }
@@ -166,7 +209,9 @@ fn cmd_compare(args: &Args) -> Result<ExitCode, Failure> {
         .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
     let result = simulate_comparison(&mut trace, &mut pa, &mut pb, &sim_config(args)?)
         .map_err(|e| Failure::trace(format!("simulation failed: {e}")))?;
-    println!("{:#}", result.to_json());
+    let mut doc = result.to_json();
+    emit_metrics(args, Some(&mut doc))?;
+    println!("{doc:#}");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -195,7 +240,9 @@ fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
     for entry in &mut result.entries {
         entry.result.metadata.trace = trace_path.into();
     }
-    println!("{:#}", result.to_json());
+    let mut doc = result.to_json();
+    emit_metrics(args, Some(&mut doc))?;
+    println!("{doc:#}");
     if result.failures.is_empty() {
         Ok(ExitCode::SUCCESS)
     } else {
@@ -251,6 +298,7 @@ fn cmd_gen(args: &Args) -> Result<ExitCode, Failure> {
         suite.traces.len(),
         suite.name
     );
+    emit_metrics(args, None)?;
     Ok(ExitCode::SUCCESS)
 }
 

@@ -67,6 +67,13 @@ pub mod workloads {
     pub use mbp_workloads::*;
 }
 
+/// Observability primitives and pipeline metrics (re-export of `mbp-stats`).
+pub mod stats {
+    pub use mbp_stats::*;
+}
+
+pub mod report;
+
 /// The baseline simulators used in the paper's evaluation.
 pub mod baselines {
     /// The CBP5-framework-style baseline.

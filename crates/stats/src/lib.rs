@@ -1,0 +1,48 @@
+//! # mbp-stats — always-cheap observability for the MBPlib pipeline
+//!
+//! Zero-dependency metric primitives (monotonic [`Counter`], [`Gauge`],
+//! fixed-bucket [`Histogram`], [`Timer`] with RAII [`ScopedTimer`] spans),
+//! a name-keyed [`Registry`] for ad-hoc metrics, and the static
+//! [`pipeline()`] domains the simulator's stages report into.
+//!
+//! Design rules, in order:
+//!
+//! 1. **The fast path pays almost nothing.** Every primitive is relaxed
+//!    atomics; the pipeline statics are reachable without locks; hot loops
+//!    are instrumented at *batch* granularity (one add per 2048-record
+//!    block), never per record. Span timing can be switched off process-wide
+//!    with [`set_enabled`], reducing a span to one relaxed load.
+//! 2. **Snapshots are deterministic.** [`Registry::snapshot`] is name-sorted
+//!    and [`PipelineStats::snapshot`] is plain data, so emitted metrics are
+//!    stable across runs modulo the measured values themselves.
+//! 3. **No rendering here.** JSON encoding of snapshots lives downstream in
+//!    the `mbp` crate; this crate stays `std`-only so every pipeline crate
+//!    can depend on it without weight.
+//!
+//! ```
+//! use mbp_stats::pipeline;
+//!
+//! {
+//!     let _span = pipeline().trace.decode.span();
+//!     // ... decode a batch ...
+//!     pipeline().trace.packets_decoded.add(2048);
+//! }
+//! let snap = pipeline().snapshot();
+//! assert!(snap.trace_packets_decoded >= 2048);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metric;
+mod pipeline;
+mod registry;
+
+pub use metric::{
+    enabled, set_enabled, Counter, Gauge, Histogram, HistogramSnapshot, ScopedTimer, Timer,
+};
+pub use pipeline::{
+    pipeline, CompressStats, PipelineSnapshot, PipelineStats, SimStats, SweepStats, TimerSnapshot,
+    TraceStats, WorkloadStats,
+};
+pub use registry::{DynHistogram, Registry, Snapshot, SnapshotValue};

@@ -1,0 +1,287 @@
+//! A named metric registry with deterministic snapshots.
+//!
+//! The pipeline's own instrumentation lives in the zero-lookup statics of
+//! [`crate::pipeline`]; the registry serves everything else — ad-hoc
+//! experiment counters, per-predictor probes, test harness bookkeeping —
+//! where a name-keyed register-on-first-use surface beats threading handles
+//! through call chains. Metrics are `Arc`-shared, so a handle obtained once
+//! can be bumped from any thread without touching the registry lock again.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::metric::{Counter, Gauge, HistogramSnapshot, Timer};
+
+/// A dynamic histogram for registry use (the static pipeline domains use
+/// the const-generic [`crate::Histogram`] instead).
+#[derive(Debug)]
+pub struct DynHistogram {
+    bounds: Vec<u64>,
+    buckets: Vec<std::sync::atomic::AtomicU64>,
+    overflow: std::sync::atomic::AtomicU64,
+    sum: std::sync::atomic::AtomicU64,
+    count: std::sync::atomic::AtomicU64,
+}
+
+impl DynHistogram {
+    /// Creates a histogram with ascending upper bounds.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        let buckets = bounds
+            .iter()
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect();
+        Self {
+            bounds,
+            buckets,
+            overflow: std::sync::atomic::AtomicU64::new(0),
+            sum: std::sync::atomic::AtomicU64::new(0),
+            count: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Relaxed),
+            None => self.overflow.fetch_add(1, Relaxed),
+        };
+        self.sum.fetch_add(value, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+    }
+
+    /// Point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            overflow: self.overflow.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            count: self.count.load(Relaxed),
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Timer(Arc<Timer>),
+    Histogram(Arc<DynHistogram>),
+}
+
+/// The value of one metric at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge: last value and high-water mark.
+    Gauge {
+        /// Last value set.
+        value: u64,
+        /// Largest value ever set.
+        high_water: u64,
+    },
+    /// Timer: accumulated nanoseconds and closed spans.
+    Timer {
+        /// Accumulated nanoseconds.
+        total_ns: u64,
+        /// Closed spans.
+        spans: u64,
+    },
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A deterministic (name-sorted) point-in-time view of a registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub entries: Vec<(String, SnapshotValue)>,
+}
+
+impl Snapshot {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+}
+
+/// A name-keyed collection of metrics.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_stats::Registry;
+///
+/// let registry = Registry::new();
+/// let decoded = registry.counter("trace.packets_decoded");
+/// decoded.add(2048);
+/// let snap = registry.snapshot();
+/// assert!(matches!(
+///     snap.get("trace.packets_decoded"),
+///     Some(mbp_stats::SnapshotValue::Counter(2048))
+/// ));
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Re-registering a name under a different metric kind returns a
+    /// fresh unregistered instance rather than panicking.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Returns the timer registered under `name`, creating it on first use.
+    pub fn timer(&self, name: &str) -> Arc<Timer> {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Timer(Arc::new(Timer::new())))
+        {
+            Metric::Timer(t) => Arc::clone(t),
+            _ => Arc::new(Timer::new()),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it with the
+    /// given bounds on first use (later bounds are ignored).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<DynHistogram> {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(DynHistogram::new(bounds.to_vec()))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(DynHistogram::new(bounds.to_vec())),
+        }
+    }
+
+    /// A deterministic, name-sorted snapshot of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.lock();
+        Snapshot {
+            entries: metrics
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                        Metric::Gauge(g) => SnapshotValue::Gauge {
+                            value: g.get(),
+                            high_water: g.high_water(),
+                        },
+                        Metric::Timer(t) => SnapshotValue::Timer {
+                            total_ns: t.total_ns(),
+                            spans: t.spans(),
+                        },
+                        Metric::Histogram(h) => SnapshotValue::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_once_share_everywhere() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(r.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let r = Registry::new();
+        r.counter("b.count").add(2);
+        r.gauge("a.depth").set(9);
+        r.timer("c.time").record_ns(50);
+        r.histogram("d.sizes", &[10, 100]).record(7);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.depth", "b.count", "c.time", "d.sizes"]);
+        assert_eq!(
+            snap.get("a.depth"),
+            Some(&SnapshotValue::Gauge {
+                value: 9,
+                high_water: 9
+            })
+        );
+        assert!(snap.get("missing").is_none());
+    }
+
+    #[test]
+    fn kind_mismatch_degrades_to_detached_metric() {
+        let r = Registry::new();
+        r.counter("name").add(5);
+        // Asking for the same name as a gauge must not panic or corrupt the
+        // registered counter.
+        let g = r.gauge("name");
+        g.set(1);
+        assert!(matches!(
+            r.snapshot().get("name"),
+            Some(SnapshotValue::Counter(5))
+        ));
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let r = std::sync::Arc::new(Registry::new());
+        let c = r.counter("hits");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

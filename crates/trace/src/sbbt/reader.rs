@@ -112,6 +112,10 @@ impl SbbtReader {
                 header.branch_count,
             ));
         }
+        mbp_stats::pipeline()
+            .trace
+            .bytes_read
+            .add(data.len() as u64);
         Ok(Self {
             header,
             data,
@@ -175,6 +179,12 @@ impl SbbtReader {
     /// [`TraceError::Invalid`] on the first malformed packet; `out` holds
     /// the records decoded before it.
     pub fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
+        // One span + two counter adds per 2048-packet block: the guard drop
+        // also covers the error returns, so partially decoded batches are
+        // still accounted for.
+        let stats = &mbp_stats::pipeline().trace;
+        let _span = stats.decode.span();
+        stats.batches.inc();
         out.clear();
         let start = self.pos;
         let end = self.data.len().min(start + BATCH_RECORDS * PACKET_BYTES);
@@ -187,17 +197,20 @@ impl SbbtReader {
             // error rather than panicking if that invariant ever breaks.
             let Some(bytes) = packet.first_chunk::<PACKET_BYTES>() else {
                 self.pos = position;
+                stats.packets_decoded.add(out.len() as u64);
                 return Err(TraceError::Truncated);
             };
             match decode_packet_fast(bytes, position as u64) {
                 Ok(rec) => out.push(rec),
                 Err(e) => {
                     self.pos = position;
+                    stats.packets_decoded.add(out.len() as u64);
                     return Err(e);
                 }
             }
         }
         self.pos = end;
+        stats.packets_decoded.add(out.len() as u64);
         Ok(out.len())
     }
 

@@ -129,6 +129,9 @@ impl TraceGenerator {
         // return-less main body; if a pathological parameter set produced a
         // branch-free program, synthesize a heartbeat branch so the stream
         // never stalls.
+        let stats = &mbp_stats::pipeline().workload;
+        let _span = stats.generate.span();
+        stats.refills.inc();
         let before = self.state.buffer.len();
         exec_block(&self.functions, 0, &mut self.state);
         if self.state.buffer.len() == before {
@@ -139,6 +142,9 @@ impl TraceGenerator {
                 true,
             ));
         }
+        stats
+            .records_generated
+            .add((self.state.buffer.len() - before) as u64);
     }
 }
 
