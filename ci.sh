@@ -41,6 +41,24 @@ cargo test -q -p mbp-predictors --test golden_vectors
 echo "== utils property suite =="
 cargo test -q -p mbp-utils --test properties
 
+echo "== event timeline + stats-diff gate =="
+# An instrumented smoke sweep must produce a Chrome trace that parses back
+# (strictly monotonic per-thread timestamps), and its metrics must diff
+# cleanly against the committed baseline. The threshold is deliberately
+# loose: counts are deterministic (seeded workloads) and informational,
+# so the gate really fires on faults appearing (0 -> N is +inf%) or a
+# catastrophic slowdown — not on machine-to-machine timing noise.
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+target/release/mbpsim gen --suite smoke --out "$obs_tmp/traces" >/dev/null
+target/release/mbpsim sweep --predictors gshare,bimodal \
+  --trace "$obs_tmp/traces/SMOKE-mobile.sbbt.mzst" --jobs 2 --quiet \
+  --trace-out "$obs_tmp/run.trace.json" \
+  --metrics-out "$obs_tmp/metrics.json" >/dev/null
+target/release/mbpsim validate-trace "$obs_tmp/run.trace.json"
+target/release/mbpsim stats-diff tests/fixtures/ci_metrics_baseline.json \
+  "$obs_tmp/metrics.json" --threshold 5000
+
 echo "== bench guard (instrumented batch pipeline within 5% of baseline) =="
 cargo run -q --release -p mbp-bench --bin bench_guard
 

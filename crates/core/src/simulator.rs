@@ -179,6 +179,10 @@ where
     let start = Instant::now();
     let stats = &mbp_stats::pipeline().sim;
     stats.runs.inc();
+    // The run span closes when this guard drops — also during an unwind, so
+    // a predictor panicking under a sweep's `catch_unwind` still pairs its
+    // begin event with an end event.
+    let _run_event = mbp_stats::events::span(mbp_stats::events::EventName::SimSimulate);
     let mut st = SimState::new();
     let mut records = 0u64;
     let mut batch: Vec<mbp_trace::BranchRecord> = Vec::new();
@@ -188,8 +192,12 @@ where
         // 2048-record block keeps the instrumentation off the record loop.
         let got = {
             let _span = stats.fill_batch.span();
+            let _event = mbp_stats::events::span(mbp_stats::events::EventName::SimFillBatch);
             trace.fill_batch(&mut batch)?
         };
+        // Per-batch heartbeat: every N-th batch samples the pipeline gauges
+        // into the event journal (throughput-over-time curves).
+        mbp_stats::events::batch_tick();
         if got == 0 {
             break;
         }
@@ -288,6 +296,7 @@ where
     let start = Instant::now();
     let stats = &mbp_stats::pipeline().sim;
     stats.runs.inc();
+    let _run_event = mbp_stats::events::span(mbp_stats::events::EventName::SimSimulate);
     let mut records = 0u64;
     let mut instructions = 0u64;
     let mut measured_instructions = 0u64;

@@ -179,12 +179,15 @@ where
     // `record_count_hint` — derived from data the source actually holds —
     // never from a header-declared count an attacker controls.
     let decode_start = Instant::now();
+    let decode_event = mbp_stats::events::span(mbp_stats::events::EventName::SweepDecode);
     let mut records: Vec<BranchRecord> =
         Vec::with_capacity(trace.record_count_hint().unwrap_or(0) as usize);
     let mut batch = Vec::new();
     while trace.fill_batch(&mut batch)? > 0 {
         records.extend_from_slice(&batch);
+        mbp_stats::events::batch_tick();
     }
+    decode_event.finish();
     let decode_time = decode_start.elapsed().as_secs_f64();
     let description = trace.description();
 
@@ -222,6 +225,10 @@ where
                 // Busy time spans claim to report, once per predictor, so
                 // worker accounting adds nothing to the simulation loop.
                 let busy = stats.worker_busy.span();
+                let busy_event = mbp_stats::events::span_with_arg(
+                    mbp_stats::events::EventName::SweepWorker,
+                    i as u64,
+                );
                 let claimed = Instant::now();
                 stats.predictors.inc();
                 // Fault isolation: a predictor that panics takes down this
@@ -236,6 +243,10 @@ where
                     Ok(Ok(result)) => Ok(result),
                     Ok(Err(e)) => {
                         stats.trace_errors.inc();
+                        mbp_stats::events::instant(
+                            mbp_stats::events::EventName::SweepTraceError,
+                            i as u64,
+                        );
                         Err(SweepFailure {
                             name,
                             kind: "trace_error",
@@ -244,6 +255,10 @@ where
                     }
                     Err(payload) => {
                         stats.faults.inc();
+                        mbp_stats::events::instant(
+                            mbp_stats::events::EventName::SweepFault,
+                            i as u64,
+                        );
                         Err(SweepFailure {
                             name,
                             kind: "panic",
@@ -251,9 +266,13 @@ where
                         })
                     }
                 };
-                stats
-                    .predictor_us
-                    .record(u64::try_from(claimed.elapsed().as_micros()).unwrap_or(u64::MAX));
+                let elapsed_us = u64::try_from(claimed.elapsed().as_micros()).unwrap_or(u64::MAX);
+                stats.predictor_us.record(elapsed_us);
+                mbp_stats::events::instant(
+                    mbp_stats::events::EventName::SweepPredictorDone,
+                    elapsed_us,
+                );
+                busy_event.finish();
                 busy.finish();
                 *done[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
             });

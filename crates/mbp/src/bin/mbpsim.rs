@@ -10,6 +10,8 @@
 //! mbpsim gen --suite cbp5-training [--scale N] --out traces/
 //! mbpsim translate --from t.bt9 --to t.sbbt.mzst
 //! mbpsim info --trace t.sbbt.mzst
+//! mbpsim stats-diff baseline.json candidate.json [--threshold PCT]
+//! mbpsim validate-trace run.trace.json
 //! mbpsim list
 //! ```
 
@@ -32,10 +34,13 @@ use mbp::workloads::Suite;
 /// * `3` — trace error: the input could not be opened, decoded or decompressed.
 /// * `4` — partial sweep failure: the sweep completed and printed its JSON,
 ///   but at least one predictor failed (see the `failures` array).
+/// * `5` — metrics regression: `stats-diff` found at least one metric past
+///   its regression threshold (the report itself printed fine).
 const EXIT_INTERNAL: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_TRACE: u8 = 3;
 const EXIT_PARTIAL_SWEEP: u8 = 4;
+const EXIT_REGRESSION: u8 = 5;
 
 /// A command failure carrying the exit code it should map to.
 struct Failure {
@@ -74,12 +79,20 @@ fn usage() -> &'static str {
      mbpsim gen --suite <cbp5-training|cbp5-evaluation|dpc3|smoke> [--scale N] --out <dir>\n  \
      mbpsim translate --from <file.bt9[.mgz]> --to <file.sbbt[.mzst|.mgz]>\n  \
      mbpsim info --trace <file>\n  \
+     mbpsim stats-diff <baseline.json> <candidate.json> [--threshold PCT]\n  \
+     mbpsim validate-trace <run.trace.json>\n  \
      mbpsim list\n\
      \n\
      run, compare, sweep and gen also accept:\n  \
      --metrics              add pipeline metrics to the JSON output and print\n                         \
      a one-screen summary on stderr\n  \
-     --metrics-out <file>   also write the metrics object to <file>"
+     --metrics-out <file>   also write the metrics object to <file>\n  \
+     --trace-out <file>     write a Chrome trace-event timeline (open in\n                         \
+     Perfetto or chrome://tracing)\n  \
+     --events-out <file>    write the raw event journal as JSONL\n  \
+     --sample-every <N>     sample throughput gauges every N batches\n                         \
+     (default 64, 0 disables)\n  \
+     --quiet                suppress the live progress line on stderr"
 }
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
@@ -98,6 +111,15 @@ impl Args {
 
     fn flag(&self, key: &str) -> bool {
         self.items.iter().any(|a| a == key)
+    }
+
+    /// Leading positional operands (everything before the first `--flag`).
+    fn positional(&self) -> Vec<&str> {
+        self.items
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .collect()
     }
 
     fn required(&self, key: &str) -> Result<&str, Failure> {
@@ -133,6 +155,53 @@ fn wants_metrics(args: &Args) -> bool {
     args.flag("--metrics") || args.get("--metrics-out").is_some()
 }
 
+/// Whether this invocation asked for an event timeline.
+fn wants_events(args: &Args) -> bool {
+    args.get("--trace-out").is_some() || args.get("--events-out").is_some()
+}
+
+/// Arms the event journal when `--trace-out`/`--events-out` was requested;
+/// call before the simulation work. Also applies `--sample-every`.
+fn setup_events(args: &Args) -> Result<(), Failure> {
+    if !wants_events(args) {
+        return Ok(());
+    }
+    mbp::stats::events::set_sample_every(
+        args.parsed("--sample-every", mbp::stats::events::DEFAULT_SAMPLE_EVERY)?,
+    );
+    mbp::stats::events::clear();
+    mbp::stats::events::set_events_enabled(true);
+    Ok(())
+}
+
+/// Drains the journal and writes the requested export files; call after the
+/// simulation work. A final pipeline sample closes every counter track at
+/// the run's end value before the drain.
+fn emit_events(args: &Args) -> Result<(), Failure> {
+    if !wants_events(args) {
+        return Ok(());
+    }
+    mbp::stats::events::sample_pipeline();
+    mbp::stats::events::set_events_enabled(false);
+    let events = mbp::stats::events::drain();
+    let dropped = mbp::stats::events::dropped_events();
+    if let Some(path) = args.get("--trace-out") {
+        let doc = mbp::events_export::chrome_trace_json(&events, dropped);
+        std::fs::write(path, format!("{doc:#}\n"))
+            .map_err(|e| Failure::internal(format!("cannot write {path}: {e}")))?;
+        eprintln!(
+            "mbpsim: wrote {} events ({} dropped) to {path}",
+            events.len(),
+            dropped
+        );
+    }
+    if let Some(path) = args.get("--events-out") {
+        std::fs::write(path, mbp::events_export::events_jsonl(&events))
+            .map_err(|e| Failure::internal(format!("cannot write {path}: {e}")))?;
+    }
+    Ok(())
+}
+
 /// Emits the pipeline-metrics object: merges its sections into `doc`'s
 /// `metrics` object (creating one for documents without it), writes it to
 /// `--metrics-out` when requested, and prints the one-screen summary on
@@ -165,6 +234,17 @@ fn emit_metrics(args: &Args, doc: Option<&mut mbp::json::Value>) -> Result<(), F
     Ok(())
 }
 
+/// The instruction total a command is expected to simulate per predictor:
+/// the trace header's count, clamped by `--max`. `None` when the header
+/// does not know (streamed/translated traces).
+fn expected_instructions(header_count: u64, config: &SimConfig) -> Option<u64> {
+    let total = match config.max_instructions {
+        Some(max) => header_count.min(max),
+        None => header_count,
+    };
+    (total > 0).then_some(total)
+}
+
 fn codec_for(path: &Path) -> Option<(Codec, u32)> {
     match path.extension().and_then(|e| e.to_str()) {
         Some("mzst") => Some((Codec::Mzst, 22)),
@@ -180,8 +260,14 @@ fn cmd_run(args: &Args) -> Result<ExitCode, Failure> {
     let trace_path = args.required("--trace")?;
     let mut trace = SbbtReader::open(trace_path)
         .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
-    let result = simulate(&mut trace, &mut predictor, &sim_config(args)?)
-        .map_err(|e| Failure::trace(format!("simulation failed: {e}")))?;
+    let config = sim_config(args)?;
+    setup_events(args)?;
+    let total = expected_instructions(trace.header().instruction_count, &config);
+    let progress = mbp::progress::Progress::start(total, args.flag("--quiet"));
+    let result = simulate(&mut trace, &mut predictor, &config);
+    progress.finish();
+    emit_events(args)?;
+    let result = result.map_err(|e| Failure::trace(format!("simulation failed: {e}")))?;
     let mut doc = result.to_json();
     if let Some(meta) = doc
         .as_object_mut()
@@ -207,8 +293,10 @@ fn cmd_compare(args: &Args) -> Result<ExitCode, Failure> {
     let trace_path = args.required("--trace")?;
     let mut trace = SbbtReader::open(trace_path)
         .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
-    let result = simulate_comparison(&mut trace, &mut pa, &mut pb, &sim_config(args)?)
-        .map_err(|e| Failure::trace(format!("simulation failed: {e}")))?;
+    setup_events(args)?;
+    let result = simulate_comparison(&mut trace, &mut pa, &mut pb, &sim_config(args)?);
+    emit_events(args)?;
+    let result = result.map_err(|e| Failure::trace(format!("simulation failed: {e}")))?;
     let mut doc = result.to_json();
     emit_metrics(args, Some(&mut doc))?;
     println!("{doc:#}");
@@ -227,6 +315,7 @@ fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
     if predictors.is_empty() {
         return Err(Failure::usage("expected --predictors <a>,<b>,..."));
     }
+    let predictor_count = predictors.len();
     let trace_path = args.required("--trace")?;
     let mut trace = SbbtReader::open(trace_path)
         .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
@@ -234,8 +323,14 @@ fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
         sim: sim_config(args)?,
         jobs: args.parsed("--jobs", 0usize)?,
     };
-    let mut result = simulate_many(&mut trace, predictors, &config)
-        .map_err(|e| Failure::trace(format!("sweep failed: {e}")))?;
+    setup_events(args)?;
+    let total = expected_instructions(trace.header().instruction_count, &config.sim)
+        .map(|per| per.saturating_mul(predictor_count as u64));
+    let progress = mbp::progress::Progress::start(total, args.flag("--quiet"));
+    let result = simulate_many(&mut trace, predictors, &config);
+    progress.finish();
+    emit_events(args)?;
+    let mut result = result.map_err(|e| Failure::trace(format!("sweep failed: {e}")))?;
     result.trace = trace_path.into();
     for entry in &mut result.entries {
         entry.result.metadata.trace = trace_path.into();
@@ -270,6 +365,7 @@ fn cmd_gen(args: &Args) -> Result<ExitCode, Failure> {
     let out = PathBuf::from(args.required("--out")?);
     std::fs::create_dir_all(&out)
         .map_err(|e| Failure::internal(format!("cannot create {}: {e}", out.display())))?;
+    setup_events(args)?;
     for spec in &suite.traces {
         let path = out.join(format!("{}.sbbt.mzst", spec.name));
         let mut writer = SbbtWriter::create_compressed(&path, Codec::Mzst, 22)
@@ -298,7 +394,57 @@ fn cmd_gen(args: &Args) -> Result<ExitCode, Failure> {
         suite.traces.len(),
         suite.name
     );
+    emit_events(args)?;
     emit_metrics(args, None)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_stats_diff(args: &Args) -> Result<ExitCode, Failure> {
+    let paths = args.positional();
+    let [baseline, candidate] = paths.as_slice() else {
+        return Err(Failure::usage(
+            "expected: mbpsim stats-diff <baseline.json> <candidate.json> [--threshold PCT]",
+        ));
+    };
+    let threshold_pct: f64 = args.parsed("--threshold", 5.0)?;
+    if !threshold_pct.is_finite() || threshold_pct < 0.0 {
+        return Err(Failure::usage("--threshold must be a non-negative percent"));
+    }
+    let load = |path: &str| -> Result<mbp::json::Value, Failure> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Failure::internal(format!("cannot read {path}: {e}")))?;
+        text.parse()
+            .map_err(|e| Failure::internal(format!("cannot parse {path}: {e}")))
+    };
+    let a = load(baseline)?;
+    let b = load(candidate)?;
+    let report = mbp::diff::diff_metrics(&a, &b, &mbp::diff::DiffOptions { threshold_pct });
+    print!("{}", report.render());
+    if report.has_regressions() {
+        Ok(ExitCode::from(EXIT_REGRESSION))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_validate_trace(args: &Args) -> Result<ExitCode, Failure> {
+    let paths = args.positional();
+    let [path] = paths.as_slice() else {
+        return Err(Failure::usage(
+            "expected: mbpsim validate-trace <run.trace.json>",
+        ));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Failure::internal(format!("cannot read {path}: {e}")))?;
+    let doc: mbp::json::Value = text
+        .parse()
+        .map_err(|e| Failure::internal(format!("cannot parse {path}: {e}")))?;
+    let check = mbp::events_export::validate_chrome_trace(&doc)
+        .map_err(|e| Failure::internal(format!("{path}: {e}")))?;
+    println!(
+        "{path}: ok — {} events across {} threads ({} dropped by producer)",
+        check.events, check.threads, check.dropped
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -436,6 +582,8 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&args),
         "translate" => cmd_translate(&args),
         "info" => cmd_info(&args),
+        "stats-diff" => cmd_stats_diff(&args),
+        "validate-trace" => cmd_validate_trace(&args),
         "list" => {
             for name in PREDICTOR_NAMES {
                 println!("{name}");

@@ -72,6 +72,9 @@ pub mod stats {
     pub use mbp_stats::*;
 }
 
+pub mod diff;
+pub mod events_export;
+pub mod progress;
 pub mod report;
 
 /// The baseline simulators used in the paper's evaluation.

@@ -2,8 +2,10 @@
 //!
 //! Zero-dependency metric primitives (monotonic [`Counter`], [`Gauge`],
 //! fixed-bucket [`Histogram`], [`Timer`] with RAII [`ScopedTimer`] spans),
-//! a name-keyed [`Registry`] for ad-hoc metrics, and the static
-//! [`pipeline()`] domains the simulator's stages report into.
+//! a name-keyed [`Registry`] for ad-hoc metrics, the static [`pipeline()`]
+//! domains the simulator's stages report into, and the structured
+//! [`events`] journal (per-thread ring buffers of span/instant/sample
+//! events) that timeline exports are built from.
 //!
 //! Design rules, in order:
 //!
@@ -34,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 mod metric;
 mod pipeline;
 mod registry;

@@ -181,9 +181,11 @@ impl SbbtReader {
     pub fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
         // One span + two counter adds per 2048-packet block: the guard drop
         // also covers the error returns, so partially decoded batches are
-        // still accounted for.
+        // still accounted for. The event span is journal-gated (off by
+        // default) and closes on the same drops.
         let stats = &mbp_stats::pipeline().trace;
         let _span = stats.decode.span();
+        let _event = mbp_stats::events::span(mbp_stats::events::EventName::TraceFillBatch);
         stats.batches.inc();
         out.clear();
         let start = self.pos;

@@ -1,0 +1,167 @@
+//! Tests of `mbpsim stats-diff`: the golden fixture pins the delta-report
+//! format, and the CLI tests pin the exit-code contract.
+//!
+//! To regenerate the fixture after an intentional format change:
+//! `MBP_UPDATE_GOLDEN=1 cargo test -p mbp --test stats_diff`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mbp::diff::{diff_metrics, DiffOptions, Status};
+use mbp::json::{json, Value};
+
+/// The baseline side of the golden pair.
+fn golden_baseline() -> Value {
+    json!({
+        "decode": { "packets_decoded": 4096, "time_s": 0.25 },
+        "simulate": {
+            "instructions": 12288,
+            "instructions_per_second": 12288000.0,
+            "records": 4096,
+            "time_s": 1.0,
+        },
+        "sweep": { "faults": 0, "worker_busy_s": 2.0 },
+    })
+}
+
+/// The candidate side: one regression (slower simulate), one zero-baseline
+/// regression (new faults), one improvement (faster rate), one unchanged
+/// metric and two informational changes.
+fn golden_candidate() -> Value {
+    json!({
+        "decode": { "packets_decoded": 4096, "time_s": 0.24 },
+        "simulate": {
+            "instructions": 12288,
+            "instructions_per_second": 18000000.0,
+            "records": 8192,
+            "time_s": 1.5,
+        },
+        "sweep": { "faults": 2, "worker_busy_s": 2.0 },
+    })
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/stats_diff_golden.txt")
+}
+
+#[test]
+fn report_format_matches_golden_fixture() {
+    let report = diff_metrics(
+        &golden_baseline(),
+        &golden_candidate(),
+        &DiffOptions { threshold_pct: 5.0 },
+    );
+    let rendered = report.render();
+    let path = golden_path();
+    if std::env::var_os("MBP_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    assert_eq!(
+        rendered, golden,
+        "report format drifted from the golden fixture; if intentional, \
+         regenerate with MBP_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_pair_exercises_every_status() {
+    let report = diff_metrics(
+        &golden_baseline(),
+        &golden_candidate(),
+        &DiffOptions { threshold_pct: 5.0 },
+    );
+    assert!(report.has_regressions());
+    assert_eq!(report.count(Status::Regression), 2, "time_s and faults");
+    assert_eq!(report.count(Status::Improvement), 1, "the rate metric");
+    assert!(report.count(Status::Unchanged) >= 2);
+    assert!(
+        report.count(Status::Changed) >= 2,
+        "counts stay informational"
+    );
+}
+
+fn mbpsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mbpsim"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("mbplib-stats-diff-tests")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn cli_exits_five_on_regression_and_zero_when_clean() {
+    let dir = temp_dir("exit-codes");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    std::fs::write(&a, format!("{:#}\n", golden_baseline())).unwrap();
+    std::fs::write(&b, format!("{:#}\n", golden_candidate())).unwrap();
+
+    let out = mbpsim()
+        .arg("stats-diff")
+        .args([&a, &b])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(5), "regression exit code");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("simulate.time_s"), "{stdout}");
+
+    let out = mbpsim()
+        .arg("stats-diff")
+        .args([&a, &a])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "identical files are clean");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 regressed"), "{stdout}");
+}
+
+#[test]
+fn cli_threshold_flag_loosens_the_gate() {
+    let dir = temp_dir("threshold");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    // Only the 50% time_s slowdown; no zero-baseline fault regression.
+    std::fs::write(&a, format!("{:#}\n", json!({"simulate": {"time_s": 1.0}}))).unwrap();
+    std::fs::write(&b, format!("{:#}\n", json!({"simulate": {"time_s": 1.5}}))).unwrap();
+
+    let strict = mbpsim()
+        .arg("stats-diff")
+        .args([&a, &b])
+        .output()
+        .expect("spawn");
+    assert_eq!(strict.status.code(), Some(5));
+
+    let loose = mbpsim()
+        .arg("stats-diff")
+        .args([&a, &b])
+        .args(["--threshold", "75"])
+        .output()
+        .expect("spawn");
+    assert_eq!(loose.status.code(), Some(0), "75% threshold tolerates +50%");
+}
+
+#[test]
+fn cli_rejects_missing_operands_and_bad_files() {
+    let out = mbpsim().arg("stats-diff").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "usage error");
+
+    let dir = temp_dir("bad-files");
+    let a = dir.join("a.json");
+    std::fs::write(&a, "not json").unwrap();
+    let out = mbpsim()
+        .arg("stats-diff")
+        .args([&a, &a])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "unparseable input");
+}
