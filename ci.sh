@@ -53,11 +53,31 @@ trap 'rm -rf "$obs_tmp"' EXIT
 target/release/mbpsim gen --suite smoke --out "$obs_tmp/traces" >/dev/null
 target/release/mbpsim sweep --predictors gshare,bimodal \
   --trace "$obs_tmp/traces/SMOKE-mobile.sbbt.mzst" --jobs 2 --quiet \
+  --introspect --timeseries-out "$obs_tmp/sweep_ts.csv" \
   --trace-out "$obs_tmp/run.trace.json" \
   --metrics-out "$obs_tmp/metrics.json" >/dev/null
 target/release/mbpsim validate-trace "$obs_tmp/run.trace.json"
 target/release/mbpsim stats-diff tests/fixtures/ci_metrics_baseline.json \
   "$obs_tmp/metrics.json" --threshold 5000
+grep -q "^predictor,window," "$obs_tmp/sweep_ts.csv" \
+  || { echo "sweep timeseries CSV missing its header" >&2; exit 1; }
+
+echo "== introspection + timeseries + HTML report gate =="
+# An introspected run must carry timeseries and probe sections that diff
+# cleanly against the committed fixture, and `mbpsim report` must render
+# the document as well-formed self-contained HTML (sparklines included).
+target/release/mbpsim run --predictor tage \
+  --trace "$obs_tmp/traces/SMOKE-mobile.sbbt.mzst" --quiet \
+  --introspect --window 10000 --timeseries-out "$obs_tmp/run_ts.csv" \
+  --metrics --metrics-out "$obs_tmp/introspect.json" >/dev/null 2>/dev/null
+target/release/mbpsim stats-diff tests/fixtures/ci_introspect_baseline.json \
+  "$obs_tmp/introspect.json" --threshold 5000
+target/release/mbpsim report "$obs_tmp/introspect.json" \
+  --out "$obs_tmp/report.html" 2>/dev/null
+grep -q "</html>" "$obs_tmp/report.html" \
+  || { echo "report is not well-formed HTML" >&2; exit 1; }
+grep -q "<svg" "$obs_tmp/report.html" \
+  || { echo "report is missing its sparklines" >&2; exit 1; }
 
 echo "== bench guard (instrumented batch pipeline within 5% of baseline) =="
 cargo run -q --release -p mbp-bench --bin bench_guard

@@ -9,7 +9,7 @@ use mbp_json::{json, Value};
 use mbp_trace::TraceError;
 
 use crate::metrics::{accuracy, mpki};
-use crate::{Predictor, SimConfig, TraceSource};
+use crate::{Predictor, SimConfig, TableProbe, TraceSource};
 
 /// A branch that one predictor handles better than the other.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -51,15 +51,23 @@ pub struct ComparisonResult {
     /// Branches sorted by absolute MPKI difference — "the branches which
     /// accounted for the biggest difference in MPKI".
     pub most_diverging: Vec<DivergingBranch>,
+    /// Both predictors' `execution_statistics()` reports.
+    pub predictor_statistics: [Value; 2],
+    /// Both predictors' table probes; empty unless
+    /// [`SimConfig::collect_probes`] was set.
+    pub table_probes: [Vec<TableProbe>; 2],
     /// Wall-clock time in seconds.
     pub simulation_time: f64,
 }
 
 impl ComparisonResult {
     /// Renders the result as a JSON document analogous to Listing 1, with
-    /// `most_failed` replaced by the diverging-branches report.
+    /// `most_failed` replaced by the diverging-branches report and a
+    /// `predictor_statistics` section holding both predictors' dynamic
+    /// statistics. When probes were collected, an `introspection` section
+    /// with both predictors' probe reports is appended.
     pub fn to_json(&self) -> Value {
-        json!({
+        let mut doc = json!({
             "metadata": {
                 "simulator": "MBPlib comparison simulator",
                 "version": crate::SIMULATOR_VERSION,
@@ -80,6 +88,10 @@ impl ComparisonResult {
                 "only_second_wrong": self.only_b_wrong,
                 "simulation_time": self.simulation_time,
             },
+            "predictor_statistics": {
+                "predictor_0": self.predictor_statistics[0].clone(),
+                "predictor_1": self.predictor_statistics[1].clone(),
+            },
             "most_failed": self.most_diverging.iter().map(|d| json!({
                 "ip": d.ip,
                 "occurrences": d.occurrences,
@@ -87,7 +99,19 @@ impl ComparisonResult {
                 "mispredictions_1": d.mispredictions_b,
                 "mpki_difference": d.mpki_difference,
             })).collect::<Vec<_>>(),
-        })
+        });
+        if self.table_probes.iter().any(|p| !p.is_empty()) {
+            if let Some(d) = doc.as_object_mut() {
+                d.insert(
+                    "introspection",
+                    json!({
+                        "predictor_0": { "probes": crate::probes_to_json(&self.table_probes[0]) },
+                        "predictor_1": { "probes": crate::probes_to_json(&self.table_probes[1]) },
+                    }),
+                );
+            }
+        }
+        doc
     }
 }
 
@@ -194,6 +218,12 @@ where
         only_a_wrong: only[0],
         only_b_wrong: only[1],
         most_diverging,
+        predictor_statistics: [a.execution_statistics(), b.execution_statistics()],
+        table_probes: if config.collect_probes {
+            [a.table_probes(), b.table_probes()]
+        } else {
+            [Vec::new(), Vec::new()]
+        },
         simulation_time: start.elapsed().as_secs_f64(),
     })
 }
@@ -214,6 +244,12 @@ mod tests {
         fn track(&mut self, _b: &Branch) {}
         fn metadata(&self) -> Value {
             json!({"name": "fixed", "dir": self.0})
+        }
+        fn execution_statistics(&self) -> Value {
+            json!({"direction": self.0})
+        }
+        fn table_probes(&self) -> Vec<TableProbe> {
+            vec![TableProbe::new("fixed", 1)]
         }
     }
 
@@ -284,5 +320,38 @@ mod tests {
         assert_eq!(v["metadata"]["predictor_0"]["dir"], Value::Bool(true));
         assert_eq!(v["metadata"]["predictor_1"]["dir"], Value::Bool(false));
         assert_eq!(v["metrics"]["mispredictions_1"], Value::from(1));
+        assert_eq!(
+            v["predictor_statistics"]["predictor_0"]["direction"],
+            Value::Bool(true)
+        );
+        assert_eq!(
+            v["predictor_statistics"]["predictor_1"]["direction"],
+            Value::Bool(false)
+        );
+        assert!(
+            v.get("introspection").is_none(),
+            "no probes unless requested"
+        );
+    }
+
+    #[test]
+    fn introspection_section_renders_when_probes_collected() {
+        let recs = vec![cond(0x10, true)];
+        let mut a = Fixed(true);
+        let mut b = Fixed(false);
+        let cfg = SimConfig {
+            collect_probes: true,
+            ..SimConfig::default()
+        };
+        let r = simulate_comparison(&mut SliceSource::new(&recs), &mut a, &mut b, &cfg).unwrap();
+        let v = r.to_json();
+        assert_eq!(
+            v["introspection"]["predictor_0"]["probes"][0]["name"].as_str(),
+            Some("fixed")
+        );
+        assert_eq!(
+            v["introspection"]["predictor_1"]["probes"][0]["entries"].as_u64(),
+            Some(1)
+        );
     }
 }

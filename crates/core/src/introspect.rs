@@ -1,0 +1,183 @@
+//! Predictor introspection probes: end-of-run table-health reports.
+//!
+//! [`Predictor::table_probes`](crate::Predictor::table_probes) lets a
+//! predictor expose the state of its prediction tables — capacity,
+//! occupancy, counter saturation, usefulness — as structured
+//! [`TableProbe`] reports. Probes are computed once at the end of a run
+//! from the final table state (plus cheap train-path counters such as
+//! allocation failures), so collecting them adds nothing to the
+//! per-record hot path; when [`crate::SimConfig::collect_probes`] is off
+//! they are not collected at all.
+
+use mbp_json::{Map, Value};
+use mbp_utils::SatCounter;
+
+/// A table-health report for one prediction table (or bank).
+///
+/// The histogram partitions all entries into labelled buckets (counter
+/// states for saturating-counter tables, weight-magnitude buckets for
+/// perceptron weights), so its counts always sum to `entries`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableProbe {
+    /// Table name, unique within one predictor (e.g. `"tage.bank3"`).
+    /// Composite predictors prefix the names of their components.
+    pub name: String,
+    /// Total entries (capacity).
+    pub entries: u64,
+    /// Entries that have left their reset state ("live" entries).
+    pub occupied: u64,
+    /// Entries whose counter sits at a saturation rail.
+    pub saturated: u64,
+    /// Labelled entry-count buckets; counts sum to `entries`.
+    pub counter_histogram: Vec<(String, u64)>,
+    /// Mean normalized usefulness in `[0, 1]` for tables that track it
+    /// (TAGE useful bits, BATAGE dual-counter confidence).
+    pub useful_density: Option<f64>,
+    /// Predictor-specific scalars (allocation failure counts, history
+    /// lengths, aliasing proxies, ...), merged into the JSON report.
+    pub extra: Vec<(String, Value)>,
+}
+
+impl TableProbe {
+    /// Creates an empty probe for a table of `entries` slots.
+    pub fn new(name: impl Into<String>, entries: u64) -> Self {
+        Self {
+            name: name.into(),
+            entries,
+            occupied: 0,
+            saturated: 0,
+            counter_histogram: Vec::new(),
+            useful_density: None,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Fraction of entries that are live (0.0 for an empty table).
+    pub fn occupancy(&self) -> f64 {
+        if self.entries == 0 {
+            0.0
+        } else {
+            self.occupied as f64 / self.entries as f64
+        }
+    }
+
+    /// Adds a predictor-specific scalar to the report.
+    pub fn with_extra(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.extra.push((key.into(), value.into()));
+        self
+    }
+
+    /// Prefixes the probe name with `component.` (composite predictors).
+    pub fn prefixed(mut self, component: &str) -> Self {
+        self.name = format!("{component}.{}", self.name);
+        self
+    }
+
+    /// Renders one probe report object.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("name", self.name.as_str());
+        m.insert("entries", self.entries);
+        m.insert("occupied", self.occupied);
+        m.insert("occupancy", self.occupancy());
+        m.insert("saturated", self.saturated);
+        let mut hist = Map::new();
+        for (label, count) in &self.counter_histogram {
+            hist.insert(label.as_str(), *count);
+        }
+        m.insert("counter_histogram", Value::Object(hist));
+        if let Some(d) = self.useful_density {
+            m.insert("useful_density", d);
+        }
+        for (key, value) in &self.extra {
+            m.insert(key.as_str(), value.clone());
+        }
+        Value::Object(m)
+    }
+}
+
+/// Renders a probe list as the JSON array used by the `introspection`
+/// output section.
+pub fn probes_to_json(probes: &[TableProbe]) -> Value {
+    probes.iter().map(TableProbe::to_json).collect()
+}
+
+/// Probes a table of signed saturating counters: one histogram bucket per
+/// counter state, occupancy as the fraction of counters that moved off the
+/// reset value, and the weak-state count as a destructive-aliasing proxy
+/// (`weak_entries`: counters held near zero by conflicting branches).
+pub fn probe_counter_table<const BITS: u32>(
+    name: impl Into<String>,
+    table: &[SatCounter<BITS>],
+) -> TableProbe {
+    let mut probe = TableProbe::new(name, table.len() as u64);
+    let states = 1usize << BITS;
+    let mut histogram = vec![0u64; states];
+    let reset = SatCounter::<BITS>::default().value();
+    let mut weak = 0u64;
+    for c in table {
+        histogram[(c.value() - SatCounter::<BITS>::MIN) as usize] += 1;
+        probe.occupied += (c.value() != reset) as u64;
+        probe.saturated += c.is_saturated() as u64;
+        weak += c.is_weak() as u64;
+    }
+    probe.counter_histogram = histogram
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| (format!("{}", SatCounter::<BITS>::MIN + i as i8), n))
+        .collect();
+    probe.with_extra("weak_entries", weak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbp_utils::I2;
+
+    #[test]
+    fn counter_table_probe_partitions_all_entries() {
+        let mut table = vec![I2::default(); 8];
+        table[0].sum_or_sub(true); // 0 -> 1 (saturated)
+        table[1].sum_or_sub(false); // 0 -> -1
+        table[2].sum_or_sub(false);
+        table[2].sum_or_sub(false); // 0 -> -2 (saturated)
+        let probe = probe_counter_table("bimodal", &table);
+        assert_eq!(probe.entries, 8);
+        assert_eq!(probe.occupied, 3);
+        assert_eq!(probe.saturated, 2);
+        let total: u64 = probe.counter_histogram.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 8, "histogram partitions the table");
+        let labels: Vec<&str> = probe
+            .counter_histogram
+            .iter()
+            .map(|(l, _)| l.as_str())
+            .collect();
+        assert_eq!(labels, ["-2", "-1", "0", "1"]);
+        assert_eq!(probe.occupancy(), 3.0 / 8.0);
+    }
+
+    #[test]
+    fn probe_json_includes_extras_and_density() {
+        let mut probe = TableProbe::new("tage.bank0", 4).with_extra("hist_len", 4u64);
+        probe.occupied = 2;
+        probe.useful_density = Some(0.25);
+        let v = probe.to_json();
+        assert_eq!(v["name"].as_str(), Some("tage.bank0"));
+        assert_eq!(v["occupancy"].as_f64(), Some(0.5));
+        assert_eq!(v["useful_density"].as_f64(), Some(0.25));
+        assert_eq!(v["hist_len"].as_u64(), Some(4));
+    }
+
+    #[test]
+    fn prefixed_renames_for_composites() {
+        let probe = TableProbe::new("gshare", 4).prefixed("bp1");
+        assert_eq!(probe.name, "bp1.gshare");
+    }
+
+    #[test]
+    fn probes_to_json_is_an_array() {
+        let v = probes_to_json(&[TableProbe::new("a", 1), TableProbe::new("b", 2)]);
+        assert_eq!(v.as_array().map(<[Value]>::len), Some(2));
+        assert_eq!(v[1]["entries"].as_u64(), Some(2));
+    }
+}

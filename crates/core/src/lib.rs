@@ -40,14 +40,17 @@
 //! ```
 
 mod compare;
+mod introspect;
 mod metrics;
 mod output;
 mod predictor;
 mod simulator;
 mod source;
 mod sweep;
+mod timeseries;
 
 pub use compare::{simulate_comparison, ComparisonResult, DivergingBranch};
+pub use introspect::{probe_counter_table, probes_to_json, TableProbe};
 pub use metrics::{
     BranchStat, BranchTaxonomy, ClassStat, Metrics, MostFailed, ENTROPY_CLASSES, TRANSITION_CLASSES,
 };
@@ -55,6 +58,7 @@ pub use predictor::Predictor;
 pub use simulator::{simulate, simulate_scalar, SimConfig, SimMetadata, SimResult};
 pub use source::{SliceSource, TraceSource, VecSource, BATCH_RECORDS};
 pub use sweep::{simulate_many, SweepConfig, SweepEntry, SweepFailure, SweepResult};
+pub use timeseries::{TimeSeries, TimeSeriesBuilder, Window, DEFAULT_WINDOW_INSTRUCTIONS};
 
 // Re-export the vocabulary types so predictor crates depend on `mbp-core`
 // alone.

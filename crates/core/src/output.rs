@@ -41,6 +41,11 @@ impl SimResult {
     /// `metrics`, `predictor_statistics` and `most_failed` sections, with
     /// the predictor's own metadata embedded under `metadata.predictor`.
     ///
+    /// Two opt-in extensions ride along without disturbing the Listing-1
+    /// shape: windowed telemetry renders under `metrics.timeseries`, and
+    /// table-health probes append a trailing `introspection` section —
+    /// both only when the run collected them.
+    ///
     /// # Examples
     ///
     /// ```
@@ -62,7 +67,7 @@ impl SimResult {
     /// ```
     pub fn to_json(&self) -> Value {
         let m = &self.metadata;
-        json!({
+        let mut doc = json!({
             "metadata": {
                 "simulator": m.simulator,
                 "version": m.version,
@@ -94,7 +99,25 @@ impl SimResult {
                 "direction_entropy": s.direction_entropy,
                 "transition_rate": s.transition_rate,
             })).collect::<Vec<_>>(),
-        })
+        });
+        if let Some(ts) = &self.timeseries {
+            if let Some(metrics) = doc
+                .as_object_mut()
+                .and_then(|d| d.get_mut("metrics"))
+                .and_then(Value::as_object_mut)
+            {
+                metrics.insert("timeseries", ts.to_json());
+            }
+        }
+        if !self.table_probes.is_empty() {
+            if let Some(d) = doc.as_object_mut() {
+                d.insert(
+                    "introspection",
+                    json!({ "probes": crate::probes_to_json(&self.table_probes) }),
+                );
+            }
+        }
+        doc
     }
 }
 
@@ -175,6 +198,54 @@ mod tests {
 
         assert_eq!(doc["most_failed"][0]["ip"], Value::from(0x10));
         // The document parses back (machine-friendly requirement).
+        let text = doc.to_pretty_string();
+        let reparsed: Value = text.parse().unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn opt_in_sections_render_after_listing1_sections() {
+        struct Probed;
+        impl Predictor for Probed {
+            fn predict(&mut self, _: u64) -> bool {
+                true
+            }
+            fn train(&mut self, _: &Branch) {}
+            fn track(&mut self, _: &Branch) {}
+            fn table_probes(&self) -> Vec<crate::TableProbe> {
+                vec![crate::TableProbe::new("table", 16)]
+            }
+        }
+        let recs = vec![BranchRecord::new(
+            Branch::new(0x10, 0, Opcode::conditional_direct(), true),
+            9,
+        )];
+        let cfg = SimConfig {
+            timeseries_window: Some(5),
+            collect_probes: true,
+            ..SimConfig::default()
+        };
+        let r = simulate(&mut SliceSource::new(&recs), &mut Probed, &cfg).unwrap();
+        let doc = r.to_json();
+        let keys: Vec<_> = doc.as_object().unwrap().keys().collect();
+        assert_eq!(
+            keys,
+            [
+                "metadata",
+                "metrics",
+                "predictor_statistics",
+                "most_failed",
+                "introspection"
+            ],
+            "introspection appends after the Listing-1 sections"
+        );
+        let ts = &doc["metrics"]["timeseries"];
+        assert_eq!(ts["window_size"].as_u64(), Some(5));
+        assert_eq!(ts["num_windows"].as_u64(), Some(1));
+        assert_eq!(
+            doc["introspection"]["probes"][0]["name"].as_str(),
+            Some("table")
+        );
         let text = doc.to_pretty_string();
         let reparsed: Value = text.parse().unwrap();
         assert_eq!(reparsed, doc);

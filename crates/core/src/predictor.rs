@@ -3,6 +3,8 @@
 use mbp_json::Value;
 use mbp_trace::Branch;
 
+use crate::introspect::TableProbe;
+
 /// A branch direction predictor.
 ///
 /// The contract follows MBPlib's `mbp::Predictor` exactly:
@@ -49,9 +51,35 @@ pub trait Predictor {
     }
 
     /// Dynamic execution statistics, embedded under `predictor_statistics`
-    /// in the simulator output. Empty by default.
+    /// in the simulator output (and per-predictor in the comparison and
+    /// sweep documents).
+    ///
+    /// # Contract
+    ///
+    /// * Returns a JSON **object** (possibly empty — the default). Scalars
+    ///   or arrays would not merge predictably into the output document.
+    /// * Must be cheap and read-only: it is called once per run, after the
+    ///   trace is exhausted, and must not mutate predictor state.
+    /// * Values must be deterministic for a given record stream and
+    ///   configuration — the driver-equivalence suite compares full output
+    ///   documents across the scalar, batched and sweep drivers.
+    /// * Counters that back these statistics should live on the `train` /
+    ///   `track` paths, never on `predict` (which the simulator may call
+    ///   speculatively), and should be plain integer increments so the
+    ///   statistics stay free for the hot path.
     fn execution_statistics(&self) -> Value {
         Value::object()
+    }
+
+    /// End-of-run table-health probes (see [`TableProbe`]), surfaced in the
+    /// output's `introspection` section when the run collects probes
+    /// ([`crate::SimConfig::collect_probes`]).
+    ///
+    /// Like [`execution_statistics`](Predictor::execution_statistics), this
+    /// is called once per run and must be read-only and deterministic.
+    /// Predictors without probe support return the default empty list.
+    fn table_probes(&self) -> Vec<TableProbe> {
+        Vec::new()
     }
 }
 
@@ -77,6 +105,10 @@ impl<P: Predictor + ?Sized> Predictor for Box<P> {
 
     fn execution_statistics(&self) -> Value {
         (**self).execution_statistics()
+    }
+
+    fn table_probes(&self) -> Vec<TableProbe> {
+        (**self).table_probes()
     }
 }
 
@@ -110,5 +142,6 @@ mod tests {
         p.track(&b);
         assert_eq!(p.metadata()["name"], Value::from("fixed"));
         assert_eq!(p.execution_statistics(), Value::object());
+        assert!(p.table_probes().is_empty(), "default probes are empty");
     }
 }

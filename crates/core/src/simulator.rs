@@ -6,7 +6,8 @@ use mbp_json::Value;
 use mbp_trace::TraceError;
 
 use crate::metrics::{accuracy, mpki, BranchStat, BranchTaxonomy, Metrics, MostFailed};
-use crate::{Predictor, TraceSource};
+use crate::timeseries::{TimeSeries, TimeSeriesBuilder};
+use crate::{Predictor, TableProbe, TraceSource};
 
 /// Configuration of a simulation run.
 ///
@@ -35,6 +36,14 @@ pub struct SimConfig {
     pub track_only_conditional: bool,
     /// Maximum entries in the `most_failed` report.
     pub most_failed_limit: usize,
+    /// Accumulate windowed time-series telemetry with this window size in
+    /// instructions (`None` — the default — disables the telemetry and
+    /// keeps the batched driver on its per-batch steady-state fast path).
+    pub timeseries_window: Option<u64>,
+    /// Capture the predictor's [`TableProbe`] reports at the end of the
+    /// run (the `--introspect` flag). Off by default; probes are read once
+    /// from the final table state, so this never touches the record loop.
+    pub collect_probes: bool,
 }
 
 impl Default for SimConfig {
@@ -44,6 +53,8 @@ impl Default for SimConfig {
             max_instructions: None,
             track_only_conditional: false,
             most_failed_limit: 20,
+            timeseries_window: None,
+            collect_probes: false,
         }
     }
 }
@@ -87,6 +98,12 @@ pub struct SimResult {
     /// Per-branch misprediction characterization (rendered under
     /// `metrics.branch_taxonomy`).
     pub branch_taxonomy: BranchTaxonomy,
+    /// Windowed telemetry (rendered under `metrics.timeseries`); present
+    /// only when [`SimConfig::timeseries_window`] was set.
+    pub timeseries: Option<TimeSeries>,
+    /// Table-health probes (rendered as the `introspection` section);
+    /// empty unless [`SimConfig::collect_probes`] was set.
+    pub table_probes: Vec<TableProbe>,
 }
 
 /// Per-record bookkeeping shared by the batched and scalar drivers.
@@ -97,10 +114,11 @@ struct SimState {
     mispredictions: u64,
     most_failed: MostFailed,
     exhausted: bool,
+    timeseries: Option<TimeSeriesBuilder>,
 }
 
 impl SimState {
-    fn new() -> Self {
+    fn new(config: &SimConfig) -> Self {
         Self {
             instructions: 0,
             measured_instructions: 0,
@@ -108,6 +126,7 @@ impl SimState {
             mispredictions: 0,
             most_failed: MostFailed::new(),
             exhausted: true,
+            timeseries: config.timeseries_window.map(TimeSeriesBuilder::new),
         }
     }
 
@@ -122,6 +141,7 @@ impl SimState {
         S: TraceSource + ?Sized,
         P: Predictor + ?Sized,
     {
+        let timeseries = self.timeseries.map(|b| b.finish(self.instructions));
         SimResult {
             metadata: SimMetadata {
                 simulator: crate::SIMULATOR_NAME,
@@ -147,6 +167,12 @@ impl SimState {
                 .most_failed
                 .top(config.most_failed_limit, self.measured_instructions),
             branch_taxonomy: self.most_failed.taxonomy(),
+            timeseries,
+            table_probes: if config.collect_probes {
+                predictor.table_probes()
+            } else {
+                Vec::new()
+            },
         }
     }
 }
@@ -183,7 +209,7 @@ where
     // a predictor panicking under a sweep's `catch_unwind` still pairs its
     // begin event with an end event.
     let _run_event = mbp_stats::events::span(mbp_stats::events::EventName::SimSimulate);
-    let mut st = SimState::new();
+    let mut st = SimState::new(config);
     let mut records = 0u64;
     let mut batch: Vec<mbp_trace::BranchRecord> = Vec::new();
 
@@ -207,7 +233,13 @@ where
         // checks can be hoisted out of the loop. Any record advances the
         // counter by at least one instruction, so `instructions >= warmup`
         // here implies `instructions > warmup` after each record below.
-        if config.max_instructions.is_none() && st.instructions >= config.warmup_instructions {
+        // Timeseries accumulation needs per-record attribution, so it pins
+        // the run to the slow loop; the check is per batch, keeping the
+        // default (disabled) configuration at zero per-record cost.
+        if config.max_instructions.is_none()
+            && st.instructions >= config.warmup_instructions
+            && st.timeseries.is_none()
+        {
             for rec in &batch {
                 let advanced = rec.instructions();
                 st.instructions += advanced;
@@ -247,6 +279,11 @@ where
             if b.is_conditional() {
                 let prediction = predictor.predict(b.ip());
                 let mispredicted = prediction != b.is_taken();
+                if let Some(ts) = st.timeseries.as_mut() {
+                    // Warmup branches are recorded too: seeing the warmup
+                    // transient is the point of the series.
+                    ts.branch(b.ip(), b.is_taken(), mispredicted);
+                }
                 if in_measurement {
                     st.conditional += 1;
                     st.mispredictions += mispredicted as u64;
@@ -260,6 +297,9 @@ where
             }
             if !config.track_only_conditional || b.is_conditional() {
                 predictor.track(&b);
+            }
+            if let Some(ts) = st.timeseries.as_mut() {
+                ts.advance(st.instructions);
             }
         }
     }
@@ -304,6 +344,7 @@ where
     let mut mispredictions = 0u64;
     let mut most_failed = MostFailed::new();
     let mut exhausted = true;
+    let mut ts_builder = config.timeseries_window.map(TimeSeriesBuilder::new);
 
     while let Some(rec) = trace.next_record()? {
         records += 1;
@@ -322,6 +363,9 @@ where
         if b.is_conditional() {
             let prediction = predictor.predict(b.ip());
             let mispredicted = prediction != b.is_taken();
+            if let Some(ts) = ts_builder.as_mut() {
+                ts.branch(b.ip(), b.is_taken(), mispredicted);
+            }
             if in_measurement {
                 conditional += 1;
                 mispredictions += mispredicted as u64;
@@ -335,6 +379,9 @@ where
         }
         if !config.track_only_conditional || b.is_conditional() {
             predictor.track(&b);
+        }
+        if let Some(ts) = ts_builder.as_mut() {
+            ts.advance(instructions);
         }
     }
 
@@ -368,6 +415,12 @@ where
         predictor_statistics: predictor.execution_statistics(),
         most_failed: most_failed.top(config.most_failed_limit, measured_instructions),
         branch_taxonomy: most_failed.taxonomy(),
+        timeseries: ts_builder.map(|b| b.finish(instructions)),
+        table_probes: if config.collect_probes {
+            predictor.table_probes()
+        } else {
+            Vec::new()
+        },
     })
 }
 
@@ -531,5 +584,67 @@ mod tests {
         assert_eq!(r.most_failed[0].ip, 0x10);
         assert_eq!(r.most_failed[0].mispredictions, 2);
         assert_eq!(r.most_failed[0].occurrences, 2);
+    }
+
+    #[test]
+    fn timeseries_and_probes_off_by_default() {
+        let recs = vec![cond(0x10, true, 9)];
+        let mut spy = Spy::default();
+        let r = simulate(
+            &mut SliceSource::new(&recs),
+            &mut spy,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert!(r.timeseries.is_none());
+        assert!(r.table_probes.is_empty());
+    }
+
+    #[test]
+    fn timeseries_buckets_the_run_and_includes_warmup() {
+        // 6 records x 10 instructions, window 20 => 3 windows of 2 branches.
+        let recs: Vec<_> = (0..6).map(|i| cond(0x10, i % 2 == 0, 9)).collect();
+        let cfg = SimConfig {
+            warmup_instructions: 20,
+            timeseries_window: Some(20),
+            ..SimConfig::default()
+        };
+        let mut spy = Spy::default();
+        let r = simulate(&mut SliceSource::new(&recs), &mut spy, &cfg).unwrap();
+        let ts = r.timeseries.expect("enabled");
+        assert_eq!(ts.window_size, 20);
+        assert_eq!(ts.windows.len(), 3);
+        for w in &ts.windows {
+            assert_eq!(w.instructions, 20);
+            assert_eq!(w.conditional, 2, "warmup branches are in the series");
+            assert_eq!(w.mispredictions, 1, "spy predicts taken");
+            assert_eq!(w.unique_branches, 1);
+        }
+        // Aggregate metrics still exclude warmup.
+        assert_eq!(r.metadata.simulation_instr, 40);
+        assert_eq!(r.metrics.mispredictions, 2);
+    }
+
+    #[test]
+    fn probes_collected_when_requested() {
+        struct Probed;
+        impl Predictor for Probed {
+            fn predict(&mut self, _ip: u64) -> bool {
+                true
+            }
+            fn train(&mut self, _b: &Branch) {}
+            fn track(&mut self, _b: &Branch) {}
+            fn table_probes(&self) -> Vec<crate::TableProbe> {
+                vec![crate::TableProbe::new("t", 4)]
+            }
+        }
+        let recs = vec![cond(0x10, true, 0)];
+        let cfg = SimConfig {
+            collect_probes: true,
+            ..SimConfig::default()
+        };
+        let r = simulate(&mut SliceSource::new(&recs), &mut Probed, &cfg).unwrap();
+        assert_eq!(r.table_probes.len(), 1);
+        assert_eq!(r.table_probes[0].name, "t");
     }
 }

@@ -118,8 +118,10 @@ impl SweepResult {
     /// Renders the sweep as a JSON leaderboard document.
     ///
     /// The `leaderboard` array is ranked by MPKI ascending and carries each
-    /// predictor's headline metrics; `results` holds the corresponding full
-    /// Listing-1 documents in the same order.
+    /// predictor's headline metrics plus its `execution_statistics()`
+    /// report; `results` holds the corresponding full Listing-1 documents
+    /// in the same order (including `metrics.timeseries` and
+    /// `introspection` when the sweep configuration collected them).
     pub fn to_json(&self) -> Value {
         json!({
             "metadata": {
@@ -141,6 +143,7 @@ impl SweepResult {
                 "accuracy": e.result.metrics.accuracy,
                 "mispredictions": e.result.metrics.mispredictions,
                 "simulation_time": e.result.metrics.simulation_time,
+                "predictor_statistics": e.result.predictor_statistics.clone(),
             })).collect::<Vec<_>>(),
             "failures": self.failures.iter().map(SweepFailure::to_json)
                 .collect::<Vec<_>>(),
@@ -499,6 +502,12 @@ mod tests {
         let doc = r.to_json();
         assert_eq!(doc["leaderboard"][0]["rank"], Value::from(1));
         assert_eq!(doc["leaderboard"][0]["predictor"], Value::from("always"));
+        assert!(
+            doc["leaderboard"][0]["predictor_statistics"]
+                .as_object()
+                .is_some(),
+            "leaderboard entries carry execution statistics"
+        );
         assert_eq!(doc["metadata"]["num_predictors"], Value::from(2));
         assert_eq!(
             doc["results"][0]["metadata"]["simulator"].as_str(),

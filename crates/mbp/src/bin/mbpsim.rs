@@ -12,6 +12,7 @@
 //! mbpsim info --trace t.sbbt.mzst
 //! mbpsim stats-diff baseline.json candidate.json [--threshold PCT]
 //! mbpsim validate-trace run.trace.json
+//! mbpsim report metrics.json [--out report.html]
 //! mbpsim list
 //! ```
 
@@ -81,6 +82,7 @@ fn usage() -> &'static str {
      mbpsim info --trace <file>\n  \
      mbpsim stats-diff <baseline.json> <candidate.json> [--threshold PCT]\n  \
      mbpsim validate-trace <run.trace.json>\n  \
+     mbpsim report <metrics.json> [--out <report.html>]\n  \
      mbpsim list\n\
      \n\
      run, compare, sweep and gen also accept:\n  \
@@ -92,6 +94,12 @@ fn usage() -> &'static str {
      --events-out <file>    write the raw event journal as JSONL\n  \
      --sample-every <N>     sample throughput gauges every N batches\n                         \
      (default 64, 0 disables)\n  \
+     --introspect           collect end-of-run table-health probes into an\n                         \
+     `introspection` output section (run, compare, sweep)\n  \
+     --timeseries-out <f>   write per-window time-series rows as CSV and add\n                         \
+     `metrics.timeseries` to the JSON (run, sweep)\n  \
+     --window <N>           time-series window size in instructions\n                         \
+     (default 100000; implies `metrics.timeseries`)\n  \
      --quiet                suppress the live progress line on stderr"
 }
 
@@ -138,6 +146,18 @@ impl Args {
 }
 
 fn sim_config(args: &Args) -> Result<SimConfig, Failure> {
+    // `--window N` tunes the window size and by itself enables the time
+    // series; `--timeseries-out` enables it at the default window size.
+    let timeseries_window = match args.get("--window") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| Failure::usage(format!("invalid value for --window: {v}")))?,
+        ),
+        None if args.get("--timeseries-out").is_some() => {
+            Some(mbp::sim::DEFAULT_WINDOW_INSTRUCTIONS)
+        }
+        None => None,
+    };
     Ok(SimConfig {
         warmup_instructions: args.parsed("--warmup", 0)?,
         max_instructions: args
@@ -146,8 +166,34 @@ fn sim_config(args: &Args) -> Result<SimConfig, Failure> {
             .transpose()
             .map_err(|_| Failure::usage("invalid value for --max"))?,
         track_only_conditional: args.flag("--track-only-conditional"),
+        timeseries_window,
+        collect_probes: args.flag("--introspect"),
         ..SimConfig::default()
     })
+}
+
+/// Writes the `--timeseries-out` CSV when requested. Each `(label, series)`
+/// pair contributes its windows as rows; with more than one predictor the
+/// rows carry a leading `predictor` column and share one header.
+fn emit_timeseries_csv(
+    args: &Args,
+    series: &[(Option<&str>, Option<&mbp::sim::TimeSeries>)],
+) -> Result<(), Failure> {
+    let Some(path) = args.get("--timeseries-out") else {
+        return Ok(());
+    };
+    let mut csv = String::new();
+    for (label, ts) in series {
+        let Some(ts) = ts else { continue };
+        let chunk = ts.to_csv(*label);
+        if csv.is_empty() {
+            csv.push_str(&chunk);
+        } else {
+            // Subsequent predictors repeat the header line; keep only one.
+            csv.push_str(chunk.split_once('\n').map_or("", |(_, rows)| rows));
+        }
+    }
+    std::fs::write(path, csv).map_err(|e| Failure::internal(format!("cannot write {path}: {e}")))
 }
 
 /// Whether this invocation asked for pipeline metrics.
@@ -211,7 +257,7 @@ fn emit_metrics(args: &Args, doc: Option<&mut mbp::json::Value>) -> Result<(), F
         return Ok(());
     }
     let snap = mbp::stats::pipeline().snapshot();
-    let pipeline = mbp::report::pipeline_json(&snap);
+    let mut pipeline = mbp::report::pipeline_json(&snap);
     if let Some(doc) = doc {
         if let Some(obj) = doc.as_object_mut() {
             if !obj.contains_key("metrics") {
@@ -223,6 +269,16 @@ fn emit_metrics(args: &Args, doc: Option<&mut mbp::json::Value>) -> Result<(), F
                         metrics.insert(key, value.clone());
                     }
                 }
+            }
+        }
+        // Lift the run's opt-in observability sections into the metrics
+        // file, so `mbpsim report` and `stats-diff` see them there too.
+        if let Some(out) = pipeline.as_object_mut() {
+            if let Some(ts) = doc.get("metrics").and_then(|m| m.get("timeseries")) {
+                out.insert("timeseries", ts.clone());
+            }
+            if let Some(intro) = doc.get("introspection") {
+                out.insert("introspection", intro.clone());
             }
         }
     }
@@ -268,6 +324,7 @@ fn cmd_run(args: &Args) -> Result<ExitCode, Failure> {
     progress.finish();
     emit_events(args)?;
     let result = result.map_err(|e| Failure::trace(format!("simulation failed: {e}")))?;
+    emit_timeseries_csv(args, &[(None, result.timeseries.as_ref())])?;
     let mut doc = result.to_json();
     if let Some(meta) = doc
         .as_object_mut()
@@ -331,6 +388,14 @@ fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
     progress.finish();
     emit_events(args)?;
     let mut result = result.map_err(|e| Failure::trace(format!("sweep failed: {e}")))?;
+    emit_timeseries_csv(
+        args,
+        &result
+            .entries
+            .iter()
+            .map(|e| (Some(e.name.as_str()), e.result.timeseries.as_ref()))
+            .collect::<Vec<_>>(),
+    )?;
     result.trace = trace_path.into();
     for entry in &mut result.entries {
         entry.result.metadata.trace = trace_path.into();
@@ -425,6 +490,30 @@ fn cmd_stats_diff(args: &Args) -> Result<ExitCode, Failure> {
     } else {
         Ok(ExitCode::SUCCESS)
     }
+}
+
+fn cmd_report(args: &Args) -> Result<ExitCode, Failure> {
+    let paths = args.positional();
+    let [path] = paths.as_slice() else {
+        return Err(Failure::usage(
+            "expected: mbpsim report <metrics.json> [--out <report.html>]",
+        ));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Failure::internal(format!("cannot read {path}: {e}")))?;
+    let doc: mbp::json::Value = text
+        .parse()
+        .map_err(|e| Failure::internal(format!("cannot parse {path}: {e}")))?;
+    let html = mbp::html_report::render_html(&doc);
+    match args.get("--out") {
+        Some(out) => {
+            std::fs::write(out, &html)
+                .map_err(|e| Failure::internal(format!("cannot write {out}: {e}")))?;
+            eprintln!("mbpsim: wrote {} bytes to {out}", html.len());
+        }
+        None => print!("{html}"),
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_validate_trace(args: &Args) -> Result<ExitCode, Failure> {
@@ -584,6 +673,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "stats-diff" => cmd_stats_diff(&args),
         "validate-trace" => cmd_validate_trace(&args),
+        "report" => cmd_report(&args),
         "list" => {
             for name in PREDICTOR_NAMES {
                 println!("{name}");

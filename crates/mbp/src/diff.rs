@@ -1,8 +1,9 @@
 //! `mbpsim stats-diff`: section-by-section comparison of two `--metrics-out`
 //! files, with regression thresholds so CI can gate on it.
 //!
-//! The metrics schema (see `DESIGN.md`) has five fixed sections — `decode`,
-//! `compress`, `simulate`, `sweep`, `generation` — of numeric leaves. The
+//! The metrics schema (see `DESIGN.md`) has fixed sections — `decode`,
+//! `compress`, `simulate`, `sweep`, `generation`, plus the opt-in
+//! `timeseries` and `introspection` sections — of numeric leaves. The
 //! diff walks both documents in that order, flattens every numeric leaf to a
 //! dotted path, and classifies each delta:
 //!
@@ -14,6 +15,10 @@
 //!   reported as changed but never fails the gate, since a different
 //!   workload legitimately moves every counter.
 //!
+//! A metric (or whole section) present in only one file is reported as
+//! `added`/`removed` rather than treated as an error or a regression, so
+//! baselines recorded before a schema extension keep diffing cleanly.
+//!
 //! [`DiffReport::render`] produces the stable text report pinned by the
 //! golden-fixture test; [`DiffReport::has_regressions`] drives the nonzero
 //! exit code.
@@ -21,7 +26,15 @@
 use mbp_json::{Map, Value};
 
 /// The fixed section order of the metrics schema.
-pub const SECTIONS: [&str; 5] = ["decode", "compress", "simulate", "sweep", "generation"];
+pub const SECTIONS: [&str; 7] = [
+    "decode",
+    "compress",
+    "simulate",
+    "sweep",
+    "generation",
+    "timeseries",
+    "introspection",
+];
 
 /// Tuning knobs for a diff run.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +61,10 @@ pub enum Status {
     Improvement,
     /// A directional metric moved the bad way beyond the threshold.
     Regression,
+    /// Present only in the candidate file (e.g. a new schema section).
+    Added,
+    /// Present only in the baseline file.
+    Removed,
 }
 
 impl Status {
@@ -57,6 +74,8 @@ impl Status {
             Status::Changed => "changed",
             Status::Improvement => "improvement",
             Status::Regression => "REGRESSION",
+            Status::Added => "added",
+            Status::Removed => "removed",
         }
     }
 }
@@ -135,12 +154,15 @@ impl DiffReport {
             ));
         }
         out.push_str(&format!(
-            "summary: {} metrics — {} unchanged, {} changed, {} improved, {} regressed\n",
+            "summary: {} metrics — {} unchanged, {} changed, {} improved, {} regressed, \
+             {} added, {} removed\n",
             self.lines.len(),
             self.count(Status::Unchanged),
             self.count(Status::Changed),
             self.count(Status::Improvement),
             self.count(Status::Regression),
+            self.count(Status::Added),
+            self.count(Status::Removed),
         ));
         out
     }
@@ -261,7 +283,12 @@ fn flatten_pair(
 /// Applies direction and threshold to one metric pair.
 fn judge(path: &str, a: Option<f64>, b: Option<f64>, options: &DiffOptions) -> Status {
     let (Some(a), Some(b)) = (a, b) else {
-        return Status::Changed; // present on one side only
+        // Present on one side only: a schema section (or metric) that one of
+        // the two files predates. Informational, never a gate failure.
+        return match (a, b) {
+            (None, Some(_)) => Status::Added,
+            _ => Status::Removed,
+        };
     };
     if a == b {
         return Status::Unchanged;
@@ -387,9 +414,40 @@ mod tests {
         let b = json!({ "decode": { "packets_decoded": 2048, "time_s": 0.5 } });
         let report = diff_metrics(&a, &b, &DiffOptions::default());
         assert!(!report.has_regressions());
-        assert!(report
+        let gone = report
             .lines
             .iter()
-            .any(|l| l.path == "simulate.time_s" && l.b.is_none()));
+            .find(|l| l.path == "simulate.time_s")
+            .unwrap();
+        assert!(gone.b.is_none());
+        assert_eq!(gone.status, Status::Removed);
+    }
+
+    #[test]
+    fn new_sections_are_added_not_regressions() {
+        // A candidate recorded after the timeseries/introspection schema
+        // extension must diff cleanly against an older baseline.
+        let a = metrics(1.0, 1e6, 2048);
+        let mut b = metrics(1.0, 1e6, 2048);
+        if let Some(obj) = b.as_object_mut() {
+            obj.insert(
+                "timeseries",
+                json!({ "num_windows": 4, "phase_change_score": 0.25 }),
+            );
+            obj.insert("introspection", json!({ "probes": [{ "entries": 64 }] }));
+        }
+        let report = diff_metrics(&a, &b, &DiffOptions::default());
+        assert!(!report.has_regressions());
+        let added: Vec<&str> = report
+            .lines
+            .iter()
+            .filter(|l| l.status == Status::Added)
+            .map(|l| l.path.as_str())
+            .collect();
+        assert!(added.contains(&"timeseries.num_windows"), "{added:?}");
+        assert!(
+            added.contains(&"introspection.probes[0].entries"),
+            "{added:?}"
+        );
     }
 }

@@ -1,0 +1,436 @@
+//! `mbpsim report`: renders a metrics/run/compare/sweep JSON document into a
+//! single self-contained HTML page — inline CSS and inline SVG sparklines,
+//! no external assets or scripts — so a run's time-series and table-health
+//! probes can be eyeballed without any tooling beyond a browser.
+//!
+//! The renderer is deliberately permissive about document shape: it accepts
+//! the output of `mbpsim run`/`compare`/`sweep` as well as the flat
+//! `--metrics-out` schema, looking for a `timeseries` object either at the
+//! top level or under `metrics`, and for probe reports under
+//! `introspection`.
+
+use mbp_json::Value;
+
+static NULL: Value = Value::Null;
+
+/// Null-tolerant field access: `Value::index` panics on a missing key, but
+/// report documents legitimately omit sections.
+fn field<'v>(v: &'v Value, key: &str) -> &'v Value {
+    v.get(key).unwrap_or(&NULL)
+}
+
+/// Escapes text for safe inclusion in HTML body or attribute context.
+fn esc(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one numeric series as an inline SVG sparkline polyline. Returns
+/// an empty string for series with no points.
+fn sparkline(values: &[f64], width: u32, height: u32) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if (hi - lo).abs() < 1e-12 {
+        1.0
+    } else {
+        hi - lo
+    };
+    let (w, h) = (width as f64, height as f64);
+    let pad = 2.0;
+    let step = if values.len() > 1 {
+        (w - 2.0 * pad) / (values.len() - 1) as f64
+    } else {
+        0.0
+    };
+    let points: Vec<String> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let x = pad + i as f64 * step;
+            let y = pad + (h - 2.0 * pad) * (1.0 - (v - lo) / span);
+            format!("{x:.1},{y:.1}")
+        })
+        .collect();
+    format!(
+        "<svg viewBox=\"0 0 {width} {height}\" width=\"{width}\" height=\"{height}\" \
+         role=\"img\"><polyline fill=\"none\" stroke=\"#2a6fb0\" stroke-width=\"1.5\" \
+         points=\"{}\"/></svg>",
+        points.join(" ")
+    )
+}
+
+/// Formats a JSON scalar for display; objects/arrays render as a count.
+fn scalar(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Array(a) => format!("[{} items]", a.len()),
+        Value::Object(o) => format!("{{{} keys}}", o.keys().count()),
+        other => esc(&other.to_string()),
+    }
+}
+
+/// A two-column key/value table over an object's entries.
+fn kv_table(obj: &Value) -> String {
+    let Some(map) = obj.as_object() else {
+        return String::new();
+    };
+    let mut out = String::from("<table>");
+    for (key, value) in map.iter() {
+        out.push_str(&format!(
+            "<tr><th>{}</th><td>{}</td></tr>",
+            esc(key),
+            scalar(value)
+        ));
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// Extracts one per-window field as an f64 series.
+fn window_series(windows: &[Value], name: &str) -> Vec<f64> {
+    windows
+        .iter()
+        .filter_map(|w| field(w, name).as_f64())
+        .collect()
+}
+
+/// Renders the `metrics.timeseries` object: a summary line plus one labelled
+/// sparkline per headline per-window metric.
+fn timeseries_section(ts: &Value) -> String {
+    let mut out = String::from("<section><h2>Time series</h2>");
+    let warmup = match field(ts, "warmup_end_window").as_u64() {
+        Some(w) => format!("window {w}"),
+        None => "not detected".to_string(),
+    };
+    out.push_str(&format!(
+        "<p>{} windows of {} instructions — warmup ends at {}, \
+         phase-change score {}, {} phase changes.</p>",
+        scalar(field(ts, "num_windows")),
+        scalar(field(ts, "window_size")),
+        esc(&warmup),
+        scalar(field(ts, "phase_change_score")),
+        scalar(field(ts, "num_phase_changes")),
+    ));
+    if let Some(windows) = field(ts, "windows").as_array() {
+        out.push_str("<table class=\"spark\">");
+        for (label, name) in [
+            ("MPKI", "mpki"),
+            ("Accuracy", "accuracy"),
+            ("Taken rate", "taken_rate"),
+            ("Unique branches", "unique_branches"),
+        ] {
+            let series = window_series(windows, name);
+            let (lo, hi) = series
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            let range = if series.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{lo:.4} … {hi:.4}")
+            };
+            out.push_str(&format!(
+                "<tr><th>{label}</th><td>{}</td><td>{}</td></tr>",
+                sparkline(&series, 360, 48),
+                esc(&range),
+            ));
+        }
+        out.push_str("</table>");
+    }
+    out.push_str("</section>");
+    out
+}
+
+/// Renders one probe array as a table-health report.
+fn probes_table(probes: &[Value]) -> String {
+    let mut out = String::from(
+        "<table><tr><th>table</th><th>entries</th><th>occupied</th>\
+         <th>occupancy</th><th>saturated</th><th>useful density</th>\
+         <th>histogram</th></tr>",
+    );
+    for probe in probes {
+        let hist = field(probe, "counter_histogram")
+            .as_object()
+            .map(|m| {
+                m.iter()
+                    .map(|(k, v)| format!("{k}:{}", scalar(v)))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .unwrap_or_default();
+        let occupancy = field(probe, "occupancy")
+            .as_f64()
+            .map(|o| format!("{:.1}%", o * 100.0))
+            .unwrap_or_else(|| "-".to_string());
+        let density = field(probe, "useful_density")
+            .as_f64()
+            .map(|d| format!("{d:.4}"))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td class=\"hist\">{}</td></tr>",
+            scalar(field(probe, "name")),
+            scalar(field(probe, "entries")),
+            scalar(field(probe, "occupied")),
+            esc(&occupancy),
+            scalar(field(probe, "saturated")),
+            esc(&density),
+            esc(&hist),
+        ));
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// Renders the `introspection` section in any of its shapes: a run's
+/// `{probes: [...]}`, a comparison's `{predictor_0: {probes}, ...}`, or a
+/// bare probe array.
+fn introspection_section(intro: &Value) -> String {
+    let mut out = String::from("<section><h2>Predictor introspection</h2>");
+    if let Some(probes) = field(intro, "probes").as_array() {
+        out.push_str(&probes_table(probes));
+    } else if let Some(probes) = intro.as_array() {
+        out.push_str(&probes_table(probes));
+    } else if let Some(map) = intro.as_object() {
+        for (key, value) in map.iter() {
+            if let Some(probes) = field(value, "probes").as_array() {
+                out.push_str(&format!("<h3>{}</h3>", esc(key)));
+                out.push_str(&probes_table(probes));
+            }
+        }
+    }
+    out.push_str("</section>");
+    out
+}
+
+/// Renders the scalar leaves of a `metrics` object (the timeseries child,
+/// rendered separately, is skipped).
+fn metrics_section(metrics: &Value) -> String {
+    let Some(map) = metrics.as_object() else {
+        return String::new();
+    };
+    let mut out = String::from("<section><h2>Metrics</h2><table>");
+    for (key, value) in map.iter() {
+        if key == "timeseries" {
+            continue;
+        }
+        out.push_str(&format!(
+            "<tr><th>{}</th><td>{}</td></tr>",
+            esc(key),
+            scalar(value)
+        ));
+    }
+    out.push_str("</table></section>");
+    out
+}
+
+/// Renders the sections of one run/compare document (or a flat metrics
+/// document) into `out`.
+fn render_doc_sections(doc: &Value, out: &mut String) {
+    let metadata = field(doc, "metadata");
+    if !metadata.is_null() {
+        out.push_str("<section><h2>Metadata</h2>");
+        out.push_str(&kv_table(metadata));
+        out.push_str("</section>");
+    }
+    let metrics = field(doc, "metrics");
+    if !metrics.is_null() {
+        out.push_str(&metrics_section(metrics));
+    }
+    let ts = match field(metrics, "timeseries") {
+        Value::Null => field(doc, "timeseries"),
+        nested => nested,
+    };
+    if !ts.is_null() {
+        out.push_str(&timeseries_section(ts));
+    }
+    let stats = field(doc, "predictor_statistics");
+    if !stats.is_null() {
+        out.push_str("<section><h2>Predictor statistics</h2>");
+        out.push_str(&kv_table(stats));
+        out.push_str("</section>");
+    }
+    let intro = field(doc, "introspection");
+    if !intro.is_null() {
+        out.push_str(&introspection_section(intro));
+    }
+}
+
+/// The predictor display name of a run document, when it has one.
+fn predictor_name(doc: &Value) -> Option<&str> {
+    field(field(field(doc, "metadata"), "predictor"), "name").as_str()
+}
+
+/// Renders a full mbpsim JSON document as one self-contained HTML page.
+pub fn render_html(doc: &Value) -> String {
+    let title = predictor_name(doc)
+        .map(|n| format!("mbpsim report — {n}"))
+        .unwrap_or_else(|| "mbpsim report".to_string());
+    let mut out = String::from("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">");
+    out.push_str(&format!("<title>{}</title>", esc(&title)));
+    out.push_str(
+        "<style>\
+         body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:64rem;\
+         padding:0 1rem;color:#1a1a2e}\
+         h1{font-size:1.4rem}h2{font-size:1.1rem;border-bottom:1px solid #ccd;\
+         padding-bottom:.2rem;margin-top:2rem}h3{font-size:1rem}\
+         table{border-collapse:collapse;margin:.5rem 0}\
+         th,td{border:1px solid #ccd;padding:.25rem .6rem;text-align:left;\
+         font-variant-numeric:tabular-nums}\
+         th{background:#f0f2f8;font-weight:600}\
+         .spark td{vertical-align:middle}\
+         .hist{font-size:11px;color:#445}\
+         </style></head><body>",
+    );
+    out.push_str(&format!("<h1>{}</h1>", esc(&title)));
+
+    if let Some(results) = field(doc, "results").as_array() {
+        // A sweep document: metadata and leaderboard summary, then one
+        // block per result.
+        let metadata = field(doc, "metadata");
+        if !metadata.is_null() {
+            out.push_str("<section><h2>Metadata</h2>");
+            out.push_str(&kv_table(metadata));
+            out.push_str("</section>");
+        }
+        if let Some(entries) = field(doc, "leaderboard").as_array() {
+            out.push_str("<section><h2>Leaderboard</h2>");
+            out.push_str(
+                "<table><tr><th>rank</th><th>predictor</th><th>mpki</th>\
+                 <th>accuracy</th></tr>",
+            );
+            for e in entries {
+                out.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                    scalar(field(e, "rank")),
+                    scalar(field(e, "predictor")),
+                    scalar(field(e, "mpki")),
+                    scalar(field(e, "accuracy")),
+                ));
+            }
+            out.push_str("</table></section>");
+        }
+        for result in results {
+            let name = predictor_name(result).unwrap_or("predictor");
+            out.push_str(&format!("<h2>{}</h2>", esc(name)));
+            render_doc_sections(result, &mut out);
+        }
+    } else {
+        render_doc_sections(doc, &mut out);
+    }
+
+    out.push_str("</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbp_json::json;
+
+    fn run_doc() -> Value {
+        json!({
+            "metadata": { "predictor": { "name": "MBPlib GShare" }, "trace": "t.sbbt" },
+            "metrics": {
+                "mpki": 7.5,
+                "accuracy": 0.93,
+                "timeseries": {
+                    "window_size": 100,
+                    "num_windows": 3,
+                    "warmup_end_window": 1,
+                    "phase_change_score": 0.2,
+                    "num_phase_changes": 1,
+                    "windows": [
+                        { "mpki": 12.0, "accuracy": 0.8, "taken_rate": 0.5, "unique_branches": 4 },
+                        { "mpki": 8.0, "accuracy": 0.9, "taken_rate": 0.5, "unique_branches": 4 },
+                        { "mpki": 7.0, "accuracy": 0.92, "taken_rate": 0.6, "unique_branches": 5 },
+                    ],
+                },
+            },
+            "predictor_statistics": {},
+            "introspection": {
+                "probes": [{
+                    "name": "gshare", "entries": 16, "occupied": 7,
+                    "occupancy": 0.4375, "saturated": 2,
+                    "counter_histogram": { "-2": 1, "-1": 2, "0": 9, "1": 4 },
+                }],
+            },
+        })
+    }
+
+    #[test]
+    fn run_report_is_well_formed_and_self_contained() {
+        let html = render_html(&run_doc());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        assert!(html.contains("<svg"), "sparklines rendered");
+        assert!(html.contains("MBPlib GShare"));
+        assert!(html.contains("gshare"), "probe table rendered");
+        assert!(!html.contains("<script"), "no scripts");
+        assert!(
+            !html.contains("http://") && !html.contains("https://"),
+            "no external assets"
+        );
+    }
+
+    #[test]
+    fn timeseries_found_at_top_level_too() {
+        // The flat --metrics-out schema keeps timeseries at the top level.
+        let doc = json!({
+            "simulate": { "records": 10 },
+            "timeseries": field(field(&run_doc(), "metrics"), "timeseries").clone(),
+        });
+        let html = render_html(&doc);
+        assert!(html.contains("<svg"));
+        assert!(html.contains("Time series"));
+    }
+
+    #[test]
+    fn sweep_report_renders_every_result() {
+        let doc = json!({
+            "leaderboard": [{ "rank": 1, "predictor": "gshare", "mpki": 7.5, "accuracy": 0.93 }],
+            "results": [run_doc()],
+        });
+        let html = render_html(&doc);
+        assert!(html.contains("Leaderboard"));
+        assert!(html.contains("MBPlib GShare"));
+        assert!(html.trim_end().ends_with("</html>"));
+    }
+
+    #[test]
+    fn html_is_escaped() {
+        let mut doc = run_doc();
+        if let Some(meta) = doc
+            .as_object_mut()
+            .and_then(|o| o.get_mut("metadata"))
+            .and_then(Value::as_object_mut)
+            .and_then(|m| m.get_mut("predictor"))
+            .and_then(Value::as_object_mut)
+        {
+            meta.insert("name", "<evil>&\"name\"");
+        }
+        let html = render_html(&doc);
+        assert!(!html.contains("<evil>"));
+        assert!(html.contains("&lt;evil&gt;"));
+    }
+
+    #[test]
+    fn sparkline_handles_degenerate_series() {
+        assert_eq!(sparkline(&[], 100, 20), "");
+        assert!(sparkline(&[1.0], 100, 20).contains("<svg"));
+        assert!(sparkline(&[2.0, 2.0, 2.0], 100, 20).contains("polyline"));
+    }
+}

@@ -74,6 +74,7 @@ pub mod stats {
 
 pub mod diff;
 pub mod events_export;
+pub mod html_report;
 pub mod progress;
 pub mod report;
 

@@ -9,7 +9,7 @@
 //! follows those two mechanisms; minor details (meta-predictor skipping,
 //! bank interleaving) are simplified.
 
-use mbp_core::{json, Branch, Predictor, Value};
+use mbp_core::{json, probe_counter_table, Branch, Predictor, TableProbe, Value};
 use mbp_utils::{xor_fold, FoldedHistory, HistoryRegister, Xorshift64, I2};
 
 const COUNT_MAX: u8 = 7;
@@ -190,6 +190,7 @@ pub struct Batage {
     /// Controlled Allocation Throttling counter.
     cat: i32,
     allocations: u64,
+    alloc_failures: u64,
     throttled: u64,
     // Lookup scratch shared by predict/train.
     slots: Vec<(usize, u16)>,
@@ -235,6 +236,7 @@ impl Batage {
             rng: Xorshift64::new(cfg.seed),
             cat: 0,
             allocations: 0,
+            alloc_failures: 0,
             throttled: 0,
             slots: Vec::new(),
             hits: Vec::new(),
@@ -387,6 +389,7 @@ impl Predictor for Batage {
                 if !allocated {
                     // Nothing reclaimable: decay one random candidate and
                     // tighten throttling.
+                    self.alloc_failures += 1;
                     let i = start + self.rng.below((self.tables.len() - start) as u64) as usize;
                     let idx = self.slots[i].0;
                     self.tables[i][idx].dual.decay();
@@ -422,9 +425,44 @@ impl Predictor for Batage {
     fn execution_statistics(&self) -> Value {
         json!({
             "allocations": self.allocations,
+            "allocation_failures": self.alloc_failures,
             "throttled_allocations": self.throttled,
             "cat": self.cat,
         })
+    }
+
+    fn table_probes(&self) -> Vec<TableProbe> {
+        let mut probes = vec![probe_counter_table("batage.base", &self.base)
+            .with_extra("allocation_failures", self.alloc_failures)
+            .with_extra("throttled_allocations", self.throttled)
+            .with_extra("cat", self.cat)];
+        for (i, (table, spec)) in self.tables.iter().zip(&self.cfg.tables).enumerate() {
+            let mut probe = TableProbe::new(format!("batage.bank{i}"), table.len() as u64);
+            let mut buckets = [0u64; 3];
+            let mut evidence_sum = 0u64;
+            for e in table {
+                probe.occupied += (!e.dual.is_useless()) as u64;
+                probe.saturated +=
+                    (e.dual.taken == COUNT_MAX || e.dual.not_taken == COUNT_MAX) as u64;
+                buckets[match e.dual.confidence() {
+                    Confidence::Low => 0,
+                    Confidence::Medium => 1,
+                    Confidence::High => 2,
+                }] += 1;
+                evidence_sum += (e.dual.taken + e.dual.not_taken) as u64;
+            }
+            probe.counter_histogram = vec![
+                ("low".to_string(), buckets[0]),
+                ("medium".to_string(), buckets[1]),
+                ("high".to_string(), buckets[2]),
+            ];
+            // Normalized evidence held per entry — the BATAGE analogue of
+            // TAGE's useful-bit density.
+            probe.useful_density =
+                Some(evidence_sum as f64 / (table.len() as u64 * 2 * COUNT_MAX as u64) as f64);
+            probes.push(probe.with_extra("hist_len", spec.1));
+        }
+        probes
     }
 }
 
@@ -515,5 +553,42 @@ mod tests {
         let mut p = Batage::new(BatageConfig::small());
         run(&mut p, &recs);
         assert!(p.cat >= 0 && p.cat <= p.cfg.cat_max);
+    }
+
+    #[test]
+    fn probes_satisfy_invariants() {
+        let recs = correlated_pair(3000, 47);
+        let mut p = Batage::new(BatageConfig::small());
+        run(&mut p, &recs);
+        let probes = p.table_probes();
+        assert_eq!(probes.len(), 1 + p.cfg.tables.len());
+        assert_eq!(probes[0].name, "batage.base");
+        for probe in &probes {
+            assert!(probe.occupied <= probe.entries, "{}", probe.name);
+            assert!(probe.saturated <= probe.entries, "{}", probe.name);
+            let hist_sum: u64 = probe.counter_histogram.iter().map(|(_, n)| n).sum();
+            assert_eq!(
+                hist_sum, probe.entries,
+                "{} histogram partitions",
+                probe.name
+            );
+            if let Some(d) = probe.useful_density {
+                assert!((0.0..=1.0).contains(&d), "{} density {d}", probe.name);
+            }
+        }
+        assert!(
+            probes[1..].iter().any(|p| p.occupied > 0),
+            "training allocated into at least one tagged bank"
+        );
+    }
+
+    #[test]
+    fn probes_stable_across_identical_runs() {
+        let recs = correlated_pair(2000, 63);
+        let mut a = Batage::new(BatageConfig::small());
+        let mut b = Batage::new(BatageConfig::small());
+        run(&mut a, &recs);
+        run(&mut b, &recs);
+        assert_eq!(a.table_probes(), b.table_probes());
     }
 }

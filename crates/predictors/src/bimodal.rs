@@ -1,7 +1,7 @@
 //! The bimodal predictor (Lee & Smith, 1983): a table of two-bit counters
 //! indexed by the branch address.
 
-use mbp_core::{json, Branch, Predictor, Value};
+use mbp_core::{json, probe_counter_table, Branch, Predictor, TableProbe, Value};
 use mbp_utils::{xor_fold, I2};
 
 /// A table of `2^log_size` two-bit saturating counters indexed by a fold of
@@ -72,6 +72,10 @@ impl Predictor for Bimodal {
             "log_table_size": self.log_size,
             "counter_bits": 2,
         })
+    }
+
+    fn table_probes(&self) -> Vec<TableProbe> {
+        vec![probe_counter_table("bimodal", &self.table)]
     }
 }
 

@@ -6,7 +6,7 @@
 //! GSelect is the cleaner teaching example of two-component indexing and a
 //! common subcomponent in older hybrids.
 
-use mbp_core::{json, Branch, Predictor, Value};
+use mbp_core::{json, probe_counter_table, Branch, Predictor, TableProbe, Value};
 use mbp_utils::{xor_fold, HistoryRegister, I2};
 
 /// GSelect with `history_bits` of global history concatenated with
@@ -92,6 +92,12 @@ impl Predictor for GSelect {
             "address_bits": self.address_bits,
             "log_table_size": self.history_bits + self.address_bits,
         })
+    }
+
+    fn table_probes(&self) -> Vec<TableProbe> {
+        vec![probe_counter_table("gselect", &self.table)
+            .with_extra("history_bits", self.history_bits)
+            .with_extra("address_bits", self.address_bits)]
     }
 }
 

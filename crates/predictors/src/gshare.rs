@@ -4,7 +4,7 @@
 //! counters, a global history register, and `XorFold(ip ^ history, T)` as
 //! the index.
 
-use mbp_core::{json, Branch, Predictor, Value};
+use mbp_core::{json, probe_counter_table, Branch, Predictor, TableProbe, Value};
 use mbp_utils::{xor_fold, HistoryRegister, I2};
 
 /// GShare with `history_length` bits of global history and `2^log_size`
@@ -93,6 +93,11 @@ impl Predictor for Gshare {
             "history_length": self.history_length,
             "log_table_size": self.log_size,
         })
+    }
+
+    fn table_probes(&self) -> Vec<TableProbe> {
+        vec![probe_counter_table("gshare", &self.table)
+            .with_extra("history_length", self.history_length)]
     }
 }
 

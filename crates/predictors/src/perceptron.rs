@@ -2,7 +2,7 @@
 //! weights selected by hashes of the branch address and geometric slices of
 //! the global history.
 
-use mbp_core::{json, Branch, Predictor, Value};
+use mbp_core::{json, Branch, Predictor, TableProbe, Value};
 use mbp_utils::{mix64, xor_fold, FoldedHistory, HistoryRegister};
 
 const WEIGHT_MAX: i8 = 63;
@@ -163,6 +163,48 @@ impl Predictor for HashedPerceptron {
     fn execution_statistics(&self) -> Value {
         json!({"theta": self.theta})
     }
+
+    fn table_probes(&self) -> Vec<TableProbe> {
+        // One aggregate probe over every weight in every table. The
+        // histogram buckets weights by magnitude; the buckets partition the
+        // weight range, so the counts sum to `entries`.
+        let total: u64 = self.tables.iter().map(|t| t.len() as u64).sum();
+        let mut occupied = 0u64;
+        let mut saturated = 0u64;
+        let mut buckets = [0u64; 5];
+        for table in &self.tables {
+            for &w in table {
+                if w != 0 {
+                    occupied += 1;
+                }
+                if w == WEIGHT_MAX || w == WEIGHT_MIN {
+                    saturated += 1;
+                }
+                let mag = (w as i32).unsigned_abs();
+                let bucket = match mag {
+                    0 => 0,
+                    1..=16 => 1,
+                    17..=32 => 2,
+                    33..=48 => 3,
+                    _ => 4,
+                };
+                buckets[bucket] += 1;
+            }
+        }
+        let mut probe = TableProbe::new("perceptron", total);
+        probe.occupied = occupied;
+        probe.saturated = saturated;
+        probe.counter_histogram = vec![
+            ("zero".to_string(), buckets[0]),
+            ("|w| 1-16".to_string(), buckets[1]),
+            ("|w| 17-32".to_string(), buckets[2]),
+            ("|w| 33-48".to_string(), buckets[3]),
+            ("|w| 49-64".to_string(), buckets[4]),
+        ];
+        vec![probe
+            .with_extra("theta", self.theta)
+            .with_extra("num_tables", self.tables.len() as u64)]
+    }
 }
 
 #[cfg(test)]
@@ -237,5 +279,21 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_history_lengths_rejected() {
         HashedPerceptron::new(vec![8, 4], 10);
+    }
+
+    #[test]
+    fn probe_histogram_partitions_all_weights() {
+        let mut p = small();
+        run(&mut p, &biased(5000, 9));
+        let probes = p.table_probes();
+        assert_eq!(probes.len(), 1);
+        let probe = &probes[0];
+        let total_weights: u64 = p.tables.iter().map(|t| t.len() as u64).sum();
+        assert_eq!(probe.entries, total_weights);
+        let hist_sum: u64 = probe.counter_histogram.iter().map(|(_, n)| n).sum();
+        assert_eq!(hist_sum, total_weights, "buckets partition the weights");
+        assert!(probe.occupied > 0, "training moved some weights off zero");
+        assert!(probe.occupied <= probe.entries);
+        assert!(probe.saturated <= probe.occupied);
     }
 }

@@ -8,7 +8,7 @@
 //! implementation is ~150 lines against ~700 in the championship version —
 //! the folded-history and counter utilities do the heavy lifting here too.
 
-use mbp_core::{json, Branch, Predictor, Value};
+use mbp_core::{json, probe_counter_table, Branch, Predictor, TableProbe, Value};
 use mbp_utils::{
     xor_fold, FoldedHistory, HistoryRegister, SatCounter, USatCounter, Xorshift64, I2,
 };
@@ -123,6 +123,7 @@ pub struct Tage {
     rng: Xorshift64,
     updates: u64,
     allocations: u64,
+    alloc_failures: u64,
     scratch: Lookup,
 }
 
@@ -177,6 +178,7 @@ impl Tage {
             rng: Xorshift64::new(cfg.seed),
             updates: 0,
             allocations: 0,
+            alloc_failures: 0,
             scratch: Lookup::default(),
             cfg,
         }
@@ -265,6 +267,7 @@ impl Tage {
             }
         }
         if !allocated {
+            self.alloc_failures += 1;
             for i in start..self.tables.len() {
                 let idx = self.scratch.slots[i].0;
                 self.tables[i][idx].useful -= 1;
@@ -376,8 +379,38 @@ impl Predictor for Tage {
     fn execution_statistics(&self) -> Value {
         json!({
             "allocations": self.allocations,
+            "allocation_failures": self.alloc_failures,
             "use_alt_on_new": self.use_alt_on_new.value(),
         })
+    }
+
+    fn table_probes(&self) -> Vec<TableProbe> {
+        let mut probes = vec![probe_counter_table("tage.base", &self.base)
+            .with_extra("allocation_failures", self.alloc_failures)];
+        for (i, (table, spec)) in self.tables.iter().zip(&self.cfg.tables).enumerate() {
+            let mut probe = TableProbe::new(format!("tage.bank{i}"), table.len() as u64);
+            let mut histogram = [0u64; 8];
+            let mut useful_sum = 0u64;
+            for e in table {
+                histogram[(e.ctr.value() - SatCounter::<3>::MIN) as usize] += 1;
+                // A default entry has tag 0, weak counter and zero useful
+                // bits; anything else has been claimed by an allocation.
+                let live = e.tag != 0 || !e.ctr.is_weak() || !e.useful.is_zero();
+                probe.occupied += live as u64;
+                probe.saturated += e.ctr.is_saturated() as u64;
+                useful_sum += e.useful.value() as u64;
+            }
+            probe.counter_histogram = histogram
+                .iter()
+                .enumerate()
+                .map(|(s, &n)| (format!("{}", SatCounter::<3>::MIN + s as i8), n))
+                .collect();
+            probe.useful_density = Some(
+                useful_sum as f64 / (table.len() as u64 * USatCounter::<2>::MAX as u64) as f64,
+            );
+            probes.push(probe.with_extra("hist_len", spec.hist_len));
+        }
+        probes
     }
 }
 
@@ -454,5 +487,43 @@ mod tests {
         let p = Tage::new(TageConfig::default_64kb());
         let kb = p.storage_bits() as f64 / 8.0 / 1024.0;
         assert!((16.0..128.0).contains(&kb), "storage = {kb} kB");
+    }
+
+    #[test]
+    fn probes_satisfy_invariants() {
+        let recs = correlated_pair(3000, 41);
+        let mut p = Tage::new(TageConfig::small());
+        run(&mut p, &recs);
+        let probes = p.table_probes();
+        // Base table plus one probe per tagged bank.
+        assert_eq!(probes.len(), 1 + p.cfg.tables.len());
+        assert_eq!(probes[0].name, "tage.base");
+        for probe in &probes {
+            assert!(probe.occupied <= probe.entries, "{}", probe.name);
+            assert!(probe.saturated <= probe.entries, "{}", probe.name);
+            let hist_sum: u64 = probe.counter_histogram.iter().map(|(_, n)| n).sum();
+            assert_eq!(
+                hist_sum, probe.entries,
+                "{} histogram partitions",
+                probe.name
+            );
+            if let Some(d) = probe.useful_density {
+                assert!((0.0..=1.0).contains(&d), "{} density {d}", probe.name);
+            }
+        }
+        assert!(
+            probes[1..].iter().any(|p| p.occupied > 0),
+            "training allocated into at least one tagged bank"
+        );
+    }
+
+    #[test]
+    fn probes_stable_across_identical_runs() {
+        let recs = correlated_pair(2000, 55);
+        let mut a = Tage::new(TageConfig::small());
+        let mut b = Tage::new(TageConfig::small());
+        run(&mut a, &recs);
+        run(&mut b, &recs);
+        assert_eq!(a.table_probes(), b.table_probes());
     }
 }

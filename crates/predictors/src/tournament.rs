@@ -6,7 +6,7 @@
 //! branch) and the *partial update* policy: the chooser is only trained when
 //! the components disagree, but is always tracked with the program branch.
 
-use mbp_core::{json, Branch, Predictor, Value};
+use mbp_core::{json, Branch, Predictor, TableProbe, Value};
 
 use crate::{Bimodal, Gshare};
 
@@ -122,6 +122,31 @@ impl Predictor for Tournament {
             "predictor_0": self.bp0.execution_statistics(),
             "predictor_1": self.bp1.execution_statistics(),
         })
+    }
+
+    fn table_probes(&self) -> Vec<TableProbe> {
+        // Delegate to the components, prefixing each probe with its role so
+        // e.g. a bimodal chooser reports as "meta.bimodal".
+        let mut probes = Vec::new();
+        probes.extend(
+            self.meta
+                .table_probes()
+                .into_iter()
+                .map(|p| p.prefixed("meta")),
+        );
+        probes.extend(
+            self.bp0
+                .table_probes()
+                .into_iter()
+                .map(|p| p.prefixed("bp0")),
+        );
+        probes.extend(
+            self.bp1
+                .table_probes()
+                .into_iter()
+                .map(|p| p.prefixed("bp1")),
+        );
+        probes
     }
 }
 

@@ -7,7 +7,7 @@
 //! (hashed by branch ip) or per-set (hashed by a coarser region of the ip),
 //! giving the nine classic variants.
 
-use mbp_core::{json, Branch, Predictor, Value};
+use mbp_core::{json, probe_counter_table, Branch, Predictor, TableProbe, Value};
 use mbp_utils::{xor_fold, I2};
 
 /// How a level of the predictor is keyed.
@@ -217,6 +217,14 @@ impl Predictor for TwoLevel {
             "log_bhr_count": self.log_bhrs,
             "log_pht_count": self.log_phts,
         })
+    }
+
+    fn table_probes(&self) -> Vec<TableProbe> {
+        vec![
+            probe_counter_table(format!("twolevel.{}", self.variant()), &self.phts)
+                .with_extra("num_bhrs", self.bhrs.len() as u64)
+                .with_extra("history_length", self.hist_len),
+        ]
     }
 }
 

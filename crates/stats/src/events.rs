@@ -184,6 +184,8 @@ pub enum EventName {
     SamplePacketsDecoded = 12,
     /// Sample series: cumulative bytes inflated by the codecs.
     SampleInflatedBytes = 13,
+    /// The simulator closed one timeseries window (arg = window index).
+    SimWindowTick = 14,
 }
 
 impl EventName {
@@ -203,6 +205,7 @@ impl EventName {
             11 => Some(Self::SampleSimInstructions),
             12 => Some(Self::SamplePacketsDecoded),
             13 => Some(Self::SampleInflatedBytes),
+            14 => Some(Self::SimWindowTick),
             _ => None,
         }
     }
@@ -224,6 +227,7 @@ impl EventName {
             Self::SampleSimInstructions => "sample.sim_instructions",
             Self::SamplePacketsDecoded => "sample.packets_decoded",
             Self::SampleInflatedBytes => "sample.inflated_bytes",
+            Self::SimWindowTick => "sim.window_tick",
         }
     }
 }

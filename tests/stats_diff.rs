@@ -10,10 +10,12 @@ use std::process::Command;
 use mbp::diff::{diff_metrics, DiffOptions, Status};
 use mbp::json::{json, Value};
 
-/// The baseline side of the golden pair.
+/// The baseline side of the golden pair. The `compress` section exists only
+/// here, so the diff reports its leaves as removed.
 fn golden_baseline() -> Value {
     json!({
         "decode": { "packets_decoded": 4096, "time_s": 0.25 },
+        "compress": { "bytes_in": 65536 },
         "simulate": {
             "instructions": 12288,
             "instructions_per_second": 12288000.0,
@@ -26,7 +28,8 @@ fn golden_baseline() -> Value {
 
 /// The candidate side: one regression (slower simulate), one zero-baseline
 /// regression (new faults), one improvement (faster rate), one unchanged
-/// metric and two informational changes.
+/// metric, two informational changes, and a `timeseries` section the
+/// baseline predates (reported as added).
 fn golden_candidate() -> Value {
     json!({
         "decode": { "packets_decoded": 4096, "time_s": 0.24 },
@@ -37,6 +40,7 @@ fn golden_candidate() -> Value {
             "time_s": 1.5,
         },
         "sweep": { "faults": 2, "worker_busy_s": 2.0 },
+        "timeseries": { "num_windows": 3, "warmup_end_window": 0 },
     })
 }
 
@@ -82,6 +86,8 @@ fn golden_pair_exercises_every_status() {
         report.count(Status::Changed) >= 2,
         "counts stay informational"
     );
+    assert_eq!(report.count(Status::Added), 2, "the timeseries section");
+    assert_eq!(report.count(Status::Removed), 1, "the compress section");
 }
 
 fn mbpsim() -> Command {

@@ -1,0 +1,225 @@
+//! The windowed time-series must be driver-invisible, exactly like the
+//! headline metrics: the scalar driver, the batched driver, and the
+//! parallel sweep produce byte-identical `metrics.timeseries` JSON for the
+//! same predictor, trace and configuration — including window sizes that
+//! land windows exactly on (and one instruction off) batch boundaries, and
+//! warm-up cut-offs inside a window.
+
+use mbp::examples::{by_name, Gshare};
+use mbp::sim::{
+    simulate, simulate_many, simulate_scalar, Predictor, SimConfig, SimResult, SliceSource,
+    SweepConfig, TraceSource, DEFAULT_WINDOW_INSTRUCTIONS,
+};
+use mbp::trace::sbbt::{SbbtReader, BATCH_RECORDS};
+use mbp::trace::{translate, BranchRecord};
+use mbp::workloads::Suite;
+
+fn canonical_json(mut result: SimResult) -> String {
+    result.metrics.simulation_time = 0.0;
+    result.to_json().to_pretty_string()
+}
+
+fn fresh_reader(sbbt: &[u8]) -> SbbtReader {
+    SbbtReader::from_decompressed(sbbt.to_vec()).expect("generated trace decodes")
+}
+
+fn run_scalar(sbbt: &[u8], predictor: &mut dyn Predictor, config: &SimConfig) -> SimResult {
+    let mut reader = fresh_reader(sbbt);
+    let source: &mut dyn TraceSource = &mut reader;
+    simulate_scalar(source, predictor, config).expect("scalar sim")
+}
+
+fn run_batched(sbbt: &[u8], predictor: &mut dyn Predictor, config: &SimConfig) -> SimResult {
+    let mut reader = fresh_reader(sbbt);
+    let source: &mut dyn TraceSource = &mut reader;
+    simulate(source, predictor, config).expect("batched sim")
+}
+
+/// Instructions covered by the first `n` records.
+fn instructions_after(records: &[BranchRecord], n: usize) -> u64 {
+    records.iter().take(n).map(|r| r.instructions()).sum()
+}
+
+/// Window sizes that stress the batched driver: a window ending exactly on
+/// the first batch boundary, one instruction to either side, a tiny window
+/// (many windows per batch), and one larger than the whole trace.
+fn edge_windows(records: &[BranchRecord]) -> Vec<u64> {
+    assert!(
+        records.len() > 2 * BATCH_RECORDS,
+        "smoke trace must span several batches for boundary tests"
+    );
+    let batch1 = instructions_after(records, BATCH_RECORDS);
+    let total = instructions_after(records, records.len());
+    vec![batch1 - 1, batch1, batch1 + 1, 1_000, total + 1_000]
+}
+
+#[test]
+fn scalar_and_batched_timeseries_json_identical() {
+    for spec in &Suite::smoke().traces {
+        let records = spec.records();
+        let sbbt = translate::records_to_sbbt(&records).expect("records encode");
+        for window in edge_windows(&records) {
+            let config = SimConfig {
+                timeseries_window: Some(window),
+                ..SimConfig::default()
+            };
+            let scalar = run_scalar(&sbbt, &mut Gshare::new(25, 18), &config);
+            let batched = run_batched(&sbbt, &mut Gshare::new(25, 18), &config);
+            assert!(
+                scalar.timeseries.is_some(),
+                "{}/window={window}: timeseries missing",
+                spec.name
+            );
+            assert_eq!(
+                canonical_json(scalar),
+                canonical_json(batched),
+                "{}/window={window}: scalar and batched JSON diverge",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn scalar_and_batched_timeseries_csv_identical() {
+    let spec = &Suite::smoke().traces[0];
+    let records = spec.records();
+    let sbbt = translate::records_to_sbbt(&records).expect("records encode");
+    for window in edge_windows(&records) {
+        let config = SimConfig {
+            timeseries_window: Some(window),
+            ..SimConfig::default()
+        };
+        let scalar = run_scalar(&sbbt, &mut Gshare::new(25, 18), &config);
+        let batched = run_batched(&sbbt, &mut Gshare::new(25, 18), &config);
+        let scalar_csv = scalar.timeseries.expect("scalar series").to_csv(None);
+        let batched_csv = batched.timeseries.expect("batched series").to_csv(None);
+        assert_eq!(scalar_csv, batched_csv, "window={window}: CSV diverges");
+    }
+}
+
+#[test]
+fn windows_tile_the_instruction_stream_exactly() {
+    let spec = &Suite::smoke().traces[0];
+    let records = spec.records();
+    let sbbt = translate::records_to_sbbt(&records).expect("records encode");
+    let total = instructions_after(&records, records.len());
+    let window = 10_000u64;
+    let config = SimConfig {
+        timeseries_window: Some(window),
+        ..SimConfig::default()
+    };
+    let result = run_batched(&sbbt, &mut Gshare::new(25, 18), &config);
+    let series = result.timeseries.expect("series");
+    assert_eq!(series.window_size, window);
+    assert!(!series.windows.is_empty());
+
+    // Windows tile the stream contiguously; a record spanning a boundary
+    // may overshoot it, but every closed window must still cross the next
+    // grid line past its start.
+    let mut expected_start = 0u64;
+    for (i, w) in series.windows.iter().enumerate() {
+        assert_eq!(
+            w.start_instruction, expected_start,
+            "window {i} leaves a gap"
+        );
+        let end = w.start_instruction + w.instructions;
+        if i + 1 < series.windows.len() {
+            let grid = (w.start_instruction / window + 1) * window;
+            assert!(end >= grid, "window {i} closed before its boundary");
+        }
+        expected_start = end;
+    }
+    let covered: u64 = series.windows.iter().map(|w| w.instructions).sum();
+    assert_eq!(covered, total, "windows must tile the whole run");
+    let mispredictions: u64 = series.windows.iter().map(|w| w.mispredictions).sum();
+    assert_eq!(
+        mispredictions, result.metrics.mispredictions,
+        "per-window mispredictions must sum to the headline total"
+    );
+}
+
+#[test]
+fn warmup_cutoff_inside_a_window_is_driver_invisible() {
+    let spec = &Suite::smoke().traces[1];
+    let records = spec.records();
+    let sbbt = translate::records_to_sbbt(&records).expect("records encode");
+    let batch1 = instructions_after(&records, BATCH_RECORDS);
+    for warmup in [batch1 - 1, batch1, batch1 + 1, 12_345] {
+        let config = SimConfig {
+            warmup_instructions: warmup,
+            timeseries_window: Some(8_192),
+            ..SimConfig::default()
+        };
+        let scalar = run_scalar(&sbbt, &mut Gshare::new(25, 18), &config);
+        let batched = run_batched(&sbbt, &mut Gshare::new(25, 18), &config);
+        assert_eq!(
+            canonical_json(scalar),
+            canonical_json(batched),
+            "warmup={warmup}: drivers diverge with timeseries enabled"
+        );
+    }
+}
+
+#[test]
+fn sweep_timeseries_matches_standalone_runs() {
+    let spec = &Suite::smoke().traces[0];
+    let records = spec.records();
+    let names = ["gshare", "bimodal", "tage"];
+    let predictors: Vec<(String, Box<dyn Predictor + Send>)> = names
+        .iter()
+        .map(|n| (n.to_string(), by_name(n).expect("known predictor")))
+        .collect();
+    let config = SweepConfig {
+        sim: SimConfig {
+            timeseries_window: Some(10_000),
+            collect_probes: true,
+            ..SimConfig::default()
+        },
+        jobs: 2,
+    };
+    let mut source = SliceSource::named(&records, "traces/SMOKE.sbbt");
+    let sweep = simulate_many(&mut source, predictors, &config).expect("sweep");
+
+    for name in names {
+        let entry = sweep
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("sweep lost predictor {name}"));
+        assert!(
+            entry.result.timeseries.is_some(),
+            "{name}: sweep entry lost its timeseries"
+        );
+        let mut standalone = by_name(name).expect("known predictor");
+        let mut source = SliceSource::named(&records, "traces/SMOKE.sbbt");
+        let direct = simulate(&mut source, &mut *standalone, &config.sim).expect("sim");
+        assert_eq!(
+            canonical_json(entry.result.clone()),
+            canonical_json(direct),
+            "{name}: sweep entry JSON differs from a standalone run"
+        );
+    }
+}
+
+#[test]
+fn timeseries_and_probes_are_off_by_default() {
+    let spec = &Suite::smoke().traces[0];
+    let records = spec.records();
+    let sbbt = translate::records_to_sbbt(&records).expect("records encode");
+    let result = run_batched(&sbbt, &mut Gshare::new(25, 18), &SimConfig::default());
+    assert!(result.timeseries.is_none(), "timeseries must be opt-in");
+    assert!(result.table_probes.is_empty(), "probes must be opt-in");
+    let json = result.to_json().to_pretty_string();
+    assert!(
+        !json.contains("\"timeseries\""),
+        "no timeseries key when disabled"
+    );
+    assert!(
+        !json.contains("\"introspection\""),
+        "no introspection key when disabled"
+    );
+    // The default window constant is what `--timeseries-out` without
+    // `--window` selects; pin it so CLI docs stay truthful.
+    assert_eq!(DEFAULT_WINDOW_INSTRUCTIONS, 100_000);
+}
