@@ -38,6 +38,9 @@ cargo test -q -p mbp-stats
 echo "== golden vectors (bit-exact predictor conformance) =="
 cargo test -q -p mbp-predictors --test golden_vectors
 
+echo "== batch equivalence (SoA kernels vs scalar call sequence) =="
+cargo test -q -p mbp-predictors --test batch_equivalence
+
 echo "== utils property suite =="
 cargo test -q -p mbp-utils --test properties
 
@@ -78,6 +81,20 @@ grep -q "</html>" "$obs_tmp/report.html" \
   || { echo "report is not well-formed HTML" >&2; exit 1; }
 grep -q "<svg" "$obs_tmp/report.html" \
   || { echo "report is missing its sparklines" >&2; exit 1; }
+
+echo "== batch kernels engaged (kernel_branches > 0 in metrics) =="
+# A plain smoke run must ride the predict_batch fast path; a driver change
+# that silently diverts everything to the scalar fallback shows up here as
+# kernel_branches = 0 long before it shows up as a throughput regression.
+target/release/mbpsim run --predictor gshare \
+  --trace "$obs_tmp/traces/SMOKE-mobile.sbbt.mzst" --quiet \
+  --metrics --metrics-out "$obs_tmp/kernel_metrics.json" >/dev/null 2>/dev/null
+kb="$(grep -o '"kernel_branches": *[0-9]*' "$obs_tmp/kernel_metrics.json" \
+  | grep -o '[0-9]*$' | head -n 1)"
+if [ -z "$kb" ] || [ "$kb" -eq 0 ]; then
+  echo "batched driver did not take the kernel path (kernel_branches=${kb:-missing})" >&2
+  exit 1
+fi
 
 echo "== bench guard (instrumented batch pipeline within 5% of baseline) =="
 cargo run -q --release -p mbp-bench --bin bench_guard

@@ -1,22 +1,28 @@
 //! CI regression guard for the decode-once batch pipeline.
 //!
-//! The observability layer (`mbp-stats`) instruments the simulator's hot
-//! path; this guard pins the cost of that instrumentation against the
-//! numbers recorded in `bench_tables.txt` when the batch pipeline landed:
+//! Two layers of protection for the struct-of-arrays hot path:
 //!
-//! * the batched driver's absolute throughput on each smoke trace must stay
-//!   within 5% of the recorded baseline (760 / 345 Minstr/s), and
-//! * the batched driver must still clearly beat the scalar reference
-//!   (aggregate speedup floor), since instrumentation leaking into the
+//! * **Driver guard** — the batched driver's absolute throughput on each
+//!   smoke trace must stay within 5% of the baselines recorded in
+//!   `bench_tables.txt` when the SoA kernels landed, and the batched driver
+//!   must still clearly beat the scalar reference (aggregate speedup
+//!   floor), since instrumentation or abstraction leaking into the
 //!   per-record loop would erase exactly that gap.
+//! * **Kernel rows** — for every predictor with a hand-written
+//!   [`Predictor::predict_batch`] kernel, the kernel is raced against the
+//!   trait's default per-record loop over the same prebuilt batch. These
+//!   rows are report-only (the reference side is a devirtualized scalar
+//!   loop whose speed is layout-sensitive), but they are the source of the
+//!   kernel-vs-scalar column in `bench_tables.txt` and make a silently
+//!   disabled kernel (speedup ~1.0x) visible in every CI log.
 //!
-//! The speedup floor is deliberately far below the recorded 1.63x
-//! aggregate: the ratio moves whenever *either* driver shifts, and the
-//! scalar reference's per-record dispatch loop is sensitive to code layout
-//! — the same sources have measured anywhere from ~1.1x to ~1.9x across
-//! builds on one host. The ratio check therefore only asserts the batched
-//! driver still genuinely beats the scalar reference, while the
-//! absolute-throughput check carries the 5% budget.
+//! The speedup floor is deliberately far below the recorded aggregate: the
+//! ratio moves whenever *either* driver shifts, and the scalar reference's
+//! per-record dispatch loop is sensitive to code layout — the same sources
+//! have measured anywhere from ~1.1x to ~1.9x across builds on one host.
+//! The ratio check therefore only asserts the batched driver still
+//! genuinely beats the scalar reference, while the absolute-throughput
+//! check carries the 5% budget.
 //!
 //! Throughput is estimated best-of-3: each trace is measured in three
 //! independent repetitions of 10 samples, the verdict uses the fastest
@@ -30,22 +36,25 @@
 //!
 //! Run: `cargo run --release -p mbp-bench --bin bench_guard`
 
-use mbp_bench::harness::{BenchGroup, Throughput};
-use mbp_core::{simulate, simulate_scalar, SimConfig, TraceSource};
-use mbp_predictors::Gshare;
+use mbp_bench::harness::{black_box, BenchGroup, Throughput};
+use mbp_core::{
+    simulate, simulate_scalar, Branch, PredictionBits, Predictor, SimConfig, TraceSource,
+};
+use mbp_predictors::{Bimodal, GSelect, Gshare, TwoLevel};
 use mbp_trace::sbbt::SbbtReader;
-use mbp_trace::translate;
+use mbp_trace::{translate, BranchBatch};
 use mbp_workloads::Suite;
 
-/// Batched-path throughput recorded in `bench_tables.txt` when the batch
-/// pipeline landed, in instructions per second, keyed by smoke-trace name.
-const BASELINE_INSTR_PER_S: [(&str, f64); 2] = [("SMOKE-mobile", 760e6), ("SMOKE-server", 345e6)];
+/// Batched-path throughput recorded in `bench_tables.txt` when the
+/// struct-of-arrays kernels landed, in instructions per second, keyed by
+/// smoke-trace name.
+const BASELINE_INSTR_PER_S: [(&str, f64); 2] = [("SMOKE-mobile", 763e6), ("SMOKE-server", 360e6)];
 
 /// Allowed regression on absolute batched throughput: within 5%.
 const TOLERANCE: f64 = 0.95;
 
-/// Coarse floor on the aggregate batched/scalar speedup (recorded: 1.63x,
-/// but layout-sensitive — see the module docs): batched must beat scalar.
+/// Coarse floor on the aggregate batched/scalar speedup (layout-sensitive —
+/// see the module docs): batched must beat scalar.
 const SPEEDUP_FLOOR: f64 = 1.05;
 
 /// Timed repetitions per trace; the verdict uses the best, the log shows
@@ -65,6 +74,56 @@ fn spread_pct(times: &[f64]) -> f64 {
         return 0.0;
     }
     (worst - best) / best * 100.0
+}
+
+/// Forwards `P`'s scalar calls while hiding its `predict_batch` override,
+/// so the trait's default per-record loop runs — the reference side of the
+/// kernel-vs-scalar rows.
+struct NoKernel<P>(P);
+
+impl<P: Predictor> Predictor for NoKernel<P> {
+    fn predict(&mut self, ip: u64) -> bool {
+        self.0.predict(ip)
+    }
+
+    fn train(&mut self, branch: &Branch) {
+        self.0.train(branch)
+    }
+
+    fn track(&mut self, branch: &Branch) {
+        self.0.track(branch)
+    }
+}
+
+/// Races `make()`'s `predict_batch` kernel against the default per-record
+/// loop over one prebuilt batch and returns `(kernel_best_s,
+/// scalar_loop_best_s)` in seconds. Each sample constructs a fresh
+/// predictor so both sides pay the identical table-allocation cost and
+/// neither carries trained state between samples.
+fn kernel_race<P: Predictor>(
+    name: &str,
+    make: impl Fn() -> P,
+    batch: &BranchBatch,
+    instructions: u64,
+) -> (f64, f64) {
+    let mut group = BenchGroup::new(format!("bench_guard/kernel/{name}"));
+    group
+        .sample_size(SAMPLES_PER_REP)
+        .throughput(Throughput::Elements(instructions));
+    let kernel = group.bench_function("predict_batch_kernel", || {
+        let mut p = make();
+        let mut out = PredictionBits::new();
+        p.predict_batch(batch, false, &mut out);
+        black_box(out.len())
+    });
+    let scalar = group.bench_function("scalar_call_loop", || {
+        let mut p = NoKernel(make());
+        let mut out = PredictionBits::new();
+        p.predict_batch(batch, false, &mut out);
+        black_box(out.len())
+    });
+    group.finish();
+    (kernel.fastest, scalar.fastest)
 }
 
 fn main() {
@@ -157,6 +216,31 @@ fn main() {
             "aggregate batched/scalar speedup {aggregate:.2}x below the {SPEEDUP_FLOOR:.2}x floor \
              (instrumentation leaking into the record loop?)"
         ));
+    }
+
+    // Kernel rows: every hand-written kernel raced against the default
+    // per-record loop on the first smoke trace (report-only; see module
+    // docs). The batch spans the whole trace so table pressure matches the
+    // driver benchmarks above.
+    let records = suite.traces[0].records();
+    let instructions: u64 = records.iter().map(|r| r.instructions()).sum();
+    let batch = BranchBatch::from_records(&records);
+    type MakePredictor = fn() -> Box<dyn Predictor>;
+    let rows: [(&str, MakePredictor); 4] = [
+        ("bimodal", || Box::new(Bimodal::new(18))),
+        ("gshare", || Box::new(Gshare::new(25, 18))),
+        ("gselect", || Box::new(GSelect::new(6, 12))),
+        ("twolevel-pap", || Box::new(TwoLevel::pap(8, 10, 10))),
+    ];
+    println!("kernel vs scalar-call loop ({}):", suite.traces[0].name);
+    for (name, make) in rows {
+        let (kernel, scalar) = kernel_race(name, make, &batch, instructions);
+        println!(
+            "  {name:<13} kernel {:>6.0} Minstr/s  scalar-loop {:>6.0} Minstr/s  speedup {:.2}x",
+            instructions as f64 / kernel / 1e6,
+            instructions as f64 / scalar / 1e6,
+            scalar / kernel,
+        );
     }
 
     if !failures.is_empty() {

@@ -139,10 +139,11 @@ where
     let mut mis = [0u64; 2];
     let mut only = [0u64; 2];
     let mut per_branch: HashMap<u64, (u64, u64, u64), FastHashBuilder> = HashMap::default();
-    let mut batch: Vec<mbp_trace::BranchRecord> = Vec::new();
+    let mut batch = mbp_trace::BranchBatch::new();
 
     'trace: while trace.fill_batch(&mut batch)? > 0 {
-        for rec in &batch {
+        for i in 0..batch.len() {
+            let rec = batch.record(i);
             if let Some(max) = config.max_instructions {
                 if instructions >= max {
                     break 'trace;

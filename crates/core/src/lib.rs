@@ -54,7 +54,7 @@ pub use introspect::{probe_counter_table, probes_to_json, TableProbe};
 pub use metrics::{
     BranchStat, BranchTaxonomy, ClassStat, Metrics, MostFailed, ENTROPY_CLASSES, TRANSITION_CLASSES,
 };
-pub use predictor::Predictor;
+pub use predictor::{PredictionBits, Predictor};
 pub use simulator::{simulate, simulate_scalar, SimConfig, SimMetadata, SimResult};
 pub use source::{SliceSource, TraceSource, VecSource, BATCH_RECORDS};
 pub use sweep::{simulate_many, SweepConfig, SweepEntry, SweepFailure, SweepResult};
@@ -63,7 +63,7 @@ pub use timeseries::{TimeSeries, TimeSeriesBuilder, Window, DEFAULT_WINDOW_INSTR
 // Re-export the vocabulary types so predictor crates depend on `mbp-core`
 // alone.
 pub use mbp_json::{json, Map, Number, Value};
-pub use mbp_trace::{Branch, BranchKind, BranchRecord, Opcode, TraceError};
+pub use mbp_trace::{Branch, BranchBatch, BranchKind, BranchRecord, Opcode, TraceError};
 
 /// Simulator identification embedded in every result (Listing 1).
 pub const SIMULATOR_NAME: &str = "MBPlib std simulator";

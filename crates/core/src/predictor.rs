@@ -1,9 +1,122 @@
 //! The branch predictor interface (§IV-A of the paper).
 
 use mbp_json::Value;
-use mbp_trace::Branch;
+use mbp_trace::{Branch, BranchBatch};
 
 use crate::introspect::TableProbe;
+
+/// A growable bitset collecting one prediction per conditional branch, in
+/// batch order — the output buffer of [`Predictor::predict_batch`].
+///
+/// Bit-packed so a 2048-record batch's predictions stay in four cache
+/// lines, and cleared by truncation so the buffer is reused across batches
+/// without reallocation.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_core::PredictionBits;
+///
+/// let mut bits = PredictionBits::new();
+/// bits.push(true);
+/// bits.push(false);
+/// assert_eq!(bits.len(), 2);
+/// assert!(bits.get(0));
+/// assert!(!bits.get(1));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PredictionBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PredictionBits {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of predictions pushed since the last clear.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no predictions have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the bitset, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Appends one prediction.
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        let bit = self.len % 64;
+        if bit == 0 {
+            self.words.push(0);
+        }
+        if let Some(word) = self.words.last_mut() {
+            *word |= (taken as u64) << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Appends the low `count` bits of `bits`, LSB first — the bulk
+    /// counterpart of [`push`](PredictionBits::push) for kernels that
+    /// accumulate predictions in a register and flush once per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    #[inline]
+    pub fn push_word(&mut self, bits: u64, count: usize) {
+        assert!(count <= 64, "cannot push {count} bits from one word");
+        if count == 0 {
+            return;
+        }
+        let bits = if count == 64 {
+            bits
+        } else {
+            bits & ((1u64 << count) - 1)
+        };
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(bits);
+        } else {
+            if let Some(word) = self.words.last_mut() {
+                *word |= bits << off;
+            }
+            if count > 64 - off {
+                self.words.push(bits >> (64 - off));
+            }
+        }
+        self.len += count;
+    }
+
+    /// The `i`-th prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "prediction index {i} out of range {}",
+            self.len
+        );
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Iterates the predictions in push order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| (self.words[i / 64] >> (i % 64)) & 1 == 1)
+    }
+}
 
 /// A branch direction predictor.
 ///
@@ -81,6 +194,49 @@ pub trait Predictor {
     fn table_probes(&self) -> Vec<TableProbe> {
         Vec::new()
     }
+
+    /// Processes a whole batch of resolved branches, appending one
+    /// prediction bit per **conditional** branch to `out` (in batch order).
+    ///
+    /// # Contract
+    ///
+    /// The resulting predictor state and prediction bitstream must be
+    /// **bit-identical** to driving the per-branch interface over the same
+    /// records: for each record in order, `predict(ip)` + `train(branch)`
+    /// if conditional, then `track(branch)` unless `track_only_conditional`
+    /// is set and the branch is not conditional. The simulator's batched
+    /// driver relies on this to stay byte-equivalent with the scalar one;
+    /// the batch-equivalence suite enforces it for every override.
+    ///
+    /// Implementations may compute predictions out of order internally
+    /// (hash all table indices in one vectorizable pass, simulate the
+    /// history register from the batch's own taken bits) as long as the
+    /// observable contract above holds. The default implementation is the
+    /// literal scalar loop — correct for every predictor, and still a win
+    /// for composed predictors because one virtual `predict_batch` call
+    /// replaces three virtual calls per record with statically dispatched
+    /// ones.
+    ///
+    /// Callers must `out.clear()` (or otherwise account for existing bits)
+    /// before the call; bits are appended.
+    fn predict_batch(
+        &mut self,
+        batch: &BranchBatch,
+        track_only_conditional: bool,
+        out: &mut PredictionBits,
+    ) {
+        for i in 0..batch.len() {
+            let branch = batch.branch(i);
+            let conditional = branch.is_conditional();
+            if conditional {
+                out.push(self.predict(branch.ip()));
+                self.train(&branch);
+            }
+            if conditional || !track_only_conditional {
+                self.track(&branch);
+            }
+        }
+    }
 }
 
 /// Boxed predictors forward the interface, so `Box<dyn Predictor>` members
@@ -109,6 +265,17 @@ impl<P: Predictor + ?Sized> Predictor for Box<P> {
 
     fn table_probes(&self) -> Vec<TableProbe> {
         (**self).table_probes()
+    }
+
+    fn predict_batch(
+        &mut self,
+        batch: &BranchBatch,
+        track_only_conditional: bool,
+        out: &mut PredictionBits,
+    ) {
+        // Must forward, not fall back to the default loop: the inner type
+        // may have a vectorized kernel.
+        (**self).predict_batch(batch, track_only_conditional, out)
     }
 }
 
@@ -143,5 +310,128 @@ mod tests {
         assert_eq!(p.metadata()["name"], Value::from("fixed"));
         assert_eq!(p.execution_statistics(), Value::object());
         assert!(p.table_probes().is_empty(), "default probes are empty");
+    }
+
+    #[test]
+    fn prediction_bits_pack_and_roundtrip() {
+        let mut bits = PredictionBits::new();
+        let pattern: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        for &b in &pattern {
+            bits.push(b);
+        }
+        assert_eq!(bits.len(), 200);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(bits.get(i), b, "bit {i}");
+        }
+        let back: Vec<bool> = bits.iter().collect();
+        assert_eq!(back, pattern);
+        bits.clear();
+        assert!(bits.is_empty());
+        bits.push(true);
+        assert!(bits.get(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prediction_bits_get_out_of_range_panics() {
+        PredictionBits::new().get(0);
+    }
+
+    #[test]
+    fn push_word_matches_bitwise_push() {
+        // Every (initial offset, count) combination crossing a word
+        // boundary must produce the same stream as bit-at-a-time pushes.
+        for pre in [0usize, 1, 17, 63, 64] {
+            for count in [0usize, 1, 5, 47, 64] {
+                let bits = 0xdead_beef_cafe_f00d_u64;
+                let mut bulk = PredictionBits::new();
+                let mut single = PredictionBits::new();
+                for i in 0..pre {
+                    bulk.push(i % 3 == 0);
+                    single.push(i % 3 == 0);
+                }
+                bulk.push_word(bits, count);
+                for i in 0..count {
+                    single.push((bits >> i) & 1 == 1);
+                }
+                assert_eq!(
+                    bulk.iter().collect::<Vec<_>>(),
+                    single.iter().collect::<Vec<_>>(),
+                    "pre {pre} count {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot push")]
+    fn push_word_rejects_oversized_count() {
+        PredictionBits::new().push_word(0, 65);
+    }
+
+    /// Records exactly which interface calls the default `predict_batch`
+    /// makes and in what order, pinning the fallback contract.
+    #[derive(Default)]
+    struct Spy {
+        calls: Vec<String>,
+    }
+
+    impl Predictor for Spy {
+        fn predict(&mut self, ip: u64) -> bool {
+            self.calls.push(format!("predict {ip:#x}"));
+            ip & 1 == 0
+        }
+        fn train(&mut self, b: &Branch) {
+            self.calls.push(format!("train {:#x}", b.ip()));
+        }
+        fn track(&mut self, b: &Branch) {
+            self.calls.push(format!("track {:#x}", b.ip()));
+        }
+    }
+
+    #[test]
+    fn default_predict_batch_mirrors_scalar_sequence() {
+        use mbp_trace::{BranchBatch, BranchRecord};
+
+        let records = vec![
+            BranchRecord::new(
+                Branch::new(0x10, 0x90, Opcode::conditional_direct(), true),
+                0,
+            ),
+            BranchRecord::new(
+                Branch::new(0x21, 0x90, Opcode::unconditional_direct(), true),
+                1,
+            ),
+            BranchRecord::new(
+                Branch::new(0x32, 0x90, Opcode::conditional_direct(), false),
+                2,
+            ),
+        ];
+        let batch = BranchBatch::from_records(&records);
+
+        for track_only_conditional in [false, true] {
+            let mut batched = Spy::default();
+            let mut bits = PredictionBits::new();
+            batched.predict_batch(&batch, track_only_conditional, &mut bits);
+
+            let mut scalar = Spy::default();
+            let mut expected_bits = Vec::new();
+            for rec in &records {
+                let b = rec.branch;
+                if b.is_conditional() {
+                    expected_bits.push(scalar.predict(b.ip()));
+                    scalar.train(&b);
+                }
+                if b.is_conditional() || !track_only_conditional {
+                    scalar.track(&b);
+                }
+            }
+
+            assert_eq!(
+                batched.calls, scalar.calls,
+                "track_only {track_only_conditional}"
+            );
+            assert_eq!(bits.iter().collect::<Vec<_>>(), expected_bits);
+        }
     }
 }

@@ -7,7 +7,7 @@ use mbp_trace::TraceError;
 
 use crate::metrics::{accuracy, mpki, BranchStat, BranchTaxonomy, Metrics, MostFailed};
 use crate::timeseries::{TimeSeries, TimeSeriesBuilder};
-use crate::{Predictor, TableProbe, TraceSource};
+use crate::{PredictionBits, Predictor, TableProbe, TraceSource};
 
 /// Configuration of a simulation run.
 ///
@@ -185,10 +185,16 @@ impl SimState {
 /// are only counted once the warm-up window has elapsed.
 ///
 /// The trace is consumed through [`TraceSource::fill_batch`], so the source
-/// decodes whole blocks into one reusable buffer instead of answering a
-/// virtual call per record. Results are identical to
-/// [`simulate_scalar`] (the one-record-at-a-time reference driver) on any
-/// source whose `fill_batch` agrees with its `next_record` stream.
+/// decodes whole struct-of-arrays blocks into one reusable
+/// [`BranchBatch`](mbp_trace::BranchBatch) instead of answering a virtual
+/// call per record. In steady state (warm-up elapsed, no cut-off, no
+/// timeseries) each block is handed to [`Predictor::predict_batch`] — one
+/// virtual call per 2048 records, with vectorized kernels for the table
+/// predictors — and the driver scores the returned prediction bits against
+/// the batch's outcome column. Results are identical to [`simulate_scalar`]
+/// (the one-record-at-a-time reference driver) on any source whose
+/// `fill_batch` agrees with its `next_record` stream; the driver-equivalence
+/// suite pins this byte-for-byte.
 ///
 /// # Errors
 ///
@@ -211,7 +217,10 @@ where
     let _run_event = mbp_stats::events::span(mbp_stats::events::EventName::SimSimulate);
     let mut st = SimState::new(config);
     let mut records = 0u64;
-    let mut batch: Vec<mbp_trace::BranchRecord> = Vec::new();
+    let mut kernel_records = 0u64;
+    let mut fallback_records = 0u64;
+    let mut batch = mbp_trace::BranchBatch::new();
+    let mut predictions = PredictionBits::new();
 
     'trace: loop {
         // Time the decode share separately from the whole run; one span per
@@ -229,38 +238,57 @@ where
         }
         records += got as u64;
         // Steady state: once warm-up has elapsed and no cut-off is set,
-        // every record of the batch is measured, so the per-record window
-        // checks can be hoisted out of the loop. Any record advances the
-        // counter by at least one instruction, so `instructions >= warmup`
-        // here implies `instructions > warmup` after each record below.
-        // Timeseries accumulation needs per-record attribution, so it pins
-        // the run to the slow loop; the check is per batch, keeping the
-        // default (disabled) configuration at zero per-record cost.
+        // every record of the batch is measured, so the whole block goes
+        // through `predict_batch` (the kernel fast path) and the per-record
+        // window checks disappear. Any record advances the counter by at
+        // least one instruction, so `instructions >= warmup` here implies
+        // `instructions > warmup` after each record below. Timeseries
+        // accumulation needs per-record attribution, so it pins the run to
+        // the slow loop; the check is per batch, keeping the default
+        // (disabled) configuration at zero per-record cost.
         if config.max_instructions.is_none()
             && st.instructions >= config.warmup_instructions
             && st.timeseries.is_none()
         {
-            for rec in &batch {
-                let advanced = rec.instructions();
-                st.instructions += advanced;
-                st.measured_instructions += advanced;
-                let b = rec.branch;
-                if b.is_conditional() {
-                    let mispredicted = predictor.predict(b.ip()) != b.is_taken();
-                    st.conditional += 1;
-                    st.mispredictions += mispredicted as u64;
-                    st.most_failed.record(b.ip(), b.is_taken(), mispredicted);
-                    predictor.train(&b);
+            kernel_records += got as u64;
+            predictions.clear();
+            predictor.predict_batch(&batch, config.track_only_conditional, &mut predictions);
+            // Bookkeeping over the columns: the predictor already consumed
+            // the batch, so this loop touches only pcs/gaps/taken/ops (the
+            // targets column stays cold) and never calls through the
+            // predictor vtable.
+            let (pcs, gaps, taken, ops) = (
+                &batch.pcs()[..got],
+                &batch.gaps()[..got],
+                &batch.taken()[..got],
+                &batch.ops()[..got],
+            );
+            // Instruction totals vectorize as one reduction over the gaps
+            // column; the remaining loop keeps its running counters in
+            // locals so only the per-branch tables see memory traffic.
+            let advanced: u64 = gaps.iter().map(|&g| g as u64).sum::<u64>() + got as u64;
+            st.instructions += advanced;
+            st.measured_instructions += advanced;
+            let (mut conditional, mut mispredictions) = (0u64, 0u64);
+            let mut bit = 0usize;
+            for i in 0..got {
+                if ops[i] & 0b1 != 0 {
+                    let outcome = taken[i] != 0;
+                    let mispredicted = predictions.get(bit) != outcome;
+                    bit += 1;
+                    conditional += 1;
+                    mispredictions += mispredicted as u64;
+                    st.most_failed.record(pcs[i], outcome, mispredicted);
                 } else {
-                    st.most_failed.note_static(b.ip());
-                }
-                if !config.track_only_conditional || b.is_conditional() {
-                    predictor.track(&b);
+                    st.most_failed.note_static(pcs[i]);
                 }
             }
+            st.conditional += conditional;
+            st.mispredictions += mispredictions;
             continue;
         }
-        for rec in &batch {
+        fallback_records += got as u64;
+        for i in 0..got {
             if let Some(max) = config.max_instructions {
                 if st.instructions >= max {
                     // A record exists beyond the cut-off, so the trace was
@@ -270,6 +298,7 @@ where
                     break 'trace;
                 }
             }
+            let rec = batch.record(i);
             st.instructions += rec.instructions();
             let in_measurement = st.instructions > config.warmup_instructions;
             if in_measurement {
@@ -307,6 +336,15 @@ where
     let elapsed = start.elapsed();
     stats.records.add(records);
     stats.instructions.add(st.instructions);
+    stats.kernel_branches.add(kernel_records);
+    stats.scalar_fallback_branches.add(fallback_records);
+    // One instant per run: how much of it rode the kernel path (0 = the run
+    // never left the fallback). Visible in Chrome traces next to the run's
+    // `sim.simulate` span.
+    mbp_stats::events::instant(
+        mbp_stats::events::EventName::SimKernelBranches,
+        kernel_records,
+    );
     stats
         .simulate
         .record_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
@@ -388,6 +426,7 @@ where
     let elapsed = start.elapsed();
     stats.records.add(records);
     stats.instructions.add(instructions);
+    stats.scalar_fallback_branches.add(records);
     stats
         .simulate
         .record_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));

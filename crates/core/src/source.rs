@@ -2,7 +2,7 @@
 
 use mbp_json::Value;
 use mbp_trace::sbbt::SbbtReader;
-use mbp_trace::{BranchRecord, TraceError};
+use mbp_trace::{BranchBatch, BranchRecord, TraceError};
 
 /// Records per [`TraceSource::fill_batch`] call, matching the SBBT
 /// reader's native block size.
@@ -25,10 +25,12 @@ pub trait TraceSource {
     /// [`BATCH_RECORDS`] records and returns how many were produced.
     ///
     /// The simulators drive this method in their hot loop: one virtual call
-    /// amortizes over a whole block, and `out` is caller-owned so its
-    /// allocation is reused across calls. Implementations must return fewer
-    /// than `BATCH_RECORDS` records only at the end of the trace (or on
-    /// error); `0` means the trace is exhausted.
+    /// amortizes over a whole block, the struct-of-arrays
+    /// [`BranchBatch`] lets predictor kernels stream individual columns,
+    /// and `out` is caller-owned so its column allocations are reused
+    /// across calls (truncated, never re-zeroed). Implementations must
+    /// return fewer than `BATCH_RECORDS` records only at the end of the
+    /// trace (or on error); `0` means the trace is exhausted.
     ///
     /// The default implementation loops [`TraceSource::next_record`];
     /// sources with a cheaper block path (the SBBT reader, in-memory
@@ -38,14 +40,15 @@ pub trait TraceSource {
     ///
     /// Malformed trace content; `out` holds the records produced before
     /// the error.
-    fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
+    fn fill_batch(&mut self, out: &mut BranchBatch) -> Result<usize, TraceError> {
         out.clear();
         while out.len() < BATCH_RECORDS {
             match self.next_record()? {
-                Some(rec) => out.push(rec),
+                Some(rec) => out.push_record(&rec),
                 None => break,
             }
         }
+        out.debug_assert_aligned();
         Ok(out.len())
     }
 
@@ -76,7 +79,7 @@ impl TraceSource for SbbtReader {
         SbbtReader::next_record(self)
     }
 
-    fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
+    fn fill_batch(&mut self, out: &mut BranchBatch) -> Result<usize, TraceError> {
         SbbtReader::fill_batch(self, out)
     }
 
@@ -135,10 +138,10 @@ impl TraceSource for SliceSource<'_> {
         Ok(rec)
     }
 
-    fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
+    fn fill_batch(&mut self, out: &mut BranchBatch) -> Result<usize, TraceError> {
         out.clear();
         let end = self.records.len().min(self.pos + BATCH_RECORDS);
-        out.extend_from_slice(&self.records[self.pos..end]);
+        out.extend_from_records(&self.records[self.pos..end]);
         self.pos = end;
         Ok(out.len())
     }
@@ -204,10 +207,10 @@ impl TraceSource for VecSource {
         Ok(rec)
     }
 
-    fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
+    fn fill_batch(&mut self, out: &mut BranchBatch) -> Result<usize, TraceError> {
         out.clear();
         let end = self.records.len().min(self.pos + BATCH_RECORDS);
-        out.extend_from_slice(&self.records[self.pos..end]);
+        out.extend_from_records(&self.records[self.pos..end]);
         self.pos = end;
         Ok(out.len())
     }
@@ -279,11 +282,11 @@ mod tests {
     fn fill_batch_blocks_and_exhausts() {
         let records = recs(BATCH_RECORDS + 10);
         let mut s = SliceSource::new(&records);
-        let mut buf = Vec::new();
+        let mut buf = BranchBatch::new();
         assert_eq!(s.fill_batch(&mut buf).unwrap(), BATCH_RECORDS);
-        assert_eq!(buf[0], records[0]);
+        assert_eq!(buf.record(0), records[0]);
         assert_eq!(s.fill_batch(&mut buf).unwrap(), 10);
-        assert_eq!(buf[9], records[BATCH_RECORDS + 9]);
+        assert_eq!(buf.record(9), records[BATCH_RECORDS + 9]);
         assert_eq!(s.fill_batch(&mut buf).unwrap(), 0);
         assert!(buf.is_empty());
     }
@@ -293,9 +296,9 @@ mod tests {
         let records = recs(5);
         let mut s = VecSource::new(records.clone());
         assert_eq!(s.next_record().unwrap(), Some(records[0]));
-        let mut buf = Vec::new();
+        let mut buf = BranchBatch::new();
         assert_eq!(s.fill_batch(&mut buf).unwrap(), 4);
-        assert_eq!(buf[0], records[1]);
+        assert_eq!(buf.record(0), records[1]);
     }
 
     #[test]
@@ -311,7 +314,7 @@ mod tests {
         let records = recs(BATCH_RECORDS + 7);
         let mut defaulted = OneAtATime(SliceSource::new(&records));
         let mut specialized = SliceSource::new(&records);
-        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let (mut a, mut b) = (BranchBatch::new(), BranchBatch::new());
         loop {
             let n = defaulted.fill_batch(&mut a).unwrap();
             let m = specialized.fill_batch(&mut b).unwrap();

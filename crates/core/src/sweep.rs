@@ -185,9 +185,9 @@ where
     let decode_event = mbp_stats::events::span(mbp_stats::events::EventName::SweepDecode);
     let mut records: Vec<BranchRecord> =
         Vec::with_capacity(trace.record_count_hint().unwrap_or(0) as usize);
-    let mut batch = Vec::new();
+    let mut batch = mbp_trace::BranchBatch::new();
     while trace.fill_batch(&mut batch)? > 0 {
-        records.extend_from_slice(&batch);
+        batch.append_records_to(&mut records);
         mbp_stats::events::batch_tick();
     }
     decode_event.finish();

@@ -44,6 +44,8 @@ pub fn pipeline_json(snap: &PipelineSnapshot) -> Value {
             "runs": snap.sim_runs,
             "records": snap.sim_records,
             "instructions": snap.sim_instructions,
+            "kernel_branches": snap.sim_kernel_branches,
+            "scalar_fallback_branches": snap.sim_scalar_fallback_branches,
             "fill_batch_time_s": snap.sim_fill_batch.seconds(),
             "time_s": snap.sim_simulate.seconds(),
             "branches_per_second": snap.branches_per_second(),
@@ -123,9 +125,11 @@ pub fn human_summary(snap: &PipelineSnapshot) -> String {
     }
     if snap.sim_runs > 0 {
         out.push_str(&format!(
-            "simulate:  {} run(s), {} branches, {} instr in {:.3} s ({} branches)\n",
+            "simulate:  {} run(s), {} branches ({} kernel / {} scalar), {} instr in {:.3} s ({} branches)\n",
             snap.sim_runs,
             count(snap.sim_records),
+            count(snap.sim_kernel_branches),
+            count(snap.sim_scalar_fallback_branches),
             count(snap.sim_instructions),
             snap.sim_simulate.seconds(),
             rate(snap.branches_per_second()),
@@ -172,6 +176,8 @@ mod tests {
         stats.sim.runs.inc();
         stats.sim.records.add(2048);
         stats.sim.instructions.add(10_240);
+        stats.sim.kernel_branches.add(2000);
+        stats.sim.scalar_fallback_branches.add(48);
         stats.sim.simulate.record_ns(2_000_000);
         stats.snapshot()
     }
@@ -186,6 +192,8 @@ mod tests {
         );
         assert_eq!(doc["decode"]["packets_decoded"], Value::from(2048));
         assert_eq!(doc["simulate"]["runs"], Value::from(1));
+        assert_eq!(doc["simulate"]["kernel_branches"], Value::from(2000));
+        assert_eq!(doc["simulate"]["scalar_fallback_branches"], Value::from(48));
         assert_eq!(doc["sweep"]["predictors"], Value::from(0));
         // The document parses back.
         let reparsed: Value = doc.to_pretty_string().parse().unwrap();

@@ -1,8 +1,12 @@
 //! The bimodal predictor (Lee & Smith, 1983): a table of two-bit counters
 //! indexed by the branch address.
 
-use mbp_core::{json, probe_counter_table, Branch, Predictor, TableProbe, Value};
-use mbp_utils::{xor_fold, I2};
+use mbp_core::{
+    json, probe_counter_table, Branch, BranchBatch, PredictionBits, Predictor, TableProbe, Value,
+};
+use mbp_utils::{xor_fold, xor_fold_columns, I2};
+
+use crate::KERNEL_CHUNK;
 
 /// A table of `2^log_size` two-bit saturating counters indexed by a fold of
 /// the branch address.
@@ -76,6 +80,48 @@ impl Predictor for Bimodal {
 
     fn table_probes(&self) -> Vec<TableProbe> {
         vec![probe_counter_table("bimodal", &self.table)]
+    }
+
+    fn predict_batch(
+        &mut self,
+        batch: &BranchBatch,
+        _track_only_conditional: bool,
+        out: &mut PredictionBits,
+    ) {
+        // The index depends only on the address, so all indices of a chunk
+        // hash in one vectorizable pass; the counter loop stays scalar but
+        // touches the table through a power-of-two mask, which both matches
+        // `xor_fold`'s range and lets the compiler drop the bounds checks.
+        // Prediction bits accumulate in a register and flush a word at a
+        // time. `track` is a no-op, so `track_only_conditional` is
+        // irrelevant.
+        let (pcs, taken, ops) = (batch.pcs(), batch.taken(), batch.ops());
+        // Pin the table base so stores inside the loop cannot force the Vec
+        // pointer to reload.
+        let table: &mut [I2] = &mut self.table;
+        let mask = table.len() - 1;
+        let mut idx = [0u64; KERNEL_CHUNK];
+        let (mut acc, mut nbits) = (0u64, 0usize);
+        let mut start = 0;
+        while start < batch.len() {
+            let n = KERNEL_CHUNK.min(batch.len() - start);
+            xor_fold_columns(&pcs[start..start + n], self.log_size, &mut idx);
+            let (taken, ops) = (&taken[start..start + n], &ops[start..start + n]);
+            for i in 0..n {
+                if ops[i] & 0b1 != 0 {
+                    let slot = idx[i] as usize & mask;
+                    acc |= (table[slot].is_taken() as u64) << nbits;
+                    nbits += 1;
+                    if nbits == 64 {
+                        out.push_word(acc, 64);
+                        (acc, nbits) = (0, 0);
+                    }
+                    table[slot].sum_or_sub(taken[i] != 0);
+                }
+            }
+            start += n;
+        }
+        out.push_word(acc, nbits);
     }
 }
 

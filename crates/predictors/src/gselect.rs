@@ -6,8 +6,12 @@
 //! GSelect is the cleaner teaching example of two-component indexing and a
 //! common subcomponent in older hybrids.
 
-use mbp_core::{json, probe_counter_table, Branch, Predictor, TableProbe, Value};
-use mbp_utils::{xor_fold, HistoryRegister, I2};
+use mbp_core::{
+    json, probe_counter_table, Branch, BranchBatch, PredictionBits, Predictor, TableProbe, Value,
+};
+use mbp_utils::{xor_fold, xor_fold_columns, HistoryRegister, I2};
+
+use crate::KERNEL_CHUNK;
 
 /// GSelect with `history_bits` of global history concatenated with
 /// `address_bits` of (folded) branch address.
@@ -98,6 +102,56 @@ impl Predictor for GSelect {
         vec![probe_counter_table("gselect", &self.table)
             .with_extra("history_bits", self.history_bits)
             .with_extra("address_bits", self.address_bits)]
+    }
+
+    fn predict_batch(
+        &mut self,
+        batch: &BranchBatch,
+        track_only_conditional: bool,
+        out: &mut PredictionBits,
+    ) {
+        // The address half of the index is history-free, so it folds in one
+        // vectorizable pass per chunk; the history half is a single-word
+        // register (`history_bits <= 24`) simulated in a local and OR-ed in
+        // during the scalar counter walk.
+        let (pcs, taken, ops) = (batch.pcs(), batch.taken(), batch.ops());
+        let hmask = (1u64 << self.history_bits) - 1;
+        // The register is exactly `history_bits` long, so `low_bits` is
+        // already the `low_n(history_bits)` value the scalar index uses.
+        let mut h = self.ghist.low_bits();
+        // Pin the table base so stores inside the loop cannot force the Vec
+        // pointer to reload.
+        let table: &mut [I2] = &mut self.table;
+        let tmask = table.len() - 1;
+        let shift = self.address_bits;
+        let mut addr = [0u64; KERNEL_CHUNK];
+        let (mut acc, mut nbits) = (0u64, 0usize);
+        let mut start = 0;
+        while start < batch.len() {
+            let n = KERNEL_CHUNK.min(batch.len() - start);
+            xor_fold_columns(&pcs[start..start + n], shift, &mut addr);
+            let (taken, ops) = (&taken[start..start + n], &ops[start..start + n]);
+            for i in 0..n {
+                let conditional = ops[i] & 0b1 != 0;
+                let t = taken[i] != 0;
+                if conditional {
+                    let slot = ((h << shift) | addr[i]) as usize & tmask;
+                    acc |= (table[slot].is_taken() as u64) << nbits;
+                    nbits += 1;
+                    if nbits == 64 {
+                        out.push_word(acc, 64);
+                        (acc, nbits) = (0, 0);
+                    }
+                    table[slot].sum_or_sub(t);
+                }
+                if conditional | !track_only_conditional {
+                    h = ((h << 1) | t as u64) & hmask;
+                }
+            }
+            start += n;
+        }
+        out.push_word(acc, nbits);
+        self.ghist.set_low_bits(h);
     }
 }
 

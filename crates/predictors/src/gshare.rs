@@ -4,7 +4,9 @@
 //! counters, a global history register, and `XorFold(ip ^ history, T)` as
 //! the index.
 
-use mbp_core::{json, probe_counter_table, Branch, Predictor, TableProbe, Value};
+use mbp_core::{
+    json, probe_counter_table, Branch, BranchBatch, PredictionBits, Predictor, TableProbe, Value,
+};
 use mbp_utils::{xor_fold, HistoryRegister, I2};
 
 /// GShare with `history_length` bits of global history and `2^log_size`
@@ -98,6 +100,64 @@ impl Predictor for Gshare {
     fn table_probes(&self) -> Vec<TableProbe> {
         vec![probe_counter_table("gshare", &self.table)
             .with_extra("history_length", self.history_length)]
+    }
+
+    fn predict_batch(
+        &mut self,
+        batch: &BranchBatch,
+        track_only_conditional: bool,
+        out: &mut PredictionBits,
+    ) {
+        // Each branch is predicted against the history *before* its own
+        // `track`, so the batch carries everything needed to reconstruct
+        // every index: simulate the (single-word) history register in a
+        // local and fold `ip ^ history` on the spot. The serial history
+        // dependency makes a separate vectorizable index pass a net loss
+        // here (measured — the extra stores/loads cost more than the fold
+        // saves), so the kernel is one fused pass whose win over the
+        // per-branch interface comes from iterating raw columns instead of
+        // reconstructing `Branch` values, keeping the history in a
+        // register instead of round-tripping `HistoryRegister::push`, and
+        // flushing predictions a word at a time. The predict → train pair
+        // for one branch uses the same index, which is exactly what the
+        // scalar path's `cached_index` guarantees.
+        let (pcs, taken, ops) = (batch.pcs(), batch.taken(), batch.ops());
+        let hmask = if self.history_length == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.history_length) - 1
+        };
+        let mut h = self.ghist.low_bits();
+        // Pin the table base in a register: indexing through `self.table`
+        // inside the loop would reload the Vec pointer around every store
+        // the compiler cannot disambiguate.
+        let table: &mut [I2] = &mut self.table;
+        let tmask = table.len() - 1;
+        let width = self.log_size;
+        let n = pcs.len();
+        let (pcs, taken, ops) = (&pcs[..n], &taken[..n], &ops[..n]);
+        let (mut acc, mut nbits) = (0u64, 0usize);
+        for i in 0..n {
+            let (pc, t, op) = (pcs[i], taken[i], ops[i]);
+            let conditional = op & 0b1 != 0;
+            if conditional {
+                let slot = xor_fold(pc ^ h, width) as usize & tmask;
+                acc |= (table[slot].is_taken() as u64) << nbits;
+                nbits += 1;
+                if nbits == 64 {
+                    out.push_word(acc, 64);
+                    (acc, nbits) = (0, 0);
+                }
+                table[slot].sum_or_sub(t != 0);
+            }
+            if conditional | !track_only_conditional {
+                h = ((h << 1) | (t != 0) as u64) & hmask;
+            }
+        }
+        out.push_word(acc, nbits);
+        self.ghist.set_low_bits(h);
+        // Mirror `track`'s invalidation: any cached pair is stale now.
+        self.cached_index = None;
     }
 }
 

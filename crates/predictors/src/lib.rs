@@ -66,6 +66,11 @@ pub use twolevel::{HistoryScope, PatternScope, TwoLevel};
 
 use mbp_core::Predictor;
 
+/// Chunk size shared by the vectorized `predict_batch` kernels: long enough
+/// to amortize the per-chunk setup, short enough that the index scratch
+/// arrays (a few KiB of `u64`) stay on the stack and in L1.
+pub(crate) const KERNEL_CHUNK: usize = 256;
+
 /// Builds one of the stock predictors by name, at a roughly 64 kB storage
 /// budget — handy for CLI harnesses and benchmarks.
 ///

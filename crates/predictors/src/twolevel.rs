@@ -7,8 +7,12 @@
 //! (hashed by branch ip) or per-set (hashed by a coarser region of the ip),
 //! giving the nine classic variants.
 
-use mbp_core::{json, probe_counter_table, Branch, Predictor, TableProbe, Value};
-use mbp_utils::{xor_fold, I2};
+use mbp_core::{
+    json, probe_counter_table, Branch, BranchBatch, PredictionBits, Predictor, TableProbe, Value,
+};
+use mbp_utils::{xor_fold, xor_fold_columns, I2};
+
+use crate::KERNEL_CHUNK;
 
 /// How a level of the predictor is keyed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -68,6 +72,32 @@ pub struct TwoLevel {
 /// Set index: a coarser grouping of addresses than per-address hashing.
 fn set_of(ip: u64, bits: u32) -> usize {
     xor_fold(ip >> 6, bits) as usize
+}
+
+/// Column-wise [`TwoLevel::bhr_index`] / [`TwoLevel::pht_index`]: fills
+/// `idx[..pcs.len()]` with the level's structure index for every lane.
+///
+/// Both level indices are pure functions of the address, so they hash in
+/// vectorizable passes; only the BHR reads and counter updates need the
+/// scalar walk.
+fn fold_scope_indices(
+    scope: HistoryScope,
+    bits: u32,
+    pcs: &[u64],
+    scratch: &mut [u64; KERNEL_CHUNK],
+    idx: &mut [u64; KERNEL_CHUNK],
+) {
+    let n = pcs.len();
+    match scope {
+        HistoryScope::Global => idx[..n].fill(0),
+        HistoryScope::PerAddress => xor_fold_columns(pcs, bits, idx),
+        HistoryScope::PerSet => {
+            for (k, &pc) in scratch[..n].iter_mut().zip(pcs) {
+                *k = pc >> 6;
+            }
+            xor_fold_columns(&scratch[..n], bits, idx);
+        }
+    }
 }
 
 impl TwoLevel {
@@ -225,6 +255,95 @@ impl Predictor for TwoLevel {
                 .with_extra("num_bhrs", self.bhrs.len() as u64)
                 .with_extra("history_length", self.hist_len),
         ]
+    }
+
+    fn predict_batch(
+        &mut self,
+        batch: &BranchBatch,
+        track_only_conditional: bool,
+        out: &mut PredictionBits,
+    ) {
+        // A non-global level with zero index bits would call
+        // `xor_fold(_, 0)`, which panics — but only when the scalar path
+        // actually consults that level. Keep the literal scalar loop for
+        // those degenerate configurations so the panic (or its absence)
+        // matches exactly.
+        if (self.hscope != HistoryScope::Global && self.log_bhrs == 0)
+            || (self.pscope != HistoryScope::Global && self.log_phts == 0)
+        {
+            for i in 0..batch.len() {
+                let branch = batch.branch(i);
+                let conditional = branch.is_conditional();
+                if conditional {
+                    out.push(self.predict(branch.ip()));
+                    self.train(&branch);
+                }
+                if conditional || !track_only_conditional {
+                    self.track(&branch);
+                }
+            }
+            return;
+        }
+        // Both structure indices depend only on the address, so they hash
+        // in two vectorizable passes per chunk. The BHRs are shared mutable
+        // state (a branch's history may have been rewritten by any earlier
+        // branch mapping to the same register), so the counter walk stays
+        // scalar, reading each BHR at the position the scalar sequence
+        // would: after the tracks of all preceding records.
+        let (pcs, taken, ops) = (batch.pcs(), batch.taken(), batch.ops());
+        let hist_mask = (1u32 << self.hist_len) - 1;
+        // Pin both table bases so stores inside the loop cannot force the
+        // Vec pointers to reload.
+        let bhrs: &mut [u32] = &mut self.bhrs;
+        let phts: &mut [I2] = &mut self.phts;
+        let bhr_mask = bhrs.len() - 1;
+        let pht_mask = phts.len() - 1;
+        let hist_len = self.hist_len;
+        let mut scratch = [0u64; KERNEL_CHUNK];
+        let mut bhr_idx = [0u64; KERNEL_CHUNK];
+        let mut pht_idx = [0u64; KERNEL_CHUNK];
+        let (mut acc, mut nbits) = (0u64, 0usize);
+        let mut start = 0;
+        while start < batch.len() {
+            let n = KERNEL_CHUNK.min(batch.len() - start);
+            let chunk = &pcs[start..start + n];
+            fold_scope_indices(
+                self.hscope,
+                self.log_bhrs,
+                chunk,
+                &mut scratch,
+                &mut bhr_idx,
+            );
+            fold_scope_indices(
+                self.pscope,
+                self.log_phts,
+                chunk,
+                &mut scratch,
+                &mut pht_idx,
+            );
+            let (taken, ops) = (&taken[start..start + n], &ops[start..start + n]);
+            for i in 0..n {
+                let conditional = ops[i] & 0b1 != 0;
+                let t = taken[i] != 0;
+                let bi = bhr_idx[i] as usize & bhr_mask;
+                if conditional {
+                    let history = (bhrs[bi] & hist_mask) as usize;
+                    let ci = (((pht_idx[i] as usize) << hist_len) | history) & pht_mask;
+                    acc |= (phts[ci].is_taken() as u64) << nbits;
+                    nbits += 1;
+                    if nbits == 64 {
+                        out.push_word(acc, 64);
+                        (acc, nbits) = (0, 0);
+                    }
+                    phts[ci].sum_or_sub(t);
+                }
+                if conditional | !track_only_conditional {
+                    bhrs[bi] = (bhrs[bi] << 1) | t as u32;
+                }
+            }
+            start += n;
+        }
+        out.push_word(acc, nbits);
     }
 }
 

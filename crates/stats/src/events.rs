@@ -186,6 +186,10 @@ pub enum EventName {
     SampleInflatedBytes = 13,
     /// The simulator closed one timeseries window (arg = window index).
     SimWindowTick = 14,
+    /// A simulation run finished; arg = records it pushed through the
+    /// batched `predict_batch` kernel path (0 = the run never left the
+    /// scalar fallback).
+    SimKernelBranches = 15,
 }
 
 impl EventName {
@@ -206,6 +210,7 @@ impl EventName {
             12 => Some(Self::SamplePacketsDecoded),
             13 => Some(Self::SampleInflatedBytes),
             14 => Some(Self::SimWindowTick),
+            15 => Some(Self::SimKernelBranches),
             _ => None,
         }
     }
@@ -228,6 +233,7 @@ impl EventName {
             Self::SamplePacketsDecoded => "sample.packets_decoded",
             Self::SampleInflatedBytes => "sample.inflated_bytes",
             Self::SimWindowTick => "sim.window_tick",
+            Self::SimKernelBranches => "sim.kernel_branches",
         }
     }
 }

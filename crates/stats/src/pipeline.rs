@@ -57,6 +57,12 @@ pub struct SimStats {
     pub fill_batch: Timer,
     /// Wall time of whole simulation runs (includes the decode share).
     pub simulate: Timer,
+    /// Records processed through `Predictor::predict_batch` (the batched
+    /// kernel fast path of `simulate`).
+    pub kernel_branches: Counter,
+    /// Records processed one at a time: warm-up and cut-off windows,
+    /// timeseries runs, and the scalar reference driver.
+    pub scalar_fallback_branches: Counter,
 }
 
 /// Sweep-engine metrics (`crates/core::simulate_many`).
@@ -127,6 +133,8 @@ impl PipelineStats {
                 instructions: Counter::new(),
                 fill_batch: Timer::new(),
                 simulate: Timer::new(),
+                kernel_branches: Counter::new(),
+                scalar_fallback_branches: Counter::new(),
             },
             sweep: SweepStats {
                 workers: Counter::new(),
@@ -212,6 +220,10 @@ pub struct PipelineSnapshot {
     pub sim_fill_batch: TimerSnapshot,
     /// Sim: whole-run time.
     pub sim_simulate: TimerSnapshot,
+    /// Sim: records through the batched kernel fast path.
+    pub sim_kernel_branches: u64,
+    /// Sim: records through the one-at-a-time fallback path.
+    pub sim_scalar_fallback_branches: u64,
     /// Sweep: workers spawned.
     pub sweep_workers: u64,
     /// Sweep: predictors simulated.
@@ -291,6 +303,8 @@ impl PipelineStats {
             sim_instructions: self.sim.instructions.get(),
             sim_fill_batch: TimerSnapshot::of(&self.sim.fill_batch),
             sim_simulate: TimerSnapshot::of(&self.sim.simulate),
+            sim_kernel_branches: self.sim.kernel_branches.get(),
+            sim_scalar_fallback_branches: self.sim.scalar_fallback_branches.get(),
             sweep_workers: self.sweep.workers.get(),
             sweep_predictors: self.sweep.predictors.get(),
             sweep_faults: self.sweep.faults.get(),
@@ -319,6 +333,8 @@ impl PipelineStats {
         self.sim.instructions.reset();
         self.sim.fill_batch.reset();
         self.sim.simulate.reset();
+        self.sim.kernel_branches.reset();
+        self.sim.scalar_fallback_branches.reset();
         self.sweep.workers.reset();
         self.sweep.predictors.reset();
         self.sweep.faults.reset();

@@ -40,6 +40,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod batch;
 mod branch;
 pub mod bt9;
 pub(crate) mod bytes;
@@ -48,6 +49,7 @@ mod error;
 pub mod sbbt;
 pub mod translate;
 
+pub use batch::{BranchBatch, ColumnsMut};
 pub use branch::{Branch, BranchKind, BranchRecord, Opcode};
 pub use error::TraceError;
 

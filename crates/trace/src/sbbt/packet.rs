@@ -94,6 +94,19 @@ pub fn decode_packet(
     Ok(BranchRecord::new(branch, gap))
 }
 
+/// A decoded packet's fields in column form: the 4-bit opcode encoding is
+/// kept as raw bits so the block decoder can write it straight into a
+/// [`BranchBatch`](crate::BranchBatch) `ops` column without constructing an
+/// [`Opcode`].
+pub(crate) struct RawPacket {
+    pub ip: u64,
+    pub target: u64,
+    pub gap: u32,
+    pub taken: bool,
+    /// Validated 4-bit SBBT opcode encoding (never the reserved patterns).
+    pub op_bits: u8,
+}
+
 /// Block-decode variant of [`decode_packet`] for the `fill_batch` hot loop.
 ///
 /// Semantically identical — same accepted packets, same rejected packets,
@@ -102,10 +115,10 @@ pub fn decode_packet(
 /// so the per-packet cost inside a block is a handful of ALU ops. The
 /// one-at-a-time [`decode_packet`] stays on `Opcode::from_bits` and
 /// `Branch::is_valid`, the canonical statements of the format rules.
-pub(crate) fn decode_packet_fast(
+pub(crate) fn decode_packet_raw(
     bytes: &[u8; PACKET_BYTES],
     position: u64,
-) -> Result<BranchRecord, TraceError> {
+) -> Result<RawPacket, TraceError> {
     let (block1, block2) = crate::bytes::split_u64_pair(bytes);
 
     let conditional = block1 & 0b01 != 0;
@@ -124,17 +137,33 @@ pub(crate) fn decode_packet_fast(
         return Err(malformed_error(block1, position));
     }
 
-    let kind = match (block1 >> 2) & 0b11 {
+    Ok(RawPacket {
+        ip: ((block1 as i64) >> 12) as u64,
+        target,
+        gap: (block2 & 0xFFF) as u32,
+        taken,
+        op_bits: (block1 & 0xF) as u8,
+    })
+}
+
+/// [`decode_packet_raw`] reassembled into a [`BranchRecord`] — used by the
+/// decoder-agreement tests and any caller that wants fast validation with
+/// the struct representation.
+#[cfg(test)]
+pub(crate) fn decode_packet_fast(
+    bytes: &[u8; PACKET_BYTES],
+    position: u64,
+) -> Result<BranchRecord, TraceError> {
+    let p = decode_packet_raw(bytes, position)?;
+    let kind = match (p.op_bits >> 2) & 0b11 {
         0b00 => crate::BranchKind::Jump,
         0b01 => crate::BranchKind::Ret,
-        _ => crate::BranchKind::Call, // `11` was rejected above
+        _ => crate::BranchKind::Call, // `11` was rejected by the raw decoder
     };
-    let opcode = Opcode::new(conditional, indirect, kind);
-    let ip = ((block1 as i64) >> 12) as u64;
-    let gap = (block2 & 0xFFF) as u32;
+    let opcode = Opcode::new(p.op_bits & 0b01 != 0, p.op_bits & 0b10 != 0, kind);
     Ok(BranchRecord::new(
-        Branch::new(ip, target, opcode, taken),
-        gap,
+        Branch::new(p.ip, p.target, opcode, p.taken),
+        p.gap,
     ))
 }
 

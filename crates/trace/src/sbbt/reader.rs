@@ -5,8 +5,8 @@ use std::io::Read;
 use std::path::Path;
 
 use crate::sbbt::header::{SbbtHeader, HEADER_BYTES};
-use crate::sbbt::packet::{decode_packet, decode_packet_fast, PACKET_BYTES};
-use crate::{BranchRecord, TraceError};
+use crate::sbbt::packet::{decode_packet, decode_packet_raw, PACKET_BYTES};
+use crate::{BranchBatch, BranchRecord, TraceError};
 
 /// Number of records decoded per [`SbbtReader::fill_batch`] call.
 ///
@@ -162,14 +162,16 @@ impl SbbtReader {
     }
 
     /// Decodes up to [`BATCH_RECORDS`](crate::sbbt::BATCH_RECORDS) packets
-    /// into `out`, replacing its previous contents, and returns how many
-    /// were decoded.
+    /// into the columns of `out`, replacing its previous contents, and
+    /// returns how many were decoded.
     ///
     /// This is the hot-path entry point of the simulator: one call amortizes
     /// the per-record bounds checks and virtual dispatch of
-    /// [`SbbtReader::next_record`] over a whole block. `out` keeps its
-    /// allocation between calls, so a caller looping `fill_batch` performs
-    /// no allocation after the first block.
+    /// [`SbbtReader::next_record`] over a whole block, and each packet field
+    /// is written straight into its struct-of-arrays column without an
+    /// intermediate [`BranchRecord`]. `out` is truncated, never re-zeroed,
+    /// and keeps its column allocations between calls, so a caller looping
+    /// `fill_batch` performs no allocation after the first block.
     ///
     /// A return value smaller than `BATCH_RECORDS` means the trace is
     /// exhausted; `0` means no records remain.
@@ -178,7 +180,7 @@ impl SbbtReader {
     ///
     /// [`TraceError::Invalid`] on the first malformed packet; `out` holds
     /// the records decoded before it.
-    pub fn fill_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, TraceError> {
+    pub fn fill_batch(&mut self, out: &mut BranchBatch) -> Result<usize, TraceError> {
         // One span + two counter adds per 2048-packet block: the guard drop
         // also covers the error returns, so partially decoded batches are
         // still accounted for. The event span is journal-gated (off by
@@ -187,33 +189,54 @@ impl SbbtReader {
         let _span = stats.decode.span();
         let _event = mbp_stats::events::span(mbp_stats::events::EventName::TraceFillBatch);
         stats.batches.inc();
-        out.clear();
         let start = self.pos;
         let end = self.data.len().min(start + BATCH_RECORDS * PACKET_BYTES);
-        out.reserve((end - start) / PACKET_BYTES);
+        let n = (end - start) / PACKET_BYTES;
+        // Columns are resized once (a no-op at a steady batch size — no
+        // per-push capacity checks, no re-zeroing of reused buffers) and
+        // every packet field is written straight into its lane; the zips
+        // over exact-length slices keep the loop free of bounds checks.
+        let (pcs, targets, gaps, taken, ops) = out.resize_for_overwrite(n);
+        let packets = self.data[start..end].chunks_exact(PACKET_BYTES);
+        let lanes = pcs.iter_mut().zip(targets).zip(gaps).zip(taken).zip(ops);
         // The cursor is committed once per block (or set to the failing
         // packet), keeping the decode loop free of writes through `self`.
-        for (i, packet) in self.data[start..end].chunks_exact(PACKET_BYTES).enumerate() {
+        let mut failed: Option<(usize, TraceError)> = None;
+        for (i, (packet, ((((pc, target), gap), taken), op))) in packets.zip(lanes).enumerate() {
             let position = start + i * PACKET_BYTES;
             // `chunks_exact` only yields full packets; degrade to a typed
             // error rather than panicking if that invariant ever breaks.
             let Some(bytes) = packet.first_chunk::<PACKET_BYTES>() else {
-                self.pos = position;
-                stats.packets_decoded.add(out.len() as u64);
-                return Err(TraceError::Truncated);
+                failed = Some((i, TraceError::Truncated));
+                break;
             };
-            match decode_packet_fast(bytes, position as u64) {
-                Ok(rec) => out.push(rec),
+            match decode_packet_raw(bytes, position as u64) {
+                Ok(p) => {
+                    *pc = p.ip;
+                    *target = p.target;
+                    *gap = p.gap;
+                    *taken = p.taken as u8;
+                    *op = p.op_bits;
+                }
                 Err(e) => {
-                    self.pos = position;
-                    stats.packets_decoded.add(out.len() as u64);
-                    return Err(e);
+                    failed = Some((i, e));
+                    break;
                 }
             }
         }
+        if let Some((i, e)) = failed {
+            self.pos = start + i * PACKET_BYTES;
+            // Drop the unwritten tail so the batch holds exactly the
+            // packets decoded before the failure.
+            out.truncate(i);
+            stats.packets_decoded.add(i as u64);
+            out.debug_assert_aligned();
+            return Err(e);
+        }
         self.pos = end;
-        stats.packets_decoded.add(out.len() as u64);
-        Ok(out.len())
+        stats.packets_decoded.add(n as u64);
+        out.debug_assert_aligned();
+        Ok(n)
     }
 
     /// Reads every remaining record.
@@ -223,9 +246,9 @@ impl SbbtReader {
     /// Propagates the first packet error encountered.
     pub fn read_all(&mut self) -> Result<Vec<BranchRecord>, TraceError> {
         let mut out = Vec::with_capacity(self.remaining() as usize);
-        let mut batch = Vec::new();
+        let mut batch = BranchBatch::new();
         while self.fill_batch(&mut batch)? > 0 {
-            out.extend_from_slice(&batch);
+            batch.append_records_to(&mut out);
         }
         Ok(out)
     }
@@ -376,14 +399,14 @@ mod tests {
         let mut batched = SbbtReader::from_bytes(bytes).unwrap();
 
         let mut via_batches = Vec::new();
-        let mut buf = Vec::new();
+        let mut buf = BranchBatch::new();
         loop {
             let got = batched.fill_batch(&mut buf).unwrap();
             if got == 0 {
                 break;
             }
             assert!(got == BATCH_RECORDS || batched.remaining() == 0);
-            via_batches.extend_from_slice(&buf);
+            buf.append_records_to(&mut via_batches);
         }
 
         let mut via_scalar = Vec::new();
@@ -407,10 +430,23 @@ mod tests {
     #[test]
     fn fill_batch_replaces_buffer_contents() {
         let mut r = SbbtReader::from_bytes(sample_trace(3)).unwrap();
-        let mut buf = Vec::new();
+        let mut buf = BranchBatch::new();
         assert_eq!(r.fill_batch(&mut buf).unwrap(), 3);
         assert_eq!(r.fill_batch(&mut buf).unwrap(), 0);
         assert!(buf.is_empty(), "exhausted fill clears the buffer");
+    }
+
+    #[test]
+    fn fill_batch_decodes_columns() {
+        let mut r = SbbtReader::from_bytes(sample_trace(5)).unwrap();
+        let mut buf = BranchBatch::new();
+        assert_eq!(r.fill_batch(&mut buf).unwrap(), 5);
+        buf.debug_assert_aligned();
+        assert_eq!(buf.pcs()[3], 0x1000 + 48);
+        assert_eq!(buf.gaps()[4], 4);
+        assert_eq!(buf.taken()[0], 1); // i % 3 == 0 at i = 0
+        assert_eq!(buf.taken()[1], 0);
+        assert!(buf.is_conditional(2));
     }
 
     #[test]
@@ -419,7 +455,7 @@ mod tests {
         let off = 24 + 2 * 16;
         bytes[off] |= 0b0111_0000; // corrupt third packet's reserved bits
         let mut r = SbbtReader::from_bytes(bytes).unwrap();
-        let mut buf = Vec::new();
+        let mut buf = BranchBatch::new();
         assert!(r.fill_batch(&mut buf).is_err());
         assert_eq!(buf.len(), 2, "records before the error are kept");
     }

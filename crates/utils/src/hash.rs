@@ -34,6 +34,60 @@ pub fn xor_fold(mut value: u64, width: u32) -> u64 {
     acc
 }
 
+/// Column-wise [`xor_fold`]: folds `values[i]` into `width` bits and writes
+/// the result to `out[i]`, for every lane.
+///
+/// Produces exactly the same values as calling `xor_fold` per element — the
+/// scalar loop stops early once the remaining value is zero, while this one
+/// always XORs all `ceil(64 / width)` chunks, but the extra chunks are zero
+/// and XOR is identity on zero. The loop structure (fixed outer shift
+/// rounds, data-independent inner lane loop) is what the batched predictor
+/// kernels need for autovectorization: the scalar fold's data-dependent
+/// `while value != 0` defeats SIMD.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or greater than 64, or if `out` is shorter
+/// than `values`.
+///
+/// # Examples
+///
+/// ```
+/// use mbp_utils::{xor_fold, xor_fold_columns};
+///
+/// let values = [0xdead_beef_cafe_f00d, 0x1234_5678, 0, u64::MAX];
+/// let mut out = [0u64; 4];
+/// xor_fold_columns(&values, 13, &mut out);
+/// for (v, o) in values.iter().zip(&out) {
+///     assert_eq!(*o, xor_fold(*v, 13));
+/// }
+/// ```
+pub fn xor_fold_columns(values: &[u64], width: u32, out: &mut [u64]) {
+    assert!((1..=64).contains(&width), "fold width must be in 1..=64");
+    assert!(
+        out.len() >= values.len(),
+        "output shorter than input: {} < {}",
+        out.len(),
+        values.len()
+    );
+    let out = &mut out[..values.len()];
+    if width >= 64 {
+        out.copy_from_slice(values);
+        return;
+    }
+    let mask = (1u64 << width) - 1;
+    for o in out.iter_mut() {
+        *o = 0;
+    }
+    let mut shift = 0u32;
+    while shift < 64 {
+        for (o, &v) in out.iter_mut().zip(values) {
+            *o ^= (v >> shift) & mask;
+        }
+        shift += width;
+    }
+}
+
 /// A strong 64-bit mixer (the splitmix64 finalizer).
 ///
 /// Useful when a predictor needs statistically independent hashes of the
@@ -166,6 +220,29 @@ mod tests {
             let width = rng.range_inclusive(1, 63) as u32;
             assert!(xor_fold(v, width) < (1u64 << width));
         }
+    }
+
+    #[test]
+    fn xor_fold_columns_matches_scalar() {
+        let mut rng = Xorshift64::new(0x4a54_0003);
+        for _ in 0..256 {
+            let width = rng.range_inclusive(1, 64) as u32;
+            let n = rng.below(40) as usize;
+            let values: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+            let mut out = vec![u64::MAX; n + 2]; // oversized, pre-dirtied
+            xor_fold_columns(&values, width, &mut out);
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(out[i], xor_fold(v, width), "lane {i} width {width}");
+            }
+            // Lanes beyond the input stay untouched.
+            assert_eq!(&out[n..], &[u64::MAX, u64::MAX]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output shorter")]
+    fn xor_fold_columns_rejects_short_output() {
+        xor_fold_columns(&[1, 2, 3], 8, &mut [0u64; 2]);
     }
 
     #[test]

@@ -127,6 +127,25 @@ impl HistoryRegister {
         acc
     }
 
+    /// Overwrites the history with `bits` (bit 0 = most recent outcome),
+    /// masked to the register length. Batched predictor kernels simulate
+    /// the history locally from a batch's taken bits and use this to sync
+    /// the authoritative register once per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is longer than 64 bits — multi-word histories
+    /// cannot be replaced from a single integer.
+    #[inline]
+    pub fn set_low_bits(&mut self, bits: u64) {
+        assert!(
+            self.len <= 64,
+            "set_low_bits requires a single-word history (len {} > 64)",
+            self.len
+        );
+        self.words[0] = bits & self.top_mask;
+    }
+
     /// Clears all history bits.
     pub fn clear(&mut self) {
         self.words.fill(0);
@@ -246,6 +265,32 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_length_rejected() {
         HistoryRegister::new(0);
+    }
+
+    #[test]
+    fn set_low_bits_replays_pushes() {
+        // set_low_bits(x) must leave the register exactly as if the bits of
+        // x had been pushed oldest-first.
+        let mut rng = Xorshift64::new(0x415703);
+        for len in [1usize, 7, 31, 63, 64] {
+            let mut direct = HistoryRegister::new(len);
+            let mut pushed = HistoryRegister::new(len);
+            for _ in 0..32 {
+                let bits = rng.next_u64();
+                direct.set_low_bits(bits);
+                pushed.clear();
+                for i in (0..len).rev() {
+                    pushed.push((bits >> i) & 1 == 1);
+                }
+                assert_eq!(direct, pushed, "len {len} bits {bits:#x}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-word")]
+    fn set_low_bits_rejects_multiword() {
+        HistoryRegister::new(65).set_low_bits(0);
     }
 
     #[test]

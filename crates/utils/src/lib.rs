@@ -43,7 +43,7 @@ mod rng;
 
 pub use counter::{SatCounter, USatCounter, I2, I3, U2};
 pub use folded::FoldedHistory;
-pub use hash::{mix64, xor_fold, FastHashBuilder, FastHasher};
+pub use hash::{mix64, xor_fold, xor_fold_columns, FastHashBuilder, FastHasher};
 pub use history::HistoryRegister;
 pub use lru::LruSet;
 pub use path::PathHistory;
