@@ -89,6 +89,7 @@ fn main() {
         let sweep_config = SweepConfig {
             sim: config.clone(),
             jobs: 0,
+            ..SweepConfig::default()
         };
         simulate_many(&mut source, many, &sweep_config).expect("sweep")
     });

@@ -1,0 +1,402 @@
+//! Append-only sweep checkpointing: one fsync'd JSONL record per settled
+//! predictor, so a killed sweep resumes instead of starting over.
+//!
+//! # File format (schema v1)
+//!
+//! The checkpoint is a JSON-Lines file. Every line is one self-contained
+//! object describing one settled predictor:
+//!
+//! ```text
+//! {"v":1,"predictor":"gshare","status":"ok","result":{ ...Listing-1 doc... }}
+//! {"v":1,"predictor":"buggy","status":"failed","kind":"panic","message":"..."}
+//! ```
+//!
+//! * `v` — schema version; readers stop at the first line whose version
+//!   they do not understand.
+//! * `predictor` — the display name passed to
+//!   [`simulate_many`](crate::simulate_many); resume matches on it.
+//! * `status` — `"ok"` carries the full [`SimResult`] document under
+//!   `result`; `"failed"` carries the [`SweepFailure`] kind and message.
+//!
+//! Each record is flushed and `fsync`'d before the sweep reports the
+//! predictor as done, so the file never claims work that could be lost.
+//! The *last* line of a file whose writer was killed mid-append may be
+//! truncated; [`load_checkpoint`] stops at the first malformed line by
+//! design and treats everything before it as trustworthy.
+//!
+//! Completed results embed the simulator name and version; a record
+//! written by a different build fails [`SimResult::from_json`]'s identity
+//! check and is counted in [`CheckpointLoad::stale`] — the predictor is
+//! re-run rather than mixing results from two simulator versions into one
+//! leaderboard.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use mbp_json::{json, Value};
+
+use crate::simulator::SimResult;
+use crate::sweep::{FailureKind, SweepFailure};
+
+/// Current checkpoint schema version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Appends settled-predictor records to a checkpoint file, one fsync per
+/// record.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: File,
+    records: u64,
+}
+
+impl CheckpointWriter {
+    /// Creates (or truncates) a checkpoint file for a fresh sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self {
+            file: File::create(path)?,
+            records: 0,
+        })
+    }
+
+    /// Opens a checkpoint file for appending (resumed sweeps). Creates the
+    /// file if it does not exist yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open failures.
+    pub fn append(path: &Path) -> io::Result<Self> {
+        Ok(Self {
+            file: OpenOptions::new().create(true).append(true).open(path)?,
+            records: 0,
+        })
+    }
+
+    /// Records written through this writer (excludes pre-existing lines of
+    /// an appended file).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Appends one completed-predictor record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write or fsync failures; the record must be durable
+    /// before the sweep counts the predictor as settled.
+    pub fn record_result(&mut self, name: &str, result: &SimResult) -> io::Result<()> {
+        self.write_line(&json!({
+            "v": CHECKPOINT_VERSION,
+            "predictor": name,
+            "status": "ok",
+            "result": result.to_json(),
+        }))
+    }
+
+    /// Appends one failed-predictor record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write or fsync failures.
+    pub fn record_failure(&mut self, failure: &SweepFailure) -> io::Result<()> {
+        self.write_line(&json!({
+            "v": CHECKPOINT_VERSION,
+            "predictor": failure.name.as_str(),
+            "status": "failed",
+            "kind": failure.kind.as_str(),
+            "message": failure.message.as_str(),
+        }))
+    }
+
+    fn write_line(&mut self, record: &Value) -> io::Result<()> {
+        let mut line = record.to_compact_string();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        // One fsync per record: the durability contract is that a record,
+        // once reported, survives a kill. Sweep records settle at predictor
+        // granularity (seconds to minutes apart), so this is off any hot
+        // path.
+        self.file.sync_data()?;
+        self.records += 1;
+        let stats = &mbp_stats::pipeline().sweep;
+        stats.checkpoint_writes.inc();
+        mbp_stats::events::instant(mbp_stats::events::EventName::CheckpointWrite, self.records);
+        Ok(())
+    }
+}
+
+/// Everything a checkpoint file yielded on load.
+#[derive(Debug, Default)]
+pub struct CheckpointLoad {
+    /// Completed predictors with their parsed results, in file order,
+    /// deduplicated by name (first record wins).
+    pub completed: Vec<(String, SimResult)>,
+    /// Failed predictors, in file order, deduplicated by name.
+    pub failures: Vec<SweepFailure>,
+    /// Well-formed records rejected because their result did not parse for
+    /// this build (e.g. a checkpoint written by a different simulator
+    /// version); the predictors are re-run.
+    pub stale: usize,
+    /// Lines ignored at the tail of the file: the first malformed line —
+    /// usually a record cut short by a kill mid-append — and everything
+    /// after it.
+    pub ignored_tail_lines: usize,
+}
+
+impl CheckpointLoad {
+    /// Whether the checkpoint already settles `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.completed.iter().any(|(n, _)| n == name)
+            || self.failures.iter().any(|f| f.name == name)
+    }
+}
+
+/// Reads a checkpoint file, tolerating a corrupt or truncated tail.
+///
+/// Parsing stops at the first line that is not a well-formed v1 record;
+/// everything before it is returned. A missing file loads as empty (a
+/// `--resume` against a path that was never written is a fresh sweep, not
+/// an error).
+///
+/// # Errors
+///
+/// Propagates I/O failures other than the file not existing.
+pub fn load_checkpoint(path: &Path) -> io::Result<CheckpointLoad> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(CheckpointLoad::default()),
+        Err(e) => return Err(e),
+    }
+    let mut load = CheckpointLoad::default();
+    let mut seen: HashSet<String> = HashSet::new();
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_record(line) {
+            Some(Record::Ok(name, result)) => {
+                if seen.insert(name.clone()) {
+                    load.completed.push((name, *result));
+                }
+            }
+            Some(Record::Failed(failure)) => {
+                if seen.insert(failure.name.clone()) {
+                    load.failures.push(failure);
+                }
+            }
+            Some(Record::Stale) => load.stale += 1,
+            None => {
+                // Corrupt or truncated from here on: keep the trusted
+                // prefix, ignore the tail.
+                load.ignored_tail_lines = lines.len() - i;
+                break;
+            }
+        }
+    }
+    Ok(load)
+}
+
+enum Record {
+    // Boxed: a SimResult is hundreds of bytes and would dominate the enum.
+    Ok(String, Box<SimResult>),
+    Failed(SweepFailure),
+    /// Well-formed, but not usable by this build; re-run the predictor.
+    Stale,
+}
+
+/// One line → one record; `None` means the line (and thus the rest of the
+/// file) cannot be trusted.
+fn parse_record(line: &str) -> Option<Record> {
+    let doc: Value = line.parse().ok()?;
+    if doc.get("v")?.as_u64()? != CHECKPOINT_VERSION {
+        return None;
+    }
+    let name = doc.get("predictor")?.as_str()?.to_string();
+    match doc.get("status")?.as_str()? {
+        "ok" => match SimResult::from_json(doc.get("result")?) {
+            Ok(result) => Some(Record::Ok(name, Box::new(result))),
+            // A complete record from a different simulator build: not
+            // corruption, so keep reading the file, but re-run this entry.
+            Err(_) => Some(Record::Stale),
+        },
+        "failed" => {
+            let kind = FailureKind::parse(doc.get("kind")?.as_str()?)?;
+            Some(Record::Failed(SweepFailure {
+                name,
+                kind,
+                message: doc.get("message")?.as_str()?.to_string(),
+            }))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, Predictor, SimConfig, SliceSource};
+    use mbp_trace::{Branch, BranchRecord, Opcode};
+
+    struct Up;
+    impl Predictor for Up {
+        fn predict(&mut self, _ip: u64) -> bool {
+            true
+        }
+        fn train(&mut self, _b: &mbp_trace::Branch) {}
+        fn track(&mut self, _b: &mbp_trace::Branch) {}
+    }
+
+    fn result() -> SimResult {
+        let recs = vec![
+            BranchRecord::new(Branch::new(0x10, 0, Opcode::conditional_direct(), true), 3),
+            BranchRecord::new(Branch::new(0x10, 0, Opcode::conditional_direct(), false), 3),
+        ];
+        simulate(&mut SliceSource::new(&recs), &mut Up, &SimConfig::default()).unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mbp-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let path = tmp("round_trip.jsonl");
+        let r = result();
+        let mut w = CheckpointWriter::create(&path).unwrap();
+        w.record_result("gshare", &r).unwrap();
+        w.record_failure(&SweepFailure {
+            name: "buggy".to_string(),
+            kind: FailureKind::Panic,
+            message: "intentional".to_string(),
+        })
+        .unwrap();
+        assert_eq!(w.records(), 2);
+
+        let load = load_checkpoint(&path).unwrap();
+        assert_eq!(load.completed.len(), 1);
+        assert_eq!(load.completed[0].0, "gshare");
+        assert_eq!(
+            load.completed[0].1.to_json().to_pretty_string(),
+            r.to_json().to_pretty_string(),
+            "checkpointed result re-renders identically"
+        );
+        assert_eq!(load.failures.len(), 1);
+        assert_eq!(load.failures[0].kind, FailureKind::Panic);
+        assert_eq!(load.ignored_tail_lines, 0);
+        assert!(load.contains("gshare") && load.contains("buggy"));
+        assert!(!load.contains("tage"));
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        let path = tmp("truncated.jsonl");
+        let r = result();
+        let mut w = CheckpointWriter::create(&path).unwrap();
+        w.record_result("a", &r).unwrap();
+        w.record_result("b", &r).unwrap();
+        // Simulate a kill mid-append: cut the file mid-way through the
+        // second record.
+        let bytes = std::fs::read(&path).unwrap();
+        let first_line_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        std::fs::write(&path, &bytes[..first_line_end + 1 + 40]).unwrap();
+
+        let load = load_checkpoint(&path).unwrap();
+        assert_eq!(load.completed.len(), 1, "the intact prefix survives");
+        assert_eq!(load.completed[0].0, "a");
+        assert_eq!(load.ignored_tail_lines, 1);
+    }
+
+    #[test]
+    fn garbage_line_stops_the_read_but_keeps_the_prefix() {
+        let path = tmp("garbage.jsonl");
+        let r = result();
+        let mut w = CheckpointWriter::create(&path).unwrap();
+        w.record_result("a", &r).unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"not json at all\n");
+        bytes.extend_from_slice(b"{\"v\":1}\n");
+        std::fs::write(&path, &bytes).unwrap();
+        let load = load_checkpoint(&path).unwrap();
+        assert_eq!(load.completed.len(), 1);
+        assert_eq!(load.ignored_tail_lines, 2);
+    }
+
+    #[test]
+    fn duplicate_names_first_record_wins() {
+        let path = tmp("dupes.jsonl");
+        let r = result();
+        let mut w = CheckpointWriter::create(&path).unwrap();
+        w.record_failure(&SweepFailure {
+            name: "p".to_string(),
+            kind: FailureKind::Deadline,
+            message: "first".to_string(),
+        })
+        .unwrap();
+        w.record_result("p", &r).unwrap();
+        let load = load_checkpoint(&path).unwrap();
+        assert!(load.completed.is_empty());
+        assert_eq!(load.failures.len(), 1);
+        assert_eq!(load.failures[0].message, "first");
+    }
+
+    #[test]
+    fn foreign_version_records_are_stale_not_fatal() {
+        let path = tmp("stale.jsonl");
+        let r = result();
+        let mut doc = r.to_json();
+        doc.as_object_mut()
+            .unwrap()
+            .get_mut("metadata")
+            .unwrap()
+            .as_object_mut()
+            .unwrap()
+            .insert("version", "v0.0.0-older");
+        let line = json!({
+            "v": CHECKPOINT_VERSION,
+            "predictor": "old",
+            "status": "ok",
+            "result": doc,
+        });
+        let mut text = line.to_compact_string();
+        text.push('\n');
+        let mut w = CheckpointWriter::create(&path).unwrap();
+        w.record_result("fresh", &r).unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(text.as_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let load = load_checkpoint(&path).unwrap();
+        assert_eq!(load.completed.len(), 1, "stale entry is skipped");
+        assert_eq!(load.stale, 1);
+        assert_eq!(load.ignored_tail_lines, 0, "the file is still trusted");
+        assert!(!load.contains("old"), "stale entries re-run");
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let load = load_checkpoint(&tmp("never_written.jsonl")).unwrap();
+        assert!(load.completed.is_empty() && load.failures.is_empty());
+    }
+
+    #[test]
+    fn unknown_schema_version_stops_the_read() {
+        let path = tmp("future.jsonl");
+        std::fs::write(&path, b"{\"v\":2,\"predictor\":\"x\",\"status\":\"ok\"}\n").unwrap();
+        let load = load_checkpoint(&path).unwrap();
+        assert!(load.completed.is_empty());
+        assert_eq!(load.ignored_tail_lines, 1);
+    }
+}

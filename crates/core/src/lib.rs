@@ -39,6 +39,7 @@
 //! # Ok::<(), mbp_trace::TraceError>(())
 //! ```
 
+mod checkpoint;
 mod compare;
 mod introspect;
 mod metrics;
@@ -49,6 +50,7 @@ mod source;
 mod sweep;
 mod timeseries;
 
+pub use checkpoint::{load_checkpoint, CheckpointLoad, CheckpointWriter, CHECKPOINT_VERSION};
 pub use compare::{simulate_comparison, ComparisonResult, DivergingBranch};
 pub use introspect::{probe_counter_table, probes_to_json, TableProbe};
 pub use metrics::{
@@ -57,7 +59,7 @@ pub use metrics::{
 pub use predictor::{PredictionBits, Predictor};
 pub use simulator::{simulate, simulate_scalar, SimConfig, SimMetadata, SimResult};
 pub use source::{SliceSource, TraceSource, VecSource, BATCH_RECORDS};
-pub use sweep::{simulate_many, SweepConfig, SweepEntry, SweepFailure, SweepResult};
+pub use sweep::{simulate_many, FailureKind, SweepConfig, SweepEntry, SweepFailure, SweepResult};
 pub use timeseries::{TimeSeries, TimeSeriesBuilder, Window, DEFAULT_WINDOW_INSTRUCTIONS};
 
 // Re-export the vocabulary types so predictor crates depend on `mbp-core`

@@ -1,9 +1,14 @@
-//! JSON rendering of simulation results (Listing 1 of the paper).
+//! JSON rendering of simulation results (Listing 1 of the paper), and the
+//! inverse parse used by checkpoint resume.
 
 use mbp_json::{json, Value};
 
-use crate::metrics::{BranchTaxonomy, ClassStat, ENTROPY_CLASSES, TRANSITION_CLASSES};
-use crate::SimResult;
+use crate::metrics::{
+    BranchStat, BranchTaxonomy, ClassStat, Metrics, ENTROPY_CLASSES, TRANSITION_CLASSES,
+};
+use crate::simulator::SimMetadata;
+use crate::timeseries::{TimeSeries, Window};
+use crate::{SimResult, TableProbe};
 
 /// Renders one taxonomy class table as a name-keyed object.
 fn classes_json(names: &[&str], stats: &[ClassStat]) -> Value {
@@ -119,6 +124,256 @@ impl SimResult {
         }
         doc
     }
+
+    /// Parses a document rendered by [`SimResult::to_json`] back into a
+    /// [`SimResult`] — the inverse used by sweep checkpoint resume, so a
+    /// predictor completed before a crash is not re-simulated.
+    ///
+    /// The parse is strict about identity: a document whose
+    /// `metadata.simulator` or `metadata.version` does not match this build
+    /// is rejected (resume re-runs the predictor instead of mixing results
+    /// from different simulator versions into one leaderboard). Re-rendering
+    /// the parsed result reproduces the input document byte-for-byte, which
+    /// is what makes resumed sweeps indistinguishable from uninterrupted
+    /// ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first missing, mistyped or
+    /// mismatched field.
+    pub fn from_json(doc: &Value) -> Result<Self, String> {
+        let meta = req(doc, "metadata")?;
+        let simulator = req_str(meta, "simulator")?;
+        if simulator != crate::SIMULATOR_NAME {
+            return Err(format!(
+                "metadata.simulator is {simulator:?}, not {:?}",
+                crate::SIMULATOR_NAME
+            ));
+        }
+        let version = req_str(meta, "version")?;
+        if version != crate::SIMULATOR_VERSION {
+            return Err(format!(
+                "metadata.version is {version:?}, not {:?}",
+                crate::SIMULATOR_VERSION
+            ));
+        }
+        let metadata = SimMetadata {
+            simulator: crate::SIMULATOR_NAME,
+            version: crate::SIMULATOR_VERSION,
+            trace: req(meta, "trace")?.clone(),
+            warmup_instr: req_u64(meta, "warmup_instr")?,
+            simulation_instr: req_u64(meta, "simulation_instr")?,
+            exhausted_trace: req_bool(meta, "exhausted_trace")?,
+            num_conditional_branches: req_u64(meta, "num_conditional_branches")?,
+            num_branch_instructions: req_u64(meta, "num_branch_instructions")?,
+            track_only_conditional: req_bool(meta, "track_only_conditional")?,
+            predictor: req(meta, "predictor")?.clone(),
+        };
+
+        let m = req(doc, "metrics")?;
+        let metrics = Metrics {
+            mpki: req_f64(m, "mpki")?,
+            mispredictions: req_u64(m, "mispredictions")?,
+            accuracy: req_f64(m, "accuracy")?,
+            num_most_failed_branches: req_u64(m, "num_most_failed_branches")?,
+            simulation_time: req_f64(m, "simulation_time")?,
+        };
+        let branch_taxonomy = BranchTaxonomy::from_json(req(m, "branch_taxonomy")?)?;
+        let timeseries = match m.get("timeseries") {
+            Some(ts) => Some(timeseries_from_json(ts)?),
+            None => None,
+        };
+
+        let most_failed = req(doc, "most_failed")?
+            .as_array()
+            .ok_or("most_failed is not an array")?
+            .iter()
+            .map(branch_stat_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let table_probes = match doc.get("introspection") {
+            Some(intro) => req(intro, "probes")?
+                .as_array()
+                .ok_or("introspection.probes is not an array")?
+                .iter()
+                .map(probe_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+
+        Ok(SimResult {
+            metadata,
+            metrics,
+            predictor_statistics: req(doc, "predictor_statistics")?.clone(),
+            most_failed,
+            branch_taxonomy,
+            timeseries,
+            table_probes,
+        })
+    }
+}
+
+impl BranchTaxonomy {
+    /// Parses the `metrics.branch_taxonomy` object back (inverse of
+    /// [`BranchTaxonomy::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(Self {
+            measured_branches: req_u64(v, "measured_branches")?,
+            mean_direction_entropy: req_f64(v, "mean_direction_entropy")?,
+            mean_transition_rate: req_f64(v, "mean_transition_rate")?,
+            entropy_classes: classes_from_json(&ENTROPY_CLASSES, req(v, "entropy_classes")?)?,
+            transition_classes: classes_from_json(
+                &TRANSITION_CLASSES,
+                req(v, "transition_classes")?,
+            )?,
+        })
+    }
+}
+
+fn req<'a>(obj: &'a Value, key: &'static str) -> Result<&'a Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn req_str<'a>(obj: &'a Value, key: &'static str) -> Result<&'a str, String> {
+    req(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))
+}
+
+fn req_u64(obj: &Value, key: &'static str) -> Result<u64, String> {
+    req(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+}
+
+fn req_f64(obj: &Value, key: &'static str) -> Result<f64, String> {
+    req(obj, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+fn req_bool(obj: &Value, key: &'static str) -> Result<bool, String> {
+    req(obj, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field `{key}` is not a boolean"))
+}
+
+/// Inverse of `classes_json`: reads one taxonomy class table back in the
+/// canonical name order.
+fn classes_from_json<const N: usize>(
+    names: &[&str; N],
+    v: &Value,
+) -> Result<[ClassStat; N], String> {
+    let mut out = [ClassStat::default(); N];
+    for (slot, name) in out.iter_mut().zip(names) {
+        let c = v
+            .get(name)
+            .ok_or_else(|| format!("missing taxonomy class `{name}`"))?;
+        *slot = ClassStat {
+            branches: req_u64(c, "branches")?,
+            occurrences: req_u64(c, "occurrences")?,
+            mispredictions: req_u64(c, "mispredictions")?,
+        };
+    }
+    Ok(out)
+}
+
+fn branch_stat_from_json(v: &Value) -> Result<BranchStat, String> {
+    Ok(BranchStat {
+        ip: req_u64(v, "ip")?,
+        occurrences: req_u64(v, "occurrences")?,
+        mispredictions: req_u64(v, "mispredictions")?,
+        taken: req_u64(v, "taken")?,
+        mpki: req_f64(v, "mpki")?,
+        accuracy: req_f64(v, "accuracy")?,
+        direction_entropy: req_f64(v, "direction_entropy")?,
+        transition_rate: req_f64(v, "transition_rate")?,
+    })
+}
+
+/// Inverse of `TimeSeries::to_json`. The derived per-window fields (`mpki`,
+/// `accuracy`, `taken_rate`) and `num_windows` are recomputed from the raw
+/// counts on re-render, so they are validated implicitly by the round-trip.
+fn timeseries_from_json(v: &Value) -> Result<TimeSeries, String> {
+    let windows = req(v, "windows")?
+        .as_array()
+        .ok_or("timeseries.windows is not an array")?
+        .iter()
+        .map(|w| {
+            Ok(Window {
+                start_instruction: req_u64(w, "start_instruction")?,
+                instructions: req_u64(w, "instructions")?,
+                conditional: req_u64(w, "conditional_branches")?,
+                mispredictions: req_u64(w, "mispredictions")?,
+                taken: req_u64(w, "taken_branches")?,
+                unique_branches: req_u64(w, "unique_branches")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let warmup_end_window = match req(v, "warmup_end_window")? {
+        Value::Null => None,
+        w => Some(
+            w.as_u64()
+                .ok_or("warmup_end_window is neither null nor an unsigned integer")?
+                as usize,
+        ),
+    };
+    Ok(TimeSeries {
+        window_size: req_u64(v, "window_size")?,
+        windows,
+        warmup_end_window,
+        phase_change_score: req_f64(v, "phase_change_score")?,
+        num_phase_changes: req_u64(v, "num_phase_changes")?,
+    })
+}
+
+/// Inverse of `TableProbe::to_json`. The fixed fields are read by name;
+/// `occupancy` is derived and skipped; every other key — predictor-specific
+/// extras — is kept in document order so re-rendering preserves it.
+fn probe_from_json(v: &Value) -> Result<TableProbe, String> {
+    let obj = v.as_object().ok_or("probe is not an object")?;
+    let hist = req(v, "counter_histogram")?
+        .as_object()
+        .ok_or("counter_histogram is not an object")?
+        .iter()
+        .map(|(label, count)| {
+            count
+                .as_u64()
+                .map(|c| (label.to_string(), c))
+                .ok_or_else(|| format!("histogram bucket `{label}` is not an unsigned integer"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let useful_density = match obj.get("useful_density") {
+        Some(d) => Some(d.as_f64().ok_or("useful_density is not a number")?),
+        None => None,
+    };
+    const FIXED: [&str; 7] = [
+        "name",
+        "entries",
+        "occupied",
+        "occupancy",
+        "saturated",
+        "counter_histogram",
+        "useful_density",
+    ];
+    let extra = obj
+        .iter()
+        .filter(|(k, _)| !FIXED.contains(k))
+        .map(|(k, val)| (k.to_string(), val.clone()))
+        .collect();
+    Ok(TableProbe {
+        name: req_str(v, "name")?.to_string(),
+        entries: req_u64(v, "entries")?,
+        occupied: req_u64(v, "occupied")?,
+        saturated: req_u64(v, "saturated")?,
+        counter_histogram: hist,
+        useful_density,
+        extra,
+    })
 }
 
 #[cfg(test)]
@@ -249,5 +504,132 @@ mod tests {
         let text = doc.to_pretty_string();
         let reparsed: Value = text.parse().unwrap();
         assert_eq!(reparsed, doc);
+    }
+
+    /// A result with every optional section populated, for round-trip tests.
+    fn full_result() -> crate::SimResult {
+        struct Probed;
+        impl Predictor for Probed {
+            fn predict(&mut self, ip: u64) -> bool {
+                ip & 0x8 == 0
+            }
+            fn train(&mut self, _: &Branch) {}
+            fn track(&mut self, _: &Branch) {}
+            fn metadata(&self) -> Value {
+                json!({"name": "probed", "log_table_size": 4})
+            }
+            fn execution_statistics(&self) -> Value {
+                json!({"lookups": 64})
+            }
+            fn table_probes(&self) -> Vec<crate::TableProbe> {
+                let mut p = crate::TableProbe::new("t0", 16).with_extra("hist_len", 7u64);
+                p.occupied = 3;
+                p.saturated = 1;
+                p.counter_histogram = vec![("-1".to_string(), 6), ("0".to_string(), 10)];
+                p.useful_density = Some(0.375);
+                vec![p, crate::TableProbe::new("t1", 4)]
+            }
+        }
+        let recs: Vec<_> = (0..40)
+            .map(|i| {
+                BranchRecord::new(
+                    Branch::new(0x10 + (i % 5), 0, Opcode::conditional_direct(), i % 3 != 0),
+                    4,
+                )
+            })
+            .collect();
+        let cfg = SimConfig {
+            warmup_instructions: 25,
+            timeseries_window: Some(50),
+            collect_probes: true,
+            ..SimConfig::default()
+        };
+        simulate(
+            &mut SliceSource::named(&recs, "traces/RT.sbbt.mzst"),
+            &mut Probed,
+            &cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_json_round_trips_byte_identically() {
+        let result = full_result();
+        let doc = result.to_json();
+        let parsed = crate::SimResult::from_json(&doc).expect("parses back");
+        assert_eq!(
+            parsed.to_json().to_pretty_string(),
+            doc.to_pretty_string(),
+            "re-render reproduces the document byte-for-byte"
+        );
+        // And through a serialize/parse cycle, as checkpoint resume does.
+        let reparsed: Value = doc.to_pretty_string().parse().unwrap();
+        let from_text = crate::SimResult::from_json(&reparsed).expect("parses after text cycle");
+        assert_eq!(
+            from_text.to_json().to_pretty_string(),
+            doc.to_pretty_string()
+        );
+        // Structured fields survive, not just the rendering.
+        assert_eq!(parsed.metrics, result.metrics);
+        assert_eq!(parsed.most_failed, result.most_failed);
+        assert_eq!(parsed.branch_taxonomy, result.branch_taxonomy);
+        assert_eq!(parsed.timeseries, result.timeseries);
+        assert_eq!(parsed.table_probes, result.table_probes);
+    }
+
+    #[test]
+    fn from_json_round_trips_minimal_document() {
+        let recs = vec![BranchRecord::new(
+            Branch::new(0x10, 0, Opcode::conditional_direct(), true),
+            0,
+        )];
+        let r = simulate(
+            &mut SliceSource::new(&recs),
+            &mut Always(true),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let doc = r.to_json();
+        let parsed = crate::SimResult::from_json(&doc).unwrap();
+        assert!(parsed.timeseries.is_none());
+        assert!(parsed.table_probes.is_empty());
+        assert_eq!(parsed.to_json().to_pretty_string(), doc.to_pretty_string());
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_simulator_or_version() {
+        fn patch_meta(doc: &Value, key: &str, value: &str) -> Value {
+            let mut doc = doc.clone();
+            doc.as_object_mut()
+                .unwrap()
+                .get_mut("metadata")
+                .unwrap()
+                .as_object_mut()
+                .unwrap()
+                .insert(key, value);
+            doc
+        }
+        let doc = full_result().to_json();
+        let err = crate::SimResult::from_json(&patch_meta(&doc, "simulator", "other")).unwrap_err();
+        assert!(err.contains("metadata.simulator"), "{err}");
+        let err =
+            crate::SimResult::from_json(&patch_meta(&doc, "version", "v0.0.0-other")).unwrap_err();
+        assert!(err.contains("metadata.version"), "{err}");
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let mut doc = full_result().to_json();
+        doc.as_object_mut()
+            .unwrap()
+            .get_mut("metrics")
+            .unwrap()
+            .as_object_mut()
+            .unwrap()
+            .remove("mpki");
+        let err = crate::SimResult::from_json(&doc).unwrap_err();
+        assert!(err.contains("mpki"), "{err}");
+        assert!(crate::SimResult::from_json(&json!({})).is_err());
+        assert!(crate::SimResult::from_json(&Value::Null).is_err());
     }
 }

@@ -184,6 +184,24 @@ pub trait Predictor {
         Value::object()
     }
 
+    /// Approximate resident size of the predictor's state in **bytes**,
+    /// used by the sweep's memory-budget admission control
+    /// ([`crate::SweepConfig::mem_budget`]) to bound how many predictors
+    /// run concurrently.
+    ///
+    /// # Contract
+    ///
+    /// * Advisory, not enforced: return the dominant storage cost (tables,
+    ///   history buffers), typically `storage_bits() / 8`. Exactness is not
+    ///   required; order of magnitude is what admission control needs.
+    /// * Must be cheap, read-only and stable for the predictor's lifetime —
+    ///   it is called once, before the predictor's simulation starts.
+    /// * The default of `0` opts the predictor out of admission gating (it
+    ///   is admitted immediately and counts nothing against the budget).
+    fn size_hint(&self) -> u64 {
+        0
+    }
+
     /// End-of-run table-health probes (see [`TableProbe`]), surfaced in the
     /// output's `introspection` section when the run collects probes
     /// ([`crate::SimConfig::collect_probes`]).
@@ -261,6 +279,10 @@ impl<P: Predictor + ?Sized> Predictor for Box<P> {
 
     fn execution_statistics(&self) -> Value {
         (**self).execution_statistics()
+    }
+
+    fn size_hint(&self) -> u64 {
+        (**self).size_hint()
     }
 
     fn table_probes(&self) -> Vec<TableProbe> {

@@ -1,5 +1,6 @@
 //! The multi-predictor sweep engine: decode a trace once, fan N predictors
-//! across a worker pool.
+//! across a worker pool — and keep the sweep alive through crashes, stalls,
+//! kills, and memory pressure.
 //!
 //! The paper's prototyping workflow (§VI-A) runs the same trace through
 //! many predictor configurations. Doing that with N separate `mbpsim run`
@@ -7,22 +8,47 @@
 //! [`simulate_many`] decodes it exactly once into shared memory and then
 //! simulates every predictor against the same record block, in parallel,
 //! using only `std` threads.
+//!
+//! On top of the worker pool sits a resilience layer (all opt-in via
+//! [`SweepConfig`]):
+//!
+//! * **Checkpoint/resume** — every settled predictor is appended to a
+//!   JSONL checkpoint file (see [`crate::checkpoint`]) before it is
+//!   reported; a resumed sweep skips everything the checkpoint already
+//!   settles and reconstructs the identical final leaderboard.
+//! * **Watchdog deadlines** — a monitor thread tracks per-worker progress
+//!   epochs; a predictor that blows its deadline while stalled is
+//!   cancelled cooperatively, and if it does not respond within a grace
+//!   period its worker is abandoned and replaced, so one stuck config
+//!   costs one failure line instead of a hung sweep. A predictor still
+//!   making progress at its deadline earns one bounded extension.
+//! * **Memory-budget admission** — [`Predictor::size_hint`] gates how many
+//!   predictors may be in flight at once under `--mem-budget`.
+//! * **Graceful shutdown** — a shutdown probe flips the pool into drain
+//!   mode: no new work starts, in-flight predictors finish and are
+//!   checkpointed, unstarted ones are reported as `not_run`, and the
+//!   result is marked `interrupted`.
 
+use std::collections::VecDeque;
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
-use std::time::Instant;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, TryLockError};
+use std::time::{Duration, Instant};
 
 use mbp_json::{json, Value};
-use mbp_trace::{BranchRecord, TraceError};
+use mbp_trace::{BranchBatch, BranchRecord, TraceError};
 
+use crate::checkpoint::{load_checkpoint, CheckpointWriter};
 use crate::simulator::{simulate, SimConfig, SimResult};
 use crate::{Predictor, SliceSource, TraceSource};
 
 /// A named predictor awaiting simulation, claimed by exactly one worker.
 type WorkSlot = Mutex<Option<(String, Box<dyn Predictor + Send>)>>;
-/// A finished predictor's outcome, written by exactly one worker. A worker
-/// failure (panic or trace error) is data, not a crash of the sweep.
+/// A finished predictor's outcome, written exactly once — by its worker,
+/// or by the watchdog if the worker was abandoned. A worker failure is
+/// data, not a crash of the sweep.
 type DoneSlot = Mutex<Option<Result<SimResult, SweepFailure>>>;
 
 /// Configuration of a sweep run.
@@ -33,6 +59,24 @@ pub struct SweepConfig {
     /// Worker threads; `0` means one per available core, capped at the
     /// number of predictors.
     pub jobs: usize,
+    /// Per-predictor wall-clock budget. A predictor that exceeds it while
+    /// stalled is cancelled (one extension is granted if it is still
+    /// making progress); `None` disables the watchdog.
+    pub deadline: Option<Duration>,
+    /// Total bytes of predictor state allowed in flight at once, admitted
+    /// against [`Predictor::size_hint`]; `None` admits everything
+    /// immediately.
+    pub mem_budget: Option<u64>,
+    /// Checkpoint file: every settled predictor is appended (and fsync'd)
+    /// here before it is reported.
+    pub checkpoint: Option<PathBuf>,
+    /// With [`SweepConfig::checkpoint`], load the file first and skip every
+    /// predictor it already settles.
+    pub resume: bool,
+    /// Polled by the monitor; returning `true` drains the sweep: in-flight
+    /// predictors finish, unstarted ones become `not_run`, and the result
+    /// is marked interrupted. Wired to a SIGINT/SIGTERM flag by `mbpsim`.
+    pub shutdown: Option<fn() -> bool>,
 }
 
 /// One predictor's outcome within a sweep, in leaderboard order.
@@ -47,15 +91,57 @@ pub struct SweepEntry {
     pub result: SimResult,
 }
 
-/// A predictor that did not produce a result: it panicked mid-simulation or
-/// hit a trace error. The sweep completes regardless; failures are reported
-/// alongside the leaderboard of survivors.
+/// Why a predictor failed to produce a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The predictor panicked mid-simulation.
+    Panic,
+    /// The worker hit a trace error.
+    TraceError,
+    /// The deadline watchdog cancelled (or abandoned) the simulation.
+    Deadline,
+    /// The predictor's size hint alone exceeds the sweep's memory budget.
+    MemBudget,
+}
+
+impl FailureKind {
+    /// Stable string form used in sweep JSON and checkpoint records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::TraceError => "trace_error",
+            FailureKind::Deadline => "deadline",
+            FailureKind::MemBudget => "mem_budget",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str), for checkpoint loading.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "panic" => Some(FailureKind::Panic),
+            "trace_error" => Some(FailureKind::TraceError),
+            "deadline" => Some(FailureKind::Deadline),
+            "mem_budget" => Some(FailureKind::MemBudget),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A predictor that did not produce a result. The sweep completes
+/// regardless; failures are reported alongside the leaderboard of
+/// survivors.
 #[derive(Clone, Debug)]
 pub struct SweepFailure {
     /// The failed predictor's display name.
     pub name: String,
-    /// Failure class: `"panic"` or `"trace_error"`.
-    pub kind: &'static str,
+    /// Failure class.
+    pub kind: FailureKind,
     /// One-line human-readable cause (panic payload or error display).
     pub message: String,
 }
@@ -64,7 +150,7 @@ impl SweepFailure {
     fn to_json(&self) -> Value {
         json!({
             "predictor": self.name.as_str(),
-            "kind": self.kind,
+            "kind": self.kind.as_str(),
             "message": self.message.as_str(),
         })
     }
@@ -88,9 +174,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 pub struct SweepResult {
     /// Trace description from the source.
     pub trace: Value,
-    /// Worker threads actually used.
+    /// The `--jobs` request resolved against the full predictor list (kept
+    /// for report stability; see [`SweepResult::workers_used`]).
     pub jobs: usize,
-    /// Seconds spent decoding the trace (paid once, not per predictor).
+    /// Worker threads actually spawned this run — clamped against the
+    /// predictors that remained after resume skipping (0 when the
+    /// checkpoint already settled everything).
+    pub workers_used: usize,
+    /// Seconds spent decoding the trace (paid once, not per predictor;
+    /// 0 when resume skipped the decode entirely).
     pub decode_time: f64,
     /// Wall-clock seconds for the whole parallel simulation phase.
     pub wall_time: f64,
@@ -99,9 +191,15 @@ pub struct SweepResult {
     pub cumulative_sim_time: f64,
     /// Per-predictor results, best MPKI first (ties broken by name).
     pub entries: Vec<SweepEntry>,
-    /// Predictors that failed (panicked or errored), sorted by name. The
-    /// leaderboard ranks only the survivors.
+    /// Predictors that failed (panicked, errored, timed out, or were
+    /// rejected by the memory budget), sorted by name. The leaderboard
+    /// ranks only the survivors.
     pub failures: Vec<SweepFailure>,
+    /// Predictors that never started because a shutdown drained the sweep,
+    /// sorted by name. Empty for uninterrupted runs.
+    pub not_run: Vec<String>,
+    /// Whether a shutdown probe drained this sweep before it finished.
+    pub interrupted: bool,
 }
 
 impl SweepResult {
@@ -122,19 +220,23 @@ impl SweepResult {
     /// report; `results` holds the corresponding full Listing-1 documents
     /// in the same order (including `metrics.timeseries` and
     /// `introspection` when the sweep configuration collected them).
+    /// `not_run` lists predictors a shutdown drain left unstarted.
     pub fn to_json(&self) -> Value {
         json!({
             "metadata": {
                 "simulator": "MBPlib sweep simulator",
                 "version": crate::SIMULATOR_VERSION,
                 "trace": self.trace.clone(),
-                "num_predictors": self.entries.len() + self.failures.len(),
+                "num_predictors": self.entries.len() + self.failures.len()
+                    + self.not_run.len(),
                 "num_failures": self.failures.len(),
                 "jobs": self.jobs,
+                "workers_used": self.workers_used,
                 "decode_time": self.decode_time,
                 "wall_time": self.wall_time,
                 "cumulative_simulation_time": self.cumulative_sim_time,
                 "parallel_speedup": self.parallel_speedup(),
+                "interrupted": self.interrupted,
             },
             "leaderboard": self.entries.iter().map(|e| json!({
                 "rank": e.rank,
@@ -147,28 +249,169 @@ impl SweepResult {
             })).collect::<Vec<_>>(),
             "failures": self.failures.iter().map(SweepFailure::to_json)
                 .collect::<Vec<_>>(),
+            "not_run": self.not_run.iter().map(|n| Value::from(n.as_str()))
+                .collect::<Vec<_>>(),
             "results": self.entries.iter().map(|e| e.result.to_json())
                 .collect::<Vec<_>>(),
         })
     }
 }
 
+/// Per-job coordination state shared between its worker and the monitor.
+struct JobState {
+    /// Nanoseconds (since pool start, min 1) when simulation began; 0 while
+    /// the job is unclaimed or waiting for admission. The deadline clock
+    /// starts here, so admission waits don't count against the budget.
+    started_ns: AtomicU64,
+    /// Progress heartbeat, bumped by the worker once per record batch.
+    epoch: AtomicU64,
+    /// Set by the watchdog; the worker's trace source observes it at the
+    /// next batch boundary and unwinds with [`TraceError::Cancelled`].
+    cancel: AtomicBool,
+    /// The admission size hint, kept so the watchdog can return an
+    /// abandoned worker's reservation to the ledger.
+    mem_hint: AtomicU64,
+    /// Whether the reservation was already returned (by the worker's guard
+    /// or by the watchdog) — whoever flips it first does the accounting.
+    mem_released: AtomicBool,
+    /// Set when the watchdog gives up on the worker; its late result (if
+    /// any) is discarded and its memory guard becomes a no-op.
+    abandoned: AtomicBool,
+}
+
+impl JobState {
+    const fn new() -> Self {
+        Self {
+            started_ns: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            cancel: AtomicBool::new(false),
+            mem_hint: AtomicU64::new(0),
+            mem_released: AtomicBool::new(false),
+            abandoned: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Everything the workers and the monitor share.
+struct SweepShared {
+    records: Vec<BranchRecord>,
+    description: Value,
+    sim: SimConfig,
+    deadline: Option<Duration>,
+    names: Vec<String>,
+    queue: Mutex<VecDeque<usize>>,
+    work: Vec<WorkSlot>,
+    done: Vec<DoneSlot>,
+    jobs: Vec<JobState>,
+    /// Shutdown drain: workers stop claiming, admission waits bail out.
+    draining: AtomicBool,
+    /// Indices a drain left unstarted (dumped queue + admission bail-outs).
+    not_run: Mutex<Vec<usize>>,
+    mem_budget: Option<u64>,
+    /// Bytes of size-hint currently admitted.
+    mem_used: Mutex<u64>,
+    mem_cv: Condvar,
+    start: Instant,
+    writer: Mutex<Option<CheckpointWriter>>,
+    /// First checkpoint-append failure; the sweep finishes (results in
+    /// memory are still good) and the error is surfaced at the end.
+    writer_error: Mutex<Option<io::Error>>,
+}
+
+fn ns_since(start: &Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Trace-source shim between the shared record block and one worker: bumps
+/// the job's progress epoch every batch and turns the watchdog's cancel
+/// flag into a clean [`TraceError::Cancelled`] unwind at the next batch
+/// boundary.
+struct CancelSource<'a> {
+    inner: SliceSource<'a>,
+    job: &'a JobState,
+}
+
+impl CancelSource<'_> {
+    fn check(&self) -> Result<(), TraceError> {
+        if self.job.cancel.load(Ordering::Relaxed) {
+            return Err(TraceError::Cancelled { reason: "deadline" });
+        }
+        self.job.epoch.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl TraceSource for CancelSource<'_> {
+    fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
+        self.check()?;
+        self.inner.next_record()
+    }
+
+    fn fill_batch(&mut self, out: &mut BranchBatch) -> Result<usize, TraceError> {
+        self.check()?;
+        self.inner.fill_batch(out)
+    }
+
+    fn description(&self) -> Value {
+        self.inner.description()
+    }
+
+    fn instruction_count_hint(&self) -> Option<u64> {
+        self.inner.instruction_count_hint()
+    }
+
+    fn record_count_hint(&self) -> Option<u64> {
+        self.inner.record_count_hint()
+    }
+}
+
+/// RAII return of an admitted size hint to the ledger. `mem_released`
+/// arbitrates with the watchdog's abandon path: exactly one of them does
+/// the subtraction.
+struct MemGuard<'a> {
+    shared: &'a SweepShared,
+    i: usize,
+    amount: u64,
+}
+
+impl Drop for MemGuard<'_> {
+    fn drop(&mut self) {
+        let mut used = self
+            .shared
+            .mem_used
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !self.shared.jobs[self.i]
+            .mem_released
+            .swap(true, Ordering::Relaxed)
+        {
+            *used = used.saturating_sub(self.amount);
+            self.shared.mem_cv.notify_all();
+        }
+    }
+}
+
 /// Simulates every named predictor over `trace`, decoding the trace exactly
-/// once and running the predictors on a pool of `config.jobs` workers.
+/// once and running the predictors on a pool of workers sized by
+/// `config.jobs` (clamped to the work remaining after resume skipping).
 ///
 /// Each predictor is simulated independently with `config.sim`, so every
 /// entry's [`SimResult`] — metrics, most-failed report, warm-up and
 /// instruction-cap behaviour — is identical to a standalone
 /// [`simulate`] run (`mbpsim run`) of that predictor over the same trace.
 /// Workers pull predictors from a shared queue, so N predictors on C cores
-/// keep all cores busy until the queue drains.
+/// keep all cores busy until the queue drains. The resilience features —
+/// checkpointing, resume, the deadline watchdog, memory-budget admission
+/// and shutdown draining — are enabled per [`SweepConfig`] field and cost
+/// nothing when off.
 ///
 /// # Errors
 ///
-/// Propagates trace decoding errors from the single decode pass. Per-
-/// predictor failures — a panic inside `predict`/`train`/`track`, or a
-/// trace error seen by one worker — do **not** abort the sweep: each worker
-/// runs under [`catch_unwind`], the failed predictor is recorded in
+/// Propagates trace decoding errors from the single decode pass and I/O
+/// errors touching the checkpoint file. Per-predictor failures — a panic
+/// inside `predict`/`train`/`track`, a trace error, a blown deadline, or a
+/// memory-budget rejection — do **not** abort the sweep: each worker runs
+/// under [`catch_unwind`], the failed predictor is recorded in
 /// [`SweepResult::failures`], and the survivors are ranked as usual.
 pub fn simulate_many<S>(
     trace: &mut S,
@@ -178,140 +421,143 @@ pub fn simulate_many<S>(
 where
     S: TraceSource + ?Sized,
 {
-    // Phase 1: decode once into shared memory. The pre-size comes from
+    let n_total = predictors.len();
+    let jobs_legacy = effective_jobs(config.jobs, n_total);
+    let stats = &mbp_stats::pipeline().sweep;
+
+    // Resume: anything the checkpoint already settles is lifted straight
+    // into the final report; only the remainder is simulated.
+    let mut resumed_entries: Vec<(String, SimResult)> = Vec::new();
+    let mut resumed_failures: Vec<SweepFailure> = Vec::new();
+    let mut to_run: Vec<(String, Box<dyn Predictor + Send>)> = Vec::new();
+    match (&config.checkpoint, config.resume) {
+        (Some(path), true) => {
+            let load = load_checkpoint(path)?;
+            for (name, p) in predictors {
+                if let Some((_, r)) = load.completed.iter().find(|(n, _)| *n == name) {
+                    resumed_entries.push((name, r.clone()));
+                } else if let Some(f) = load.failures.iter().find(|f| f.name == name) {
+                    resumed_failures.push(f.clone());
+                } else {
+                    to_run.push((name, p));
+                }
+            }
+            stats
+                .resume_skips
+                .add((resumed_entries.len() + resumed_failures.len()) as u64);
+        }
+        _ => to_run = predictors,
+    }
+    let m = to_run.len();
+
+    // Phase 1: decode once into shared memory — skipped entirely when the
+    // checkpoint already settled every predictor. The pre-size comes from
     // `record_count_hint` — derived from data the source actually holds —
     // never from a header-declared count an attacker controls.
-    let decode_start = Instant::now();
-    let decode_event = mbp_stats::events::span(mbp_stats::events::EventName::SweepDecode);
-    let mut records: Vec<BranchRecord> =
-        Vec::with_capacity(trace.record_count_hint().unwrap_or(0) as usize);
-    let mut batch = mbp_trace::BranchBatch::new();
-    while trace.fill_batch(&mut batch)? > 0 {
-        batch.append_records_to(&mut records);
-        mbp_stats::events::batch_tick();
+    let mut records: Vec<BranchRecord> = Vec::new();
+    let mut decode_time = 0.0;
+    if m > 0 {
+        let decode_start = Instant::now();
+        let decode_event = mbp_stats::events::span(mbp_stats::events::EventName::SweepDecode);
+        records.reserve(trace.record_count_hint().unwrap_or(0) as usize);
+        let mut batch = BranchBatch::new();
+        while trace.fill_batch(&mut batch)? > 0 {
+            batch.append_records_to(&mut records);
+            mbp_stats::events::batch_tick();
+        }
+        decode_event.finish();
+        decode_time = decode_start.elapsed().as_secs_f64();
     }
-    decode_event.finish();
-    let decode_time = decode_start.elapsed().as_secs_f64();
     let description = trace.description();
 
-    let n = predictors.len();
-    let jobs = effective_jobs(config.jobs, n);
-    let names: Vec<String> = predictors.iter().map(|(name, _)| name.clone()).collect();
+    let writer = match &config.checkpoint {
+        Some(path) if config.resume && path.exists() => Some(CheckpointWriter::append(path)?),
+        Some(path) => Some(CheckpointWriter::create(path)?),
+        None => None,
+    };
 
-    // Phase 2: fan out. Workers claim predictor indices from an atomic
+    // Phase 2: fan out. Workers claim predictor indices from a shared
     // queue; each slot hands its predictor to exactly one worker and
-    // receives that worker's result.
-    let work: Vec<WorkSlot> = predictors
-        .into_iter()
-        .map(|p| Mutex::new(Some(p)))
-        .collect();
-    let done: Vec<DoneSlot> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    // receives that worker's (or, after an abandon, the watchdog's)
+    // outcome.
+    let workers_used = if m == 0 {
+        0
+    } else {
+        effective_jobs(config.jobs, m)
+    };
+    let names: Vec<String> = to_run.iter().map(|(name, _)| name.clone()).collect();
+    let shared = Arc::new(SweepShared {
+        records,
+        description: description.clone(),
+        sim: config.sim.clone(),
+        deadline: config.deadline,
+        names,
+        queue: Mutex::new((0..m).collect()),
+        work: to_run.into_iter().map(|p| Mutex::new(Some(p))).collect(),
+        done: (0..m).map(|_| Mutex::new(None)).collect(),
+        jobs: (0..m).map(|_| JobState::new()).collect(),
+        draining: AtomicBool::new(false),
+        not_run: Mutex::new(Vec::new()),
+        mem_budget: config.mem_budget,
+        mem_used: Mutex::new(0),
+        mem_cv: Condvar::new(),
+        start: Instant::now(),
+        writer: Mutex::new(writer),
+        writer_error: Mutex::new(None),
+    });
 
     let wall_start = Instant::now();
-    let stats = &mbp_stats::pipeline().sweep;
-    stats.workers.add(jobs as u64);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let Some((name, mut predictor)) = work[i]
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .take()
-                else {
-                    continue; // unreachable: each index is claimed once
-                };
-                // Busy time spans claim to report, once per predictor, so
-                // worker accounting adds nothing to the simulation loop.
-                let busy = stats.worker_busy.span();
-                let busy_event = mbp_stats::events::span_with_arg(
-                    mbp_stats::events::EventName::SweepWorker,
-                    i as u64,
-                );
-                let claimed = Instant::now();
-                stats.predictors.inc();
-                // Fault isolation: a predictor that panics takes down this
-                // one simulation, not the sweep. The predictor and source
-                // are owned by the closure, so no shared state is observed
-                // after an unwind.
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    let mut source = SliceSource::new(&records);
-                    simulate(&mut source, &mut *predictor, &config.sim)
-                }));
-                let outcome = match outcome {
-                    Ok(Ok(result)) => Ok(result),
-                    Ok(Err(e)) => {
-                        stats.trace_errors.inc();
-                        mbp_stats::events::instant(
-                            mbp_stats::events::EventName::SweepTraceError,
-                            i as u64,
-                        );
-                        Err(SweepFailure {
-                            name,
-                            kind: "trace_error",
-                            message: e.to_string(),
-                        })
-                    }
-                    Err(payload) => {
-                        stats.faults.inc();
-                        mbp_stats::events::instant(
-                            mbp_stats::events::EventName::SweepFault,
-                            i as u64,
-                        );
-                        Err(SweepFailure {
-                            name,
-                            kind: "panic",
-                            message: panic_message(payload.as_ref()),
-                        })
-                    }
-                };
-                let elapsed_us = u64::try_from(claimed.elapsed().as_micros()).unwrap_or(u64::MAX);
-                stats.predictor_us.record(elapsed_us);
-                mbp_stats::events::instant(
-                    mbp_stats::events::EventName::SweepPredictorDone,
-                    elapsed_us,
-                );
-                busy_event.finish();
-                busy.finish();
-                *done[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
-            });
-        }
-    });
+    stats.workers.add(workers_used as u64);
+    for _ in 0..workers_used {
+        let s = Arc::clone(&shared);
+        std::thread::spawn(move || worker_loop(&s));
+    }
+    monitor(&shared, config);
     let wall_time = wall_start.elapsed().as_secs_f64();
 
-    let mut entries = Vec::with_capacity(n);
-    let mut failures = Vec::new();
-    for (i, slot) in done.into_iter().enumerate() {
-        let outcome = slot
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
-            .unwrap_or_else(|| {
-                // A worker died without reporting (it cannot panic between
-                // claiming and writing, but fail soft rather than crash).
-                Err(SweepFailure {
-                    name: names[i].clone(),
-                    kind: "panic",
-                    message: "worker finished without reporting a result".to_string(),
-                })
-            });
-        match outcome {
-            Ok(mut result) => {
-                // Each worker simulated an anonymous in-memory slice;
-                // attribute the result to the real trace, as a standalone
-                // run would.
-                result.metadata.trace = description.clone();
-                entries.push(SweepEntry {
-                    rank: 0,
-                    name: names[i].clone(),
-                    result,
-                });
-            }
-            Err(failure) => failures.push(failure),
+    // Collection. The monitor only returns once every job is settled —
+    // reported (by its worker or the watchdog) or parked as not-run by a
+    // drain — so clones here never race a live report: `report` writes a
+    // slot at most once.
+    let interrupted = shared.draining.load(Ordering::Relaxed);
+    let not_run_idx = shared
+        .not_run
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    let mut entries = Vec::with_capacity(m + resumed_entries.len());
+    let mut failures = resumed_failures;
+    let mut not_run: Vec<String> = Vec::new();
+    for i in 0..m {
+        if not_run_idx.contains(&i) {
+            not_run.push(shared.names[i].clone());
+            continue;
         }
+        let outcome = shared.done[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        match outcome {
+            Some(Ok(result)) => entries.push(SweepEntry {
+                rank: 0,
+                name: shared.names[i].clone(),
+                result,
+            }),
+            Some(Err(failure)) => failures.push(failure),
+            // Unreachable: the monitor waits for every slot. Fail soft.
+            None => failures.push(SweepFailure {
+                name: shared.names[i].clone(),
+                kind: FailureKind::Panic,
+                message: "worker finished without reporting a result".to_string(),
+            }),
+        }
+    }
+    for (name, result) in resumed_entries {
+        entries.push(SweepEntry {
+            rank: 0,
+            name,
+            result,
+        });
     }
 
     entries.sort_by(|a, b| {
@@ -331,6 +577,7 @@ where
             .then_with(|| a.name.cmp(&b.name))
     });
     failures.sort_by(|a, b| a.name.cmp(&b.name));
+    not_run.sort();
     let cumulative_sim_time = entries
         .iter()
         .map(|e| e.result.metrics.simulation_time)
@@ -339,15 +586,396 @@ where
         e.rank = i + 1;
     }
 
+    if let Some(e) = shared
+        .writer_error
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+    {
+        return Err(TraceError::Io(e));
+    }
+
     Ok(SweepResult {
         trace: description,
-        jobs,
+        jobs: jobs_legacy,
+        workers_used,
         decode_time,
         wall_time,
         cumulative_sim_time,
         entries,
         failures,
+        not_run,
+        interrupted,
     })
+}
+
+/// One worker: claim an index, run the predictor, report, repeat — until
+/// the queue is empty or a drain begins.
+fn worker_loop(shared: &SweepShared) {
+    loop {
+        if shared.draining.load(Ordering::Relaxed) {
+            break;
+        }
+        let claimed = shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front();
+        let Some(i) = claimed else { break };
+        let Some((name, predictor)) = shared.work[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        else {
+            continue; // unreachable: each index is claimed once
+        };
+        run_job(shared, i, name, predictor);
+    }
+}
+
+/// Admission, simulation, classification and reporting of one predictor.
+fn run_job(shared: &SweepShared, i: usize, name: String, mut predictor: Box<dyn Predictor + Send>) {
+    let stats = &mbp_stats::pipeline().sweep;
+
+    // Memory-budget admission. The deadline clock starts only after
+    // admission, so time spent queued for memory is not "simulation".
+    let _mem_guard: Option<MemGuard<'_>> = if let Some(budget) = shared.mem_budget {
+        // A size hint is advisory; a panicking hint admits at zero cost
+        // rather than taking down the job before it runs.
+        let hint = catch_unwind(AssertUnwindSafe(|| predictor.size_hint())).unwrap_or(0);
+        shared.jobs[i].mem_hint.store(hint, Ordering::Relaxed);
+        if hint > budget {
+            report(
+                shared,
+                i,
+                Err(SweepFailure {
+                    name,
+                    kind: FailureKind::MemBudget,
+                    message: format!(
+                        "predictor size hint of {hint} bytes exceeds the \
+                         memory budget of {budget} bytes"
+                    ),
+                }),
+            );
+            return;
+        }
+        let mut used = shared
+            .mem_used
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut waited = false;
+        loop {
+            if shared.draining.load(Ordering::Relaxed) {
+                // Drained while queued for memory: this job never started.
+                drop(used);
+                shared
+                    .not_run
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(i);
+                return;
+            }
+            if *used + hint <= budget {
+                *used += hint;
+                break;
+            }
+            if !waited {
+                waited = true;
+                stats.admission_waits.inc();
+                mbp_stats::events::instant(mbp_stats::events::EventName::AdmissionWait, i as u64);
+            }
+            used = shared
+                .mem_cv
+                .wait_timeout(used, Duration::from_millis(5))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        Some(MemGuard {
+            shared,
+            i,
+            amount: hint,
+        })
+    } else {
+        None
+    };
+
+    // Busy time spans claim to report, once per predictor, so worker
+    // accounting adds nothing to the simulation loop.
+    let busy = stats.worker_busy.span();
+    let busy_event =
+        mbp_stats::events::span_with_arg(mbp_stats::events::EventName::SweepWorker, i as u64);
+    let claimed = Instant::now();
+    stats.predictors.inc();
+    shared.jobs[i]
+        .started_ns
+        .store(ns_since(&shared.start).max(1), Ordering::Relaxed);
+
+    // Fault isolation: a predictor that panics takes down this one
+    // simulation, not the sweep. The predictor and source are owned by the
+    // closure, so no shared state is observed after an unwind.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut source = CancelSource {
+            inner: SliceSource::new(&shared.records),
+            job: &shared.jobs[i],
+        };
+        simulate(&mut source, &mut *predictor, &shared.sim)
+    }));
+    let outcome = match outcome {
+        Ok(Ok(mut result)) => {
+            // Each worker simulated an anonymous in-memory slice; attribute
+            // the result to the real trace, as a standalone run would — and
+            // before checkpointing, so resumed results carry it too.
+            result.metadata.trace = shared.description.clone();
+            Ok(result)
+        }
+        Ok(Err(TraceError::Cancelled { .. })) => Err(SweepFailure {
+            name,
+            kind: FailureKind::Deadline,
+            message: deadline_message(shared.deadline, "simulation cancelled"),
+        }),
+        Ok(Err(e)) => {
+            stats.trace_errors.inc();
+            mbp_stats::events::instant(mbp_stats::events::EventName::SweepTraceError, i as u64);
+            Err(SweepFailure {
+                name,
+                kind: FailureKind::TraceError,
+                message: e.to_string(),
+            })
+        }
+        Err(payload) => {
+            stats.faults.inc();
+            mbp_stats::events::instant(mbp_stats::events::EventName::SweepFault, i as u64);
+            Err(SweepFailure {
+                name,
+                kind: FailureKind::Panic,
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    };
+    let elapsed_us = u64::try_from(claimed.elapsed().as_micros()).unwrap_or(u64::MAX);
+    stats.predictor_us.record(elapsed_us);
+    mbp_stats::events::instant(mbp_stats::events::EventName::SweepPredictorDone, elapsed_us);
+    busy_event.finish();
+    busy.finish();
+    report(shared, i, outcome);
+}
+
+/// Deterministic deadline-failure message (no wall-clock readings, so a
+/// resumed report is byte-identical to the original).
+fn deadline_message(deadline: Option<Duration>, what: &str) -> String {
+    match deadline {
+        Some(d) => format!("deadline of {:.3} s exceeded; {what}", d.as_secs_f64()),
+        None => format!("cancelled; {what}"),
+    }
+}
+
+/// Settles job `i` exactly once: checkpoint first (fsync'd while the slot
+/// lock is held, so a record is durable before anyone can observe the job
+/// as done), then publish. The loser of a worker/watchdog race sees a full
+/// slot and does nothing.
+fn report(shared: &SweepShared, i: usize, outcome: Result<SimResult, SweepFailure>) {
+    let mut slot = shared.done[i]
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if slot.is_some() {
+        return;
+    }
+    if let Some(writer) = shared
+        .writer
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .as_mut()
+    {
+        let appended = match &outcome {
+            Ok(result) => writer.record_result(&shared.names[i], result),
+            Err(failure) => writer.record_failure(failure),
+        };
+        if let Err(e) = appended {
+            let mut err = shared
+                .writer_error
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if err.is_none() {
+                *err = Some(e);
+            }
+        }
+    }
+    *slot = Some(outcome);
+}
+
+fn slot_settled(slot: &DoneSlot) -> bool {
+    match slot.try_lock() {
+        Ok(guard) => guard.is_some(),
+        Err(TryLockError::Poisoned(p)) => p.into_inner().is_some(),
+        // A worker is mid-report; it will be settled by the next poll.
+        Err(TryLockError::WouldBlock) => false,
+    }
+}
+
+/// The sweep's control loop, run in the calling thread: polls for shutdown,
+/// enforces deadlines, abandons unresponsive workers, and returns once
+/// every job is settled.
+fn monitor(shared: &Arc<SweepShared>, config: &SweepConfig) {
+    let m = shared.names.len();
+    let stats = &mbp_stats::pipeline().sweep;
+    let deadline_ns = config
+        .deadline
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    // A predictor counts as progressing if its epoch moved within a
+    // quarter-deadline; an unresponsive cancelled worker is abandoned after
+    // the same order of grace. Both are clamped so tiny or huge budgets
+    // stay sane.
+    let (stall_ns, grace_ns) = match config.deadline {
+        Some(d) => {
+            let quarter = d / 4;
+            (
+                quarter
+                    .clamp(Duration::from_millis(50), Duration::from_secs(2))
+                    .as_nanos() as u64,
+                quarter
+                    .clamp(Duration::from_millis(100), Duration::from_secs(2))
+                    .as_nanos() as u64,
+            )
+        }
+        None => (0, 0),
+    };
+    let mut last_epoch = vec![0u64; m];
+    let mut last_change = vec![0u64; m];
+    let mut deadline_at: Vec<Option<u64>> = vec![None; m];
+    let mut extended = vec![false; m];
+    let mut cancelled_at: Vec<Option<u64>> = vec![None; m];
+
+    loop {
+        let now = ns_since(&shared.start);
+
+        // Shutdown probe: flip into drain mode once. The queue is dumped
+        // under its lock, so no worker can claim a job we park as not-run.
+        if let Some(probe) = config.shutdown {
+            if !shared.draining.load(Ordering::Relaxed) && probe() {
+                shared.draining.store(true, Ordering::Relaxed);
+                {
+                    let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                    let mut parked = shared
+                        .not_run
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    parked.extend(queue.drain(..));
+                }
+                // Wake admission waiters so they notice the drain promptly.
+                shared.mem_cv.notify_all();
+                stats.shutdown_drains.inc();
+                let settled = (0..m).filter(|&i| slot_settled(&shared.done[i])).count();
+                let parked = shared
+                    .not_run
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .len();
+                mbp_stats::events::instant(
+                    mbp_stats::events::EventName::ShutdownDrain,
+                    m.saturating_sub(settled + parked) as u64,
+                );
+            }
+        }
+
+        let mut settled = 0usize;
+        for i in 0..m {
+            if slot_settled(&shared.done[i]) {
+                settled += 1;
+                continue;
+            }
+            let Some(budget_ns) = deadline_ns else {
+                continue;
+            };
+            let started = shared.jobs[i].started_ns.load(Ordering::Relaxed);
+            if started == 0 {
+                continue; // unclaimed, or still queued for admission
+            }
+            if deadline_at[i].is_none() {
+                deadline_at[i] = Some(started.saturating_add(budget_ns));
+                last_epoch[i] = shared.jobs[i].epoch.load(Ordering::Relaxed);
+                last_change[i] = started;
+            }
+            let epoch = shared.jobs[i].epoch.load(Ordering::Relaxed);
+            if epoch != last_epoch[i] {
+                last_epoch[i] = epoch;
+                last_change[i] = now;
+            }
+            if let Some(cancel_ns) = cancelled_at[i] {
+                // Cancelled but still running: the flag is only observed at
+                // batch boundaries, so give the worker a grace period, then
+                // abandon it — report the failure ourselves, return its
+                // memory, and backfill the pool.
+                if now.saturating_sub(cancel_ns) > grace_ns {
+                    cancelled_at[i] = None;
+                    abandon(shared, i);
+                }
+                continue;
+            }
+            if now >= deadline_at[i].unwrap_or(u64::MAX) {
+                let progressing = now.saturating_sub(last_change[i]) < stall_ns;
+                if progressing && !extended[i] {
+                    // Still moving at the buzzer: one bounded extension.
+                    extended[i] = true;
+                    deadline_at[i] = Some(now.saturating_add(budget_ns));
+                    stats.deadline_extensions.inc();
+                } else {
+                    shared.jobs[i].cancel.store(true, Ordering::Relaxed);
+                    cancelled_at[i] = Some(now);
+                    stats.deadline_fired.inc();
+                    mbp_stats::events::instant(
+                        mbp_stats::events::EventName::DeadlineFired,
+                        i as u64,
+                    );
+                }
+            }
+        }
+
+        let parked = shared
+            .not_run
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
+        if settled + parked >= m {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Gives up on job `i`'s worker: returns its memory reservation, records a
+/// deadline failure on its behalf, and — since the stuck thread is lost to
+/// the pool — spawns a replacement worker if the queue still has work.
+fn abandon(shared: &Arc<SweepShared>, i: usize) {
+    shared.jobs[i].abandoned.store(true, Ordering::Relaxed);
+    {
+        let mut used = shared
+            .mem_used
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !shared.jobs[i].mem_released.swap(true, Ordering::Relaxed) {
+            let hint = shared.jobs[i].mem_hint.load(Ordering::Relaxed);
+            *used = used.saturating_sub(hint);
+            shared.mem_cv.notify_all();
+        }
+    }
+    report(
+        shared,
+        i,
+        Err(SweepFailure {
+            name: shared.names[i].clone(),
+            kind: FailureKind::Deadline,
+            message: deadline_message(shared.deadline, "worker unresponsive and abandoned"),
+        }),
+    );
+    let backlog = !shared
+        .queue
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .is_empty();
+    if backlog && !shared.draining.load(Ordering::Relaxed) {
+        let s = Arc::clone(shared);
+        std::thread::spawn(move || worker_loop(&s));
+    }
 }
 
 /// Resolves a `--jobs` request against the machine and the work available.
@@ -397,6 +1025,33 @@ mod tests {
         }
     }
 
+    /// Sleeps on every prediction: from the watchdog's point of view, a
+    /// predictor that has wedged inside one record batch.
+    struct Stall;
+
+    impl Predictor for Stall {
+        fn predict(&mut self, _ip: u64) -> bool {
+            std::thread::sleep(Duration::from_millis(1));
+            true
+        }
+        fn train(&mut self, _b: &Branch) {}
+        fn track(&mut self, _b: &Branch) {}
+    }
+
+    /// Correct predictions, huge claimed footprint.
+    struct Hog(u64);
+
+    impl Predictor for Hog {
+        fn predict(&mut self, _ip: u64) -> bool {
+            true
+        }
+        fn train(&mut self, _b: &Branch) {}
+        fn track(&mut self, _b: &Branch) {}
+        fn size_hint(&self) -> u64 {
+            self.0
+        }
+    }
+
     fn biased_records(n: usize) -> Vec<BranchRecord> {
         (0..n)
             .map(|i| {
@@ -421,6 +1076,12 @@ mod tests {
         ]
     }
 
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mbp-sweep-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
     #[test]
     fn ranks_by_mpki() {
         // 3 of 4 branches taken: always-taken beats never-taken.
@@ -433,6 +1094,8 @@ mod tests {
         assert_eq!(r.entries[1].name, "never");
         assert_eq!(r.entries[1].rank, 2);
         assert!(r.entries[0].result.metrics.mpki < r.entries[1].result.metrics.mpki);
+        assert!(!r.interrupted);
+        assert!(r.not_run.is_empty());
     }
 
     #[test]
@@ -474,6 +1137,7 @@ mod tests {
         let mut src = SliceSource::new(&records);
         let r = simulate_many(&mut src, predictors, &cfg).unwrap();
         assert_eq!(r.jobs, 2);
+        assert_eq!(r.workers_used, 2);
         assert_eq!(r.entries.len(), 7, "all queued predictors complete");
     }
 
@@ -483,6 +1147,7 @@ mod tests {
         let mut src = SliceSource::new(&records);
         let r = simulate_many(&mut src, fixed_pair(), &SweepConfig::default()).unwrap();
         assert!(r.jobs >= 1 && r.jobs <= 2, "two predictors cap jobs at 2");
+        assert_eq!(r.workers_used, r.jobs);
     }
 
     #[test]
@@ -491,6 +1156,7 @@ mod tests {
         let mut src = SliceSource::new(&records);
         let r = simulate_many(&mut src, Vec::new(), &SweepConfig::default()).unwrap();
         assert!(r.entries.is_empty());
+        assert_eq!(r.workers_used, 0);
         assert_eq!(r.to_json()["leaderboard"].as_array().unwrap().len(), 0);
     }
 
@@ -509,6 +1175,8 @@ mod tests {
             "leaderboard entries carry execution statistics"
         );
         assert_eq!(doc["metadata"]["num_predictors"], Value::from(2));
+        assert_eq!(doc["metadata"]["interrupted"], Value::from(false));
+        assert_eq!(doc["not_run"].as_array().unwrap().len(), 0);
         assert_eq!(
             doc["results"][0]["metadata"]["simulator"].as_str(),
             Some(crate::SIMULATOR_NAME),
@@ -541,7 +1209,7 @@ mod tests {
 
         assert_eq!(r.failures.len(), 1);
         assert_eq!(r.failures[0].name, "buggy");
-        assert_eq!(r.failures[0].kind, "panic");
+        assert_eq!(r.failures[0].kind, FailureKind::Panic);
         assert!(
             r.failures[0].message.contains("intentional fault"),
             "panic payload surfaces: {:?}",
@@ -599,5 +1267,225 @@ mod tests {
                 Some("traces/T1.sbbt.mzst")
             );
         }
+    }
+
+    #[test]
+    fn deadline_watchdog_fails_stuck_predictor_without_hanging() {
+        let records = biased_records(1000);
+        let predictors: Vec<(String, Box<dyn Predictor + Send>)> = vec![
+            ("good".to_string(), Box::new(Fixed(true))),
+            ("stuck".to_string(), Box::new(Stall)),
+        ];
+        let cfg = SweepConfig {
+            jobs: 2,
+            deadline: Some(Duration::from_millis(100)),
+            ..SweepConfig::default()
+        };
+        let started = Instant::now();
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, predictors, &cfg).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "the watchdog bounds the sweep instead of hanging it"
+        );
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.entries[0].name, "good");
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].name, "stuck");
+        assert_eq!(r.failures[0].kind, FailureKind::Deadline);
+        assert!(
+            r.failures[0].message.contains("deadline of 0.100 s"),
+            "message names the budget: {:?}",
+            r.failures[0].message
+        );
+        assert!(!r.interrupted, "a deadline is a failure, not an interrupt");
+    }
+
+    #[test]
+    fn oversized_predictor_is_rejected_by_the_memory_budget() {
+        let records = biased_records(32);
+        let predictors: Vec<(String, Box<dyn Predictor + Send>)> = vec![
+            ("small".to_string(), Box::new(Hog(1024))),
+            ("huge".to_string(), Box::new(Hog(64 << 20))),
+        ];
+        let cfg = SweepConfig {
+            mem_budget: Some(1 << 20),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, predictors, &cfg).unwrap();
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.entries[0].name, "small");
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].name, "huge");
+        assert_eq!(r.failures[0].kind, FailureKind::MemBudget);
+        assert!(r.failures[0].message.contains("memory budget"));
+    }
+
+    #[test]
+    fn memory_budget_serializes_admission_but_completes_everything() {
+        // Three 600 KiB predictors against a 1 MiB budget: at most one can
+        // be in flight, but admission must hand the ledger on so all three
+        // finish.
+        let records = biased_records(64);
+        let predictors: Vec<(String, Box<dyn Predictor + Send>)> = (0..3)
+            .map(|i| {
+                (
+                    format!("hog{i}"),
+                    Box::new(Hog(600 << 10)) as Box<dyn Predictor + Send>,
+                )
+            })
+            .collect();
+        let cfg = SweepConfig {
+            jobs: 3,
+            mem_budget: Some(1 << 20),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, predictors, &cfg).unwrap();
+        assert_eq!(r.entries.len(), 3, "admission never wedges the pool");
+        assert!(r.failures.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_records_every_settled_predictor() {
+        let path = tmp("full.jsonl");
+        let records = biased_records(48);
+        let mut predictors = fixed_pair();
+        predictors.push(("bad".to_string(), Box::new(PanicAfter(0))));
+        let cfg = SweepConfig {
+            checkpoint: Some(path.clone()),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, predictors, &cfg).unwrap();
+        assert_eq!(r.entries.len(), 2);
+        let load = crate::checkpoint::load_checkpoint(&path).unwrap();
+        assert_eq!(load.completed.len(), 2);
+        assert_eq!(load.failures.len(), 1);
+        assert_eq!(load.ignored_tail_lines, 0);
+    }
+
+    #[test]
+    fn resume_skips_checkpointed_predictors_and_rebuilds_the_leaderboard() {
+        let path = tmp("resume.jsonl");
+        let records = biased_records(80);
+        let mut first = fixed_pair();
+        first.push(("bad".to_string(), Box::new(PanicAfter(0))));
+        let cfg = SweepConfig {
+            jobs: 1,
+            checkpoint: Some(path.clone()),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let original = simulate_many(&mut src, first, &cfg).unwrap();
+
+        // Resume with predictors that would all panic instantly if they
+        // actually ran: every outcome must come from the checkpoint.
+        let second: Vec<(String, Box<dyn Predictor + Send>)> = vec![
+            ("never".to_string(), Box::new(PanicAfter(0))),
+            ("always".to_string(), Box::new(PanicAfter(0))),
+            ("bad".to_string(), Box::new(PanicAfter(0))),
+        ];
+        let resume_cfg = SweepConfig {
+            resume: true,
+            ..cfg
+        };
+        let mut src = SliceSource::new(&records);
+        let resumed = simulate_many(&mut src, second, &resume_cfg).unwrap();
+        assert_eq!(resumed.workers_used, 0, "nothing left to simulate");
+        assert_eq!(resumed.decode_time, 0.0, "decode skipped on full resume");
+        assert_eq!(resumed.entries.len(), original.entries.len());
+        for (a, b) in resumed.entries.iter().zip(original.entries.iter()) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.result.metrics.mpki, b.result.metrics.mpki);
+        }
+        assert_eq!(resumed.failures.len(), 1);
+        assert_eq!(resumed.failures[0].name, "bad");
+        assert_eq!(resumed.failures[0].kind, FailureKind::Panic);
+    }
+
+    #[test]
+    fn resume_runs_only_the_unsettled_remainder() {
+        let path = tmp("partial.jsonl");
+        let records = biased_records(60);
+        let cfg = SweepConfig {
+            jobs: 1,
+            checkpoint: Some(path.clone()),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let only_always: Vec<(String, Box<dyn Predictor + Send>)> =
+            vec![("always".to_string(), Box::new(Fixed(true)))];
+        simulate_many(&mut src, only_always, &cfg).unwrap();
+
+        // "always" must come from the checkpoint (a live run would panic);
+        // "never" is new and must actually simulate.
+        let second: Vec<(String, Box<dyn Predictor + Send>)> = vec![
+            ("always".to_string(), Box::new(PanicAfter(0))),
+            ("never".to_string(), Box::new(Fixed(false))),
+        ];
+        let resume_cfg = SweepConfig {
+            resume: true,
+            ..cfg
+        };
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, second, &resume_cfg).unwrap();
+        assert_eq!(r.entries.len(), 2);
+        assert!(r.failures.is_empty(), "the resumed entry never ran");
+        assert_eq!(r.workers_used, 1);
+        let load = crate::checkpoint::load_checkpoint(&path).unwrap();
+        assert_eq!(load.completed.len(), 2, "the new result was appended");
+    }
+
+    fn drain_immediately() -> bool {
+        true
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_work_and_reports_the_rest_not_run() {
+        let records = biased_records(64);
+        let predictors: Vec<(String, Box<dyn Predictor + Send>)> = (0..6)
+            .map(|i| {
+                (
+                    format!("p{i}"),
+                    Box::new(Stall) as Box<dyn Predictor + Send>,
+                )
+            })
+            .collect();
+        let cfg = SweepConfig {
+            jobs: 1,
+            shutdown: Some(drain_immediately),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, predictors, &cfg).unwrap();
+        assert!(r.interrupted);
+        assert_eq!(
+            r.entries.len() + r.failures.len() + r.not_run.len(),
+            6,
+            "every predictor is accounted for"
+        );
+        assert!(!r.not_run.is_empty(), "the drain parked unstarted work");
+        let mut sorted = r.not_run.clone();
+        sorted.sort();
+        assert_eq!(r.not_run, sorted);
+        let doc = r.to_json();
+        assert_eq!(doc["metadata"]["interrupted"], Value::from(true));
+        assert_eq!(doc["not_run"].as_array().unwrap().len(), r.not_run.len());
+    }
+
+    #[test]
+    fn failure_kind_round_trips_through_strings() {
+        for kind in [
+            FailureKind::Panic,
+            FailureKind::TraceError,
+            FailureKind::Deadline,
+            FailureKind::MemBudget,
+        ] {
+            assert_eq!(FailureKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(FailureKind::parse("gremlins"), None);
     }
 }

@@ -9,8 +9,8 @@
 
 use mbp_faultsim::{bit_flips, cuts_at_every_offset, overwrite, run_suite, Expect, SuiteReport};
 use mbp_trace::champsim::{ChampsimReader, ChampsimRecord, ChampsimWriter, OperandSynth};
-use mbp_trace::sbbt::{SbbtReader, SbbtWriter};
-use mbp_trace::{bt9, Branch, BranchKind, BranchRecord, Opcode};
+use mbp_trace::sbbt::{SbbtReader, SbbtWriter, BATCH_RECORDS};
+use mbp_trace::{bt9, Branch, BranchBatch, BranchKind, BranchRecord, Opcode};
 use mbp_utils::Xorshift64;
 
 const SBBT_HEADER_BYTES: usize = 24;
@@ -55,6 +55,36 @@ fn decode_sbbt(bytes: &[u8]) -> Result<usize, String> {
         .read_all()
         .map(|records| records.len())
         .map_err(|e| e.to_string())
+}
+
+/// SBBT decode through the simulator's hot path: drain the reader with
+/// `fill_batch` into the struct-of-arrays columns of a reused
+/// [`BranchBatch`], cross-checking the scalar packet decoder on every
+/// input. The two paths must agree on accept/reject *and* on the record
+/// count; divergence panics, which [`run_suite`] counts as a violation
+/// under every [`Expect`].
+fn decode_sbbt_soa(bytes: &[u8]) -> Result<usize, String> {
+    let batched = (|| {
+        let mut reader = SbbtReader::from_bytes(bytes.to_vec()).map_err(|e| e.to_string())?;
+        let mut batch = BranchBatch::new();
+        let mut total = 0usize;
+        loop {
+            let n = reader.fill_batch(&mut batch).map_err(|e| e.to_string())?;
+            assert_eq!(batch.len(), n, "batch length out of step with fill_batch");
+            total += n;
+            if n < BATCH_RECORDS {
+                return Ok(total);
+            }
+        }
+    })();
+    match (&batched, decode_sbbt(bytes)) {
+        (Ok(soa), Ok(scalar)) => {
+            assert_eq!(*soa, scalar, "SoA and scalar decoders disagree on count");
+        }
+        (Err(_), Err(_)) => {}
+        (soa, scalar) => panic!("SoA/scalar divergence: soa={soa:?} scalar={scalar:?}"),
+    }
+    batched
 }
 
 fn decode_bt9(bytes: &[u8]) -> Result<usize, String> {
@@ -134,6 +164,57 @@ fn campaign_every_reader_fails_closed() {
     ));
     let report = run_suite(&targeted, decode_sbbt);
     report.assert_clean("sbbt header corruption");
+    grand_total.absorb(report);
+
+    // --- SBBT through the SoA block decoder -----------------------------
+    // The same corpus again, but drained through `fill_batch` into the
+    // struct-of-arrays columns — the simulator's hot path — with the
+    // scalar decoder cross-checked mutant by mutant (see decode_sbbt_soa).
+    let report = run_suite(&cuts_at_every_offset(&raw, Expect::Reject), decode_sbbt_soa);
+    report.assert_clean("sbbt soa cuts");
+    grand_total.absorb(report);
+
+    let flips = bit_flips(&raw, 160, 0x5EED_0005, |offset| match offset {
+        0..=5 => Expect::Reject,
+        16..=23 => Expect::Reject,
+        _ => Expect::NoPanic,
+    });
+    let report = run_suite(&flips, decode_sbbt_soa);
+    report.assert_clean("sbbt soa bit flips");
+    grand_total.absorb(report);
+
+    let report = run_suite(&targeted, decode_sbbt_soa);
+    report.assert_clean("sbbt soa header corruption");
+    grand_total.absorb(report);
+
+    // A trace longer than one block, so `fill_batch` commits a full block
+    // and then fails (or finishes) in the *second* one — the cursor-commit
+    // and truncate paths that single-block inputs never reach. Full cuts
+    // at every offset would be quadratic here; target the block seam and a
+    // spread of interior packets instead.
+    let long = sbbt_raw(&sample_records(BATCH_RECORDS + 64));
+    assert!(
+        decode_sbbt_soa(&long).is_ok(),
+        "multi-block baseline decodes"
+    );
+    let seam = SBBT_HEADER_BYTES + BATCH_RECORDS * SBBT_PACKET_BYTES;
+    let cuts = mbp_faultsim::cuts_at(
+        &long,
+        (seam.saturating_sub(2 * SBBT_PACKET_BYTES)..long.len())
+            .chain((SBBT_HEADER_BYTES..seam).step_by(997)),
+        |_| Expect::Reject,
+    );
+    let report = run_suite(&cuts, decode_sbbt_soa);
+    report.assert_clean("sbbt soa multi-block cuts");
+    grand_total.absorb(report);
+
+    let flips = bit_flips(&long, 96, 0x5EED_0006, |offset| match offset {
+        0..=5 => Expect::Reject,
+        16..=23 => Expect::Reject,
+        _ => Expect::NoPanic,
+    });
+    let report = run_suite(&flips, decode_sbbt_soa);
+    report.assert_clean("sbbt soa multi-block bit flips");
     grand_total.absorb(report);
 
     // --- SBBT through both compressed envelopes ------------------------

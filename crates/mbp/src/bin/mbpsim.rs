@@ -37,11 +37,15 @@ use mbp::workloads::Suite;
 ///   but at least one predictor failed (see the `failures` array).
 /// * `5` — metrics regression: `stats-diff` found at least one metric past
 ///   its regression threshold (the report itself printed fine).
+/// * `6` — interrupted sweep: SIGINT/SIGTERM arrived mid-sweep, in-flight
+///   predictors were drained and the partial JSON printed with
+///   `"interrupted": true` (resume with `--checkpoint`/`--resume`).
 const EXIT_INTERNAL: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_TRACE: u8 = 3;
 const EXIT_PARTIAL_SWEEP: u8 = 4;
 const EXIT_REGRESSION: u8 = 5;
+const EXIT_INTERRUPTED: u8 = 6;
 
 /// A command failure carrying the exit code it should map to.
 struct Failure {
@@ -76,7 +80,8 @@ fn usage() -> &'static str {
     "usage:\n  \
      mbpsim run --predictor <name> --trace <file> [--warmup N] [--max N] [--track-only-conditional]\n  \
      mbpsim compare --predictors <a>,<b> --trace <file> [--warmup N] [--max N]\n  \
-     mbpsim sweep --predictors <a>,<b>,... --trace <file> [--jobs N] [--warmup N] [--max N]\n  \
+     mbpsim sweep --predictors <a>,<b>,... --trace <file> [--jobs N] [--warmup N] [--max N]\n               \
+     [--checkpoint <file.jsonl>] [--resume] [--deadline-secs S] [--mem-budget-mb N]\n  \
      mbpsim gen --suite <cbp5-training|cbp5-evaluation|dpc3|smoke> [--scale N] --out <dir>\n  \
      mbpsim translate --from <file.bt9[.mgz]> --to <file.sbbt[.mzst|.mgz]>\n  \
      mbpsim info --trace <file>\n  \
@@ -100,7 +105,17 @@ fn usage() -> &'static str {
      `metrics.timeseries` to the JSON (run, sweep)\n  \
      --window <N>           time-series window size in instructions\n                         \
      (default 100000; implies `metrics.timeseries`)\n  \
-     --quiet                suppress the live progress line on stderr"
+     --quiet                suppress the live progress line on stderr\n\
+     \n\
+     sweep resilience flags:\n  \
+     --checkpoint <file>    append each settled predictor to a JSONL\n                         \
+     checkpoint (fsync'd per record)\n  \
+     --resume               skip predictors already recorded in --checkpoint\n                         \
+     and splice their results into the leaderboard\n  \
+     --deadline-secs <S>    per-predictor watchdog deadline; stuck configs\n                         \
+     become typed `deadline` failures instead of hangs\n  \
+     --mem-budget-mb <N>    admission gate: predictors whose size hints would\n                         \
+     exceed the budget wait (or fail if alone too large)"
 }
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
@@ -374,11 +389,44 @@ fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
     }
     let predictor_count = predictors.len();
     let trace_path = args.required("--trace")?;
+    let deadline = match args.get("--deadline-secs") {
+        None => None,
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|e| Failure::usage(format!("bad --deadline-secs {raw:?}: {e}")))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(Failure::usage(format!(
+                    "--deadline-secs must be a positive number, got {raw:?}"
+                )));
+            }
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+    };
+    let mem_budget = args
+        .get("--mem-budget-mb")
+        .map(|raw| {
+            raw.parse::<u64>()
+                .map_err(|e| Failure::usage(format!("bad --mem-budget-mb {raw:?}: {e}")))
+        })
+        .transpose()?
+        .map(|mb| mb.saturating_mul(1024 * 1024));
+    let checkpoint = args.get("--checkpoint").map(PathBuf::from);
+    let resume = args.flag("--resume");
+    if resume && checkpoint.is_none() {
+        return Err(Failure::usage("--resume requires --checkpoint <file>"));
+    }
     let mut trace = SbbtReader::open(trace_path)
         .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
+    mbp::shutdown::install();
     let config = SweepConfig {
         sim: sim_config(args)?,
         jobs: args.parsed("--jobs", 0usize)?,
+        deadline,
+        mem_budget,
+        checkpoint,
+        resume,
+        shutdown: Some(mbp::shutdown::requested),
     };
     setup_events(args)?;
     let total = expected_instructions(trace.header().instruction_count, &config.sim)
@@ -403,17 +451,26 @@ fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
     let mut doc = result.to_json();
     emit_metrics(args, Some(&mut doc))?;
     println!("{doc:#}");
-    if result.failures.is_empty() {
+    for failure in &result.failures {
+        eprintln!(
+            "mbpsim: predictor {:?} failed ({}): {}",
+            failure.name, failure.kind, failure.message
+        );
+    }
+    if result.interrupted {
+        // The JSON above is a valid partial sweep (checkpointed if asked);
+        // the dedicated code lets drivers distinguish "operator stopped us"
+        // from "a predictor broke".
+        eprintln!(
+            "mbpsim: sweep interrupted; {} predictor(s) not run",
+            result.not_run.len()
+        );
+        Ok(ExitCode::from(EXIT_INTERRUPTED))
+    } else if result.failures.is_empty() {
         Ok(ExitCode::SUCCESS)
     } else {
         // The JSON above is complete (survivors ranked, failures listed);
         // the exit code tells drivers the sweep was only partially healthy.
-        for failure in &result.failures {
-            eprintln!(
-                "mbpsim: predictor {:?} failed ({}): {}",
-                failure.name, failure.kind, failure.message
-            );
-        }
         Ok(ExitCode::from(EXIT_PARTIAL_SWEEP))
     }
 }

@@ -77,6 +77,7 @@ pub mod events_export;
 pub mod html_report;
 pub mod progress;
 pub mod report;
+pub mod shutdown;
 
 /// The baseline simulators used in the paper's evaluation.
 pub mod baselines {

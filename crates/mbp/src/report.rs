@@ -58,6 +58,12 @@ pub fn pipeline_json(snap: &PipelineSnapshot) -> Value {
             "trace_errors": snap.sweep_trace_errors,
             "worker_busy_s": snap.sweep_worker_busy.seconds(),
             "predictor_time_us": histogram_json(&snap.sweep_predictor_us),
+            "checkpoint_writes": snap.sweep_checkpoint_writes,
+            "resume_skips": snap.sweep_resume_skips,
+            "deadline_fired": snap.sweep_deadline_fired,
+            "deadline_extensions": snap.sweep_deadline_extensions,
+            "admission_waits": snap.sweep_admission_waits,
+            "shutdown_drains": snap.sweep_shutdown_drains,
         },
         "generation": {
             "records_generated": snap.workload_records,

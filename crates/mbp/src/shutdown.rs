@@ -1,0 +1,101 @@
+//! Minimal SIGINT/SIGTERM latch for graceful sweep shutdown, `std`-only.
+//!
+//! The handler does the only thing that is async-signal-safe here: it flips
+//! a process-global atomic flag. The sweep monitor polls the flag (see
+//! [`mbp_core::SweepConfig::shutdown`]) and drains the run — in-flight
+//! predictors finish and are checkpointed, unstarted ones are reported as
+//! `not_run` — instead of the process dying mid-write.
+//!
+//! A **second** signal restores the default disposition before re-raising
+//! would be needed: the first Ctrl-C asks politely, the second one kills.
+//! That matches the behaviour operators expect from well-mannered batch
+//! tools.
+//!
+//! On non-Unix targets [`install`] is a no-op and [`requested`] stays
+//! `false` — sweeps simply run to completion.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal has been received. Safe to poll from any
+/// thread; this is the function to put in
+/// [`mbp_core::SweepConfig::shutdown`].
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+
+    // `signal(2)` from libc, which `std` already links. The handler body
+    // only touches an atomic and `signal` itself — both async-signal-safe.
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(signum: i32) {
+        if SHUTDOWN.swap(true, Ordering::Relaxed) {
+            // Second signal: the operator means it. Restore the default
+            // disposition so the next one terminates the process.
+            unsafe {
+                signal(signum, SIG_DFL);
+            }
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    /// Invokes the handler the way the kernel would, minus the asynchrony.
+    #[cfg(test)]
+    pub fn test_fire() {
+        on_signal(SIGINT);
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent; later installs simply
+/// re-register the same handler). Call once, before starting a sweep that
+/// should drain gracefully.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_install_is_safe() {
+        // The real signal path is exercised end to end by the CLI
+        // resilience suite (sending SIGTERM to a child mbpsim); in-process
+        // we only pin the safe parts.
+        install();
+        install();
+        assert!(!requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn handler_latches_the_flag() {
+        install();
+        super::imp::test_fire();
+        assert!(requested());
+        SHUTDOWN.store(false, std::sync::atomic::Ordering::Relaxed);
+    }
+}

@@ -322,6 +322,10 @@ impl Batage {
 }
 
 impl Predictor for Batage {
+    fn size_hint(&self) -> u64 {
+        self.storage_bits().div_ceil(8)
+    }
+
     fn predict(&mut self, ip: u64) -> bool {
         self.compute_lookup(ip);
         self.decide(ip).1

@@ -76,6 +76,10 @@ impl GSelect {
 }
 
 impl Predictor for GSelect {
+    fn size_hint(&self) -> u64 {
+        self.storage_bits().div_ceil(8)
+    }
+
     fn predict(&mut self, ip: u64) -> bool {
         self.table[self.index(ip)].is_taken()
     }

@@ -70,6 +70,10 @@ impl Gshare {
 }
 
 impl Predictor for Gshare {
+    fn size_hint(&self) -> u64 {
+        self.storage_bits().div_ceil(8)
+    }
+
     fn predict(&mut self, ip: u64) -> bool {
         let idx = self.hash(ip);
         self.cached_index = Some((ip, idx));

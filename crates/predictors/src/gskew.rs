@@ -99,6 +99,10 @@ impl TwoBcGskew {
 }
 
 impl Predictor for TwoBcGskew {
+    fn size_hint(&self) -> u64 {
+        self.storage_bits().div_ceil(8)
+    }
+
     fn predict(&mut self, ip: u64) -> bool {
         self.components(ip).4
     }

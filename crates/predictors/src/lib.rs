@@ -98,6 +98,9 @@ pub fn by_name(name: &str) -> Option<Box<dyn Predictor + Send>> {
         // panicking predictor for exercising sweep fault isolation end to
         // end (the `mbpsim` exit-code tests request it by name).
         "faulty" => Box::new(Faulty::default()),
+        // Likewise hidden: a predictor that wedges mid-simulation, for
+        // exercising the sweep's deadline watchdog end to end.
+        "stalled" => Box::new(Stalled::default()),
         _ => return None,
     })
 }
@@ -135,6 +138,51 @@ impl Predictor for Faulty {
 
     fn metadata(&self) -> mbp_core::Value {
         mbp_core::json!({"name": "Intentionally faulty test predictor"})
+    }
+}
+
+/// An intentionally wedged predictor used only to test the sweep's deadline
+/// watchdog.
+///
+/// Behaves like [`AlwaysTaken`] for a handful of predictions, then starts
+/// sleeping on every call — mimicking a predictor whose lookup has
+/// degenerated (or deadlocked) so badly the sweep would never finish.
+/// Each sleep is short and the total is bounded, so a watchdog-abandoned
+/// worker winds down on its own instead of haunting the process. Reachable
+/// through [`by_name`] as `"stalled"` but *not* listed in
+/// [`PREDICTOR_NAMES`], exactly like [`Faulty`].
+#[derive(Clone, Copy, Debug)]
+pub struct Stalled {
+    healthy: u64,
+    naps_left: u64,
+}
+
+impl Default for Stalled {
+    fn default() -> Self {
+        Self {
+            healthy: 8,
+            naps_left: 2_000, // ≤ 10 s of wedged time, then it gives up
+        }
+    }
+}
+
+impl Predictor for Stalled {
+    fn predict(&mut self, _ip: u64) -> bool {
+        if self.healthy > 0 {
+            self.healthy -= 1;
+        } else if self.naps_left > 0 {
+            self.naps_left -= 1;
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        true
+    }
+
+    fn train(&mut self, _branch: &mbp_core::Branch) {}
+
+    fn track(&mut self, _branch: &mbp_core::Branch) {}
+
+    fn metadata(&self) -> mbp_core::Value {
+        mbp_core::json!({"name": "Intentionally stalled test predictor"})
     }
 }
 
@@ -236,5 +284,28 @@ mod tests {
             assert!(!p.metadata().is_null(), "{name} has no metadata");
         }
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn table_predictors_report_storage_size_hints() {
+        for name in [
+            "bimodal",
+            "two-level",
+            "gshare",
+            "gselect",
+            "tournament",
+            "2bc-gskew",
+            "hashed-perceptron",
+            "tage",
+            "batage",
+        ] {
+            let p = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            let hint = p.size_hint();
+            assert!(hint > 0, "{name} reports no size hint");
+            assert!(hint < 1 << 30, "{name} hint of {hint} B is implausible");
+        }
+        // Static predictors hold no tables; a zero hint opts them out of
+        // admission gating.
+        assert_eq!(by_name("always-taken").unwrap().size_hint(), 0);
     }
 }

@@ -99,9 +99,20 @@ impl HashedPerceptron {
     pub fn theta(&self) -> i32 {
         self.theta
     }
+
+    /// Storage cost in bits: 7-bit weights across every table plus the
+    /// global history register.
+    pub fn storage_bits(&self) -> u64 {
+        let weights: u64 = self.tables.iter().map(|t| t.len() as u64).sum();
+        weights * 7 + self.history_lengths.last().copied().unwrap_or(0) as u64
+    }
 }
 
 impl Predictor for HashedPerceptron {
+    fn size_hint(&self) -> u64 {
+        self.storage_bits().div_ceil(8)
+    }
+
     fn predict(&mut self, ip: u64) -> bool {
         self.sum(ip) >= 0
     }

@@ -290,6 +290,10 @@ impl Tage {
 }
 
 impl Predictor for Tage {
+    fn size_hint(&self) -> u64 {
+        self.storage_bits().div_ceil(8)
+    }
+
     fn predict(&mut self, ip: u64) -> bool {
         self.compute_lookup(ip);
         self.scratch.final_pred

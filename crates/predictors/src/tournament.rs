@@ -82,6 +82,11 @@ impl Tournament {
 }
 
 impl Predictor for Tournament {
+    fn size_hint(&self) -> u64 {
+        // A meta-predictor's footprint is its components'.
+        self.meta.size_hint() + self.bp0.size_hint() + self.bp1.size_hint()
+    }
+
     fn predict(&mut self, ip: u64) -> bool {
         self.refresh(ip);
         self.prediction[self.provider as usize]

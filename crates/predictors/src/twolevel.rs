@@ -226,6 +226,10 @@ impl TwoLevel {
 }
 
 impl Predictor for TwoLevel {
+    fn size_hint(&self) -> u64 {
+        self.storage_bits().div_ceil(8)
+    }
+
     fn predict(&mut self, ip: u64) -> bool {
         self.phts[self.counter_index(ip)].is_taken()
     }

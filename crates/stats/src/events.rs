@@ -190,6 +190,16 @@ pub enum EventName {
     /// batched `predict_batch` kernel path (0 = the run never left the
     /// scalar fallback).
     SimKernelBranches = 15,
+    /// The sweep engine flushed one checkpoint record (arg = records in the
+    /// checkpoint so far).
+    CheckpointWrite = 16,
+    /// The deadline watchdog cancelled a predictor (arg = predictor index).
+    DeadlineFired = 17,
+    /// A worker waited for memory-budget admission (arg = predictor index).
+    AdmissionWait = 18,
+    /// Graceful shutdown began draining in-flight predictors (arg = jobs
+    /// still in flight at that moment).
+    ShutdownDrain = 19,
 }
 
 impl EventName {
@@ -211,6 +221,10 @@ impl EventName {
             13 => Some(Self::SampleInflatedBytes),
             14 => Some(Self::SimWindowTick),
             15 => Some(Self::SimKernelBranches),
+            16 => Some(Self::CheckpointWrite),
+            17 => Some(Self::DeadlineFired),
+            18 => Some(Self::AdmissionWait),
+            19 => Some(Self::ShutdownDrain),
             _ => None,
         }
     }
@@ -234,6 +248,10 @@ impl EventName {
             Self::SampleInflatedBytes => "sample.inflated_bytes",
             Self::SimWindowTick => "sim.window_tick",
             Self::SimKernelBranches => "sim.kernel_branches",
+            Self::CheckpointWrite => "sweep.checkpoint_write",
+            Self::DeadlineFired => "sweep.deadline_fired",
+            Self::AdmissionWait => "sweep.admission_wait",
+            Self::ShutdownDrain => "sweep.shutdown_drain",
         }
     }
 }

@@ -81,6 +81,20 @@ pub struct SweepStats {
     /// Per-predictor simulation time in microseconds. Buckets at
     /// 100 µs / 1 ms / 10 ms / 100 ms / 1 s / 10 s.
     pub predictor_us: Histogram<6>,
+    /// Checkpoint records flushed (one per completed or failed predictor).
+    pub checkpoint_writes: Counter,
+    /// Predictors skipped on resume because the checkpoint already held
+    /// their result.
+    pub resume_skips: Counter,
+    /// Deadline-watchdog firings (cancellations of stuck/slow predictors).
+    pub deadline_fired: Counter,
+    /// One-shot deadline extensions granted to progress-making predictors.
+    pub deadline_extensions: Counter,
+    /// Waits for memory-budget admission (worker parked until the ledger
+    /// had room for its predictor's `size_hint`).
+    pub admission_waits: Counter,
+    /// Graceful-shutdown drains begun (work stopped being admitted).
+    pub shutdown_drains: Counter,
 }
 
 /// Workload-generation metrics (`crates/workloads`).
@@ -143,6 +157,12 @@ impl PipelineStats {
                 trace_errors: Counter::new(),
                 worker_busy: Timer::new(),
                 predictor_us: Histogram::new([100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000]),
+                checkpoint_writes: Counter::new(),
+                resume_skips: Counter::new(),
+                deadline_fired: Counter::new(),
+                deadline_extensions: Counter::new(),
+                admission_waits: Counter::new(),
+                shutdown_drains: Counter::new(),
             },
             workload: WorkloadStats {
                 records_generated: Counter::new(),
@@ -236,6 +256,18 @@ pub struct PipelineSnapshot {
     pub sweep_worker_busy: TimerSnapshot,
     /// Sweep: per-predictor simulation time (µs) histogram.
     pub sweep_predictor_us: HistogramSnapshot,
+    /// Sweep: checkpoint records flushed.
+    pub sweep_checkpoint_writes: u64,
+    /// Sweep: predictors skipped on resume.
+    pub sweep_resume_skips: u64,
+    /// Sweep: deadline-watchdog firings.
+    pub sweep_deadline_fired: u64,
+    /// Sweep: one-shot deadline extensions granted.
+    pub sweep_deadline_extensions: u64,
+    /// Sweep: memory-budget admission waits.
+    pub sweep_admission_waits: u64,
+    /// Sweep: graceful-shutdown drains begun.
+    pub sweep_shutdown_drains: u64,
     /// Workloads: records generated.
     pub workload_records: u64,
     /// Workloads: refill passes.
@@ -311,6 +343,12 @@ impl PipelineStats {
             sweep_trace_errors: self.sweep.trace_errors.get(),
             sweep_worker_busy: TimerSnapshot::of(&self.sweep.worker_busy),
             sweep_predictor_us: self.sweep.predictor_us.snapshot(),
+            sweep_checkpoint_writes: self.sweep.checkpoint_writes.get(),
+            sweep_resume_skips: self.sweep.resume_skips.get(),
+            sweep_deadline_fired: self.sweep.deadline_fired.get(),
+            sweep_deadline_extensions: self.sweep.deadline_extensions.get(),
+            sweep_admission_waits: self.sweep.admission_waits.get(),
+            sweep_shutdown_drains: self.sweep.shutdown_drains.get(),
             workload_records: self.workload.records_generated.get(),
             workload_refills: self.workload.refills.get(),
             workload_generate: TimerSnapshot::of(&self.workload.generate),
@@ -341,6 +379,12 @@ impl PipelineStats {
         self.sweep.trace_errors.reset();
         self.sweep.worker_busy.reset();
         self.sweep.predictor_us.reset();
+        self.sweep.checkpoint_writes.reset();
+        self.sweep.resume_skips.reset();
+        self.sweep.deadline_fired.reset();
+        self.sweep.deadline_extensions.reset();
+        self.sweep.admission_waits.reset();
+        self.sweep.shutdown_drains.reset();
         self.workload.records_generated.reset();
         self.workload.refills.reset();
         self.workload.generate.reset();

@@ -51,6 +51,14 @@ pub enum TraceError {
     /// A record cannot be encoded (e.g. gap > 4095 or address out of the
     /// 52-bit range).
     Unencodable(String),
+    /// The consumer asked the source to stop: a sweep watchdog fired or an
+    /// operator interrupt is draining the run. Not a data error — the bytes
+    /// were fine — but it travels the same channel so every driver already
+    /// unwinds cleanly.
+    Cancelled {
+        /// Why the run was cancelled (e.g. `"deadline"`, `"shutdown"`).
+        reason: &'static str,
+    },
 }
 
 impl TraceError {
@@ -93,6 +101,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::Truncated => write!(f, "trace ends mid-record"),
             TraceError::Unencodable(msg) => write!(f, "record cannot be encoded: {msg}"),
+            TraceError::Cancelled { reason } => {
+                write!(f, "simulation cancelled: {reason}")
+            }
         }
     }
 }

@@ -145,6 +145,7 @@ fn sweep_entries_match_standalone_runs() {
     let config = SweepConfig {
         sim: SimConfig::default(),
         jobs: 2,
+        ..SweepConfig::default()
     };
     let mut source = SliceSource::named(&records, "traces/SMOKE.sbbt");
     let sweep = simulate_many(&mut source, predictors, &config).expect("sweep");
@@ -178,6 +179,7 @@ fn sweep_honours_cutoffs_like_standalone_runs() {
             ..SimConfig::default()
         },
         jobs: 2,
+        ..SweepConfig::default()
     };
 
     let predictors: Vec<(String, Box<dyn Predictor + Send>)> = ["gshare", "tage"]

@@ -30,6 +30,7 @@ fn sweep_config(jobs: usize) -> SweepConfig {
             ..SimConfig::default()
         },
         jobs,
+        ..SweepConfig::default()
     }
 }
 

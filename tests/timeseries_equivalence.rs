@@ -177,6 +177,7 @@ fn sweep_timeseries_matches_standalone_runs() {
             ..SimConfig::default()
         },
         jobs: 2,
+        ..SweepConfig::default()
     };
     let mut source = SliceSource::named(&records, "traces/SMOKE.sbbt");
     let sweep = simulate_many(&mut source, predictors, &config).expect("sweep");
