@@ -135,6 +135,61 @@ grep -q 'sweep.checkpoint_write' "$obs_tmp/resume.trace.json" \
   || { echo "checkpoint writes missing from the event timeline" >&2; exit 1; }
 cargo test -q -p mbp --test sweep_resilience
 
+echo "== simpoint gate (sampled sweep reconstructs full-sweep MPKI) =="
+# Phase-sample the smoke trace, then sweep all eight stock predictors both
+# ways. The sampled sweep must touch < 50% of the trace's instructions and
+# reconstruct each predictor's whole-trace MPKI within the documented
+# bound: |sampled - full| <= max(15% of full, 1.0 MPKI). The absolute floor
+# exists because the smoke trace is tiny (100k instructions) and the best
+# predictors sit under 1 MPKI, where relative error is dominated by a
+# handful of mispredictions. The lifecycle instants must land in the event
+# timeline on both surfaces.
+sp="gshare,bimodal,gselect,two-level,tournament,hashed-perceptron,tage,batage"
+target/release/mbpsim simpoint --trace "$obs_tmp/traces/SMOKE-mobile.sbbt.mzst" \
+  --window 2000 --clusters 8 --warmup-windows 2 \
+  --out "$obs_tmp/phases.json" --trace-out "$obs_tmp/simpoint.trace.json" \
+  2>/dev/null
+target/release/mbpsim validate-trace "$obs_tmp/simpoint.trace.json"
+grep -q 'simpoint.extract' "$obs_tmp/simpoint.trace.json" \
+  || { echo "simpoint.extract missing from the event timeline" >&2; exit 1; }
+grep -q '"schema_version": 1' "$obs_tmp/phases.json" \
+  || { echo "phases document is missing its schema version" >&2; exit 1; }
+target/release/mbpsim sweep --predictors "$sp" \
+  --trace "$obs_tmp/traces/SMOKE-mobile.sbbt.mzst" --jobs 2 --quiet \
+  > "$obs_tmp/sp_full.json"
+target/release/mbpsim sweep --predictors "$sp" \
+  --trace "$obs_tmp/traces/SMOKE-mobile.sbbt.mzst" --jobs 2 --quiet \
+  --phases "$obs_tmp/phases.json" \
+  --trace-out "$obs_tmp/sampled.trace.json" \
+  > "$obs_tmp/sp_sampled.json" 2>/dev/null
+target/release/mbpsim validate-trace "$obs_tmp/sampled.trace.json"
+grep -q 'simpoint.sampled_slice' "$obs_tmp/sampled.trace.json" \
+  || { echo "simpoint.sampled_slice missing from the event timeline" >&2; exit 1; }
+# Leaderboard rows render "predictor" then "mpki" on consecutive pretty-
+# printed lines; pair them up per document and compare per predictor.
+mpki_of() {
+  awk '/"predictor": "/ {gsub(/[",]/,"",$2); p=$2}
+       /"mpki":/ {if (p!="") {gsub(/,/,"",$2); print p, $2; p=""}}' "$1"
+}
+paste <(mpki_of "$obs_tmp/sp_full.json" | sort) \
+      <(mpki_of "$obs_tmp/sp_sampled.json" | sort) \
+  | awk '{
+      if ($1 != $3) { printf "predictor mismatch: %s vs %s\n", $1, $3; bad=1 }
+      f=$2; s=$4; e=(s>f)?s-f:f-s; lim=(0.15*f>1.0)?0.15*f:1.0
+      if (e > lim) {
+        printf "%s: sampled %.3f vs full %.3f MPKI (err %.3f > %.3f)\n", $1, s, f, e, lim
+        bad=1
+      }
+    } END { exit bad }' \
+  || { echo "sampled sweep missed the reconstruction bound" >&2; exit 1; }
+frac="$(grep -o '"simulated_fraction": *[0-9.]*' "$obs_tmp/sp_sampled.json" \
+  | head -n 1 | grep -o '[0-9.]*$')"
+awk -v f="$frac" 'BEGIN { exit !(f > 0 && f < 0.5) }' \
+  || { echo "sampled sweep fraction $frac not under 50%" >&2; exit 1; }
+grep -q '"max_error_estimate":' "$obs_tmp/sp_sampled.json" \
+  || { echo "sampled sweep is missing its error estimate" >&2; exit 1; }
+cargo test -q -p mbp --test simpoint_accuracy
+
 echo "== bench guard (instrumented batch pipeline within 5% of baseline) =="
 cargo run -q --release -p mbp-bench --bin bench_guard
 

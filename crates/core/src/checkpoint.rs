@@ -49,6 +49,7 @@ pub const CHECKPOINT_VERSION: u64 = 1;
 pub struct CheckpointWriter {
     file: File,
     records: u64,
+    sampling: Option<String>,
 }
 
 impl CheckpointWriter {
@@ -61,6 +62,7 @@ impl CheckpointWriter {
         Ok(Self {
             file: File::create(path)?,
             records: 0,
+            sampling: None,
         })
     }
 
@@ -74,7 +76,15 @@ impl CheckpointWriter {
         Ok(Self {
             file: OpenOptions::new().create(true).append(true).open(path)?,
             records: 0,
+            sampling: None,
         })
+    }
+
+    /// Binds subsequent records to a sampling plan: every record carries
+    /// the plan's `doc_hash` so a resume under a different plan (or none)
+    /// can be refused instead of silently mixing incomparable results.
+    pub fn set_sampling(&mut self, sampling: Option<String>) {
+        self.sampling = sampling;
     }
 
     /// Records written through this writer (excludes pre-existing lines of
@@ -90,12 +100,14 @@ impl CheckpointWriter {
     /// Propagates write or fsync failures; the record must be durable
     /// before the sweep counts the predictor as settled.
     pub fn record_result(&mut self, name: &str, result: &SimResult) -> io::Result<()> {
-        self.write_line(&json!({
+        let mut record = json!({
             "v": CHECKPOINT_VERSION,
             "predictor": name,
             "status": "ok",
             "result": result.to_json(),
-        }))
+        });
+        self.stamp_sampling(&mut record);
+        self.write_line(&record)
     }
 
     /// Appends one failed-predictor record.
@@ -104,13 +116,23 @@ impl CheckpointWriter {
     ///
     /// Propagates write or fsync failures.
     pub fn record_failure(&mut self, failure: &SweepFailure) -> io::Result<()> {
-        self.write_line(&json!({
+        let mut record = json!({
             "v": CHECKPOINT_VERSION,
             "predictor": failure.name.as_str(),
             "status": "failed",
             "kind": failure.kind.as_str(),
             "message": failure.message.as_str(),
-        }))
+        });
+        self.stamp_sampling(&mut record);
+        self.write_line(&record)
+    }
+
+    fn stamp_sampling(&self, record: &mut Value) {
+        if let Some(hash) = &self.sampling {
+            if let Some(obj) = record.as_object_mut() {
+                obj.insert("sampling", hash.as_str());
+            }
+        }
     }
 
     fn write_line(&mut self, record: &Value) -> io::Result<()> {
@@ -146,6 +168,10 @@ pub struct CheckpointLoad {
     /// usually a record cut short by a kill mid-append — and everything
     /// after it.
     pub ignored_tail_lines: usize,
+    /// Sampling-plan hash stamped on the file's records (taken from the
+    /// first well-formed record, including stale ones); `None` when the
+    /// file is empty or was written by a full (unsampled) sweep.
+    pub sampling: Option<String>,
 }
 
 impl CheckpointLoad {
@@ -153,6 +179,12 @@ impl CheckpointLoad {
     pub fn contains(&self, name: &str) -> bool {
         self.completed.iter().any(|(n, _)| n == name)
             || self.failures.iter().any(|f| f.name == name)
+    }
+
+    /// Whether the file yielded any well-formed records at all (an empty
+    /// checkpoint has no sampling plan to disagree with).
+    pub fn has_records(&self) -> bool {
+        !self.completed.is_empty() || !self.failures.is_empty() || self.stale > 0
     }
 }
 
@@ -177,23 +209,32 @@ pub fn load_checkpoint(path: &Path) -> io::Result<CheckpointLoad> {
     }
     let mut load = CheckpointLoad::default();
     let mut seen: HashSet<String> = HashSet::new();
+    let mut first_record = true;
     let lines: Vec<&str> = text.lines().collect();
     for (i, line) in lines.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         match parse_record(line) {
-            Some(Record::Ok(name, result)) => {
-                if seen.insert(name.clone()) {
-                    load.completed.push((name, *result));
+            Some((sampling, record)) => {
+                if first_record {
+                    load.sampling = sampling;
+                    first_record = false;
+                }
+                match record {
+                    Record::Ok(name, result) => {
+                        if seen.insert(name.clone()) {
+                            load.completed.push((name, *result));
+                        }
+                    }
+                    Record::Failed(failure) => {
+                        if seen.insert(failure.name.clone()) {
+                            load.failures.push(failure);
+                        }
+                    }
+                    Record::Stale => load.stale += 1,
                 }
             }
-            Some(Record::Failed(failure)) => {
-                if seen.insert(failure.name.clone()) {
-                    load.failures.push(failure);
-                }
-            }
-            Some(Record::Stale) => load.stale += 1,
             None => {
                 // Corrupt or truncated from here on: keep the trusted
                 // prefix, ignore the tail.
@@ -213,31 +254,36 @@ enum Record {
     Stale,
 }
 
-/// One line → one record; `None` means the line (and thus the rest of the
-/// file) cannot be trusted.
-fn parse_record(line: &str) -> Option<Record> {
+/// One line → its sampling stamp plus one record; `None` means the line
+/// (and thus the rest of the file) cannot be trusted.
+fn parse_record(line: &str) -> Option<(Option<String>, Record)> {
     let doc: Value = line.parse().ok()?;
     if doc.get("v")?.as_u64()? != CHECKPOINT_VERSION {
         return None;
     }
+    let sampling = doc
+        .get("sampling")
+        .and_then(Value::as_str)
+        .map(str::to_string);
     let name = doc.get("predictor")?.as_str()?.to_string();
-    match doc.get("status")?.as_str()? {
+    let record = match doc.get("status")?.as_str()? {
         "ok" => match SimResult::from_json(doc.get("result")?) {
-            Ok(result) => Some(Record::Ok(name, Box::new(result))),
+            Ok(result) => Record::Ok(name, Box::new(result)),
             // A complete record from a different simulator build: not
             // corruption, so keep reading the file, but re-run this entry.
-            Err(_) => Some(Record::Stale),
+            Err(_) => Record::Stale,
         },
         "failed" => {
             let kind = FailureKind::parse(doc.get("kind")?.as_str()?)?;
-            Some(Record::Failed(SweepFailure {
+            Record::Failed(SweepFailure {
                 name,
                 kind,
                 message: doc.get("message")?.as_str()?.to_string(),
-            }))
+            })
         }
-        _ => None,
-    }
+        _ => return None,
+    };
+    Some((sampling, record))
 }
 
 #[cfg(test)]
@@ -389,6 +435,45 @@ mod tests {
     fn missing_file_loads_empty() {
         let load = load_checkpoint(&tmp("never_written.jsonl")).unwrap();
         assert!(load.completed.is_empty() && load.failures.is_empty());
+        assert!(!load.has_records());
+        assert_eq!(load.sampling, None);
+    }
+
+    #[test]
+    fn sampling_stamp_round_trips() {
+        let path = tmp("sampling_stamp.jsonl");
+        let r = result();
+        let mut w = CheckpointWriter::create(&path).unwrap();
+        w.set_sampling(Some("fnv1a64:0123456789abcdef".to_string()));
+        w.record_result("gshare", &r).unwrap();
+        w.record_failure(&SweepFailure {
+            name: "buggy".to_string(),
+            kind: FailureKind::Panic,
+            message: "intentional".to_string(),
+        })
+        .unwrap();
+        drop(w);
+
+        let load = load_checkpoint(&path).unwrap();
+        assert!(load.has_records());
+        assert_eq!(
+            load.sampling.as_deref(),
+            Some("fnv1a64:0123456789abcdef"),
+            "sampling plan hash survives the round trip"
+        );
+    }
+
+    #[test]
+    fn unsampled_records_load_with_no_sampling_plan() {
+        let path = tmp("no_sampling.jsonl");
+        let r = result();
+        let mut w = CheckpointWriter::create(&path).unwrap();
+        w.record_result("gshare", &r).unwrap();
+        drop(w);
+
+        let load = load_checkpoint(&path).unwrap();
+        assert!(load.has_records());
+        assert_eq!(load.sampling, None);
     }
 
     #[test]

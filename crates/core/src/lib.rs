@@ -45,6 +45,7 @@ mod introspect;
 mod metrics;
 mod output;
 mod predictor;
+mod simpoint;
 mod simulator;
 mod source;
 mod sweep;
@@ -57,6 +58,10 @@ pub use metrics::{
     BranchStat, BranchTaxonomy, ClassStat, Metrics, MostFailed, ENTROPY_CLASSES, TRANSITION_CLASSES,
 };
 pub use predictor::{PredictionBits, Predictor};
+pub use simpoint::{
+    extract_bbv, extract_phases, extract_phases_with_warmup, kmeans, simulate_sampled, BbvWindow,
+    Phase, PhasesDoc, BBV_FEATURE_DIM, KMEANS_MAX_ITERATIONS, PHASES_SCHEMA_VERSION,
+};
 pub use simulator::{simulate, simulate_scalar, SimConfig, SimMetadata, SimResult};
 pub use source::{SliceSource, TraceSource, VecSource, BATCH_RECORDS};
 pub use sweep::{simulate_many, FailureKind, SweepConfig, SweepEntry, SweepFailure, SweepResult};

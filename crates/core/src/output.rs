@@ -114,6 +114,11 @@ impl SimResult {
                 metrics.insert("timeseries", ts.to_json());
             }
         }
+        if let Some(sampling) = &self.sampling {
+            if let Some(d) = doc.as_object_mut() {
+                d.insert("simpoint", sampling.clone());
+            }
+        }
         if !self.table_probes.is_empty() {
             if let Some(d) = doc.as_object_mut() {
                 d.insert(
@@ -209,6 +214,7 @@ impl SimResult {
             branch_taxonomy,
             timeseries,
             table_probes,
+            sampling: doc.get("simpoint").cloned(),
         })
     }
 }
@@ -615,6 +621,40 @@ mod tests {
         let err =
             crate::SimResult::from_json(&patch_meta(&doc, "version", "v0.0.0-other")).unwrap_err();
         assert!(err.contains("metadata.version"), "{err}");
+    }
+
+    #[test]
+    fn sampled_result_round_trips_with_simpoint_section() {
+        let recs: Vec<_> = (0..400)
+            .map(|i| {
+                BranchRecord::new(
+                    Branch::new(0x10 + (i % 7), 0, Opcode::conditional_direct(), i % 3 != 0),
+                    9,
+                )
+            })
+            .collect();
+        let phases = crate::extract_phases(&recs, 1000, 3);
+        let r = crate::simulate_sampled(&recs, &mut Always(true), &phases, &SimConfig::default());
+        let doc = r.to_json();
+        let keys: Vec<_> = doc.as_object().unwrap().keys().collect();
+        assert_eq!(
+            keys,
+            [
+                "metadata",
+                "metrics",
+                "predictor_statistics",
+                "most_failed",
+                "simpoint"
+            ],
+            "simpoint appends after the Listing-1 sections"
+        );
+        assert_eq!(
+            doc["simpoint"]["doc_hash"].as_str(),
+            Some(phases.doc_hash().as_str())
+        );
+        let parsed = crate::SimResult::from_json(&doc).expect("parses back");
+        assert_eq!(parsed.to_json().to_pretty_string(), doc.to_pretty_string());
+        assert_eq!(parsed.sampling, r.sampling);
     }
 
     #[test]

@@ -104,6 +104,10 @@ pub struct SimResult {
     /// Table-health probes (rendered as the `introspection` section);
     /// empty unless [`SimConfig::collect_probes`] was set.
     pub table_probes: Vec<TableProbe>,
+    /// Phase-sampling report (rendered as the top-level `simpoint`
+    /// section); present only on results produced by
+    /// [`simulate_sampled`](crate::simulate_sampled).
+    pub sampling: Option<Value>,
 }
 
 /// Per-record bookkeeping shared by the batched and scalar drivers.
@@ -173,6 +177,7 @@ impl SimState {
             } else {
                 Vec::new()
             },
+            sampling: None,
         }
     }
 }
@@ -460,6 +465,7 @@ where
         } else {
             Vec::new()
         },
+        sampling: None,
     })
 }
 

@@ -41,6 +41,7 @@ use mbp_json::{json, Value};
 use mbp_trace::{BranchBatch, BranchRecord, TraceError};
 
 use crate::checkpoint::{load_checkpoint, CheckpointWriter};
+use crate::simpoint::{simulate_sampled, PhasesDoc};
 use crate::simulator::{simulate, SimConfig, SimResult};
 use crate::{Predictor, SliceSource, TraceSource};
 
@@ -77,6 +78,12 @@ pub struct SweepConfig {
     /// predictors finish, unstarted ones become `not_run`, and the result
     /// is marked interrupted. Wired to a SIGINT/SIGTERM flag by `mbpsim`.
     pub shutdown: Option<fn() -> bool>,
+    /// Phase-sampling plan: when set, every predictor runs through
+    /// [`simulate_sampled`](crate::simulate_sampled) over the plan's
+    /// weighted representative slices instead of the whole trace.
+    /// Checkpoint records carry the plan's `doc_hash`, and `--resume`
+    /// refuses a checkpoint written under a different plan (or none).
+    pub phases: Option<PhasesDoc>,
 }
 
 /// One predictor's outcome within a sweep, in leaderboard order.
@@ -200,6 +207,9 @@ pub struct SweepResult {
     pub not_run: Vec<String>,
     /// Whether a shutdown probe drained this sweep before it finished.
     pub interrupted: bool,
+    /// Sampling-plan summary (rendered under `metadata.sampling`); present
+    /// only for phase-sampled sweeps.
+    pub sampling: Option<Value>,
 }
 
 impl SweepResult {
@@ -222,7 +232,7 @@ impl SweepResult {
     /// `introspection` when the sweep configuration collected them).
     /// `not_run` lists predictors a shutdown drain left unstarted.
     pub fn to_json(&self) -> Value {
-        json!({
+        let mut doc = json!({
             "metadata": {
                 "simulator": "MBPlib sweep simulator",
                 "version": crate::SIMULATOR_VERSION,
@@ -253,7 +263,17 @@ impl SweepResult {
                 .collect::<Vec<_>>(),
             "results": self.entries.iter().map(|e| e.result.to_json())
                 .collect::<Vec<_>>(),
-        })
+        });
+        if let Some(sampling) = &self.sampling {
+            if let Some(meta) = doc
+                .as_object_mut()
+                .and_then(|d| d.get_mut("metadata"))
+                .and_then(Value::as_object_mut)
+            {
+                meta.insert("sampling", sampling.clone());
+            }
+        }
+        doc
     }
 }
 
@@ -316,6 +336,11 @@ struct SweepShared {
     /// First checkpoint-append failure; the sweep finishes (results in
     /// memory are still good) and the error is surfaced at the end.
     writer_error: Mutex<Option<io::Error>>,
+    /// Sampling plan: workers run the sampled executor instead of the full
+    /// trace when set. Note the sampled path does not bump progress epochs
+    /// (slices are short); a wedged predictor is still bounded by the
+    /// watchdog's abandon-after-grace path.
+    phases: Option<PhasesDoc>,
 }
 
 fn ns_since(start: &Instant) -> u64 {
@@ -430,9 +455,38 @@ where
     let mut resumed_entries: Vec<(String, SimResult)> = Vec::new();
     let mut resumed_failures: Vec<SweepFailure> = Vec::new();
     let mut to_run: Vec<(String, Box<dyn Predictor + Send>)> = Vec::new();
+    let plan_hash = config.phases.as_ref().map(|p| p.doc_hash());
     match (&config.checkpoint, config.resume) {
         (Some(path), true) => {
             let load = load_checkpoint(path)?;
+            // A checkpoint binds its records to the sampling plan (or the
+            // absence of one) they were produced under; splicing a full
+            // sweep's results into a sampled leaderboard — or vice versa —
+            // would silently mix incomparable metrics.
+            if load.has_records() && load.sampling != plan_hash {
+                let msg = match (&load.sampling, &plan_hash) {
+                    (None, Some(hash)) => format!(
+                        "checkpoint {} was written by a full sweep; refusing to \
+                         resume it with --phases (plan {hash})",
+                        path.display()
+                    ),
+                    (Some(had), None) => format!(
+                        "checkpoint {} was written by a sampled sweep (plan \
+                         {had}); refusing to resume it without --phases",
+                        path.display()
+                    ),
+                    (Some(had), Some(hash)) => format!(
+                        "checkpoint {} was written under sampling plan {had}, \
+                         but --phases names plan {hash}",
+                        path.display()
+                    ),
+                    (None, None) => unreachable!("equal plans already matched"),
+                };
+                return Err(TraceError::Io(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    msg,
+                )));
+            }
             for (name, p) in predictors {
                 if let Some((_, r)) = load.completed.iter().find(|(n, _)| *n == name) {
                     resumed_entries.push((name, r.clone()));
@@ -470,11 +524,25 @@ where
     }
     let description = trace.description();
 
-    let writer = match &config.checkpoint {
+    // The sampling plan must describe exactly this trace; a plan extracted
+    // from a different trace (or a stale one) would sample nonsense slices.
+    if m > 0 {
+        if let Some(phases) = &config.phases {
+            let instruction_count: u64 = records.iter().map(|r| r.instructions()).sum();
+            phases
+                .validate(records.len() as u64, instruction_count)
+                .map_err(|msg| TraceError::Io(io::Error::new(io::ErrorKind::InvalidData, msg)))?;
+        }
+    }
+
+    let mut writer = match &config.checkpoint {
         Some(path) if config.resume && path.exists() => Some(CheckpointWriter::append(path)?),
         Some(path) => Some(CheckpointWriter::create(path)?),
         None => None,
     };
+    if let Some(w) = writer.as_mut() {
+        w.set_sampling(plan_hash.clone());
+    }
 
     // Phase 2: fan out. Workers claim predictor indices from a shared
     // queue; each slot hands its predictor to exactly one worker and
@@ -504,6 +572,7 @@ where
         start: Instant::now(),
         writer: Mutex::new(writer),
         writer_error: Mutex::new(None),
+        phases: config.phases.clone(),
     });
 
     let wall_start = Instant::now();
@@ -595,6 +664,25 @@ where
         return Err(TraceError::Io(e));
     }
 
+    // Summarize the sampling plan once at sweep level: what fraction was
+    // simulated and the worst per-predictor error estimate. Derived only
+    // from the plan and the entries, so resumed documents match originals.
+    let sampling = config.phases.as_ref().map(|p| {
+        let max_error = entries
+            .iter()
+            .filter_map(|e| e.result.sampling.as_ref())
+            .filter_map(|s| s.get("error_estimate").and_then(Value::as_f64))
+            .fold(0.0f64, f64::max);
+        json!({
+            "doc_hash": p.doc_hash(),
+            "window_size": p.window_size,
+            "clusters": p.clusters as u64,
+            "num_windows": p.num_windows as u64,
+            "simulated_fraction": p.planned_fraction(),
+            "max_error_estimate": max_error,
+        })
+    });
+
     Ok(SweepResult {
         trace: description,
         jobs: jobs_legacy,
@@ -606,6 +694,7 @@ where
         failures,
         not_run,
         interrupted,
+        sampling,
     })
 }
 
@@ -714,11 +803,20 @@ fn run_job(shared: &SweepShared, i: usize, name: String, mut predictor: Box<dyn 
     // simulation, not the sweep. The predictor and source are owned by the
     // closure, so no shared state is observed after an unwind.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut source = CancelSource {
-            inner: SliceSource::new(&shared.records),
-            job: &shared.jobs[i],
-        };
-        simulate(&mut source, &mut *predictor, &shared.sim)
+        if let Some(phases) = &shared.phases {
+            Ok(simulate_sampled(
+                &shared.records,
+                &mut *predictor,
+                phases,
+                &shared.sim,
+            ))
+        } else {
+            let mut source = CancelSource {
+                inner: SliceSource::new(&shared.records),
+                job: &shared.jobs[i],
+            };
+            simulate(&mut source, &mut *predictor, &shared.sim)
+        }
     }));
     let outcome = match outcome {
         Ok(Ok(mut result)) => {
@@ -1487,5 +1585,214 @@ mod tests {
             assert_eq!(FailureKind::parse(kind.as_str()), Some(kind));
         }
         assert_eq!(FailureKind::parse("gremlins"), None);
+    }
+
+    /// Two alternating behavioural phases (different IPs, different bias)
+    /// so BBV clustering has real structure to find.
+    fn phase_trace(n: usize) -> Vec<BranchRecord> {
+        (0..n)
+            .map(|i| {
+                let phase = (i / 100) % 2;
+                let ip = if phase == 0 {
+                    0x1000 + (i % 8) as u64 * 16
+                } else {
+                    0x8_0000 + (i % 8) as u64 * 16
+                };
+                let taken = if phase == 0 { i % 4 != 0 } else { i % 2 == 0 };
+                BranchRecord::new(Branch::new(ip, 0, Opcode::conditional_direct(), taken), 3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sampled_sweep_reports_sampling_metadata() {
+        let records = phase_trace(4000);
+        let phases = crate::simpoint::extract_phases(&records, 2000, 3);
+        let cfg = SweepConfig {
+            phases: Some(phases.clone()),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let r = simulate_many(&mut src, fixed_pair(), &cfg).unwrap();
+
+        assert_eq!(r.entries.len(), 2);
+        for e in &r.entries {
+            let s = e.result.sampling.as_ref().expect("sampled entry");
+            assert_eq!(s["doc_hash"].as_str(), Some(phases.doc_hash().as_str()));
+        }
+        let doc = r.to_json();
+        let meta = doc["metadata"]["sampling"]
+            .as_object()
+            .expect("sweep metadata carries the sampling plan");
+        assert_eq!(
+            meta.get("doc_hash").and_then(Value::as_str),
+            Some(phases.doc_hash().as_str())
+        );
+        let fraction = meta
+            .get("simulated_fraction")
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction {fraction}");
+        assert!(
+            meta.get("max_error_estimate")
+                .and_then(Value::as_f64)
+                .unwrap()
+                >= 0.0
+        );
+    }
+
+    #[test]
+    fn sampled_sweep_is_deterministic_across_worker_counts() {
+        let records = phase_trace(4000);
+        let phases = crate::simpoint::extract_phases(&records, 2000, 3);
+        let run = |jobs: usize| {
+            let cfg = SweepConfig {
+                jobs,
+                phases: Some(phases.clone()),
+                ..SweepConfig::default()
+            };
+            let mut src = SliceSource::new(&records);
+            simulate_many(&mut src, fixed_pair(), &cfg).unwrap()
+        };
+        let a = run(1);
+        let b = run(2);
+        assert_eq!(a.entries.len(), b.entries.len());
+        // Canonical form: everything except the one wall-clock field.
+        let canon = |r: &SimResult| {
+            let mut doc = r.to_json();
+            if let Some(m) = doc
+                .as_object_mut()
+                .and_then(|d| d.get_mut("metrics"))
+                .and_then(Value::as_object_mut)
+            {
+                m.remove("simulation_time");
+            }
+            doc.to_pretty_string()
+        };
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(
+                canon(&x.result),
+                canon(&y.result),
+                "per-predictor sampled result is bit-stable across worker counts"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_refuses_full_checkpoint_under_sampling() {
+        let path = tmp("mismatch_full_then_sampled.jsonl");
+        std::fs::remove_file(&path).ok();
+        let records = phase_trace(4000);
+
+        let full = SweepConfig {
+            checkpoint: Some(path.clone()),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        simulate_many(&mut src, fixed_pair(), &full).unwrap();
+
+        let sampled = SweepConfig {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            phases: Some(crate::simpoint::extract_phases(&records, 2000, 3)),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let err = simulate_many(&mut src, fixed_pair(), &sampled).unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("refusing to resume"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn resume_refuses_sampled_checkpoint_without_phases() {
+        let path = tmp("mismatch_sampled_then_full.jsonl");
+        std::fs::remove_file(&path).ok();
+        let records = phase_trace(4000);
+        let phases = crate::simpoint::extract_phases(&records, 2000, 3);
+
+        let sampled = SweepConfig {
+            checkpoint: Some(path.clone()),
+            phases: Some(phases),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        simulate_many(&mut src, fixed_pair(), &sampled).unwrap();
+
+        let full = SweepConfig {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let err = simulate_many(&mut src, fixed_pair(), &full).unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("refusing to resume"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn resume_refuses_a_different_sampling_plan() {
+        let path = tmp("mismatch_plan_a_then_b.jsonl");
+        std::fs::remove_file(&path).ok();
+        let records = phase_trace(4000);
+
+        let plan_a = SweepConfig {
+            checkpoint: Some(path.clone()),
+            phases: Some(crate::simpoint::extract_phases(&records, 2000, 3)),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        simulate_many(&mut src, fixed_pair(), &plan_a).unwrap();
+
+        let plan_b = SweepConfig {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            phases: Some(crate::simpoint::extract_phases(&records, 1000, 4)),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let err = simulate_many(&mut src, fixed_pair(), &plan_b).unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("refusing to resume") || msg.contains("names plan"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn resume_accepts_a_matching_sampling_plan() {
+        let path = tmp("matching_plan_resumes.jsonl");
+        std::fs::remove_file(&path).ok();
+        let records = phase_trace(4000);
+        let phases = crate::simpoint::extract_phases(&records, 2000, 3);
+
+        let cfg = SweepConfig {
+            checkpoint: Some(path.clone()),
+            phases: Some(phases.clone()),
+            ..SweepConfig::default()
+        };
+        let mut src = SliceSource::new(&records);
+        let first = simulate_many(&mut src, fixed_pair(), &cfg).unwrap();
+
+        let resume = SweepConfig {
+            resume: true,
+            ..cfg
+        };
+        let mut src = SliceSource::new(&records);
+        let second = simulate_many(&mut src, fixed_pair(), &resume).unwrap();
+        assert_eq!(
+            second.workers_used, 0,
+            "both predictors come from the checkpoint"
+        );
+        for (x, y) in first.entries.iter().zip(&second.entries) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.result.metrics.mpki, y.result.metrics.mpki);
+        }
     }
 }

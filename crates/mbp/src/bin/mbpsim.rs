@@ -7,6 +7,8 @@
 //! mbpsim run --predictor tage --trace t.sbbt.mzst [--warmup N] [--max N]
 //! mbpsim compare --predictors gshare,tage --trace t.sbbt.mzst
 //! mbpsim sweep --predictors gshare,tage,batage --trace t.sbbt.mzst [--jobs N]
+//! mbpsim simpoint --trace t.sbbt.mzst [--window N] [--clusters K] [--out phases.json]
+//! mbpsim sweep --predictors ... --trace t.sbbt.mzst --phases phases.json
 //! mbpsim gen --suite cbp5-training [--scale N] --out traces/
 //! mbpsim translate --from t.bt9 --to t.sbbt.mzst
 //! mbpsim info --trace t.sbbt.mzst
@@ -81,7 +83,9 @@ fn usage() -> &'static str {
      mbpsim run --predictor <name> --trace <file> [--warmup N] [--max N] [--track-only-conditional]\n  \
      mbpsim compare --predictors <a>,<b> --trace <file> [--warmup N] [--max N]\n  \
      mbpsim sweep --predictors <a>,<b>,... --trace <file> [--jobs N] [--warmup N] [--max N]\n               \
-     [--checkpoint <file.jsonl>] [--resume] [--deadline-secs S] [--mem-budget-mb N]\n  \
+     [--checkpoint <file.jsonl>] [--resume] [--deadline-secs S] [--mem-budget-mb N]\n               \
+     [--phases <phases.json>]\n  \
+     mbpsim simpoint --trace <file> [--window N] [--clusters K] [--out <phases.json>]\n  \
      mbpsim gen --suite <cbp5-training|cbp5-evaluation|dpc3|smoke> [--scale N] --out <dir>\n  \
      mbpsim translate --from <file.bt9[.mgz]> --to <file.sbbt[.mzst|.mgz]>\n  \
      mbpsim info --trace <file>\n  \
@@ -115,7 +119,24 @@ fn usage() -> &'static str {
      --deadline-secs <S>    per-predictor watchdog deadline; stuck configs\n                         \
      become typed `deadline` failures instead of hangs\n  \
      --mem-budget-mb <N>    admission gate: predictors whose size hints would\n                         \
-     exceed the budget wait (or fail if alone too large)"
+     exceed the budget wait (or fail if alone too large)\n\
+     \n\
+     phase sampling:\n  \
+     mbpsim simpoint        cluster the trace's basic-block vectors into\n                         \
+     phases and emit a versioned phases document\n  \
+     --window <N>           (simpoint) BBV window size in instructions\n                         \
+     (default 100000)\n  \
+     --clusters <K>         (simpoint) maximum k-means clusters (default 8)\n  \
+     --warmup-windows <N>   (simpoint) windows of warmup replay before each\n                         \
+     representative slice (default 1; long-history\n                         \
+     predictors want more)\n  \
+     --out <phases.json>    (simpoint) write the document here instead of\n                         \
+     stdout\n  \
+     --phases <file>        (sweep) simulate only the plan's weighted\n                         \
+     representative slices (with warm-up replay) and\n                         \
+     reconstruct whole-trace MPKI; incompatible with\n                         \
+     --max/--warmup/--window/--timeseries-out, and\n                         \
+     --resume refuses checkpoints from other plans"
 }
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
@@ -295,6 +316,13 @@ fn emit_metrics(args: &Args, doc: Option<&mut mbp::json::Value>) -> Result<(), F
             if let Some(intro) = doc.get("introspection") {
                 out.insert("introspection", intro.clone());
             }
+            // Phase-sampling summaries: single runs carry a top-level
+            // `simpoint` section, sweeps a `metadata.sampling` object.
+            if let Some(sp) = doc.get("simpoint") {
+                out.insert("simpoint", sp.clone());
+            } else if let Some(sp) = doc.get("metadata").and_then(|m| m.get("sampling")) {
+                out.insert("simpoint", sp.clone());
+            }
         }
     }
     if let Some(path) = args.get("--metrics-out") {
@@ -416,6 +444,30 @@ fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
     if resume && checkpoint.is_none() {
         return Err(Failure::usage("--resume requires --checkpoint <file>"));
     }
+    let phases = match args.get("--phases") {
+        None => None,
+        Some(path) => {
+            // The plan already fixes which instructions are simulated and
+            // how each slice is warmed; flags that re-slice the trace would
+            // silently invalidate its weights.
+            for conflicting in ["--max", "--warmup", "--window", "--timeseries-out"] {
+                if args.get(conflicting).is_some() {
+                    return Err(Failure::usage(format!(
+                        "{conflicting} cannot be combined with --phases: the sampling \
+                         plan already fixes the simulated slices and their warm-up"
+                    )));
+                }
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| Failure::trace(format!("cannot read {path}: {e}")))?;
+            let doc: mbp::json::Value = text
+                .parse()
+                .map_err(|e| Failure::trace(format!("cannot parse {path}: {e}")))?;
+            let plan = mbp::sim::PhasesDoc::from_json(&doc)
+                .map_err(|e| Failure::trace(format!("{path}: {e}")))?;
+            Some(plan)
+        }
+    };
     let mut trace = SbbtReader::open(trace_path)
         .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
     mbp::shutdown::install();
@@ -427,6 +479,7 @@ fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
         checkpoint,
         resume,
         shutdown: Some(mbp::shutdown::requested),
+        phases,
     };
     setup_events(args)?;
     let total = expected_instructions(trace.header().instruction_count, &config.sim)
@@ -473,6 +526,45 @@ fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
         // the exit code tells drivers the sweep was only partially healthy.
         Ok(ExitCode::from(EXIT_PARTIAL_SWEEP))
     }
+}
+
+fn cmd_simpoint(args: &Args) -> Result<ExitCode, Failure> {
+    let trace_path = args.required("--trace")?;
+    let window: u64 = args.parsed("--window", 100_000u64)?;
+    if window == 0 {
+        return Err(Failure::usage(
+            "--window must be a positive instruction count",
+        ));
+    }
+    let clusters: usize = args.parsed("--clusters", 8usize)?;
+    if clusters == 0 {
+        return Err(Failure::usage("--clusters must be at least 1"));
+    }
+    let warmup_windows: usize = args.parsed("--warmup-windows", 1usize)?;
+    let mut trace = SbbtReader::open(trace_path)
+        .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
+    setup_events(args)?;
+    let records = trace
+        .read_all()
+        .map_err(|e| Failure::trace(format!("cannot read {trace_path}: {e}")))?;
+    let plan = mbp::sim::extract_phases_with_warmup(&records, window, clusters, warmup_windows);
+    emit_events(args)?;
+    emit_metrics(args, None)?;
+    let doc = plan.to_json();
+    match args.get("--out") {
+        Some(path) => {
+            std::fs::write(path, format!("{doc:#}\n"))
+                .map_err(|e| Failure::internal(format!("cannot write {path}: {e}")))?;
+            eprintln!(
+                "mbpsim: {} windows -> {} phases ({:.1}% of instructions planned), wrote {path}",
+                plan.num_windows,
+                plan.phases.len(),
+                100.0 * plan.planned_fraction()
+            );
+        }
+        None => println!("{doc:#}"),
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_gen(args: &Args) -> Result<ExitCode, Failure> {
@@ -725,6 +817,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
         "sweep" => cmd_sweep(&args),
+        "simpoint" => cmd_simpoint(&args),
         "gen" => cmd_gen(&args),
         "translate" => cmd_translate(&args),
         "info" => cmd_info(&args),

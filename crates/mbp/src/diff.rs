@@ -26,7 +26,7 @@
 use mbp_json::{Map, Value};
 
 /// The fixed section order of the metrics schema.
-pub const SECTIONS: [&str; 7] = [
+pub const SECTIONS: [&str; 8] = [
     "decode",
     "compress",
     "simulate",
@@ -34,6 +34,7 @@ pub const SECTIONS: [&str; 7] = [
     "generation",
     "timeseries",
     "introspection",
+    "simpoint",
 ];
 
 /// Tuning knobs for a diff run.
@@ -448,6 +449,33 @@ mod tests {
         assert!(
             added.contains(&"introspection.probes[0].entries"),
             "{added:?}"
+        );
+    }
+
+    #[test]
+    fn simpoint_section_diffs_numerically_and_skips_the_hash() {
+        // Phase-sampling summaries carry a string `doc_hash` next to the
+        // numeric fields; the diff reports the numbers and ignores the hash.
+        let sampled = |fraction: f64| {
+            let mut m = metrics(1.0, 1e6, 2048);
+            if let Some(obj) = m.as_object_mut() {
+                obj.insert(
+                    "simpoint",
+                    json!({
+                        "doc_hash": "fnv1a64:0123456789abcdef",
+                        "simulated_fraction": fraction,
+                        "max_error_estimate": 0.01,
+                    }),
+                );
+            }
+            m
+        };
+        let report = diff_metrics(&sampled(0.3), &sampled(0.4), &DiffOptions::default());
+        let paths: Vec<&str> = report.lines.iter().map(|l| l.path.as_str()).collect();
+        assert!(paths.contains(&"simpoint.simulated_fraction"), "{paths:?}");
+        assert!(
+            !paths.iter().any(|p| p.contains("doc_hash")),
+            "string leaves stay out of the numeric diff: {paths:?}"
         );
     }
 }

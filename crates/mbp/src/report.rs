@@ -64,6 +64,9 @@ pub fn pipeline_json(snap: &PipelineSnapshot) -> Value {
             "deadline_extensions": snap.sweep_deadline_extensions,
             "admission_waits": snap.sweep_admission_waits,
             "shutdown_drains": snap.sweep_shutdown_drains,
+            "sampled_slices": snap.sweep_sampled_slices,
+            "sampled_instructions": snap.sweep_sampled_instructions,
+            "replayed_instructions": snap.sweep_replayed_instructions,
         },
         "generation": {
             "records_generated": snap.workload_records,

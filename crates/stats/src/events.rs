@@ -200,6 +200,11 @@ pub enum EventName {
     /// Graceful shutdown began draining in-flight predictors (arg = jobs
     /// still in flight at that moment).
     ShutdownDrain = 19,
+    /// A phases document was extracted from a trace (arg = BBV windows).
+    SimpointExtract = 20,
+    /// The sampled executor finished one representative slice (arg = the
+    /// slice's window index).
+    SimpointSampledSlice = 21,
 }
 
 impl EventName {
@@ -225,6 +230,8 @@ impl EventName {
             17 => Some(Self::DeadlineFired),
             18 => Some(Self::AdmissionWait),
             19 => Some(Self::ShutdownDrain),
+            20 => Some(Self::SimpointExtract),
+            21 => Some(Self::SimpointSampledSlice),
             _ => None,
         }
     }
@@ -252,6 +259,8 @@ impl EventName {
             Self::DeadlineFired => "sweep.deadline_fired",
             Self::AdmissionWait => "sweep.admission_wait",
             Self::ShutdownDrain => "sweep.shutdown_drain",
+            Self::SimpointExtract => "simpoint.extract",
+            Self::SimpointSampledSlice => "simpoint.sampled_slice",
         }
     }
 }

@@ -95,6 +95,12 @@ pub struct SweepStats {
     pub admission_waits: Counter,
     /// Graceful-shutdown drains begun (work stopped being admitted).
     pub shutdown_drains: Counter,
+    /// Representative slices replayed by the phase-sampled executor.
+    pub sampled_slices: Counter,
+    /// Instructions simulated inside measured representative slices.
+    pub sampled_instructions: Counter,
+    /// Instructions replayed for warmup ahead of representative slices.
+    pub replayed_instructions: Counter,
 }
 
 /// Workload-generation metrics (`crates/workloads`).
@@ -163,6 +169,9 @@ impl PipelineStats {
                 deadline_extensions: Counter::new(),
                 admission_waits: Counter::new(),
                 shutdown_drains: Counter::new(),
+                sampled_slices: Counter::new(),
+                sampled_instructions: Counter::new(),
+                replayed_instructions: Counter::new(),
             },
             workload: WorkloadStats {
                 records_generated: Counter::new(),
@@ -268,6 +277,12 @@ pub struct PipelineSnapshot {
     pub sweep_admission_waits: u64,
     /// Sweep: graceful-shutdown drains begun.
     pub sweep_shutdown_drains: u64,
+    /// Sweep: representative slices replayed by the sampled executor.
+    pub sweep_sampled_slices: u64,
+    /// Sweep: instructions measured inside representative slices.
+    pub sweep_sampled_instructions: u64,
+    /// Sweep: instructions replayed for warmup ahead of slices.
+    pub sweep_replayed_instructions: u64,
     /// Workloads: records generated.
     pub workload_records: u64,
     /// Workloads: refill passes.
@@ -349,6 +364,9 @@ impl PipelineStats {
             sweep_deadline_extensions: self.sweep.deadline_extensions.get(),
             sweep_admission_waits: self.sweep.admission_waits.get(),
             sweep_shutdown_drains: self.sweep.shutdown_drains.get(),
+            sweep_sampled_slices: self.sweep.sampled_slices.get(),
+            sweep_sampled_instructions: self.sweep.sampled_instructions.get(),
+            sweep_replayed_instructions: self.sweep.replayed_instructions.get(),
             workload_records: self.workload.records_generated.get(),
             workload_refills: self.workload.refills.get(),
             workload_generate: TimerSnapshot::of(&self.workload.generate),
@@ -385,6 +403,9 @@ impl PipelineStats {
         self.sweep.deadline_extensions.reset();
         self.sweep.admission_waits.reset();
         self.sweep.shutdown_drains.reset();
+        self.sweep.sampled_slices.reset();
+        self.sweep.sampled_instructions.reset();
+        self.sweep.replayed_instructions.reset();
         self.workload.records_generated.reset();
         self.workload.refills.reset();
         self.workload.generate.reset();

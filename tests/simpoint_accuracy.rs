@@ -1,0 +1,171 @@
+//! End-to-end accuracy of SimPoint-style phase sampling: for phase-heavy
+//! synthetic workloads, the MPKI reconstructed from weighted representative
+//! slices must stay within a pinned relative error of full simulation for
+//! every stock predictor — while simulating well under half of the trace.
+//!
+//! Also pins the phases document itself as a golden fixture. To regenerate
+//! after an intentional schema or clustering change:
+//! `MBP_GOLDEN_REGEN=1 cargo test -p mbp --test simpoint_accuracy`.
+
+use std::path::PathBuf;
+
+use mbp::examples::by_name;
+use mbp::sim::{
+    extract_phases, simulate, simulate_sampled, SimConfig, SliceSource, PHASES_SCHEMA_VERSION,
+};
+use mbp::trace::BranchRecord;
+use mbp::workloads::{ProgramParams, TraceGenerator};
+
+/// The eight stock predictors the sampling contract is pinned against.
+const STOCK_PREDICTORS: [&str; 8] = [
+    "bimodal",
+    "two-level",
+    "gshare",
+    "gselect",
+    "tournament",
+    "hashed-perceptron",
+    "tage",
+    "batage",
+];
+
+/// Sampled-vs-full MPKI may differ by at most this relative error on the
+/// phase workloads below (documented bound; also enforced by ci.sh on the
+/// smoke trace).
+const MAX_RELATIVE_ERROR: f64 = 0.15;
+
+/// Alternating slabs of two different synthetic programs: a genuinely
+/// phase-heavy instruction stream, which is exactly the case BBV
+/// clustering exists for.
+fn phase_workload(
+    a: &ProgramParams,
+    b: &ProgramParams,
+    seed: u64,
+    slabs: usize,
+    slab_instructions: u64,
+) -> Vec<BranchRecord> {
+    let mut gen_a = TraceGenerator::from_params(a, seed);
+    let mut gen_b = TraceGenerator::from_params(b, seed + 1);
+    let mut records = Vec::new();
+    for i in 0..slabs {
+        let source = if i % 2 == 0 { &mut gen_a } else { &mut gen_b };
+        records.extend(source.take_instructions(slab_instructions));
+    }
+    records
+}
+
+/// Full-simulation vs sampled-reconstruction MPKI for one predictor;
+/// returns `(full_mpki, sampled_mpki)`.
+fn mpki_pair(records: &[BranchRecord], predictor: &str, window: u64, k: usize) -> (f64, f64) {
+    let cfg = SimConfig::default();
+    let mut full_p = by_name(predictor).expect("stock predictor");
+    let full = simulate(&mut SliceSource::new(records), &mut *full_p, &cfg).expect("full sim");
+    let phases = extract_phases(records, window, k);
+    assert!(
+        phases.planned_fraction() < 0.5,
+        "plan must simulate under half the trace, planned {}",
+        phases.planned_fraction()
+    );
+    let mut sampled_p = by_name(predictor).expect("stock predictor");
+    let sampled = simulate_sampled(records, &mut *sampled_p, &phases, &cfg);
+    (full.metrics.mpki, sampled.metrics.mpki)
+}
+
+fn assert_workload_within_bound(records: &[BranchRecord], window: u64, k: usize, label: &str) {
+    for name in STOCK_PREDICTORS {
+        let (full, sampled) = mpki_pair(records, name, window, k);
+        // Guard the denominator so near-perfect predictors (sub-1 MPKI)
+        // compare on an absolute-ish scale instead of exploding.
+        let relative = (sampled - full).abs() / full.max(1.0);
+        assert!(
+            relative <= MAX_RELATIVE_ERROR,
+            "{label}/{name}: full {full:.3} vs sampled {sampled:.3} MPKI \
+             (relative error {relative:.3} > {MAX_RELATIVE_ERROR})"
+        );
+    }
+}
+
+#[test]
+fn sampled_mpki_tracks_full_simulation_on_mobile_server_phases() {
+    let records = phase_workload(
+        &ProgramParams::mobile(),
+        &ProgramParams::server(),
+        7,
+        20,
+        10_000,
+    );
+    assert_workload_within_bound(&records, 10_000, 4, "mobile/server");
+}
+
+#[test]
+fn sampled_mpki_tracks_full_simulation_on_media_int_phases() {
+    let records = phase_workload(
+        &ProgramParams::media(),
+        &ProgramParams::int_speed(),
+        11,
+        20,
+        10_000,
+    );
+    assert_workload_within_bound(&records, 10_000, 4, "media/int");
+}
+
+#[test]
+fn extraction_is_deterministic_across_runs() {
+    let records = phase_workload(
+        &ProgramParams::mobile(),
+        &ProgramParams::server(),
+        7,
+        10,
+        10_000,
+    );
+    let a = extract_phases(&records, 10_000, 4);
+    let b = extract_phases(&records, 10_000, 4);
+    assert_eq!(
+        a.to_json().to_pretty_string(),
+        b.to_json().to_pretty_string(),
+        "extract_phases must be bit-stable run to run"
+    );
+    assert_eq!(a.doc_hash(), b.doc_hash());
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/simpoint_phases_golden.json")
+}
+
+#[test]
+fn phases_document_matches_golden_fixture() {
+    let records = phase_workload(
+        &ProgramParams::mobile(),
+        &ProgramParams::server(),
+        7,
+        10,
+        10_000,
+    );
+    let plan = extract_phases(&records, 10_000, 4);
+    let doc = plan.to_json();
+    assert_eq!(
+        doc["schema_version"].as_u64(),
+        Some(PHASES_SCHEMA_VERSION),
+        "phases documents carry the pinned schema version"
+    );
+    let rendered = format!("{doc:#}\n");
+    let path = golden_path();
+    if std::env::var_os("MBP_GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    assert_eq!(
+        rendered, golden,
+        "phases document drifted from the golden fixture; if intentional, \
+         regenerate with MBP_GOLDEN_REGEN=1"
+    );
+
+    // The committed document must also survive the parse/verify path,
+    // which recomputes the hash — a tampered fixture fails here.
+    let parsed: mbp::json::Value = golden.parse().expect("fixture parses");
+    let reloaded = mbp::sim::PhasesDoc::from_json(&parsed).expect("fixture verifies");
+    assert_eq!(reloaded.doc_hash(), plan.doc_hash());
+}

@@ -28,8 +28,9 @@ fn golden_baseline() -> Value {
 
 /// The candidate side: one regression (slower simulate), one zero-baseline
 /// regression (new faults), one improvement (faster rate), one unchanged
-/// metric, two informational changes, and a `timeseries` section the
-/// baseline predates (reported as added).
+/// metric, two informational changes, and `timeseries`/`simpoint` sections
+/// the baseline predates (reported as added; the simpoint `doc_hash` string
+/// stays out of the numeric diff).
 fn golden_candidate() -> Value {
     json!({
         "decode": { "packets_decoded": 4096, "time_s": 0.24 },
@@ -41,6 +42,11 @@ fn golden_candidate() -> Value {
         },
         "sweep": { "faults": 2, "worker_busy_s": 2.0 },
         "timeseries": { "num_windows": 3, "warmup_end_window": 0 },
+        "simpoint": {
+            "doc_hash": "fnv1a64:0123456789abcdef",
+            "simulated_fraction": 0.375,
+            "max_error_estimate": 0.012,
+        },
     })
 }
 
@@ -86,7 +92,11 @@ fn golden_pair_exercises_every_status() {
         report.count(Status::Changed) >= 2,
         "counts stay informational"
     );
-    assert_eq!(report.count(Status::Added), 2, "the timeseries section");
+    assert_eq!(
+        report.count(Status::Added),
+        4,
+        "the timeseries section plus the simpoint numerics (doc_hash skipped)"
+    );
     assert_eq!(report.count(Status::Removed), 1, "the compress section");
 }
 

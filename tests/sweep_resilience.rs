@@ -303,6 +303,167 @@ fn zero_memory_budget_rejects_table_predictors_typed() {
     );
 }
 
+/// Builds a phases document for `trace` with `mbpsim simpoint` and returns
+/// its path.
+fn gen_phases(dir: &Path, trace: &Path, window: &str, clusters: &str) -> PathBuf {
+    let path = dir.join(format!("phases-{window}-{clusters}.json"));
+    let out = mbpsim()
+        .args(["simpoint", "--trace"])
+        .arg(trace)
+        .args(["--window", window, "--clusters", clusters, "--out"])
+        .arg(&path)
+        .output()
+        .expect("spawn simpoint");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+/// A sweep command without `--max` (which is incompatible with `--phases`).
+fn unsliced_sweep_cmd(trace: &Path) -> Command {
+    let mut cmd = mbpsim();
+    cmd.args(["sweep", "--predictors", "bimodal,gshare", "--trace"])
+        .arg(trace)
+        .args(["--jobs", "1", "--quiet"]);
+    cmd
+}
+
+#[test]
+fn resume_refuses_checkpoints_across_sampling_plans() {
+    let dir = temp_dir("sampling-mismatch");
+    let trace = gen_smoke(&dir);
+    let phases = gen_phases(&dir, &trace, "2000", "4");
+
+    // Direction 1: a full-sweep checkpoint must not be resumed sampled.
+    let ckpt = dir.join("full.ckpt.jsonl");
+    let full = unsliced_sweep_cmd(&trace)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .output()
+        .expect("spawn full sweep");
+    assert!(
+        full.status.success(),
+        "{}",
+        String::from_utf8_lossy(&full.stderr)
+    );
+    let mixed = unsliced_sweep_cmd(&trace)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .arg("--resume")
+        .arg("--phases")
+        .arg(&phases)
+        .output()
+        .expect("spawn sampled resume");
+    assert_eq!(
+        mixed.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&mixed.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&mixed.stderr).contains("refusing to resume"),
+        "{}",
+        String::from_utf8_lossy(&mixed.stderr)
+    );
+
+    // Direction 2: a sampled checkpoint must not be resumed full.
+    let ckpt = dir.join("sampled.ckpt.jsonl");
+    let sampled = unsliced_sweep_cmd(&trace)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .arg("--phases")
+        .arg(&phases)
+        .output()
+        .expect("spawn sampled sweep");
+    assert!(
+        sampled.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sampled.stderr)
+    );
+    let mixed = unsliced_sweep_cmd(&trace)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .arg("--resume")
+        .output()
+        .expect("spawn full resume");
+    assert_eq!(
+        mixed.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&mixed.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&mixed.stderr).contains("refusing to resume"),
+        "{}",
+        String::from_utf8_lossy(&mixed.stderr)
+    );
+
+    // A different plan (other window size) is also a mismatch.
+    let other = gen_phases(&dir, &trace, "4000", "4");
+    let mixed = unsliced_sweep_cmd(&trace)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .arg("--resume")
+        .arg("--phases")
+        .arg(&other)
+        .output()
+        .expect("spawn mismatched-plan resume");
+    assert_eq!(
+        mixed.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&mixed.stderr)
+    );
+
+    // The matching plan resumes cleanly.
+    let resumed = unsliced_sweep_cmd(&trace)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .arg("--resume")
+        .arg("--phases")
+        .arg(&phases)
+        .output()
+        .expect("spawn matching resume");
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+}
+
+#[test]
+fn phases_rejects_flags_that_reslice_the_trace() {
+    for conflicting in [
+        ["--max", "1000"],
+        ["--warmup", "1000"],
+        ["--window", "1000"],
+        ["--timeseries-out", "/dev/null"],
+    ] {
+        let out = mbpsim()
+            .args([
+                "sweep",
+                "--predictors",
+                "bimodal",
+                "--trace",
+                "/does/not/matter",
+                "--phases",
+                "/also/does/not/matter",
+            ])
+            .args(conflicting)
+            .output()
+            .expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "{:?}", conflicting[0]);
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("cannot be combined with --phases"),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
 #[test]
 fn resume_without_checkpoint_is_a_usage_error() {
     let out = mbpsim()
