@@ -190,7 +190,68 @@ grep -q '"max_error_estimate":' "$obs_tmp/sp_sampled.json" \
   || { echo "sampled sweep is missing its error estimate" >&2; exit 1; }
 cargo test -q -p mbp --test simpoint_accuracy
 
+echo "== live telemetry gate (scrape /metrics + /snapshot from a serving sweep) =="
+# A telemetry-serving sweep must answer /metrics with OpenMetrics text
+# (TYPE lines, monotone cumulative histogram buckets) and /snapshot with
+# the versioned JSON while its listener is live. Port 0 picks an ephemeral
+# port; the binding is parsed from the greppable stderr line, and scraping
+# rides bash's /dev/tcp so the gate needs no curl. --telemetry-hold-ms
+# keeps the listener serving the final state long enough to scrape even
+# if the smoke sweep itself finishes first.
+scrape() { # scrape <port> <path> <outfile>
+  exec 3<>"/dev/tcp/127.0.0.1/$1" &&
+    printf 'GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n' "$2" >&3 &&
+    cat <&3 > "$3"
+  local rc=$?
+  exec 3<&- 3>&- 2>/dev/null || true
+  return "$rc"
+}
+target/release/mbpsim sweep --predictors "$sp" \
+  --trace "$obs_tmp/traces/SMOKE-mobile.sbbt.mzst" --jobs 2 --quiet \
+  --telemetry-listen 127.0.0.1:0 --telemetry-hold-ms 3000 \
+  > "$obs_tmp/tele_sweep.json" 2> "$obs_tmp/tele_stderr.txt" &
+tele_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port="$(grep -o 'telemetry listening on http://127\.0\.0\.1:[0-9]*' \
+    "$obs_tmp/tele_stderr.txt" 2>/dev/null | grep -o '[0-9]*$' | head -n 1 || true)"
+  [ -n "$port" ] && break
+  sleep 0.05
+done
+if [ -z "$port" ]; then
+  echo "telemetry listener address never appeared on stderr" >&2
+  kill "$tele_pid" 2>/dev/null || true
+  exit 1
+fi
+scrape "$port" /healthz "$obs_tmp/tele_health.txt" \
+  || { echo "cannot scrape /healthz" >&2; exit 1; }
+grep -q 'ok' "$obs_tmp/tele_health.txt" \
+  || { echo "/healthz did not answer ok" >&2; exit 1; }
+scrape "$port" /metrics "$obs_tmp/tele_metrics.txt" \
+  || { echo "cannot scrape /metrics" >&2; exit 1; }
+grep -q '^# TYPE mbp_sim_instructions counter' "$obs_tmp/tele_metrics.txt" \
+  || { echo "/metrics is missing its TYPE lines" >&2; exit 1; }
+grep -q '^mbp_sim_instructions_total [0-9]' "$obs_tmp/tele_metrics.txt" \
+  || { echo "/metrics is missing the instruction counter" >&2; exit 1; }
+grep '^mbp_sweep_predictor_us_bucket' "$obs_tmp/tele_metrics.txt" \
+  | awk '{ v=$NF+0; if (v < prev) exit 1; prev=v } END { exit (NR == 0) }' \
+  || { echo "histogram buckets are missing or not cumulative" >&2; exit 1; }
+scrape "$port" /snapshot "$obs_tmp/tele_snapshot.json" \
+  || { echo "cannot scrape /snapshot" >&2; exit 1; }
+grep -q '"schema_version": 1' "$obs_tmp/tele_snapshot.json" \
+  || { echo "/snapshot is missing its schema version" >&2; exit 1; }
+grep -q '"predictors": \[' "$obs_tmp/tele_snapshot.json" \
+  || { echo "/snapshot is missing the predictor board" >&2; exit 1; }
+target/release/mbpsim top "127.0.0.1:$port" --once > "$obs_tmp/tele_top.txt" \
+  || { echo "mbpsim top could not attach" >&2; exit 1; }
+grep -q '^mbpsim sweep | elapsed' "$obs_tmp/tele_top.txt" \
+  || { echo "top dashboard header missing" >&2; exit 1; }
+wait "$tele_pid" \
+  || { echo "telemetry-serving sweep failed" >&2; exit 1; }
+
 echo "== bench guard (instrumented batch pipeline within 5% of baseline) =="
-cargo run -q --release -p mbp-bench --bin bench_guard
+# MBP_BENCH_TELEMETRY=1 runs the guard beside a live but unscraped
+# telemetry listener, so the 5% envelope also covers its standing cost.
+MBP_BENCH_TELEMETRY=1 cargo run -q --release -p mbp-bench --bin bench_guard
 
 echo "CI OK"

@@ -1,0 +1,414 @@
+//! Live per-predictor status for the telemetry plane.
+//!
+//! A [`SweepStatusBoard`] is a fixed set of lock-free slots, one per
+//! predictor, that the sweep machinery publishes lifecycle transitions and
+//! progress counters into while a serving thread (the `/snapshot` endpoint)
+//! reads them with relaxed loads. Nothing here synchronizes readers with
+//! writers beyond the atomics themselves: a snapshot is a statistically
+//! consistent view, which is all a dashboard needs.
+//!
+//! Progress counters come from [`StatusPredictor`], a transparent
+//! [`Predictor`] wrapper the sweep installs only when a board is attached:
+//! it forwards the whole interface bit-identically (metadata, statistics,
+//! probes, the vectorized `predict_batch` kernel) and, on the side, scores
+//! predictions against resolved outcomes to maintain live misprediction /
+//! instruction counts. Without a board the wrapper is never constructed and
+//! the hot path is untouched.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use mbp_json::Value;
+use mbp_trace::{Branch, BranchBatch};
+
+use crate::introspect::TableProbe;
+use crate::predictor::{PredictionBits, Predictor};
+
+/// Lifecycle of one predictor within a sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PredictorState {
+    /// Waiting in the work queue.
+    Queued = 0,
+    /// Claimed by a worker and admitted by the memory budget.
+    Admitted = 1,
+    /// Simulation in progress.
+    Running = 2,
+    /// Finished with a result on the leaderboard.
+    Settled = 3,
+    /// Finished with a failure (panic, trace error, deadline, budget).
+    Failed = 4,
+    /// Never started: a shutdown drain parked it.
+    NotRun = 5,
+}
+
+impl PredictorState {
+    /// Stable string form used in snapshot JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PredictorState::Queued => "queued",
+            PredictorState::Admitted => "admitted",
+            PredictorState::Running => "running",
+            PredictorState::Settled => "settled",
+            PredictorState::Failed => "failed",
+            PredictorState::NotRun => "not_run",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => PredictorState::Admitted,
+            2 => PredictorState::Running,
+            3 => PredictorState::Settled,
+            4 => PredictorState::Failed,
+            5 => PredictorState::NotRun,
+            _ => PredictorState::Queued,
+        }
+    }
+}
+
+/// One predictor's live counters.
+#[derive(Debug)]
+struct StatusSlot {
+    name: String,
+    state: AtomicU8,
+    /// Progress heartbeat: one tick per processed batch.
+    epoch: AtomicU64,
+    /// Instructions retired so far (exact on the batch path; the scalar
+    /// fallback counts the branch instructions themselves).
+    instructions: AtomicU64,
+    /// Conditional branches predicted so far.
+    conditional: AtomicU64,
+    /// Mispredicted conditional branches so far.
+    mispredictions: AtomicU64,
+}
+
+/// Plain-data copy of one slot, as read by the snapshot endpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PredictorStatus {
+    /// The predictor's display name.
+    pub name: String,
+    /// Current lifecycle state.
+    pub state: PredictorState,
+    /// Batches processed so far.
+    pub epoch: u64,
+    /// Instructions retired so far.
+    pub instructions: u64,
+    /// Conditional branches predicted so far.
+    pub conditional_branches: u64,
+    /// Mispredicted conditional branches so far.
+    pub mispredictions: u64,
+}
+
+impl PredictorStatus {
+    /// Live mispredictions-per-kilo-instruction, or zero before any
+    /// instruction retired.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// A fixed board of per-predictor status slots, shared between the sweep's
+/// workers (writers) and the telemetry server (reader).
+#[derive(Debug, Default)]
+pub struct SweepStatusBoard {
+    slots: Vec<StatusSlot>,
+}
+
+impl SweepStatusBoard {
+    /// Creates a board with one `Queued` slot per name, in the given order.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            slots: names
+                .into_iter()
+                .map(|name| StatusSlot {
+                    name: name.into(),
+                    state: AtomicU8::new(PredictorState::Queued as u8),
+                    epoch: AtomicU64::new(0),
+                    instructions: AtomicU64::new(0),
+                    conditional: AtomicU64::new(0),
+                    mispredictions: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the board has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Resolves a predictor name to its slot index.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.slots.iter().position(|s| s.name == name)
+    }
+
+    /// Publishes a lifecycle transition. Out-of-range indices are ignored
+    /// (status is advisory; it must never take down a worker).
+    pub fn set_state(&self, index: usize, state: PredictorState) {
+        if let Some(slot) = self.slots.get(index) {
+            slot.state.store(state as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the progress counters with final, settle-time totals so
+    /// the dashboard converges on the reported metrics.
+    pub fn set_totals(&self, index: usize, instructions: u64, mispredictions: u64) {
+        if let Some(slot) = self.slots.get(index) {
+            slot.instructions.store(instructions, Ordering::Relaxed);
+            slot.mispredictions.store(mispredictions, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one batch worth of progress (called by [`StatusPredictor`]).
+    fn add_progress(&self, index: usize, instructions: u64, conditional: u64, mispredicted: u64) {
+        if let Some(slot) = self.slots.get(index) {
+            slot.epoch.fetch_add(1, Ordering::Relaxed);
+            slot.instructions.fetch_add(instructions, Ordering::Relaxed);
+            slot.conditional.fetch_add(conditional, Ordering::Relaxed);
+            slot.mispredictions
+                .fetch_add(mispredicted, Ordering::Relaxed);
+        }
+    }
+
+    /// A statistically consistent copy of every slot, in creation order.
+    pub fn snapshot(&self) -> Vec<PredictorStatus> {
+        self.slots
+            .iter()
+            .map(|s| PredictorStatus {
+                name: s.name.clone(),
+                state: PredictorState::from_u8(s.state.load(Ordering::Relaxed)),
+                epoch: s.epoch.load(Ordering::Relaxed),
+                instructions: s.instructions.load(Ordering::Relaxed),
+                conditional_branches: s.conditional.load(Ordering::Relaxed),
+                mispredictions: s.mispredictions.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// A transparent [`Predictor`] wrapper that publishes live progress into a
+/// [`SweepStatusBoard`] slot.
+///
+/// The forwarded interface is bit-identical to the inner predictor — the
+/// driver-equivalence guarantees hold with or without the wrapper — and
+/// the counting adds one pass over each batch's prediction bits, far off
+/// the per-record hot path.
+pub struct StatusPredictor {
+    inner: Box<dyn Predictor + Send>,
+    board: Arc<SweepStatusBoard>,
+    slot: usize,
+    /// Last scalar prediction, consumed by the matching `train` call.
+    last_prediction: bool,
+}
+
+impl StatusPredictor {
+    /// Wraps `inner`, publishing into `board` slot `slot`.
+    pub fn new(
+        inner: Box<dyn Predictor + Send>,
+        board: Arc<SweepStatusBoard>,
+        slot: usize,
+    ) -> Self {
+        Self {
+            inner,
+            board,
+            slot,
+            last_prediction: false,
+        }
+    }
+}
+
+impl Predictor for StatusPredictor {
+    fn predict(&mut self, ip: u64) -> bool {
+        let p = self.inner.predict(ip);
+        self.last_prediction = p;
+        p
+    }
+
+    fn train(&mut self, branch: &Branch) {
+        // The driver pairs every conditional `train` with the immediately
+        // preceding `predict` on the same branch.
+        let missed = u64::from(self.last_prediction != branch.is_taken());
+        self.board.add_progress(self.slot, 1, 1, missed);
+        self.inner.train(branch);
+    }
+
+    fn track(&mut self, branch: &Branch) {
+        self.inner.track(branch);
+    }
+
+    fn metadata(&self) -> Value {
+        self.inner.metadata()
+    }
+
+    fn execution_statistics(&self) -> Value {
+        self.inner.execution_statistics()
+    }
+
+    fn size_hint(&self) -> u64 {
+        self.inner.size_hint()
+    }
+
+    fn table_probes(&self) -> Vec<TableProbe> {
+        self.inner.table_probes()
+    }
+
+    fn predict_batch(
+        &mut self,
+        batch: &BranchBatch,
+        track_only_conditional: bool,
+        out: &mut PredictionBits,
+    ) {
+        let first = out.len();
+        self.inner.predict_batch(batch, track_only_conditional, out);
+        // Score the freshly appended bits against the batch's resolved
+        // outcomes: one prediction bit per conditional branch, batch order.
+        let mut conditional = 0u64;
+        let mut missed = 0u64;
+        let mut bit = first;
+        for i in 0..batch.len() {
+            if batch.is_conditional(i) {
+                if bit < out.len() {
+                    let taken = batch.taken()[i] != 0;
+                    missed += u64::from(out.get(bit) != taken);
+                }
+                bit += 1;
+                conditional += 1;
+            }
+        }
+        let instructions: u64 = batch.gaps().iter().map(|&g| u64::from(g) + 1).sum();
+        self.board
+            .add_progress(self.slot, instructions, conditional, missed);
+    }
+}
+
+impl std::fmt::Debug for StatusPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatusPredictor")
+            .field("slot", &self.slot)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbp_json::json;
+    use mbp_trace::{BranchRecord, Opcode};
+
+    struct AlwaysTaken;
+
+    impl Predictor for AlwaysTaken {
+        fn predict(&mut self, _ip: u64) -> bool {
+            true
+        }
+        fn train(&mut self, _b: &Branch) {}
+        fn track(&mut self, _b: &Branch) {}
+        fn metadata(&self) -> Value {
+            json!({"name": "always"})
+        }
+        fn size_hint(&self) -> u64 {
+            128
+        }
+    }
+
+    fn mixed_batch() -> BranchBatch {
+        // Three conditionals (taken, not-taken, taken) and one jump, with
+        // 4 gap instructions each: 4 * (4 + 1) = 20 instructions.
+        let records = vec![
+            BranchRecord::new(
+                Branch::new(0x10, 0x90, Opcode::conditional_direct(), true),
+                4,
+            ),
+            BranchRecord::new(
+                Branch::new(0x20, 0x90, Opcode::conditional_direct(), false),
+                4,
+            ),
+            BranchRecord::new(
+                Branch::new(0x30, 0x90, Opcode::unconditional_direct(), true),
+                4,
+            ),
+            BranchRecord::new(
+                Branch::new(0x40, 0x90, Opcode::conditional_direct(), true),
+                4,
+            ),
+        ];
+        BranchBatch::from_records(&records)
+    }
+
+    #[test]
+    fn board_tracks_lifecycle_and_lookup() {
+        let board = SweepStatusBoard::new(["a", "b"]);
+        assert_eq!(board.len(), 2);
+        assert_eq!(board.index_of("b"), Some(1));
+        assert_eq!(board.index_of("missing"), None);
+        board.set_state(1, PredictorState::Running);
+        board.set_state(99, PredictorState::Failed); // ignored, no panic
+        let snap = board.snapshot();
+        assert_eq!(snap[0].state, PredictorState::Queued);
+        assert_eq!(snap[1].state, PredictorState::Running);
+        assert_eq!(snap[1].name, "b");
+    }
+
+    #[test]
+    fn wrapper_counts_batch_progress_and_forwards() {
+        let board = Arc::new(SweepStatusBoard::new(["always"]));
+        let mut p = StatusPredictor::new(Box::new(AlwaysTaken), Arc::clone(&board), 0);
+        assert_eq!(p.metadata()["name"], Value::from("always"));
+        assert_eq!(p.size_hint(), 128);
+
+        let batch = mixed_batch();
+        let mut bits = PredictionBits::new();
+        p.predict_batch(&batch, false, &mut bits);
+        assert_eq!(bits.len(), 3, "one bit per conditional");
+
+        let s = &board.snapshot()[0];
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.instructions, 20);
+        assert_eq!(s.conditional_branches, 3);
+        // Always-taken misses only the single not-taken conditional.
+        assert_eq!(s.mispredictions, 1);
+        assert!((s.mpki() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrapper_counts_scalar_pairing() {
+        let board = Arc::new(SweepStatusBoard::new(["always"]));
+        let mut p = StatusPredictor::new(Box::new(AlwaysTaken), Arc::clone(&board), 0);
+        let taken = Branch::new(0x10, 0x90, Opcode::conditional_direct(), true);
+        let not_taken = Branch::new(0x20, 0x90, Opcode::conditional_direct(), false);
+        assert!(p.predict(0x10));
+        p.train(&taken);
+        assert!(p.predict(0x20));
+        p.train(&not_taken);
+        p.track(&not_taken);
+        let s = &board.snapshot()[0];
+        assert_eq!(s.conditional_branches, 2);
+        assert_eq!(s.mispredictions, 1);
+    }
+
+    #[test]
+    fn settle_totals_overwrite_live_counters() {
+        let board = SweepStatusBoard::new(["a"]);
+        board.add_progress(0, 10, 5, 2);
+        board.set_totals(0, 1000, 7);
+        board.set_state(0, PredictorState::Settled);
+        let s = &board.snapshot()[0];
+        assert_eq!(s.instructions, 1000);
+        assert_eq!(s.mispredictions, 7);
+        assert_eq!(s.state.as_str(), "settled");
+    }
+}

@@ -43,6 +43,7 @@ use mbp_trace::{BranchBatch, BranchRecord, TraceError};
 use crate::checkpoint::{load_checkpoint, CheckpointWriter};
 use crate::simpoint::{simulate_sampled, PhasesDoc};
 use crate::simulator::{simulate, SimConfig, SimResult};
+use crate::status::{PredictorState, StatusPredictor, SweepStatusBoard};
 use crate::{Predictor, SliceSource, TraceSource};
 
 /// A named predictor awaiting simulation, claimed by exactly one worker.
@@ -84,6 +85,12 @@ pub struct SweepConfig {
     /// Checkpoint records carry the plan's `doc_hash`, and `--resume`
     /// refuses a checkpoint written under a different plan (or none).
     pub phases: Option<PhasesDoc>,
+    /// Live status board (slots keyed by predictor name) that workers and
+    /// the watchdog publish lifecycle transitions and progress counters
+    /// into — the data source of the `/snapshot` telemetry endpoint. `None`
+    /// (the default) skips all publishing, including the per-batch
+    /// counting wrapper, so an unobserved sweep pays nothing.
+    pub status: Option<Arc<SweepStatusBoard>>,
 }
 
 /// One predictor's outcome within a sweep, in leaderboard order.
@@ -341,6 +348,17 @@ struct SweepShared {
     /// (slices are short); a wedged predictor is still bounded by the
     /// watchdog's abandon-after-grace path.
     phases: Option<PhasesDoc>,
+    /// Live status board for the telemetry plane; `None` publishes nothing.
+    status: Option<Arc<SweepStatusBoard>>,
+}
+
+/// Publishes a lifecycle transition for `name` when a board is attached.
+fn publish_state(status: &Option<Arc<SweepStatusBoard>>, name: &str, state: PredictorState) {
+    if let Some(board) = status {
+        if let Some(i) = board.index_of(name) {
+            board.set_state(i, state);
+        }
+    }
 }
 
 fn ns_since(start: &Instant) -> u64 {
@@ -499,6 +517,24 @@ where
             stats
                 .resume_skips
                 .add((resumed_entries.len() + resumed_failures.len()) as u64);
+            // Checkpointed outcomes are final; show them as such from the
+            // first scrape instead of leaving their slots queued forever.
+            for (name, result) in &resumed_entries {
+                publish_state(&config.status, name, PredictorState::Settled);
+                if let (Some(board), Some(i)) = (
+                    &config.status,
+                    config.status.as_ref().and_then(|b| b.index_of(name)),
+                ) {
+                    board.set_totals(
+                        i,
+                        result.metadata.simulation_instr,
+                        result.metrics.mispredictions,
+                    );
+                }
+            }
+            for f in &resumed_failures {
+                publish_state(&config.status, &f.name, PredictorState::Failed);
+            }
         }
         _ => to_run = predictors,
     }
@@ -573,6 +609,7 @@ where
         writer: Mutex::new(writer),
         writer_error: Mutex::new(None),
         phases: config.phases.clone(),
+        status: config.status.clone(),
     });
 
     let wall_start = Instant::now();
@@ -723,7 +760,7 @@ fn worker_loop(shared: &SweepShared) {
 }
 
 /// Admission, simulation, classification and reporting of one predictor.
-fn run_job(shared: &SweepShared, i: usize, name: String, mut predictor: Box<dyn Predictor + Send>) {
+fn run_job(shared: &SweepShared, i: usize, name: String, predictor: Box<dyn Predictor + Send>) {
     let stats = &mbp_stats::pipeline().sweep;
 
     // Memory-budget admission. The deadline clock starts only after
@@ -757,6 +794,7 @@ fn run_job(shared: &SweepShared, i: usize, name: String, mut predictor: Box<dyn 
             if shared.draining.load(Ordering::Relaxed) {
                 // Drained while queued for memory: this job never started.
                 drop(used);
+                publish_state(&shared.status, &name, PredictorState::NotRun);
                 shared
                     .not_run
                     .lock()
@@ -788,6 +826,8 @@ fn run_job(shared: &SweepShared, i: usize, name: String, mut predictor: Box<dyn 
         None
     };
 
+    publish_state(&shared.status, &name, PredictorState::Admitted);
+
     // Busy time spans claim to report, once per predictor, so worker
     // accounting adds nothing to the simulation loop.
     let busy = stats.worker_busy.span();
@@ -798,6 +838,19 @@ fn run_job(shared: &SweepShared, i: usize, name: String, mut predictor: Box<dyn 
     shared.jobs[i]
         .started_ns
         .store(ns_since(&shared.start).max(1), Ordering::Relaxed);
+    publish_state(&shared.status, &name, PredictorState::Running);
+
+    // With a board attached, interpose the counting wrapper so the slot's
+    // progress counters move while the simulation runs. The wrapper
+    // forwards the interface bit-identically, so results are unchanged.
+    let mut predictor: Box<dyn Predictor + Send> = match shared
+        .status
+        .as_ref()
+        .and_then(|b| b.index_of(&name).map(|j| (Arc::clone(b), j)))
+    {
+        Some((board, j)) => Box::new(StatusPredictor::new(predictor, board, j)),
+        None => predictor,
+    };
 
     // Fault isolation: a predictor that panics takes down this one
     // simulation, not the sweep. The predictor and source are owned by the
@@ -898,6 +951,21 @@ fn report(shared: &SweepShared, i: usize, outcome: Result<SimResult, SweepFailur
             }
         }
     }
+    if let Some(board) = &shared.status {
+        if let Some(bi) = board.index_of(&shared.names[i]) {
+            match &outcome {
+                Ok(result) => {
+                    board.set_totals(
+                        bi,
+                        result.metadata.simulation_instr,
+                        result.metrics.mispredictions,
+                    );
+                    board.set_state(bi, PredictorState::Settled);
+                }
+                Err(_) => board.set_state(bi, PredictorState::Failed),
+            }
+        }
+    }
     *slot = Some(outcome);
 }
 
@@ -957,7 +1025,11 @@ fn monitor(shared: &Arc<SweepShared>, config: &SweepConfig) {
                         .not_run
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner);
-                    parked.extend(queue.drain(..));
+                    let drained: Vec<usize> = queue.drain(..).collect();
+                    for &i in &drained {
+                        publish_state(&shared.status, &shared.names[i], PredictorState::NotRun);
+                    }
+                    parked.extend(drained);
                 }
                 // Wake admission waiters so they notice the drain promptly.
                 shared.mem_cv.notify_all();
@@ -1194,6 +1266,40 @@ mod tests {
         assert!(r.entries[0].result.metrics.mpki < r.entries[1].result.metrics.mpki);
         assert!(!r.interrupted);
         assert!(r.not_run.is_empty());
+    }
+
+    #[test]
+    fn status_board_settles_every_predictor_with_final_totals() {
+        let records = biased_records(100);
+        let mut src = SliceSource::new(&records);
+        let board = Arc::new(SweepStatusBoard::new(["never", "always"]));
+        let config = SweepConfig {
+            status: Some(Arc::clone(&board)),
+            ..Default::default()
+        };
+        let r = simulate_many(&mut src, fixed_pair(), &config).unwrap();
+        assert_eq!(r.entries.len(), 2);
+        let snap = board.snapshot();
+        for s in &snap {
+            assert_eq!(s.state, PredictorState::Settled, "{}", s.name);
+        }
+        // Settle-time totals converge on the reported metrics exactly.
+        for e in &r.entries {
+            let s = snap.iter().find(|s| s.name == e.name).unwrap();
+            assert_eq!(s.mispredictions, e.result.metrics.mispredictions);
+            assert_eq!(s.instructions, e.result.metadata.simulation_instr);
+        }
+        // The board must not perturb results: identical to a boardless run.
+        let mut src2 = SliceSource::new(&records);
+        let plain = simulate_many(&mut src2, fixed_pair(), &SweepConfig::default()).unwrap();
+        for (a, b) in r.entries.iter().zip(plain.entries.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                a.result.metrics.mispredictions,
+                b.result.metrics.mispredictions
+            );
+            assert_eq!(a.result.metrics.mpki, b.result.metrics.mpki);
+        }
     }
 
     #[test]

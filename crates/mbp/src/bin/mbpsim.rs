@@ -92,6 +92,7 @@ fn usage() -> &'static str {
      mbpsim stats-diff <baseline.json> <candidate.json> [--threshold PCT]\n  \
      mbpsim validate-trace <run.trace.json>\n  \
      mbpsim report <metrics.json> [--out <report.html>]\n  \
+     mbpsim top <host:port> [--interval-ms N] [--once]\n  \
      mbpsim list\n\
      \n\
      run, compare, sweep and gen also accept:\n  \
@@ -110,6 +111,17 @@ fn usage() -> &'static str {
      --window <N>           time-series window size in instructions\n                         \
      (default 100000; implies `metrics.timeseries`)\n  \
      --quiet                suppress the live progress line on stderr\n\
+     \n\
+     live telemetry (run, sweep):\n  \
+     --telemetry-listen <a> serve /metrics (OpenMetrics), /snapshot (JSON)\n                         \
+     and /healthz on <a> (e.g. 127.0.0.1:0 for an\n                         \
+     ephemeral port) while the command runs; the bound\n                         \
+     address is printed on stderr\n  \
+     --telemetry-hold-ms <N> keep serving the final state for N ms after the\n                         \
+     work finishes, so late scrapers see it (default 0)\n  \
+     mbpsim top <host:port>  attach a live dashboard to a serving run/sweep;\n                         \
+     renders once and exits when stdout is not a TTY\n                         \
+     or with --once (--interval-ms default 500)\n\
      \n\
      sweep resilience flags:\n  \
      --checkpoint <file>    append each settled predictor to a JSONL\n                         \
@@ -267,6 +279,9 @@ fn emit_events(args: &Args) -> Result<(), Failure> {
     mbp::stats::events::set_events_enabled(false);
     let events = mbp::stats::events::drain();
     let dropped = mbp::stats::events::dropped_events();
+    if let Some(warning) = mbp::events_export::dropped_events_warning(dropped) {
+        eprintln!("{warning}");
+    }
     if let Some(path) = args.get("--trace-out") {
         let doc = mbp::events_export::chrome_trace_json(&events, dropped);
         std::fs::write(path, format!("{doc:#}\n"))
@@ -333,6 +348,29 @@ fn emit_metrics(args: &Args, doc: Option<&mut mbp::json::Value>) -> Result<(), F
     Ok(())
 }
 
+/// Starts the telemetry listener when `--telemetry-listen` was passed.
+/// Returns the running server paired with the `--telemetry-hold-ms` drain
+/// window; call [`mbp::telemetry::TelemetryServer::finish`] on it after the
+/// work so late scrapers can still observe the final state.
+fn start_telemetry(
+    args: &Args,
+    state: mbp::telemetry::TelemetryState,
+) -> Result<Option<(mbp::telemetry::TelemetryServer, std::time::Duration)>, Failure> {
+    let Some(addr) = args.get("--telemetry-listen") else {
+        return Ok(None);
+    };
+    let hold = std::time::Duration::from_millis(args.parsed("--telemetry-hold-ms", 0u64)?);
+    let server = mbp::telemetry::TelemetryServer::start(addr, state)
+        .map_err(|e| Failure::internal(format!("cannot bind telemetry listener on {addr}: {e}")))?;
+    // Greppable by drivers: with port 0 this is the only place the
+    // ephemeral binding is reported.
+    eprintln!(
+        "mbpsim: telemetry listening on http://{}",
+        server.local_addr()
+    );
+    Ok(Some((server, hold)))
+}
+
 /// The instruction total a command is expected to simulate per predictor:
 /// the trace header's count, clamped by `--max`. `None` when the header
 /// does not know (streamed/translated traces).
@@ -354,17 +392,54 @@ fn codec_for(path: &Path) -> Option<(Codec, u32)> {
 
 fn cmd_run(args: &Args) -> Result<ExitCode, Failure> {
     let name = args.required("--predictor")?;
-    let mut predictor = by_name(name)
+    let predictor = by_name(name)
         .ok_or_else(|| Failure::usage(format!("unknown predictor {name:?}; try `mbpsim list`")))?;
     let trace_path = args.required("--trace")?;
     let mut trace = SbbtReader::open(trace_path)
         .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
     let config = sim_config(args)?;
     setup_events(args)?;
+    // Telemetry wants a (single-slot) status board so /snapshot carries a
+    // predictor row; without the flag the run pays for neither board nor
+    // wrapper.
+    let board = args
+        .get("--telemetry-listen")
+        .map(|_| std::sync::Arc::new(mbp::sim::SweepStatusBoard::new([name])));
+    let telemetry = start_telemetry(
+        args,
+        mbp::telemetry::TelemetryState {
+            kind: "run",
+            board: board.clone(),
+            ..Default::default()
+        },
+    )?;
+    let mut predictor: Box<dyn mbp::sim::Predictor + Send> = match &board {
+        Some(b) => {
+            b.set_state(0, mbp::sim::PredictorState::Running);
+            Box::new(mbp::sim::StatusPredictor::new(
+                predictor,
+                std::sync::Arc::clone(b),
+                0,
+            ))
+        }
+        None => predictor,
+    };
     let total = expected_instructions(trace.header().instruction_count, &config);
-    let progress = mbp::progress::Progress::start(total, args.flag("--quiet"));
+    let progress = mbp::progress::Progress::start(total, None, args.flag("--quiet"));
     let result = simulate(&mut trace, &mut predictor, &config);
     progress.finish();
+    if let Some(b) = &board {
+        match &result {
+            Ok(r) => {
+                b.set_totals(0, r.metadata.simulation_instr, r.metrics.mispredictions);
+                b.set_state(0, mbp::sim::PredictorState::Settled);
+            }
+            Err(_) => b.set_state(0, mbp::sim::PredictorState::Failed),
+        }
+    }
+    if let Some((server, hold)) = telemetry {
+        server.finish(hold, None);
+    }
     emit_events(args)?;
     let result = result.map_err(|e| Failure::trace(format!("simulation failed: {e}")))?;
     emit_timeseries_csv(args, &[(None, result.timeseries.as_ref())])?;
@@ -471,6 +546,13 @@ fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
     let mut trace = SbbtReader::open(trace_path)
         .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
     mbp::shutdown::install();
+    // Telemetry wants the live per-predictor board; without the flag the
+    // sweep engine skips all status publishing (config.status = None).
+    let board = args.get("--telemetry-listen").map(|_| {
+        std::sync::Arc::new(mbp::sim::SweepStatusBoard::new(
+            predictors.iter().map(|(name, _)| name.as_str()),
+        ))
+    });
     let config = SweepConfig {
         sim: sim_config(args)?,
         jobs: args.parsed("--jobs", 0usize)?,
@@ -480,13 +562,39 @@ fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
         resume,
         shutdown: Some(mbp::shutdown::requested),
         phases,
+        status: board.clone(),
     };
     setup_events(args)?;
+    let sampling = config.phases.as_ref().map(|plan| {
+        mbp::json::json!({
+            "simulated_fraction": plan.planned_fraction(),
+            "phases": plan.phases.len() as u64,
+            "window_size": plan.window_size,
+        })
+    });
+    let telemetry = start_telemetry(
+        args,
+        mbp::telemetry::TelemetryState {
+            kind: "sweep",
+            board,
+            deadline_secs: config.deadline.map(|d| d.as_secs_f64()),
+            checkpoint: config.checkpoint.as_ref().map(|p| p.display().to_string()),
+            resume,
+            sampling,
+            shutdown: Some(mbp::shutdown::requested),
+        },
+    )?;
     let total = expected_instructions(trace.header().instruction_count, &config.sim)
         .map(|per| per.saturating_mul(predictor_count as u64));
-    let progress = mbp::progress::Progress::start(total, args.flag("--quiet"));
+    let sampled_fraction = config.phases.as_ref().map(|p| p.planned_fraction());
+    let progress = mbp::progress::Progress::start(total, sampled_fraction, args.flag("--quiet"));
     let result = simulate_many(&mut trace, predictors, &config);
     progress.finish();
+    if let Some((server, hold)) = telemetry {
+        // A pending SIGINT cuts the hold short so Ctrl-C still drains the
+        // listener promptly.
+        server.finish(hold, Some(mbp::shutdown::requested));
+    }
     emit_events(args)?;
     let mut result = result.map_err(|e| Failure::trace(format!("sweep failed: {e}")))?;
     emit_timeseries_csv(
@@ -745,6 +853,23 @@ fn cmd_translate(args: &Args) -> Result<ExitCode, Failure> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_top(args: &Args) -> Result<ExitCode, Failure> {
+    let positional = args.positional();
+    let [addr] = positional.as_slice() else {
+        return Err(Failure::usage(
+            "expected: mbpsim top <host:port> [--interval-ms N] [--once]",
+        ));
+    };
+    let interval_ms: u64 = args.parsed("--interval-ms", 500u64)?;
+    let opts = mbp::top::TopOptions {
+        addr: (*addr).to_string(),
+        interval: std::time::Duration::from_millis(interval_ms.max(50)),
+        once: args.flag("--once"),
+    };
+    mbp::top::run_top(&opts).map_err(Failure::internal)?;
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_info(args: &Args) -> Result<ExitCode, Failure> {
     let trace_path = args.required("--trace")?;
     let mut reader = SbbtReader::open(trace_path)
@@ -824,6 +949,7 @@ fn main() -> ExitCode {
         "stats-diff" => cmd_stats_diff(&args),
         "validate-trace" => cmd_validate_trace(&args),
         "report" => cmd_report(&args),
+        "top" => cmd_top(&args),
         "list" => {
             for name in PREDICTOR_NAMES {
                 println!("{name}");

@@ -153,6 +153,18 @@ pub fn validate_chrome_trace(doc: &Value) -> Result<TraceCheck, String> {
     })
 }
 
+/// The end-of-run warning for a journal that wrapped: `None` when nothing
+/// was lost, one stderr-ready line otherwise. Pure, so the exact wording
+/// (which fleet drivers grep for) is pinned by a test.
+pub fn dropped_events_warning(dropped: u64) -> Option<String> {
+    (dropped > 0).then(|| {
+        format!(
+            "mbpsim: warning: event journal overflowed; {dropped} event(s) dropped \
+             (raise --sample-every or shorten the run for a complete timeline)"
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +256,13 @@ mod tests {
             assert!(v["ts_ns"].as_u64().is_some());
             assert!(v["kind"].as_str().is_some());
         }
+    }
+
+    #[test]
+    fn dropped_events_warning_fires_only_on_loss() {
+        assert_eq!(dropped_events_warning(0), None);
+        let warning = dropped_events_warning(7).expect("loss warns");
+        assert!(warning.starts_with("mbpsim: warning:"), "{warning}");
+        assert!(warning.contains("7 event(s) dropped"), "{warning}");
     }
 }

@@ -40,13 +40,7 @@ fn sparkline(values: &[f64], width: u32, height: u32) -> String {
     if values.is_empty() {
         return String::new();
     }
-    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
-    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let span = if (hi - lo).abs() < 1e-12 {
-        1.0
-    } else {
-        hi - lo
-    };
+    let normalized = crate::spark::normalize(values);
     let (w, h) = (width as f64, height as f64);
     let pad = 2.0;
     let step = if values.len() > 1 {
@@ -54,12 +48,12 @@ fn sparkline(values: &[f64], width: u32, height: u32) -> String {
     } else {
         0.0
     };
-    let points: Vec<String> = values
+    let points: Vec<String> = normalized
         .iter()
         .enumerate()
-        .map(|(i, &v)| {
+        .map(|(i, &n)| {
             let x = pad + i as f64 * step;
-            let y = pad + (h - 2.0 * pad) * (1.0 - (v - lo) / span);
+            let y = pad + (h - 2.0 * pad) * (1.0 - n);
             format!("{x:.1},{y:.1}")
         })
         .collect();

@@ -78,6 +78,9 @@ pub mod html_report;
 pub mod progress;
 pub mod report;
 pub mod shutdown;
+pub mod spark;
+pub mod telemetry;
+pub mod top;
 
 /// The baseline simulators used in the paper's evaluation.
 pub mod baselines {

@@ -19,12 +19,15 @@ const REFRESH: Duration = Duration::from_millis(250);
 /// Formats one progress line from rate/completion estimates.
 ///
 /// Pure so the rendering is unit-testable; any component that cannot be
-/// estimated yet (no total known, no workers) is simply omitted.
+/// estimated yet (no total known, no workers, no sampling plan) is simply
+/// omitted. `sampled` carries a phase-sampled sweep's state: the planned
+/// simulated fraction and the representative slices finished so far.
 pub fn format_progress_line(
     records_per_s: f64,
     done_fraction: Option<f64>,
     eta_s: Option<f64>,
     busy_fraction: Option<f64>,
+    sampled: Option<(f64, u64)>,
 ) -> String {
     let mut parts = vec![format!("{} records/s", rate(records_per_s))];
     if let Some(done) = done_fraction {
@@ -37,6 +40,12 @@ pub fn format_progress_line(
         parts.push(format!(
             "workers {:.0}% busy",
             (busy.clamp(0.0, 1.0)) * 100.0
+        ));
+    }
+    if let Some((fraction, slices)) = sampled {
+        parts.push(format!(
+            "sampled {:.0}% (slice {slices})",
+            (fraction.clamp(0.0, 1.0)) * 100.0
         ));
     }
     parts.join(" | ")
@@ -73,9 +82,15 @@ impl Progress {
     /// `total_instructions` is the expected instruction total of the whole
     /// command (for a sweep: per-predictor instructions × predictors), used
     /// for the completion percentage and ETA; pass `None` when unknown.
-    /// Returns an inert handle — no thread, no output — when `quiet` is set
-    /// or stderr is not a terminal.
-    pub fn start(total_instructions: Option<u64>, quiet: bool) -> Self {
+    /// `sampled_fraction` is the sampling plan's planned simulated fraction
+    /// when `--phases` is active; the slice counter comes from the pipeline
+    /// statics. Returns an inert handle — no thread, no output — when
+    /// `quiet` is set or stderr is not a terminal.
+    pub fn start(
+        total_instructions: Option<u64>,
+        sampled_fraction: Option<f64>,
+        quiet: bool,
+    ) -> Self {
         if quiet || !std::io::stderr().is_terminal() {
             return Self {
                 stop: Arc::new(AtomicBool::new(true)),
@@ -113,7 +128,14 @@ impl Progress {
                         snap.sweep_worker_busy.seconds() - base.sweep_worker_busy.seconds();
                     busy_s / (elapsed * workers as f64)
                 });
-                let line = format_progress_line(records_per_s, done, eta, busy);
+                let sampled = sampled_fraction.map(|fraction| {
+                    (
+                        fraction,
+                        snap.sweep_sampled_slices
+                            .saturating_sub(base.sweep_sampled_slices),
+                    )
+                });
+                let line = format_progress_line(records_per_s, done, eta, busy, sampled);
                 // \r + erase-to-end repaints in place without flicker.
                 let mut err = std::io::stderr().lock();
                 let _ = write!(err, "\r{line}\x1b[K");
@@ -156,7 +178,7 @@ mod tests {
 
     #[test]
     fn line_contains_every_estimable_component() {
-        let line = format_progress_line(8_123_456.0, Some(0.45), Some(3.2), Some(0.93));
+        let line = format_progress_line(8_123_456.0, Some(0.45), Some(3.2), Some(0.93), None);
         assert_eq!(
             line,
             "8.1M records/s | 45% done | eta 3.2s | workers 93% busy"
@@ -165,28 +187,39 @@ mod tests {
 
     #[test]
     fn unknown_components_are_omitted() {
-        let line = format_progress_line(512.0, None, None, None);
+        let line = format_progress_line(512.0, None, None, None, None);
         assert_eq!(line, "512 records/s");
     }
 
     #[test]
     fn long_etas_use_minutes() {
-        let line = format_progress_line(1_000.0, Some(0.01), Some(154.0), None);
+        let line = format_progress_line(1_000.0, Some(0.01), Some(154.0), None, None);
         assert!(line.contains("eta 2m34s"), "{line}");
     }
 
     #[test]
     fn fractions_are_clamped() {
-        let line = format_progress_line(0.0, Some(1.7), None, Some(-0.2));
+        let line = format_progress_line(0.0, Some(1.7), None, Some(-0.2), Some((1.3, 0)));
         assert!(line.contains("100% done"), "{line}");
         assert!(line.contains("workers 0% busy"), "{line}");
+        assert!(line.contains("sampled 100%"), "{line}");
+    }
+
+    #[test]
+    fn sampled_state_appends_fraction_and_slice() {
+        let line = format_progress_line(1_000.0, Some(0.5), None, Some(0.8), Some((0.25, 12)));
+        assert_eq!(
+            line,
+            "1.0k records/s | 50% done | workers 80% busy | sampled 25% (slice 12)"
+        );
     }
 
     #[test]
     fn quiet_progress_is_inert() {
         // In a test harness stderr is typically not a TTY either, but the
-        // quiet flag must force inertness regardless of environment.
-        let p = Progress::start(Some(1_000_000), true);
+        // quiet flag must force inertness regardless of environment — with
+        // or without sampling state.
+        let p = Progress::start(Some(1_000_000), Some(0.3), true);
         assert!(p.handle.is_none());
         p.finish();
     }

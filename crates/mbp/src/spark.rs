@@ -1,0 +1,75 @@
+//! Shared sparkline math: min/max normalization of a numeric series, used
+//! by the HTML report's SVG sparklines and the `mbpsim top` dashboard's
+//! text sparklines, so both surfaces scale a series identically.
+
+/// Block glyphs from lowest to highest, the classic eight-level sparkline.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Normalizes each value into `[0, 1]` against the series min/max. A flat
+/// (or single-point) series maps to all zeros, matching the SVG baseline
+/// behaviour; an empty series returns no points.
+pub fn normalize(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if (hi - lo).abs() < 1e-12 {
+        1.0
+    } else {
+        hi - lo
+    };
+    values.iter().map(|&v| (v - lo) / span).collect()
+}
+
+/// Renders a series as a fixed-width run of block glyphs, keeping the most
+/// recent `width` points. Returns an empty string for an empty series.
+pub fn text_sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let tail = &values[values.len().saturating_sub(width)..];
+    normalize(tail)
+        .into_iter()
+        .map(|n| {
+            let idx = (n * (BLOCKS.len() - 1) as f64).round() as usize;
+            BLOCKS[idx.min(BLOCKS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_spans_zero_to_one() {
+        let n = normalize(&[2.0, 4.0, 3.0]);
+        assert_eq!(n, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn degenerate_series_are_flat_or_empty() {
+        assert!(normalize(&[]).is_empty());
+        assert_eq!(normalize(&[5.0]), vec![0.0]);
+        assert_eq!(normalize(&[2.0, 2.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn text_sparkline_uses_extreme_glyphs() {
+        let s = text_sparkline(&[0.0, 1.0], 8);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(text_sparkline(&[], 8), "");
+    }
+
+    #[test]
+    fn text_sparkline_keeps_the_most_recent_window() {
+        let values: Vec<f64> = (0..20).map(f64::from).collect();
+        let s = text_sparkline(&values, 5);
+        assert_eq!(s.chars().count(), 5);
+        // The window [15..20) still normalizes to its own min/max.
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+}

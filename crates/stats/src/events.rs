@@ -205,6 +205,9 @@ pub enum EventName {
     /// The sampled executor finished one representative slice (arg = the
     /// slice's window index).
     SimpointSampledSlice = 21,
+    /// A telemetry client scraped a live endpoint (arg = scrapes served so
+    /// far, including this one).
+    TelemetryScrape = 22,
 }
 
 impl EventName {
@@ -232,6 +235,7 @@ impl EventName {
             19 => Some(Self::ShutdownDrain),
             20 => Some(Self::SimpointExtract),
             21 => Some(Self::SimpointSampledSlice),
+            22 => Some(Self::TelemetryScrape),
             _ => None,
         }
     }
@@ -261,6 +265,7 @@ impl EventName {
             Self::ShutdownDrain => "sweep.shutdown_drain",
             Self::SimpointExtract => "simpoint.extract",
             Self::SimpointSampledSlice => "simpoint.sampled_slice",
+            Self::TelemetryScrape => "telemetry.scrape",
         }
     }
 }

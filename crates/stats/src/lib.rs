@@ -17,9 +17,11 @@
 //! 2. **Snapshots are deterministic.** [`Registry::snapshot`] is name-sorted
 //!    and [`PipelineStats::snapshot`] is plain data, so emitted metrics are
 //!    stable across runs modulo the measured values themselves.
-//! 3. **No rendering here.** JSON encoding of snapshots lives downstream in
-//!    the `mbp` crate; this crate stays `std`-only so every pipeline crate
-//!    can depend on it without weight.
+//! 3. **No JSON rendering here.** JSON encoding of snapshots lives
+//!    downstream in the `mbp` crate; this crate stays `std`-only so every
+//!    pipeline crate can depend on it without weight. The one format this
+//!    crate does own is the OpenMetrics text exposition ([`exposition`]) —
+//!    it is the metrics' own wire format and needs nothing but `std`.
 //!
 //! ```
 //! use mbp_stats::pipeline;
@@ -37,10 +39,12 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod exposition;
 mod metric;
 mod pipeline;
 mod registry;
 
+pub use exposition::{render_openmetrics, sanitize_metric_name};
 pub use metric::{
     enabled, set_enabled, Counter, Gauge, Histogram, HistogramSnapshot, ScopedTimer, Timer,
 };
@@ -48,4 +52,4 @@ pub use pipeline::{
     pipeline, CompressStats, PipelineSnapshot, PipelineStats, SimStats, SweepStats, TimerSnapshot,
     TraceStats, WorkloadStats,
 };
-pub use registry::{DynHistogram, Registry, Snapshot, SnapshotValue};
+pub use registry::{registry, DynHistogram, Registry, Snapshot, SnapshotValue};

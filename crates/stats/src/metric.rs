@@ -140,6 +140,27 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Sum of all recorded samples (accessor form of the `sum` field, for
+    /// call sites that hold the snapshot behind a trait or reference).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Cumulative bucket counts in Prometheus `le` semantics: element `i`
+    /// is the number of samples `<= bounds[i]`, and one trailing element
+    /// (the `+Inf` bucket) includes the overflow count, so the final value
+    /// always equals [`HistogramSnapshot::count`].
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.counts.len() + 1);
+        let mut running = 0u64;
+        for &c in &self.counts {
+            running = running.saturating_add(c);
+            out.push(running);
+        }
+        out.push(running.saturating_add(self.overflow));
+        out
+    }
 }
 
 impl<const N: usize> Histogram<N> {
@@ -313,6 +334,27 @@ mod tests {
         assert_eq!(s.count, 5);
         assert_eq!(s.sum, 5126);
         assert!((s.mean() - 1025.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_cumulative_counts_end_at_total() {
+        let h: Histogram<3> = Histogram::new([10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000, 6000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Per-bucket [2, 2, 0] + overflow 2 → cumulative [2, 4, 4, 6].
+        assert_eq!(s.cumulative_counts(), vec![2, 4, 4, 6]);
+        assert_eq!(*s.cumulative_counts().last().unwrap(), s.count);
+        assert_eq!(s.sum(), s.sum);
+    }
+
+    #[test]
+    fn empty_snapshot_cumulative_counts_are_zero() {
+        let h: Histogram<2> = Histogram::new([1, 2]);
+        let s = h.snapshot();
+        assert_eq!(s.cumulative_counts(), vec![0, 0, 0]);
+        assert_eq!(s.sum(), 0);
     }
 
     /// Serializes the tests that flip the global timing switch.

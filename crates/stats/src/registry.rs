@@ -220,6 +220,17 @@ impl Registry {
     }
 }
 
+/// The process-wide default registry, created on first use.
+///
+/// The pipeline's own instrumentation lives in the [`crate::pipeline`]
+/// statics; this registry is the shared home for everything else that wants
+/// to show up on live surfaces (the `/metrics` exposition endpoint scrapes
+/// both). Handles are `Arc`-shared, so fetch once and bump forever.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -189,6 +189,31 @@ fn sweep_fault_path_keeps_worker_spans_paired() {
 }
 
 #[test]
+fn journal_overflow_is_counted_and_warned_about() {
+    let _guard = journal_lock();
+    assert_eq!(events::dropped_events(), 0, "clear() zeroes the loss count");
+    assert_eq!(
+        mbp::events_export::dropped_events_warning(events::dropped_events()),
+        None,
+        "a fresh journal warns about nothing"
+    );
+    // One thread's shard holds SHARD_CAPACITY events; overfill it so the
+    // ring must evict and the producer-side loss counter moves.
+    for i in 0..(events::SHARD_CAPACITY as u64 + 1000) {
+        events::instant(EventName::TelemetryScrape, i);
+    }
+    let dropped = events::dropped_events();
+    assert!(dropped >= 1000, "overfill is counted, got {dropped}");
+    let warning =
+        mbp::events_export::dropped_events_warning(dropped).expect("loss produces the warning");
+    assert!(
+        warning.contains(&format!("{dropped} event(s) dropped")),
+        "{warning}"
+    );
+    events::clear();
+}
+
+#[test]
 fn simulation_batches_feed_the_sampler() {
     let _guard = journal_lock();
     let before = events::sample_every();
