@@ -238,16 +238,51 @@ grep '^mbp_sweep_predictor_us_bucket' "$obs_tmp/tele_metrics.txt" \
   || { echo "histogram buckets are missing or not cumulative" >&2; exit 1; }
 scrape "$port" /snapshot "$obs_tmp/tele_snapshot.json" \
   || { echo "cannot scrape /snapshot" >&2; exit 1; }
-grep -q '"schema_version": 1' "$obs_tmp/tele_snapshot.json" \
+grep -q '"schema_version": 2' "$obs_tmp/tele_snapshot.json" \
   || { echo "/snapshot is missing its schema version" >&2; exit 1; }
 grep -q '"predictors": \[' "$obs_tmp/tele_snapshot.json" \
   || { echo "/snapshot is missing the predictor board" >&2; exit 1; }
+grep -q '"worst_branch":' "$obs_tmp/tele_snapshot.json" \
+  || { echo "/snapshot rows are missing the worst_branch drill-down" >&2; exit 1; }
+grep -q '^mbp_h2p_worst_branch_mispredictions' "$obs_tmp/tele_metrics.txt" \
+  || { echo "/metrics is missing the mbp_h2p_* family" >&2; exit 1; }
 target/release/mbpsim top "127.0.0.1:$port" --once > "$obs_tmp/tele_top.txt" \
   || { echo "mbpsim top could not attach" >&2; exit 1; }
 grep -q '^mbpsim sweep | elapsed' "$obs_tmp/tele_top.txt" \
   || { echo "top dashboard header missing" >&2; exit 1; }
+grep -q 'worst branch 0x' "$obs_tmp/tele_top.txt" \
+  || { echo "top dashboard is missing the hot-branch drill-down row" >&2; exit 1; }
 wait "$tele_pid" \
   || { echo "telemetry-serving sweep failed" >&2; exit 1; }
+
+echo "== misprediction forensics gate (explain coverage + report stability) =="
+# `mbpsim explain` on the smoke trace must produce a versioned forensic
+# report whose top-10 hard-to-predict set explains at least the committed
+# floor of all mispredictions (the smoke workload concentrates its miss
+# mass: measured coverage is 1.0 for every stock predictor, so the floor
+# is strict), must attribute mispredictions to a component for a composite
+# predictor, and must hash identically across two runs once wall-clock
+# fields are stripped.
+target/release/mbpsim explain "$obs_tmp/traces/SMOKE-mobile.sbbt.mzst" \
+  tournament --quiet > "$obs_tmp/explain_a.json" 2>/dev/null
+target/release/mbpsim explain "$obs_tmp/traces/SMOKE-mobile.sbbt.mzst" \
+  tournament --quiet > "$obs_tmp/explain_b.json" 2>/dev/null
+grep -q '"schema_version": 1' "$obs_tmp/explain_a.json" \
+  || { echo "forensic report is missing its schema version" >&2; exit 1; }
+cov="$(grep -o '"fraction": *[0-9.]*' "$obs_tmp/explain_a.json" \
+  | tail -n 1 | grep -o '[0-9.]*$')"
+awk -v c="$cov" 'BEGIN { exit !(c >= 0.9) }' \
+  || { echo "top-10 forensic coverage ${cov:-missing} under the committed 0.9 floor" >&2; exit 1; }
+grep -Eq '"(chooser_wrong|both_wrong)":' "$obs_tmp/explain_a.json" \
+  || { echo "tournament report carries no component attribution" >&2; exit 1; }
+hash_a="$(canon "$obs_tmp/explain_a.json" | sha256sum | cut -d' ' -f1)"
+hash_b="$(canon "$obs_tmp/explain_b.json" | sha256sum | cut -d' ' -f1)"
+if [ "$hash_a" != "$hash_b" ]; then
+  echo "forensic report hash unstable across identical runs" >&2
+  diff <(canon "$obs_tmp/explain_a.json") <(canon "$obs_tmp/explain_b.json") >&2 || true
+  exit 1
+fi
+cargo test -q -p mbp --test forensics
 
 echo "== bench guard (instrumented batch pipeline within 5% of baseline) =="
 # MBP_BENCH_TELEMETRY=1 runs the guard beside a live but unscraped

@@ -40,6 +40,7 @@ use mbp_bench::harness::{black_box, BenchGroup, Throughput};
 use mbp_core::{
     simulate, simulate_scalar, Branch, PredictionBits, Predictor, SimConfig, TraceSource,
 };
+use mbp_json::{json, Value};
 use mbp_predictors::{Bimodal, GSelect, Gshare, TwoLevel};
 use mbp_trace::sbbt::SbbtReader;
 use mbp_trace::{translate, BranchBatch};
@@ -159,6 +160,10 @@ fn main() {
     let config = SimConfig::default();
     let (mut scalar_total, mut batched_total) = (0.0f64, 0.0f64);
     let mut failures = Vec::new();
+    // Every row printed below is also collected here and written out as
+    // machine-readable `BENCH_10.json`, so fleet drivers can track the
+    // guard's numbers without scraping the log.
+    let mut rows: Vec<Value> = Vec::new();
 
     for spec in &suite.traces {
         let records = spec.records();
@@ -201,6 +206,17 @@ fn main() {
             .iter()
             .find(|(name, _)| *name == spec.name)
             .map(|(_, t)| *t);
+        let baseline_value = baseline.map_or(Value::Null, Value::from);
+        let pass = baseline.is_none_or(|base| throughput >= base * TOLERANCE * scale);
+        rows.push(json!({
+            "kind": "driver",
+            "trace": spec.name.clone(),
+            "instr_per_s": throughput,
+            "baseline_instr_per_s": baseline_value,
+            "speedup_over_scalar": scalar_best / batched_best,
+            "spread_pct": spread,
+            "pass": pass,
+        }));
         match baseline {
             Some(base) => {
                 let floor = base * TOLERANCE * scale;
@@ -240,6 +256,12 @@ fn main() {
              (instrumentation leaking into the record loop?)"
         ));
     }
+    rows.push(json!({
+        "kind": "aggregate",
+        "speedup_over_scalar": aggregate,
+        "floor": SPEEDUP_FLOOR,
+        "pass": aggregate >= SPEEDUP_FLOOR,
+    }));
 
     // Kernel rows: every hand-written kernel raced against the default
     // per-record loop on the first smoke trace (report-only; see module
@@ -249,14 +271,14 @@ fn main() {
     let instructions: u64 = records.iter().map(|r| r.instructions()).sum();
     let batch = BranchBatch::from_records(&records);
     type MakePredictor = fn() -> Box<dyn Predictor>;
-    let rows: [(&str, MakePredictor); 4] = [
+    let kernel_rows: [(&str, MakePredictor); 4] = [
         ("bimodal", || Box::new(Bimodal::new(18))),
         ("gshare", || Box::new(Gshare::new(25, 18))),
         ("gselect", || Box::new(GSelect::new(6, 12))),
         ("twolevel-pap", || Box::new(TwoLevel::pap(8, 10, 10))),
     ];
     println!("kernel vs scalar-call loop ({}):", suite.traces[0].name);
-    for (name, make) in rows {
+    for (name, make) in kernel_rows {
         let (kernel, scalar) = kernel_race(name, make, &batch, instructions);
         println!(
             "  {name:<13} kernel {:>6.0} Minstr/s  scalar-loop {:>6.0} Minstr/s  speedup {:.2}x",
@@ -264,6 +286,29 @@ fn main() {
             instructions as f64 / scalar / 1e6,
             scalar / kernel,
         );
+        rows.push(json!({
+            "kind": "kernel",
+            "predictor": name,
+            "trace": suite.traces[0].name.clone(),
+            "kernel_instr_per_s": instructions as f64 / kernel,
+            "scalar_loop_instr_per_s": instructions as f64 / scalar,
+            "speedup": scalar / kernel,
+        }));
+    }
+
+    let doc = json!({
+        "schema_version": 1,
+        "bench": "bench_guard",
+        "scale": scale,
+        "tolerance": TOLERANCE,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "pass": failures.is_empty(),
+        "rows": Value::Array(rows),
+    });
+    let json_out = std::env::var("MBP_BENCH_JSON_OUT").unwrap_or_else(|_| "BENCH_10.json".into());
+    match std::fs::write(&json_out, format!("{doc:#}\n")) {
+        Ok(()) => println!("bench rows written to {json_out}"),
+        Err(e) => eprintln!("bench_guard: cannot write {json_out}: {e}"),
     }
 
     if !failures.is_empty() {

@@ -41,6 +41,7 @@
 
 mod checkpoint;
 mod compare;
+mod forensics;
 mod introspect;
 mod metrics;
 mod output;
@@ -54,6 +55,10 @@ mod timeseries;
 
 pub use checkpoint::{load_checkpoint, CheckpointLoad, CheckpointWriter, CHECKPOINT_VERSION};
 pub use compare::{simulate_comparison, ComparisonResult, DivergingBranch};
+pub use forensics::{
+    Forensics, ForensicsConfig, FORENSICS_SCHEMA_VERSION, H2P_MIN_MISPREDICTION_RATE,
+    H2P_MIN_OCCURRENCES,
+};
 pub use introspect::{probe_counter_table, probes_to_json, TableProbe};
 pub use metrics::{
     BranchStat, BranchTaxonomy, ClassStat, Metrics, MostFailed, ENTROPY_CLASSES, TRANSITION_CLASSES,

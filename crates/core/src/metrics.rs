@@ -85,7 +85,7 @@ pub struct BranchTaxonomy {
 }
 
 /// Shannon entropy of a branch taken `taken` times in `occurrences`.
-fn direction_entropy(taken: u64, occurrences: u64) -> f64 {
+pub(crate) fn direction_entropy(taken: u64, occurrences: u64) -> f64 {
     if occurrences == 0 || taken == 0 || taken == occurrences {
         return 0.0;
     }
@@ -94,7 +94,7 @@ fn direction_entropy(taken: u64, occurrences: u64) -> f64 {
 }
 
 /// Transition rate over `occurrences` outcomes with `transitions` flips.
-fn transition_rate(transitions: u64, occurrences: u64) -> f64 {
+pub(crate) fn transition_rate(transitions: u64, occurrences: u64) -> f64 {
     if occurrences < 2 {
         0.0
     } else {
@@ -117,6 +117,16 @@ fn transition_class(rate: f64) -> usize {
         r if r < 0.8 => 1,
         _ => 2,
     }
+}
+
+/// The [`ENTROPY_CLASSES`] label for direction entropy `h`.
+pub(crate) fn entropy_class_name(h: f64) -> &'static str {
+    ENTROPY_CLASSES[entropy_class(h)]
+}
+
+/// The [`TRANSITION_CLASSES`] label for transition rate `rate`.
+pub(crate) fn transition_class_name(rate: f64) -> &'static str {
+    TRANSITION_CLASSES[transition_class(rate)]
 }
 
 /// Direct-mapped cache slots in front of the per-branch hash map. Static

@@ -114,6 +114,11 @@ impl SimResult {
                 metrics.insert("timeseries", ts.to_json());
             }
         }
+        if let Some(forensics) = &self.forensics {
+            if let Some(d) = doc.as_object_mut() {
+                d.insert("forensics", forensics.clone());
+            }
+        }
         if let Some(sampling) = &self.sampling {
             if let Some(d) = doc.as_object_mut() {
                 d.insert("simpoint", sampling.clone());
@@ -215,6 +220,7 @@ impl SimResult {
             timeseries,
             table_probes,
             sampling: doc.get("simpoint").cloned(),
+            forensics: doc.get("forensics").cloned(),
         })
     }
 }
@@ -655,6 +661,46 @@ mod tests {
         let parsed = crate::SimResult::from_json(&doc).expect("parses back");
         assert_eq!(parsed.to_json().to_pretty_string(), doc.to_pretty_string());
         assert_eq!(parsed.sampling, r.sampling);
+    }
+
+    #[test]
+    fn forensic_result_round_trips_with_forensics_section() {
+        let recs: Vec<_> = (0..60)
+            .map(|i| {
+                BranchRecord::new(
+                    Branch::new(0x10 + (i % 3), 0, Opcode::conditional_direct(), i % 2 == 0),
+                    4,
+                )
+            })
+            .collect();
+        let cfg = SimConfig {
+            forensics: Some(crate::ForensicsConfig::default()),
+            ..SimConfig::default()
+        };
+        let r = simulate(&mut SliceSource::new(&recs), &mut Always(true), &cfg).unwrap();
+        let doc = r.to_json();
+        let keys: Vec<_> = doc.as_object().unwrap().keys().collect();
+        assert_eq!(
+            keys,
+            [
+                "metadata",
+                "metrics",
+                "predictor_statistics",
+                "most_failed",
+                "forensics"
+            ],
+            "forensics appends after the Listing-1 sections"
+        );
+        assert_eq!(
+            doc["forensics"]["schema_version"].as_u64(),
+            Some(crate::FORENSICS_SCHEMA_VERSION)
+        );
+        assert!(doc["forensics"]["top"]
+            .as_array()
+            .is_some_and(|t| !t.is_empty()));
+        let parsed = crate::SimResult::from_json(&doc).expect("parses back");
+        assert_eq!(parsed.to_json().to_pretty_string(), doc.to_pretty_string());
+        assert_eq!(parsed.forensics, r.forensics);
     }
 
     #[test]

@@ -202,6 +202,29 @@ pub trait Predictor {
         0
     }
 
+    /// Component attribution for the most recent misprediction — which
+    /// internal structure produced the wrong final prediction.
+    ///
+    /// # Contract
+    ///
+    /// * Only meaningful immediately after a [`train`](Predictor::train)
+    ///   call whose resolved outcome disagreed with the prediction this
+    ///   predictor would have returned for the same branch; callers (the
+    ///   forensics engine) query it only at that point, and implementations
+    ///   may leave stale labels behind at any other time.
+    /// * Labels are static component names local to the predictor
+    ///   (`"provider"`, `"alt"`, `"base"`, `"chooser_wrong"`,
+    ///   `"both_wrong"`, …). They feed the `attribution` objects in the
+    ///   forensic report.
+    /// * Implementations must compute the label as a pure by-product of the
+    ///   work `train` already does (a single extra store), so predictors
+    ///   with attribution stay bit-identical to their golden vectors.
+    /// * The default `None` opts a predictor out: its forensic report shows
+    ///   structure but no component breakdown.
+    fn last_mispredict_blame(&self) -> Option<&'static str> {
+        None
+    }
+
     /// End-of-run table-health probes (see [`TableProbe`]), surfaced in the
     /// output's `introspection` section when the run collects probes
     /// ([`crate::SimConfig::collect_probes`]).
@@ -285,6 +308,10 @@ impl<P: Predictor + ?Sized> Predictor for Box<P> {
         (**self).size_hint()
     }
 
+    fn last_mispredict_blame(&self) -> Option<&'static str> {
+        (**self).last_mispredict_blame()
+    }
+
     fn table_probes(&self) -> Vec<TableProbe> {
         (**self).table_probes()
     }
@@ -332,6 +359,7 @@ mod tests {
         assert_eq!(p.metadata()["name"], Value::from("fixed"));
         assert_eq!(p.execution_statistics(), Value::object());
         assert!(p.table_probes().is_empty(), "default probes are empty");
+        assert_eq!(p.last_mispredict_blame(), None, "default blame is None");
     }
 
     #[test]

@@ -838,6 +838,7 @@ pub fn simulate_sampled<P: Predictor + ?Sized>(
             Vec::new()
         },
         sampling: Some(sampling),
+        forensics: None,
     }
 }
 

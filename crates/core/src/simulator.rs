@@ -5,6 +5,7 @@ use std::time::Instant;
 use mbp_json::Value;
 use mbp_trace::TraceError;
 
+use crate::forensics::{Forensics, ForensicsConfig};
 use crate::metrics::{accuracy, mpki, BranchStat, BranchTaxonomy, Metrics, MostFailed};
 use crate::timeseries::{TimeSeries, TimeSeriesBuilder};
 use crate::{PredictionBits, Predictor, TableProbe, TraceSource};
@@ -44,6 +45,12 @@ pub struct SimConfig {
     /// run (the `--introspect` flag). Off by default; probes are read once
     /// from the final table state, so this never touches the record loop.
     pub collect_probes: bool,
+    /// Accumulate per-branch misprediction forensics (the `mbpsim explain`
+    /// subcommand). Like the timeseries, enabling this needs per-record
+    /// attribution and pins the run to the scalar fallback loop; the
+    /// default `None` keeps results and throughput bit-identical to a
+    /// build without forensics.
+    pub forensics: Option<ForensicsConfig>,
 }
 
 impl Default for SimConfig {
@@ -55,6 +62,7 @@ impl Default for SimConfig {
             most_failed_limit: 20,
             timeseries_window: None,
             collect_probes: false,
+            forensics: None,
         }
     }
 }
@@ -108,6 +116,10 @@ pub struct SimResult {
     /// section); present only on results produced by
     /// [`simulate_sampled`](crate::simulate_sampled).
     pub sampling: Option<Value>,
+    /// Misprediction forensic report (rendered as the top-level
+    /// `forensics` section); present only when
+    /// [`SimConfig::forensics`] was set.
+    pub forensics: Option<Value>,
 }
 
 /// Per-record bookkeeping shared by the batched and scalar drivers.
@@ -119,6 +131,7 @@ struct SimState {
     most_failed: MostFailed,
     exhausted: bool,
     timeseries: Option<TimeSeriesBuilder>,
+    forensics: Option<Forensics>,
 }
 
 impl SimState {
@@ -131,6 +144,7 @@ impl SimState {
             most_failed: MostFailed::new(),
             exhausted: true,
             timeseries: config.timeseries_window.map(TimeSeriesBuilder::new),
+            forensics: config.forensics.as_ref().map(Forensics::new),
         }
     }
 
@@ -146,6 +160,10 @@ impl SimState {
         P: Predictor + ?Sized,
     {
         let timeseries = self.timeseries.map(|b| b.finish(self.instructions));
+        let forensics = self
+            .forensics
+            .as_ref()
+            .map(|f| f.report(self.measured_instructions));
         SimResult {
             metadata: SimMetadata {
                 simulator: crate::SIMULATOR_NAME,
@@ -178,6 +196,7 @@ impl SimState {
                 Vec::new()
             },
             sampling: None,
+            forensics,
         }
     }
 }
@@ -254,6 +273,7 @@ where
         if config.max_instructions.is_none()
             && st.instructions >= config.warmup_instructions
             && st.timeseries.is_none()
+            && st.forensics.is_none()
         {
             kernel_records += got as u64;
             predictions.clear();
@@ -326,6 +346,18 @@ where
                     st.most_failed.note_static(b.ip());
                 }
                 predictor.train(&b);
+                if in_measurement {
+                    if let Some(f) = st.forensics.as_mut() {
+                        // Blame is only valid right after a mispredicted
+                        // branch's train call, which is exactly where we are.
+                        let blame = if mispredicted {
+                            predictor.last_mispredict_blame()
+                        } else {
+                            None
+                        };
+                        f.record(b.ip(), b.is_taken(), mispredicted, blame);
+                    }
+                }
             } else {
                 st.most_failed.note_static(b.ip());
             }
@@ -388,6 +420,7 @@ where
     let mut most_failed = MostFailed::new();
     let mut exhausted = true;
     let mut ts_builder = config.timeseries_window.map(TimeSeriesBuilder::new);
+    let mut forensics = config.forensics.as_ref().map(Forensics::new);
 
     while let Some(rec) = trace.next_record()? {
         records += 1;
@@ -417,6 +450,16 @@ where
                 most_failed.note_static(b.ip());
             }
             predictor.train(&b);
+            if in_measurement {
+                if let Some(f) = forensics.as_mut() {
+                    let blame = if mispredicted {
+                        predictor.last_mispredict_blame()
+                    } else {
+                        None
+                    };
+                    f.record(b.ip(), b.is_taken(), mispredicted, blame);
+                }
+            }
         } else {
             most_failed.note_static(b.ip());
         }
@@ -466,6 +509,7 @@ where
             Vec::new()
         },
         sampling: None,
+        forensics: forensics.map(|f| f.report(measured_instructions)),
     })
 }
 

@@ -81,6 +81,13 @@ struct StatusSlot {
     conditional: AtomicU64,
     /// Mispredicted conditional branches so far.
     mispredictions: AtomicU64,
+    /// Address of the branch with the most mispredictions so far
+    /// (`u64::MAX` — above any real branch address — means none yet).
+    worst_ip: AtomicU64,
+    /// Misprediction count of that branch. The pair is two relaxed stores,
+    /// so a reader can see a torn (ip, count) combination for one scrape;
+    /// acceptable for a dashboard drill-down.
+    worst_mispredictions: AtomicU64,
 }
 
 /// Plain-data copy of one slot, as read by the snapshot endpoint.
@@ -98,6 +105,10 @@ pub struct PredictorStatus {
     pub conditional_branches: u64,
     /// Mispredicted conditional branches so far.
     pub mispredictions: u64,
+    /// The currently worst `(ip, mispredictions)` branch, as estimated by
+    /// the wrapper's frequent-offender sketch; `None` before the first
+    /// misprediction.
+    pub worst_branch: Option<(u64, u64)>,
 }
 
 impl PredictorStatus {
@@ -136,6 +147,8 @@ impl SweepStatusBoard {
                     instructions: AtomicU64::new(0),
                     conditional: AtomicU64::new(0),
                     mispredictions: AtomicU64::new(0),
+                    worst_ip: AtomicU64::new(u64::MAX),
+                    worst_mispredictions: AtomicU64::new(0),
                 })
                 .collect(),
         }
@@ -173,6 +186,17 @@ impl SweepStatusBoard {
         }
     }
 
+    /// Publishes the predictor's current worst branch (called by
+    /// [`StatusPredictor`] when its sketch's running maximum changes, and
+    /// by run drivers with final forensic totals at settle time).
+    pub fn set_worst_branch(&self, index: usize, ip: u64, mispredictions: u64) {
+        if let Some(slot) = self.slots.get(index) {
+            slot.worst_ip.store(ip, Ordering::Relaxed);
+            slot.worst_mispredictions
+                .store(mispredictions, Ordering::Relaxed);
+        }
+    }
+
     /// Adds one batch worth of progress (called by [`StatusPredictor`]).
     fn add_progress(&self, index: usize, instructions: u64, conditional: u64, mispredicted: u64) {
         if let Some(slot) = self.slots.get(index) {
@@ -195,8 +219,56 @@ impl SweepStatusBoard {
                 instructions: s.instructions.load(Ordering::Relaxed),
                 conditional_branches: s.conditional.load(Ordering::Relaxed),
                 mispredictions: s.mispredictions.load(Ordering::Relaxed),
+                worst_branch: match s.worst_ip.load(Ordering::Relaxed) {
+                    u64::MAX => None,
+                    ip => Some((ip, s.worst_mispredictions.load(Ordering::Relaxed))),
+                },
             })
             .collect()
+    }
+}
+
+/// Direct-mapped slots in the [`WorstBranchSketch`]. Same sizing rationale
+/// as the taxonomy accumulator's cache: hot offender sets are small, and a
+/// collision only resets a cold branch's count.
+const WORST_SKETCH_SLOTS: usize = 256;
+
+/// A tiny deterministic frequent-offenders sketch: direct-mapped per-ip
+/// misprediction counts plus the running maximum. A hash collision evicts
+/// the resident branch and restarts the newcomer's count at one, so counts
+/// are lower bounds — which is all the live drill-down row needs; exact
+/// per-branch totals come from the forensics engine at end of run.
+struct WorstBranchSketch {
+    slots: Vec<(u64, u64)>,
+    worst_ip: u64,
+    worst_count: u64,
+}
+
+impl WorstBranchSketch {
+    fn new() -> Self {
+        Self {
+            slots: vec![(u64::MAX, 0); WORST_SKETCH_SLOTS],
+            worst_ip: u64::MAX,
+            worst_count: 0,
+        }
+    }
+
+    /// Counts one misprediction of `ip`; returns the new `(ip, count)`
+    /// maximum when it changed.
+    fn miss(&mut self, ip: u64) -> Option<(u64, u64)> {
+        let i = (ip.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize % WORST_SKETCH_SLOTS;
+        let slot = &mut self.slots[i];
+        if slot.0 != ip {
+            *slot = (ip, 0);
+        }
+        slot.1 += 1;
+        if slot.1 > self.worst_count {
+            self.worst_ip = ip;
+            self.worst_count = slot.1;
+            Some((ip, slot.1))
+        } else {
+            None
+        }
     }
 }
 
@@ -213,6 +285,8 @@ pub struct StatusPredictor {
     slot: usize,
     /// Last scalar prediction, consumed by the matching `train` call.
     last_prediction: bool,
+    /// Live estimate of the worst (most-mispredicted) branch.
+    worst: WorstBranchSketch,
 }
 
 impl StatusPredictor {
@@ -227,6 +301,7 @@ impl StatusPredictor {
             board,
             slot,
             last_prediction: false,
+            worst: WorstBranchSketch::new(),
         }
     }
 }
@@ -243,6 +318,11 @@ impl Predictor for StatusPredictor {
         // preceding `predict` on the same branch.
         let missed = u64::from(self.last_prediction != branch.is_taken());
         self.board.add_progress(self.slot, 1, 1, missed);
+        if missed != 0 {
+            if let Some((ip, count)) = self.worst.miss(branch.ip()) {
+                self.board.set_worst_branch(self.slot, ip, count);
+            }
+        }
         self.inner.train(branch);
     }
 
@@ -262,6 +342,10 @@ impl Predictor for StatusPredictor {
         self.inner.size_hint()
     }
 
+    fn last_mispredict_blame(&self) -> Option<&'static str> {
+        self.inner.last_mispredict_blame()
+    }
+
     fn table_probes(&self) -> Vec<TableProbe> {
         self.inner.table_probes()
     }
@@ -279,11 +363,17 @@ impl Predictor for StatusPredictor {
         let mut conditional = 0u64;
         let mut missed = 0u64;
         let mut bit = first;
+        let mut worst_change = None;
         for i in 0..batch.len() {
             if batch.is_conditional(i) {
                 if bit < out.len() {
                     let taken = batch.taken()[i] != 0;
-                    missed += u64::from(out.get(bit) != taken);
+                    if out.get(bit) != taken {
+                        missed += 1;
+                        if let Some(w) = self.worst.miss(batch.pcs()[i]) {
+                            worst_change = Some(w);
+                        }
+                    }
                 }
                 bit += 1;
                 conditional += 1;
@@ -292,6 +382,10 @@ impl Predictor for StatusPredictor {
         let instructions: u64 = batch.gaps().iter().map(|&g| u64::from(g) + 1).sum();
         self.board
             .add_progress(self.slot, instructions, conditional, missed);
+        // One publish per batch keeps the atomics off the scoring loop.
+        if let Some((ip, count)) = worst_change {
+            self.board.set_worst_branch(self.slot, ip, count);
+        }
     }
 }
 
@@ -398,6 +492,27 @@ mod tests {
         let s = &board.snapshot()[0];
         assert_eq!(s.conditional_branches, 2);
         assert_eq!(s.mispredictions, 1);
+    }
+
+    #[test]
+    fn wrapper_publishes_worst_branch() {
+        let board = Arc::new(SweepStatusBoard::new(["always"]));
+        let mut p = StatusPredictor::new(Box::new(AlwaysTaken), Arc::clone(&board), 0);
+        assert_eq!(board.snapshot()[0].worst_branch, None);
+
+        // Batch path: 0x20 is the only miss.
+        let batch = mixed_batch();
+        let mut bits = PredictionBits::new();
+        p.predict_batch(&batch, false, &mut bits);
+        assert_eq!(board.snapshot()[0].worst_branch, Some((0x20, 1)));
+
+        // Scalar path: two more misses at 0x50 overtake it.
+        let miss = Branch::new(0x50, 0x90, Opcode::conditional_direct(), false);
+        for _ in 0..2 {
+            p.predict(0x50);
+            p.train(&miss);
+        }
+        assert_eq!(board.snapshot()[0].worst_branch, Some((0x50, 2)));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! mbpsim run --predictor tage --trace t.sbbt.mzst [--warmup N] [--max N]
+//! mbpsim explain t.sbbt.mzst tage [--top K] [--capacity N]
 //! mbpsim compare --predictors gshare,tage --trace t.sbbt.mzst
 //! mbpsim sweep --predictors gshare,tage,batage --trace t.sbbt.mzst [--jobs N]
 //! mbpsim simpoint --trace t.sbbt.mzst [--window N] [--clusters K] [--out phases.json]
@@ -81,6 +82,9 @@ impl Failure {
 fn usage() -> &'static str {
     "usage:\n  \
      mbpsim run --predictor <name> --trace <file> [--warmup N] [--max N] [--track-only-conditional]\n  \
+     mbpsim explain <trace> <predictor> [--top K] [--capacity N] [--warmup N] [--max N]\n               \
+     [--out <report.json>] — misprediction forensics: per-branch\n               \
+     attribution, H2P classification and coverage curve\n  \
      mbpsim compare --predictors <a>,<b> --trace <file> [--warmup N] [--max N]\n  \
      mbpsim sweep --predictors <a>,<b>,... --trace <file> [--jobs N] [--warmup N] [--max N]\n               \
      [--checkpoint <file.jsonl>] [--resume] [--deadline-secs S] [--mem-budget-mb N]\n               \
@@ -309,6 +313,11 @@ fn emit_metrics(args: &Args, doc: Option<&mut mbp::json::Value>) -> Result<(), F
     }
     let snap = mbp::stats::pipeline().snapshot();
     let mut pipeline = mbp::report::pipeline_json(&snap);
+    // The journal's drop counter belongs next to the pipeline sections:
+    // a metrics file whose event exports are incomplete says so itself.
+    if let Some(out) = pipeline.as_object_mut() {
+        out.insert("dropped_events", mbp::stats::events::dropped_events());
+    }
     if let Some(doc) = doc {
         if let Some(obj) = doc.as_object_mut() {
             if !obj.contains_key("metrics") {
@@ -330,6 +339,11 @@ fn emit_metrics(args: &Args, doc: Option<&mut mbp::json::Value>) -> Result<(), F
             }
             if let Some(intro) = doc.get("introspection") {
                 out.insert("introspection", intro.clone());
+            }
+            // The forensic report, so `mbpsim report` renders its section
+            // from the flat metrics file too.
+            if let Some(forensics) = doc.get("forensics") {
+                out.insert("forensics", forensics.clone());
             }
             // Phase-sampling summaries: single runs carry a top-level
             // `simpoint` section, sweeps a `metadata.sampling` object.
@@ -453,6 +467,68 @@ fn cmd_run(args: &Args) -> Result<ExitCode, Failure> {
     }
     emit_metrics(args, Some(&mut doc))?;
     println!("{doc:#}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `mbpsim explain <trace> <predictor>` — a run with the forensics engine
+/// armed: the printed document carries a versioned `forensics` section
+/// (top-K hard-to-predict branches with component attribution and the
+/// misprediction coverage curve) alongside the usual run output.
+fn cmd_explain(args: &Args) -> Result<ExitCode, Failure> {
+    let positional = args.positional();
+    let (trace_path, name) = match positional.as_slice() {
+        [trace, predictor] => (*trace, *predictor),
+        // Flag spelling, for symmetry with `run`.
+        [] => (args.required("--trace")?, args.required("--predictor")?),
+        _ => {
+            return Err(Failure::usage(
+                "expected: mbpsim explain <trace> <predictor> [--top K] [--capacity N]",
+            ))
+        }
+    };
+    let mut predictor = by_name(name)
+        .ok_or_else(|| Failure::usage(format!("unknown predictor {name:?}; try `mbpsim list`")))?;
+    let mut trace = SbbtReader::open(trace_path)
+        .map_err(|e| Failure::trace(format!("cannot open {trace_path}: {e}")))?;
+    let defaults = mbp::sim::ForensicsConfig::default();
+    let top_limit: usize = args.parsed("--top", defaults.top_limit)?;
+    if top_limit == 0 {
+        return Err(Failure::usage("--top must be at least 1"));
+    }
+    let capacity: usize = args.parsed("--capacity", defaults.capacity)?;
+    if capacity == 0 {
+        return Err(Failure::usage("--capacity must be at least 1"));
+    }
+    let mut config = sim_config(args)?;
+    config.forensics = Some(mbp::sim::ForensicsConfig {
+        capacity,
+        top_limit,
+    });
+    setup_events(args)?;
+    let total = expected_instructions(trace.header().instruction_count, &config);
+    let progress =
+        mbp::progress::Progress::start_labeled(Some("explain"), total, None, args.flag("--quiet"));
+    let result = simulate(&mut trace, &mut predictor, &config);
+    progress.finish();
+    emit_events(args)?;
+    let result = result.map_err(|e| Failure::trace(format!("simulation failed: {e}")))?;
+    let mut doc = result.to_json();
+    if let Some(meta) = doc
+        .as_object_mut()
+        .and_then(|o| o.get_mut("metadata"))
+        .and_then(|m| m.as_object_mut())
+    {
+        meta.insert("trace", trace_path);
+    }
+    emit_metrics(args, Some(&mut doc))?;
+    match args.get("--out") {
+        Some(path) => {
+            std::fs::write(path, format!("{doc:#}\n"))
+                .map_err(|e| Failure::internal(format!("cannot write {path}: {e}")))?;
+            eprintln!("mbpsim: wrote forensic report to {path}");
+        }
+        None => println!("{doc:#}"),
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -940,6 +1016,7 @@ fn main() -> ExitCode {
     let args = Args { items: argv };
     let result = match command.as_str() {
         "run" => cmd_run(&args),
+        "explain" => cmd_explain(&args),
         "compare" => cmd_compare(&args),
         "sweep" => cmd_sweep(&args),
         "simpoint" => cmd_simpoint(&args),

@@ -231,6 +231,82 @@ fn metrics_section(metrics: &Value) -> String {
     out
 }
 
+/// Renders the `forensics` section: attribution summary, the top-K
+/// hard-to-predict branch table and the misprediction coverage curve.
+fn forensics_section(f: &Value) -> String {
+    let mut out = String::from("<section><h2>Misprediction forensics</h2>");
+    out.push_str(&format!(
+        "<p>{} conditional branches, {} mispredictions — {} branches \
+         tracked (capacity {}, {} evictions), {} classified \
+         hard-to-predict.</p>",
+        scalar(field(f, "conditional_branches")),
+        scalar(field(f, "mispredictions")),
+        scalar(field(f, "tracked_branches")),
+        scalar(field(f, "capacity")),
+        scalar(field(f, "evictions")),
+        scalar(field(f, "h2p_branches")),
+    ));
+    if let Some(top) = field(f, "top").as_array() {
+        out.push_str(
+            "<table><tr><th>branch</th><th>occurrences</th>\
+             <th>mispredictions</th><th>miss rate</th><th>entropy</th>\
+             <th>transitions</th><th>MPKI</th><th>H2P</th>\
+             <th>attribution</th></tr>",
+        );
+        for b in top {
+            let ip = field(b, "ip")
+                .as_u64()
+                .map(|ip| format!("{ip:#x}"))
+                .unwrap_or_else(|| "-".to_string());
+            let rate = field(b, "misprediction_rate")
+                .as_f64()
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .unwrap_or_else(|| "-".to_string());
+            let attribution = field(b, "attribution")
+                .as_object()
+                .map(|m| {
+                    m.iter()
+                        .map(|(k, v)| format!("{k}:{}", scalar(v)))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td class=\"hist\">{}</td></tr>",
+                esc(&ip),
+                scalar(field(b, "occurrences")),
+                scalar(field(b, "mispredictions")),
+                esc(&rate),
+                scalar(field(b, "entropy_class")),
+                scalar(field(b, "transition_class")),
+                scalar(field(b, "mpki")),
+                scalar(field(b, "h2p")),
+                esc(&attribution),
+            ));
+        }
+        out.push_str("</table>");
+    }
+    if let Some(coverage) = field(f, "coverage").as_array() {
+        if let Some(last) = coverage.last() {
+            out.push_str(&format!(
+                "<p>Coverage: the top {} tracked branches explain {:.1}% of \
+                 all mispredictions.</p>",
+                scalar(field(last, "top_n")),
+                field(last, "fraction").as_f64().unwrap_or(0.0) * 100.0,
+            ));
+        }
+        let fractions: Vec<f64> = coverage
+            .iter()
+            .filter_map(|c| field(c, "fraction").as_f64())
+            .collect();
+        out.push_str(&sparkline(&fractions, 360, 48));
+    }
+    out.push_str("</section>");
+    out
+}
+
 /// Renders the sections of one run/compare document (or a flat metrics
 /// document) into `out`.
 fn render_doc_sections(doc: &Value, out: &mut String) {
@@ -256,6 +332,10 @@ fn render_doc_sections(doc: &Value, out: &mut String) {
         out.push_str("<section><h2>Predictor statistics</h2>");
         out.push_str(&kv_table(stats));
         out.push_str("</section>");
+    }
+    let forensics = field(doc, "forensics");
+    if !forensics.is_null() {
+        out.push_str(&forensics_section(forensics));
     }
     let intro = field(doc, "introspection");
     if !intro.is_null() {
@@ -402,6 +482,44 @@ mod tests {
         assert!(html.contains("Leaderboard"));
         assert!(html.contains("MBPlib GShare"));
         assert!(html.trim_end().ends_with("</html>"));
+    }
+
+    #[test]
+    fn forensics_section_renders_top_table_and_coverage() {
+        let mut doc = run_doc();
+        if let Some(obj) = doc.as_object_mut() {
+            obj.insert(
+                "forensics",
+                json!({
+                    "schema_version": 1,
+                    "capacity": 4096,
+                    "tracked_branches": 2,
+                    "evictions": 0,
+                    "conditional_branches": 1000,
+                    "mispredictions": 100,
+                    "h2p_branches": 1,
+                    "top": [{
+                        "ip": 0x4a0u64, "occurrences": 500, "mispredictions": 80,
+                        "misprediction_rate": 0.16, "taken_rate": 0.5,
+                        "direction_entropy": 1.0, "entropy_class": "unbiased",
+                        "transition_rate": 0.5, "transition_class": "irregular",
+                        "max_streak": 9, "max_misprediction_burst": 4,
+                        "misprediction_bursts": 12, "mpki": 8.0, "h2p": true,
+                        "attribution": { "chooser_wrong": 30, "both_wrong": 50 },
+                    }],
+                    "coverage": [{ "top_n": 1, "mispredictions": 80, "fraction": 0.8 }],
+                }),
+            );
+        }
+        let html = render_html(&doc);
+        assert!(html.contains("Misprediction forensics"));
+        assert!(html.contains("0x4a0"), "hex branch address");
+        assert!(html.contains("16.0%"), "misprediction rate");
+        assert!(html.contains("chooser_wrong:30"), "attribution breakdown");
+        assert!(
+            html.contains("top 1 tracked branches explain 80.0%"),
+            "coverage line"
+        );
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub fn format_progress_line(
     parts.join(" | ")
 }
 
+/// Prefixes a rendered progress line with its mode label, when one is set.
+fn labeled_line(label: Option<&'static str>, line: String) -> String {
+    match label {
+        Some(label) => format!("{label} | {line}"),
+        None => line,
+    }
+}
+
 fn rate(r: f64) -> String {
     if r >= 1e6 {
         format!("{:.1}M", r / 1e6)
@@ -87,6 +95,18 @@ impl Progress {
     /// statics. Returns an inert handle — no thread, no output — when
     /// `quiet` is set or stderr is not a terminal.
     pub fn start(
+        total_instructions: Option<u64>,
+        sampled_fraction: Option<f64>,
+        quiet: bool,
+    ) -> Self {
+        Self::start_labeled(None, total_instructions, sampled_fraction, quiet)
+    }
+
+    /// [`Progress::start`] with a leading mode label on every repaint, so a
+    /// forensic `explain` pass is distinguishable from a plain run at a
+    /// glance.
+    pub fn start_labeled(
+        label: Option<&'static str>,
         total_instructions: Option<u64>,
         sampled_fraction: Option<f64>,
         quiet: bool,
@@ -135,7 +155,10 @@ impl Progress {
                             .saturating_sub(base.sweep_sampled_slices),
                     )
                 });
-                let line = format_progress_line(records_per_s, done, eta, busy, sampled);
+                let line = labeled_line(
+                    label,
+                    format_progress_line(records_per_s, done, eta, busy, sampled),
+                );
                 // \r + erase-to-end repaints in place without flicker.
                 let mut err = std::io::stderr().lock();
                 let _ = write!(err, "\r{line}\x1b[K");
@@ -212,6 +235,15 @@ mod tests {
             line,
             "1.0k records/s | 50% done | workers 80% busy | sampled 25% (slice 12)"
         );
+    }
+
+    #[test]
+    fn label_prefixes_the_line() {
+        assert_eq!(
+            labeled_line(Some("explain"), "512 records/s".to_string()),
+            "explain | 512 records/s"
+        );
+        assert_eq!(labeled_line(None, "x".to_string()), "x");
     }
 
     #[test]

@@ -26,8 +26,15 @@ use std::time::{Duration, Instant};
 use mbp_core::SweepStatusBoard;
 use mbp_json::{json, Value};
 
-/// Version of the `/snapshot` JSON schema. Bump on breaking shape changes.
-pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+/// Version of the `/snapshot` JSON schema.
+///
+/// Additive rule: new fields may appear within a version (consumers must
+/// ignore unknown keys); the version is bumped only when an existing
+/// field changes shape or meaning, or when a new surface is significant
+/// enough that consumers should gate on it. v2 added the forensic
+/// surfaces: per-predictor `worst_branch` (`null` until the first
+/// misprediction, then `{"ip", "mispredictions"}`).
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 2;
 
 /// Everything the snapshot endpoint reports beyond the pipeline statics:
 /// what kind of command is running, its resilience configuration, and the
@@ -61,6 +68,13 @@ pub fn snapshot_json(state: &TelemetryState, elapsed_s: f64, scrapes: u64) -> Va
                 .snapshot()
                 .iter()
                 .map(|s| {
+                    let worst = match s.worst_branch {
+                        Some((ip, mispredictions)) => json!({
+                            "ip": ip,
+                            "mispredictions": mispredictions,
+                        }),
+                        None => Value::Null,
+                    };
                     json!({
                         "name": s.name.as_str(),
                         "state": s.state.as_str(),
@@ -69,6 +83,7 @@ pub fn snapshot_json(state: &TelemetryState, elapsed_s: f64, scrapes: u64) -> Va
                         "conditional_branches": s.conditional_branches,
                         "mispredictions": s.mispredictions,
                         "mpki": s.mpki(),
+                        "worst_branch": worst,
                     })
                 })
                 .collect()
@@ -116,14 +131,25 @@ impl TelemetryServer {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let state = Arc::new(state);
         let handle = std::thread::spawn(move || {
             let started = Instant::now();
-            let scrapes = AtomicU64::new(0);
+            let scrapes = Arc::new(AtomicU64::new(0));
             while !stop_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        // One connection at a time; a scrape is milliseconds.
-                        let _ = serve_connection(stream, &state, &started, &scrapes);
+                        // Serve each connection on its own short-lived
+                        // thread so a slow or stalled client (connection
+                        // held open, bytes dribbled in) cannot wedge the
+                        // accept loop — `/healthz` stays responsive. The
+                        // per-connection read/write deadlines bound each
+                        // thread's lifetime, so stragglers self-terminate
+                        // even after the server stops accepting.
+                        let state = Arc::clone(&state);
+                        let scrapes = Arc::clone(&scrapes);
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &state, &started, &scrapes);
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(20));
@@ -178,6 +204,10 @@ fn serve_connection(
     started: &Instant,
     scrapes: &AtomicU64,
 ) -> std::io::Result<()> {
+    // The listener is non-blocking for prompt stop-flag checks; accepted
+    // sockets may inherit that on some platforms, so reset it explicitly —
+    // the deadlines below are what bound a slow client, not WouldBlock.
+    stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut reader = BufReader::new(stream);
@@ -207,10 +237,32 @@ fn serve_connection(
         "/metrics" => {
             let n = scrapes.fetch_add(1, Ordering::Relaxed) + 1;
             mbp_stats::events::instant(mbp_stats::events::EventName::TelemetryScrape, n);
+            let h2p: Vec<mbp_stats::H2pRow> = state
+                .board
+                .as_ref()
+                .map(|board| {
+                    board
+                        .snapshot()
+                        .iter()
+                        .map(|s| {
+                            let (worst_ip, worst_mispredictions) = match s.worst_branch {
+                                Some((ip, n)) => (Some(ip), n),
+                                None => (None, 0),
+                            };
+                            mbp_stats::H2pRow {
+                                predictor: s.name.clone(),
+                                worst_ip,
+                                worst_mispredictions,
+                            }
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
             let body = mbp_stats::render_openmetrics(
                 &mbp_stats::registry().snapshot(),
                 &mbp_stats::pipeline().snapshot(),
                 mbp_stats::events::dropped_events(),
+                &h2p,
             );
             respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
         }
@@ -288,7 +340,7 @@ mod tests {
 
         let snapshot = http_get(&addr, "/snapshot", t).unwrap();
         let doc: Value = snapshot.parse().unwrap();
-        assert_eq!(doc["schema_version"], Value::from(1));
+        assert_eq!(doc["schema_version"], Value::from(2));
         assert_eq!(doc["kind"], Value::from("run"));
         assert!(doc["pipeline"]["simulate"].as_object().is_some());
 
@@ -306,6 +358,7 @@ mod tests {
         board.set_state(0, PredictorState::Running);
         board.set_totals(1, 2_000, 4);
         board.set_state(1, PredictorState::Settled);
+        board.set_worst_branch(1, 0x400, 3);
         let state = TelemetryState {
             kind: "sweep",
             board: Some(board),
@@ -320,8 +373,68 @@ mod tests {
         let preds = doc["sweep"]["predictors"].as_array().unwrap();
         assert_eq!(preds.len(), 2);
         assert_eq!(preds[0]["state"], Value::from("running"));
+        assert!(
+            preds[0]["worst_branch"].is_null(),
+            "no misprediction yet => null"
+        );
         assert_eq!(preds[1]["state"], Value::from("settled"));
         assert_eq!(preds[1]["mpki"], Value::from(2.0));
+        assert_eq!(preds[1]["worst_branch"]["ip"], Value::from(0x400u64));
+        assert_eq!(
+            preds[1]["worst_branch"]["mispredictions"],
+            Value::from(3u64)
+        );
         assert_eq!(doc["scrapes"], Value::from(3));
+    }
+
+    #[test]
+    fn snapshot_round_trips_byte_identically() {
+        // Satellite: the /snapshot schema must deserialize and re-serialize
+        // to the exact bytes served, so downstream consumers can archive
+        // and diff snapshots without a canonicalization step.
+        use mbp_core::SweepStatusBoard;
+        let board = Arc::new(SweepStatusBoard::new(["bimodal"]));
+        board.set_totals(0, 10_000, 25);
+        board.set_worst_branch(0, 0x88, 9);
+        let state = TelemetryState {
+            kind: "sweep",
+            board: Some(board),
+            ..TelemetryState::default()
+        };
+        let served = snapshot_json(&state, 0.25, 1).to_pretty_string();
+        let reparsed: Value = served.parse().unwrap();
+        assert_eq!(
+            reparsed.to_pretty_string(),
+            served,
+            "snapshot JSON must round-trip byte-identically"
+        );
+    }
+
+    #[test]
+    fn dribbling_client_cannot_wedge_healthz() {
+        // Satellite: a client that opens a connection and trickles bytes
+        // without ever completing a request must not block other scrapers —
+        // each connection is served on its own deadline-bounded thread.
+        let server = TelemetryServer::start("127.0.0.1:0", TelemetryState::default()).unwrap();
+        let addr = server.local_addr();
+
+        // Open the hostile connection first and keep it alive, dribbling.
+        let mut dribbler = TcpStream::connect(addr).unwrap();
+        dribbler.write_all(b"G").unwrap();
+        dribbler.flush().unwrap();
+        // Give the accept loop time to pick it up before probing health.
+        std::thread::sleep(Duration::from_millis(100));
+
+        let t0 = Instant::now();
+        let health = http_get(&addr.to_string(), "/healthz", Duration::from_secs(1)).unwrap();
+        assert_eq!(health, "ok\n");
+        assert!(
+            t0.elapsed() < Duration::from_millis(900),
+            "healthz blocked behind a stalled connection: {:?}",
+            t0.elapsed()
+        );
+
+        drop(dribbler);
+        server.finish(Duration::ZERO, None);
     }
 }

@@ -117,6 +117,18 @@ pub fn render_frame(doc: &Value, history: &BTreeMap<String, Vec<f64>>) -> String
                     field(p, &["mpki"]).and_then(Value::as_f64).unwrap_or(0.0),
                     trend,
                 ));
+                // Forensic drill-down: the predictor's current worst
+                // (most-mispredicted) branch, once one exists (v2 snapshot).
+                if let (Some(ip), Some(misses)) = (
+                    field(p, &["worst_branch", "ip"]).and_then(Value::as_u64),
+                    field(p, &["worst_branch", "mispredictions"]).and_then(Value::as_u64),
+                ) {
+                    out.push_str(&format!(
+                        "{:<name_w$}  └ worst branch {ip:#014x}  {} mispredictions\n",
+                        "",
+                        human(misses),
+                    ));
+                }
             }
         }
         _ => out.push_str("(no predictor status published)\n"),
@@ -211,7 +223,7 @@ mod tests {
 
     fn sample_doc() -> Value {
         json!({
-            "schema_version": 1,
+            "schema_version": 2,
             "kind": "sweep",
             "elapsed_s": 2.5,
             "shutdown_requested": false,
@@ -224,10 +236,12 @@ mod tests {
             "sweep": {"predictors": [
                 {"name": "gshare", "state": "running", "epoch": 12,
                  "instructions": 800_000, "conditional_branches": 100_000,
-                 "mispredictions": 4_000, "mpki": 5.0},
+                 "mispredictions": 4_000, "mpki": 5.0,
+                 "worst_branch": {"ip": 0x4a0u64, "mispredictions": 1_200}},
                 {"name": "tage", "state": "queued", "epoch": 0,
                  "instructions": 0, "conditional_branches": 0,
-                 "mispredictions": 0, "mpki": 0.0},
+                 "mispredictions": 0, "mpki": 0.0,
+                 "worst_branch": Value::Null},
             ]},
         })
     }
@@ -241,12 +255,22 @@ mod tests {
         assert!(frame.starts_with("mbpsim sweep | elapsed 2.5s"));
         assert!(frame.contains("1.5M instr"));
         let lines: Vec<&str> = frame.lines().collect();
-        assert_eq!(lines.len(), 4, "header + column row + 2 predictors");
+        assert_eq!(
+            lines.len(),
+            5,
+            "header + column row + 2 predictors + gshare drill-down"
+        );
         assert!(lines[2].starts_with("gshare"));
         assert!(lines[2].contains("running"));
         assert!(lines[2].contains("5.000"));
-        assert!(lines[3].starts_with("tage"));
-        assert!(lines[3].contains("queued"));
+        assert!(
+            lines[3].contains("└ worst branch 0x0000000004a0"),
+            "drill-down row under gshare: {}",
+            lines[3]
+        );
+        assert!(lines[3].contains("1200 mispredictions"));
+        assert!(lines[4].starts_with("tage"));
+        assert!(lines[4].contains("queued"));
     }
 
     #[test]

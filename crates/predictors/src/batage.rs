@@ -195,6 +195,8 @@ pub struct Batage {
     // Lookup scratch shared by predict/train.
     slots: Vec<(usize, u16)>,
     hits: Vec<usize>,
+    /// Attribution of the latest misprediction (forensics hook).
+    blame: Option<&'static str>,
 }
 
 impl Batage {
@@ -240,6 +242,7 @@ impl Batage {
             throttled: 0,
             slots: Vec::new(),
             hits: Vec::new(),
+            blame: None,
             cfg,
         }
     }
@@ -337,6 +340,12 @@ impl Predictor for Batage {
         self.compute_lookup(ip);
         let (provider, final_pred) = self.decide(ip);
 
+        if final_pred != taken {
+            // The Bayesian comparison elected either a tagged entry or the
+            // base counter as the most reliable — blame whichever one won.
+            self.blame = Some(provider.map_or("base", |_| "provider"));
+        }
+
         // Update the longest matching entry unconditionally — newly
         // allocated entries are low-confidence and would otherwise never be
         // selected, never train, and rot in place. Also update the entry
@@ -433,6 +442,10 @@ impl Predictor for Batage {
             "throttled_allocations": self.throttled,
             "cat": self.cat,
         })
+    }
+
+    fn last_mispredict_blame(&self) -> Option<&'static str> {
+        self.blame
     }
 
     fn table_probes(&self) -> Vec<TableProbe> {

@@ -125,6 +125,8 @@ pub struct Tage {
     allocations: u64,
     alloc_failures: u64,
     scratch: Lookup,
+    /// Attribution of the latest misprediction (forensics hook).
+    blame: Option<&'static str>,
 }
 
 impl Tage {
@@ -180,6 +182,7 @@ impl Tage {
             allocations: 0,
             alloc_failures: 0,
             scratch: Lookup::default(),
+            blame: None,
             cfg,
         }
     }
@@ -310,6 +313,20 @@ impl Predictor for Tage {
         let alt_pred = self.scratch.alt_pred;
         let final_pred = self.scratch.final_pred;
 
+        if final_pred != taken {
+            // Attribute the miss to the component that supplied the final
+            // prediction: the base table when no tagged entry hit, the
+            // alternative prediction when the use-alt-on-new chooser
+            // overrode a newly allocated provider, the provider otherwise.
+            let alt_overrode = self.scratch.provider_is_new && self.use_alt_on_new.is_taken();
+            self.blame = Some(match provider {
+                None => "base",
+                Some(_) if alt_overrode && alt.is_some() => "alt",
+                Some(_) if alt_overrode => "base",
+                Some(_) => "provider",
+            });
+        }
+
         // Chooser between a newly allocated provider and its alternative.
         if let Some(i) = provider {
             if self.scratch.provider_is_new && provider_pred != alt_pred {
@@ -386,6 +403,10 @@ impl Predictor for Tage {
             "allocation_failures": self.alloc_failures,
             "use_alt_on_new": self.use_alt_on_new.value(),
         })
+    }
+
+    fn last_mispredict_blame(&self) -> Option<&'static str> {
+        self.blame
     }
 
     fn table_probes(&self) -> Vec<TableProbe> {

@@ -38,6 +38,8 @@ pub struct Tournament {
     tracked: bool,
     provider: bool,
     prediction: [bool; 2],
+    /// Attribution of the latest misprediction (forensics hook).
+    blame: Option<&'static str>,
 }
 
 impl Tournament {
@@ -55,6 +57,7 @@ impl Tournament {
             tracked: true,
             provider: false,
             prediction: [false; 2],
+            blame: None,
         }
     }
 
@@ -94,6 +97,15 @@ impl Predictor for Tournament {
 
     fn train(&mut self, branch: &Branch) {
         self.refresh(branch.ip());
+        if self.prediction[self.provider as usize] != branch.is_taken() {
+            // Either the chooser picked the wrong component (the other one
+            // was right), or no choice could have helped.
+            self.blame = Some(if self.prediction[0] != self.prediction[1] {
+                "chooser_wrong"
+            } else {
+                "both_wrong"
+            });
+        }
         self.bp0.train(branch);
         self.bp1.train(branch);
         if self.prediction[0] != self.prediction[1] {
@@ -127,6 +139,10 @@ impl Predictor for Tournament {
             "predictor_0": self.bp0.execution_statistics(),
             "predictor_1": self.bp1.execution_statistics(),
         })
+    }
+
+    fn last_mispredict_blame(&self) -> Option<&'static str> {
+        self.blame
     }
 
     fn table_probes(&self) -> Vec<TableProbe> {
@@ -285,6 +301,38 @@ mod tests {
             b.track(&br);
         }
         assert_eq!(mis_a, mis_b);
+    }
+
+    #[test]
+    fn blame_distinguishes_chooser_from_both_wrong() {
+        fn meta(direction: bool) -> Counting {
+            Counting {
+                direction,
+                trains: Arc::new(AtomicU64::new(0)),
+                tracks: Arc::new(AtomicU64::new(0)),
+            }
+        }
+        // Chooser picks bp1 (always taken); bp0 (never taken) was right.
+        let mut t = Tournament::new(
+            Box::new(meta(true)),
+            Box::new(NeverTaken),
+            Box::new(AlwaysTaken),
+        );
+        let b = cond(0x10, false);
+        t.predict(b.ip());
+        t.train(&b);
+        assert_eq!(t.last_mispredict_blame(), Some("chooser_wrong"));
+        t.track(&b);
+
+        // Both components wrong: no choice could have helped.
+        let mut t = Tournament::new(
+            Box::new(meta(false)),
+            Box::new(AlwaysTaken),
+            Box::new(AlwaysTaken),
+        );
+        t.predict(b.ip());
+        t.train(&b);
+        assert_eq!(t.last_mispredict_blame(), Some("both_wrong"));
     }
 
     #[test]

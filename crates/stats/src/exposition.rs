@@ -42,6 +42,65 @@ pub fn sanitize_metric_name(name: &str) -> String {
     out
 }
 
+/// One predictor's live hard-to-predict summary, rendered as the
+/// `mbp_h2p_*` labeled gauge family.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct H2pRow {
+    /// Value of the `predictor` label.
+    pub predictor: String,
+    /// Address of the predictor's currently worst (most-mispredicted)
+    /// branch; `None` before any misprediction.
+    pub worst_ip: Option<u64>,
+    /// Misprediction count of that branch (0 when `worst_ip` is `None`).
+    pub worst_mispredictions: u64,
+}
+
+/// Escapes a label value per the OpenMetrics text format: backslash,
+/// double quote and newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emits the `mbp_h2p_*` family: per-predictor worst-branch gauges. Every
+/// row renders a misprediction count (so a predictor with no misses yet is
+/// still visible as `0`); the address gauge appears once a worst branch
+/// exists.
+fn h2p_family(out: &mut String, rows: &[H2pRow]) {
+    if rows.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "# TYPE mbp_h2p_worst_branch_mispredictions gauge");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "mbp_h2p_worst_branch_mispredictions{{predictor=\"{}\"}} {}",
+            escape_label_value(&r.predictor),
+            r.worst_mispredictions
+        );
+    }
+    if rows.iter().any(|r| r.worst_ip.is_some()) {
+        let _ = writeln!(out, "# TYPE mbp_h2p_worst_branch_ip gauge");
+        for r in rows {
+            if let Some(ip) = r.worst_ip {
+                let _ = writeln!(
+                    out,
+                    "mbp_h2p_worst_branch_ip{{predictor=\"{}\"}} {ip}",
+                    escape_label_value(&r.predictor)
+                );
+            }
+        }
+    }
+}
+
 /// Emits one counter family: `# TYPE` line plus a `_total` sample.
 fn counter(out: &mut String, name: &str, value: u64) {
     let _ = writeln!(out, "# TYPE {name} counter");
@@ -82,16 +141,19 @@ fn histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
     let _ = writeln!(out, "{name}_count {}", h.count);
 }
 
-/// Renders the pipeline snapshot, the registry snapshot and the event
-/// journal's drop counter as one OpenMetrics text document.
+/// Renders the pipeline snapshot, the registry snapshot, the event
+/// journal's drop counter and the per-predictor H2P rows as one
+/// OpenMetrics text document.
 ///
-/// Pipeline families come first in a fixed order; registry entries follow,
-/// prefixed `mbp_registry_` and sorted by sanitized name. Rendering the
-/// same snapshots twice yields byte-identical output.
+/// Pipeline families come first in a fixed order, then the `mbp_h2p_*`
+/// family (omitted when `h2p` is empty), then registry entries prefixed
+/// `mbp_registry_` and sorted by sanitized name. Rendering the same
+/// snapshots twice yields byte-identical output.
 pub fn render_openmetrics(
     registry: &Snapshot,
     pipeline: &PipelineSnapshot,
     dropped_events: u64,
+    h2p: &[H2pRow],
 ) -> String {
     let mut out = String::with_capacity(4096);
     let p = pipeline;
@@ -176,6 +238,8 @@ pub fn render_openmetrics(
 
     counter(&mut out, "mbp_events_dropped", dropped_events);
 
+    h2p_family(&mut out, h2p);
+
     // Registry entries arrive sorted by raw name; sanitization can reorder
     // (or collide — last writer wins is fine for a scrape surface), so
     // re-sort by the emitted family name to keep the document stable.
@@ -226,7 +290,7 @@ mod tests {
         // 2^53 + 1 is not representable in f64; the text must round-trip.
         let big = (1u64 << 53) + 1;
         stats.sim.instructions.add(big);
-        let text = render_openmetrics(&Snapshot::default(), &stats.snapshot(), 0);
+        let text = render_openmetrics(&Snapshot::default(), &stats.snapshot(), 0, &[]);
         assert!(
             text.contains(&format!("mbp_sim_instructions_total {big}\n")),
             "expected exact integer rendering, got:\n{text}"
@@ -238,7 +302,7 @@ mod tests {
         let stats = PipelineStats::new();
         stats.sweep.predictor_us.record(5);
         stats.sweep.predictor_us.record(1_000_000_000);
-        let text = render_openmetrics(&Snapshot::default(), &stats.snapshot(), 0);
+        let text = render_openmetrics(&Snapshot::default(), &stats.snapshot(), 0, &[]);
         let inf = text
             .lines()
             .find(|l| l.starts_with("mbp_sweep_predictor_us_bucket{le=\"+Inf\"}"))
@@ -260,8 +324,8 @@ mod tests {
     fn empty_registry_renders_pipeline_only_and_is_byte_stable() {
         let stats = PipelineStats::new();
         let reg = Registry::new();
-        let a = render_openmetrics(&reg.snapshot(), &stats.snapshot(), 0);
-        let b = render_openmetrics(&reg.snapshot(), &stats.snapshot(), 0);
+        let a = render_openmetrics(&reg.snapshot(), &stats.snapshot(), 0, &[]);
+        let b = render_openmetrics(&reg.snapshot(), &stats.snapshot(), 0, &[]);
         assert_eq!(a, b, "idle scrapes must be byte-identical");
         assert!(!a.contains("mbp_registry_"));
         assert!(a.contains("# TYPE mbp_sim_instructions counter"));
@@ -276,7 +340,7 @@ mod tests {
         reg.gauge("queue depth").set(7);
         reg.timer("phase.time").record_ns(1_500_000_000);
         reg.histogram("sizes", &[8, 64]).record(9);
-        let text = render_openmetrics(&reg.snapshot(), &stats.snapshot(), 2);
+        let text = render_openmetrics(&reg.snapshot(), &stats.snapshot(), 2, &[]);
         assert!(text
             .contains("# TYPE mbp_registry_jobs_done counter\nmbp_registry_jobs_done_total 3\n"));
         assert!(text.contains("mbp_registry_queue_depth 7\n"));
@@ -286,5 +350,76 @@ mod tests {
         assert!(text.contains("mbp_registry_sizes_bucket{le=\"64\"} 1\n"));
         assert!(text.contains("mbp_registry_sizes_sum 9\n"));
         assert!(text.contains("mbp_events_dropped_total 2\n"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_zero_count_and_only_inf_populated() {
+        let stats = PipelineStats::new();
+        let reg = Registry::new();
+        // Declared but never recorded into.
+        let _ = reg.histogram("never.recorded", &[1, 10]);
+        let text = render_openmetrics(&reg.snapshot(), &stats.snapshot(), 0, &[]);
+        assert!(text.contains("# TYPE mbp_registry_never_recorded histogram"));
+        assert!(text.contains("mbp_registry_never_recorded_bucket{le=\"1\"} 0\n"));
+        assert!(text.contains("mbp_registry_never_recorded_bucket{le=\"10\"} 0\n"));
+        assert!(text.contains("mbp_registry_never_recorded_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("mbp_registry_never_recorded_sum 0\n"));
+        assert!(text.contains("mbp_registry_never_recorded_count 0\n"));
+    }
+
+    #[test]
+    fn sanitized_name_collision_renders_both_samples_under_one_name() {
+        // "a.b" and "a b" both sanitize to "a_b". Distinct registry entries
+        // survive as distinct samples of the same family name; scrapers see
+        // the duplicate, which is the documented (and diffable) behavior.
+        let stats = PipelineStats::new();
+        let reg = Registry::new();
+        reg.counter("a.b").add(1);
+        reg.counter("a b").add(2);
+        let text = render_openmetrics(&reg.snapshot(), &stats.snapshot(), 0, &[]);
+        let samples: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("mbp_registry_a_b_total"))
+            .collect();
+        assert_eq!(
+            samples,
+            ["mbp_registry_a_b_total 2", "mbp_registry_a_b_total 1"],
+            "both colliding entries render, in name-sorted snapshot order"
+        );
+    }
+
+    #[test]
+    fn h2p_family_renders_labels_with_escaping() {
+        let stats = PipelineStats::new();
+        let rows = [
+            H2pRow {
+                predictor: "tage".into(),
+                worst_ip: Some(0x40),
+                worst_mispredictions: 17,
+            },
+            H2pRow {
+                predictor: "we\"ird\\nm\ne".into(),
+                worst_ip: None,
+                worst_mispredictions: 0,
+            },
+        ];
+        let text = render_openmetrics(&Snapshot::default(), &stats.snapshot(), 0, &rows);
+        assert!(text.contains("# TYPE mbp_h2p_worst_branch_mispredictions gauge"));
+        assert!(text.contains("mbp_h2p_worst_branch_mispredictions{predictor=\"tage\"} 17\n"));
+        assert!(
+            text.contains(
+                "mbp_h2p_worst_branch_mispredictions{predictor=\"we\\\"ird\\\\nm\\ne\"} 0\n"
+            ),
+            "label escaping, got:\n{text}"
+        );
+        assert!(text.contains("mbp_h2p_worst_branch_ip{predictor=\"tage\"} 64\n"));
+        assert!(
+            !text.contains("mbp_h2p_worst_branch_ip{predictor=\"we"),
+            "no ip sample for a predictor without a worst branch"
+        );
+
+        // Empty rows: family omitted entirely.
+        let text = render_openmetrics(&Snapshot::default(), &stats.snapshot(), 0, &[]);
+        assert!(!text.contains("mbp_h2p_"));
     }
 }

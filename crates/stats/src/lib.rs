@@ -44,7 +44,7 @@ mod metric;
 mod pipeline;
 mod registry;
 
-pub use exposition::{render_openmetrics, sanitize_metric_name};
+pub use exposition::{render_openmetrics, sanitize_metric_name, H2pRow};
 pub use metric::{
     enabled, set_enabled, Counter, Gauge, Histogram, HistogramSnapshot, ScopedTimer, Timer,
 };

@@ -69,6 +69,53 @@ fn gen_run_info_pipeline() {
 }
 
 #[test]
+fn explain_emits_versioned_forensic_report() {
+    let dir = temp_dir("explain");
+    assert!(mbpsim()
+        .args(["gen", "--suite", "smoke", "--out"])
+        .arg(&dir)
+        .status()
+        .expect("spawn")
+        .success());
+    let trace = dir.join("SMOKE-mobile.sbbt.mzst");
+
+    let out = mbpsim()
+        .arg("explain")
+        .arg(&trace)
+        .args(["tournament", "--top", "5"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc: mbp::json::Value = String::from_utf8(out.stdout)
+        .expect("utf8")
+        .parse()
+        .expect("json");
+    let forensics = doc.get("forensics").expect("forensics section");
+    assert_eq!(forensics["schema_version"].as_u64(), Some(1));
+    let top = forensics["top"].as_array().expect("top array");
+    assert!(!top.is_empty() && top.len() <= 5, "top-K honored");
+    assert!(
+        top[0]["attribution"].as_object().is_some(),
+        "tournament attributes its mispredictions"
+    );
+    let coverage = forensics["coverage"].as_array().expect("coverage curve");
+    assert_eq!(coverage.len(), top.len());
+
+    // Unknown predictor stays a usage error on the explain path too.
+    let out = mbpsim()
+        .arg("explain")
+        .arg(&trace)
+        .arg("frobnicator")
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn translate_roundtrip_through_bt9() {
     let dir = temp_dir("translate");
     assert!(mbpsim()
